@@ -1,0 +1,102 @@
+"""Ablation — which parts of the duplicate-detection measure matter?
+
+DESIGN.md calls out three design choices in the similarity measure beyond the
+paper's plain description: per-attribute *sharpening* of raw similarities,
+*soft-IDF weighting* of attributes (the paper's "identifying power of a data
+item"), and *range-scaled numeric distance*.  This ablation removes each in
+turn and measures the impact on duplicate-detection F1 at medium corruption.
+
+Expected shape: the full measure is the best (or tied-best) configuration;
+removing sharpening hurts the most because borderline non-duplicates start to
+chain through the transitive closure.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.datagen.corruptor import CorruptionConfig
+from repro.datagen.scenarios import students_scenario
+from repro.dedup.classification import classify_pairs
+from repro.dedup.clustering import transitive_closure_clusters
+from repro.dedup.descriptions import AttributeSelection, select_interesting_attributes
+from repro.dedup.pairs import CandidatePairGenerator
+from repro.dedup.similarity_measure import DuplicateSimilarityMeasure
+from repro.evaluation import evaluate_clusters
+from repro.matching.dumas import DumasMatcher
+from repro.matching.multi import MultiMatcher
+from repro.matching.transform import transform_sources
+
+THRESHOLD = 0.7
+
+
+def prepare():
+    dataset = students_scenario(
+        entity_count=60, overlap=0.4, corruption=CorruptionConfig.medium(), seed=61
+    )
+    sources = dataset.source_list
+    matching = MultiMatcher(DumasMatcher()).match(sources)
+    combined = transform_sources(sources, matching.correspondences)
+    truth_pairs = dataset.truth.duplicate_pairs_within(dataset.combined_row_origin())
+    return combined, truth_pairs
+
+
+def run_variant(combined, truth_pairs, *, sharpness, use_idf, numeric_range_fraction):
+    selection = select_interesting_attributes(combined)
+    if not use_idf:
+        # neutralise the identifying-power weighting: every attribute weighs 1
+        selection = AttributeSelection(
+            attributes=list(selection.attributes),
+            weights={name: 1.0 for name in selection.attributes},
+            rejected=dict(selection.rejected),
+        )
+    measure = DuplicateSimilarityMeasure(
+        selection,
+        sharpness=sharpness,
+        soft_idf_smoothing=1e9 if not use_idf else 1.0,  # huge smoothing flattens idf
+        numeric_range_fraction=numeric_range_fraction,
+    ).fit(combined)
+    generator = CandidatePairGenerator(measure, filter_threshold=0.0, use_filter=False)
+    scores = generator.score_pairs(combined)
+    accepted = classify_pairs(scores, THRESHOLD, uncertainty_band=0.0).accepted_pairs()
+    assignment = transitive_closure_clusters(len(combined), accepted)
+    return evaluate_clusters(assignment, truth_pairs)
+
+
+def test_ablation_similarity_measure(benchmark):
+    combined, truth_pairs = prepare()
+    variants = {
+        "full measure": dict(sharpness=2.5, use_idf=True, numeric_range_fraction=0.2),
+        "no sharpening": dict(sharpness=1.0, use_idf=True, numeric_range_fraction=0.2),
+        "no soft-IDF weighting": dict(sharpness=2.5, use_idf=False, numeric_range_fraction=0.2),
+        "no numeric range scaling": dict(sharpness=2.5, use_idf=True, numeric_range_fraction=0.0),
+    }
+    rows = []
+    results = {}
+    for label, options in variants.items():
+        metrics = run_variant(combined, truth_pairs, **options)
+        results[label] = metrics
+        rows.append((label, metrics.precision, metrics.recall, metrics.f1))
+    print_table(
+        "Ablation: duplicate-detection measure components (students, medium corruption)",
+        ["variant", "precision", "recall", "F1"],
+        rows,
+    )
+
+    full = results["full measure"]
+    # Expected shape: sharpening and numeric range scaling carry the result —
+    # removing either costs a lot of precision (borderline pairs chain through
+    # the transitive closure).  Soft-IDF weighting is roughly neutral on this
+    # synthetic workload (every attribute has a similar value distribution),
+    # which the table makes visible rather than hiding.
+    assert full.f1 >= 0.7
+    assert full.f1 > results["no sharpening"].f1 + 0.2
+    assert full.f1 > results["no numeric range scaling"].f1 + 0.1
+    assert full.precision >= results["no sharpening"].precision
+
+    benchmark.pedantic(
+        lambda: run_variant(
+            combined, truth_pairs, sharpness=2.5, use_idf=True, numeric_range_fraction=0.2
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,96 @@
+"""E4 — scalability of the three pipeline phases.
+
+Wall-clock time of schema matching, duplicate detection and fusion as the
+number of tuples and the number of sources grow.
+
+Expected shape: duplicate detection dominates and grows roughly quadratically
+in the number of tuples (pairwise comparisons), schema matching grows mildly
+(seeding is capped), fusion is linear in the number of tuples.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.pipeline import FusionPipeline
+from repro.datagen.corruptor import CorruptionConfig
+from repro.datagen.scenarios import cd_stores_scenario, students_scenario
+from repro.engine.catalog import Catalog
+
+ENTITY_COUNTS = [20, 40, 80, 120]
+SOURCE_COUNTS = [2, 3, 4]
+
+
+def run_students(entities):
+    dataset = students_scenario(
+        entity_count=entities, corruption=CorruptionConfig.low(), seed=41
+    )
+    catalog = Catalog()
+    for alias, relation in dataset.sources.items():
+        catalog.register(alias, relation)
+    return FusionPipeline(catalog).run(list(dataset.sources))
+
+
+def run_cds(sources):
+    dataset = cd_stores_scenario(
+        entity_count=40, store_count=sources, corruption=CorruptionConfig.low(), seed=43
+    )
+    catalog = Catalog()
+    for alias, relation in dataset.sources.items():
+        catalog.register(alias, relation)
+    return FusionPipeline(catalog).run(list(dataset.sources))
+
+
+def test_e4_scalability_in_tuples(benchmark):
+    rows = []
+    results = {}
+    for entities in ENTITY_COUNTS:
+        result = run_students(entities)
+        results[entities] = result
+        timings = result.timings
+        rows.append(
+            (
+                entities,
+                sum(len(s) for s in result.sources),
+                timings.matching,
+                timings.duplicate_detection,
+                timings.fusion,
+                timings.total,
+            )
+        )
+    print_table(
+        "E4a: phase runtimes vs data size (2 sources, students)",
+        ["entities", "tuples", "matching s", "dedup s", "fusion s", "total s"],
+        rows,
+    )
+    # Expected shape: duplicate detection dominates at the largest size, and
+    # total time grows with the data.
+    largest = rows[-1]
+    assert largest[3] >= largest[2] and largest[3] >= largest[4]
+    assert rows[-1][5] > rows[0][5]
+
+    benchmark.pedantic(lambda: run_students(40), rounds=1, iterations=1)
+
+
+def test_e4_scalability_in_sources(benchmark):
+    rows = []
+    for sources in SOURCE_COUNTS:
+        result = run_cds(sources)
+        timings = result.timings
+        rows.append(
+            (
+                sources,
+                sum(len(s) for s in result.sources),
+                len(result.correspondences),
+                timings.matching,
+                timings.duplicate_detection,
+                timings.total,
+            )
+        )
+    print_table(
+        "E4b: phase runtimes vs number of sources (CD stores)",
+        ["sources", "tuples", "correspondences", "matching s", "dedup s", "total s"],
+        rows,
+    )
+    assert rows[-1][5] >= rows[0][5] * 0.5  # sanity: more sources is not magically cheaper
+
+    benchmark.pedantic(lambda: run_cds(2), rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""FIG1 — Fuse By grammar conformance and parsing throughput.
+
+Regenerates Figure 1 of the paper as an executable artefact: every production
+path of the syntax diagram is parsed and the acceptance matrix is printed;
+pytest-benchmark times a full parse of the paper's example statement.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.exceptions import QueryError
+from repro.fuseby.parser import parse_query
+
+PRODUCTIONS = [
+    ("select *", "SELECT * FUSE FROM a, b FUSE BY (k)"),
+    ("select colref", "SELECT col FUSE FROM a, b FUSE BY (k)"),
+    ("RESOLVE(colref)", "SELECT RESOLVE(col) FUSE FROM a, b FUSE BY (k)"),
+    ("RESOLVE(colref, function)", "SELECT RESOLVE(col, vote) FUSE FROM a, b FUSE BY (k)"),
+    ("RESOLVE with arguments", "SELECT RESOLVE(p, choose('s1')) FUSE FROM a, b FUSE BY (k)"),
+    ("plain FROM", "SELECT * FROM a, b"),
+    ("FUSE FROM, many tables", "SELECT * FUSE FROM a, b, c, d FUSE BY (k)"),
+    ("where-clause", "SELECT * FUSE FROM a, b WHERE x > 1 FUSE BY (k)"),
+    ("FUSE BY one colref", "SELECT * FUSE FROM a, b FUSE BY (k1)"),
+    ("FUSE BY many colrefs", "SELECT * FUSE FROM a, b FUSE BY (k1, k2, k3)"),
+    ("FUSE BY empty", "SELECT * FUSE FROM a, b FUSE BY ()"),
+    ("no FUSE BY", "SELECT * FUSE FROM a, b"),
+    ("HAVING", "SELECT * FUSE FROM a, b FUSE BY (k) HAVING n > 1"),
+    ("ORDER BY", "SELECT * FUSE FROM a, b FUSE BY (k) ORDER BY k DESC"),
+    ("paper example", "SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)"),
+]
+
+NEAR_MISSES = [
+    ("missing SELECT", "RESOLVE(Age) FROM t"),
+    ("empty select list", "SELECT FROM t"),
+    ("missing tableref", "SELECT * FUSE FROM"),
+    ("FUSE BY without parens", "SELECT * FUSE FROM a, b FUSE BY k"),
+    ("unclosed FUSE BY", "SELECT * FUSE FROM a, b FUSE BY (k"),
+]
+
+
+def test_fig1_grammar_conformance(benchmark):
+    rows = []
+    for label, statement in PRODUCTIONS:
+        parse_query(statement)  # must not raise
+        rows.append((label, "accepted"))
+    for label, statement in NEAR_MISSES:
+        with pytest.raises(QueryError):
+            parse_query(statement)
+        rows.append((label, "rejected"))
+    print_table("FIG1: Fuse By syntax diagram conformance", ["production", "outcome"], rows)
+
+    statement = PRODUCTIONS[-1][1]
+    benchmark(parse_query, statement)

@@ -1,0 +1,28 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*.py`` file regenerates one table or figure of the reproduction
+(see DESIGN.md, "Per-experiment index").  Every benchmark prints the rows it
+measured — the printed tables are the artefacts recorded in EXPERIMENTS.md —
+and wraps a representative unit of work in pytest-benchmark for timing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render one experiment table to stdout (captured with ``pytest -s``)."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append([
+            f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    print(f"\n=== {title} ===")
+    print(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        print(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets is fully offline and has no
+``wheel`` package, so PEP 660 editable installs (which need ``bdist_wheel``)
+fail.  Providing a ``setup.py`` lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` path; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""HumMer reproduction: automatic data fusion for heterogeneous, dirty data.
+
+Reproduction of *"Automatic Data Fusion with HumMer"* (Bilke, Bleiholder,
+Böhm, Draba, Naumann, Weis — VLDB 2005).  Guided by a Fuse By query over
+multiple tables, the library performs three fully automated steps:
+
+1. **Schema matching** (``repro.matching``) — instance-based, duplicate-driven
+   alignment of heterogeneous schemata (the DUMAS algorithm).
+2. **Duplicate detection** (``repro.dedup``) — domain-independent, similarity
+   based detection of multiple representations of the same real-world object.
+3. **Data fusion / conflict resolution** (``repro.core``) — merging duplicate
+   clusters into single consistent tuples using declarative resolution
+   functions.
+
+The :class:`HumMer` facade ties everything together; the ``repro.fuseby``
+package parses and executes the Fuse By SQL extension; ``repro.engine`` is the
+underlying relational engine (the XXL substitute); ``repro.datagen``,
+``repro.baselines`` and ``repro.evaluation`` support the experiments.
+"""
+
+from repro.hummer import HumMer
+from repro.engine import Catalog, Column, DataType, Relation, Schema
+from repro.core import (
+    FusionPipeline,
+    FusionResult,
+    FusionSpec,
+    PipelineResult,
+    ResolutionContext,
+    ResolutionFunction,
+    ResolutionSpec,
+    default_registry,
+    fuse,
+)
+from repro.matching import DumasMatcher, transform_sources
+from repro.dedup import DuplicateDetector
+from repro.fuseby import parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HumMer",
+    "Catalog",
+    "Column",
+    "DataType",
+    "Relation",
+    "Schema",
+    "FusionPipeline",
+    "FusionResult",
+    "FusionSpec",
+    "PipelineResult",
+    "ResolutionContext",
+    "ResolutionFunction",
+    "ResolutionSpec",
+    "default_registry",
+    "fuse",
+    "DumasMatcher",
+    "transform_sources",
+    "DuplicateDetector",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Baselines the experiments compare HumMer against.
+
+* :class:`NameBasedMatcher` — schema matching from attribute labels only
+  (what a system without instance-based matching can do); baseline of E1.
+* :func:`naive_union` — plain outer union, no duplicate handling; the
+  "maximally complete but maximally redundant" baseline of E3.
+* :class:`ExactDuplicateDetector` — duplicates are only exact matches on a
+  key; baseline of E2.
+* :func:`groupby_fusion` — SQL GROUP BY on a natural key with standard
+  aggregates, the closest a vanilla DBMS gets to fusion; baseline of E3.
+"""
+
+from repro.baselines.name_matcher import NameBasedMatcher
+from repro.baselines.naive_union import naive_union
+from repro.baselines.exact_dedup import ExactDuplicateDetector
+from repro.baselines.groupby_fusion import groupby_fusion
+
+__all__ = [
+    "NameBasedMatcher",
+    "naive_union",
+    "ExactDuplicateDetector",
+    "groupby_fusion",
+]

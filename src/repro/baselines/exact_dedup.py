@@ -1,0 +1,58 @@
+"""Exact-match duplicate detection baseline.
+
+Tuples are duplicates only if they agree exactly (after whitespace/case
+normalisation) on a chosen key — what DISTINCT or a merge on a natural key
+gives you.  Misspellings, abbreviations and formatting differences all break
+it, which is exactly the gap similarity-based detection closes in E2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dedup.clustering import transitive_closure_clusters
+from repro.dedup.detector import OBJECT_ID_COLUMN
+from repro.engine.relation import Relation
+from repro.engine.schema import Column
+from repro.engine.types import DataType, is_null
+from repro.similarity.tokenize import normalize_text
+
+__all__ = ["ExactDuplicateDetector"]
+
+
+class ExactDuplicateDetector:
+    """Groups tuples by exact (normalised) equality of the key columns."""
+
+    def __init__(self, key_columns: Sequence[str], normalize: bool = True):
+        if not key_columns:
+            raise ValueError("exact duplicate detection needs at least one key column")
+        self.key_columns = list(key_columns)
+        self.normalize = normalize
+
+    def assign_clusters(self, relation: Relation) -> List[int]:
+        """Cluster id per row (rows with a null key are singletons)."""
+        positions = relation.schema.positions(self.key_columns)
+        pairs = []
+        index_by_key = {}
+        for row_index, values in enumerate(relation.rows):
+            key_parts = []
+            has_null = False
+            for position in positions:
+                value = values[position]
+                if is_null(value):
+                    has_null = True
+                    break
+                key_parts.append(normalize_text(value) if self.normalize else str(value))
+            if has_null:
+                continue
+            key = tuple(key_parts)
+            if key in index_by_key:
+                pairs.append((index_by_key[key], row_index))
+            else:
+                index_by_key[key] = row_index
+        return transitive_closure_clusters(len(relation), pairs)
+
+    def detect(self, relation: Relation) -> Relation:
+        """Return *relation* with the baseline's objectID column appended."""
+        assignment = self.assign_clusters(relation)
+        return relation.with_column(Column(OBJECT_ID_COLUMN, DataType.INTEGER), assignment)

@@ -1,0 +1,28 @@
+"""Plain outer union baseline (no duplicate handling, no conflict resolution)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.operators.union import outer_union
+from repro.engine.relation import Relation
+from repro.matching.correspondences import CorrespondenceSet
+from repro.matching.transform import transform_sources
+
+__all__ = ["naive_union"]
+
+
+def naive_union(
+    relations: Sequence[Relation],
+    correspondences: CorrespondenceSet = None,
+) -> Relation:
+    """Outer-union the sources without fusing anything.
+
+    With *correspondences* the schemata are aligned first (so the comparison
+    against real fusion isolates the effect of duplicate handling); without,
+    even the schemata stay unaligned and the result is as redundant as it
+    gets.
+    """
+    if correspondences is not None:
+        return transform_sources(relations, correspondences)
+    return outer_union(list(relations), name="naive_union")

@@ -1,0 +1,91 @@
+"""Label-based schema matching baseline.
+
+Matches attributes purely by the similarity of their *names* (edit distance
+over normalised labels plus a small synonym table), ignoring instances.  This
+is the baseline DUMAS-style instance matching is compared against in
+experiment E1: it works when labels are descriptive and shared, and fails on
+the opaque or absent labels the paper's shopping scenario highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.relation import Relation
+from repro.matching.assignment import maximum_weight_matching
+from repro.matching.correspondences import Correspondence, CorrespondenceSet
+from repro.similarity.levenshtein import levenshtein_similarity
+from repro.similarity.tokenize import normalize_text
+
+__all__ = ["NameBasedMatcher"]
+
+#: Common attribute-label synonyms found in practice; both directions apply.
+_DEFAULT_SYNONYMS = [
+    ("name", "fullname"),
+    ("name", "title"),
+    ("phone", "telephone"),
+    ("zip", "postcode"),
+    ("zip", "zipcode"),
+    ("price", "cost"),
+    ("artist", "interpret"),
+    ("birthday", "dob"),
+    ("address", "addr"),
+    ("email", "mail"),
+]
+
+
+class NameBasedMatcher:
+    """Schema matcher using only attribute labels."""
+
+    def __init__(
+        self,
+        threshold: float = 0.6,
+        synonyms: Optional[Iterable[Tuple[str, str]]] = None,
+    ):
+        self.threshold = threshold
+        self._synonyms = set()
+        for left, right in (synonyms if synonyms is not None else _DEFAULT_SYNONYMS):
+            self._synonyms.add((normalize_text(left), normalize_text(right)))
+            self._synonyms.add((normalize_text(right), normalize_text(left)))
+
+    def label_similarity(self, left: str, right: str) -> float:
+        """Similarity of two attribute labels in ``[0, 1]``."""
+        left_n, right_n = normalize_text(left), normalize_text(right)
+        left_n = left_n.replace("_", " ").replace("-", " ")
+        right_n = right_n.replace("_", " ").replace("-", " ")
+        if left_n == right_n:
+            return 1.0
+        if (left_n.replace(" ", ""), right_n.replace(" ", "")) in self._synonyms:
+            return 0.95
+        # substring containment ("cd_title" vs "title")
+        compact_left, compact_right = left_n.replace(" ", ""), right_n.replace(" ", "")
+        if compact_left and compact_right and (
+            compact_left in compact_right or compact_right in compact_left
+        ):
+            shorter = min(len(compact_left), len(compact_right))
+            longer = max(len(compact_left), len(compact_right))
+            return max(0.7, shorter / longer)
+        return levenshtein_similarity(left_n, right_n, normalize=False)
+
+    def match(self, left: Relation, right: Relation) -> CorrespondenceSet:
+        """1:1 correspondences between the attribute labels of two relations."""
+        left_names = list(left.schema.names)
+        right_names = list(right.schema.names)
+        weights = np.zeros((len(left_names), len(right_names)))
+        for i, left_name in enumerate(left_names):
+            for j, right_name in enumerate(right_names):
+                weights[i, j] = self.label_similarity(left_name, right_name)
+        triples = maximum_weight_matching(weights, min_weight=self.threshold)
+        return CorrespondenceSet(
+            Correspondence(
+                left_relation=left.name or "left",
+                left_attribute=left_names[i],
+                right_relation=right.name or "right",
+                right_attribute=right_names[j],
+                score=score,
+                origin="name",
+            )
+            for i, j, score in triples
+        )

@@ -1,0 +1,161 @@
+"""Command-line interface.
+
+Three sub-commands mirror the demo's workflow:
+
+* ``hummer query --source alias=file.csv ... "SELECT ... FUSE FROM ..."`` —
+  the basic SQL interface.
+* ``hummer fuse --source alias=file.csv ...`` — the fully automatic pipeline
+  with a summary of every phase.
+* ``hummer demo [cds|students|crisis]`` — run one of the paper's scenarios on
+  generated data and print the intermediate artefacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from repro.datagen.scenarios import cd_stores_scenario, crisis_scenario, students_scenario
+from repro.engine.io.csv_source import CsvSource, write_csv
+from repro.engine.io.json_source import JsonSource
+from repro.hummer import HumMer
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_source(argument: str) -> Tuple[str, str]:
+    if "=" not in argument:
+        raise argparse.ArgumentTypeError(
+            f"--source must look like alias=path.csv, got {argument!r}"
+        )
+    alias, path = argument.split("=", 1)
+    return alias.strip(), path.strip()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``hummer`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="hummer",
+        description="HumMer: ad-hoc declarative fusion of heterogeneous, dirty data.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="run a Fuse By / SQL statement")
+    query.add_argument("statement", help="the query text")
+    query.add_argument(
+        "--source",
+        action="append",
+        default=[],
+        type=_parse_source,
+        help="register a source as alias=path (.csv or .json); repeatable",
+    )
+    query.add_argument("--output", help="write the result to this CSV file")
+    query.add_argument("--limit", type=int, default=25, help="rows to print")
+
+    fuse = subparsers.add_parser("fuse", help="run the automatic fusion pipeline")
+    fuse.add_argument(
+        "--source",
+        action="append",
+        default=[],
+        type=_parse_source,
+        required=True,
+        help="register a source as alias=path (.csv or .json); repeatable",
+    )
+    fuse.add_argument("--threshold", type=float, default=0.75, help="duplicate threshold")
+    fuse.add_argument("--output", help="write the fused result to this CSV file")
+    fuse.add_argument("--limit", type=int, default=25, help="rows to print")
+
+    demo = subparsers.add_parser("demo", help="run a built-in scenario on generated data")
+    demo.add_argument(
+        "scenario",
+        choices=["cds", "students", "crisis"],
+        help="which of the paper's scenarios to run",
+    )
+    demo.add_argument("--entities", type=int, default=60, help="entities to generate")
+    demo.add_argument("--limit", type=int, default=15, help="rows to print")
+    return parser
+
+
+def _register_sources(hummer: HumMer, sources: List[Tuple[str, str]]) -> None:
+    for alias, path in sources:
+        if path.lower().endswith(".json"):
+            hummer.register(alias, JsonSource(path, name=alias))
+        else:
+            hummer.register(alias, CsvSource(path, name=alias))
+
+
+def _command_query(args) -> int:
+    hummer = HumMer()
+    _register_sources(hummer, args.source)
+    result = hummer.query(args.statement)
+    print(result.to_text(limit=args.limit))
+    if args.output:
+        write_csv(result, args.output)
+        print(f"\nwrote {len(result)} rows to {args.output}")
+    return 0
+
+
+def _command_fuse(args) -> int:
+    hummer = HumMer(duplicate_threshold=args.threshold)
+    _register_sources(hummer, args.source)
+    aliases = [alias for alias, _ in args.source]
+    result = hummer.fuse(aliases)
+    summary = result.summary()
+    print("pipeline summary:")
+    for key, value in summary.items():
+        rendered = f"{value:.3f}" if isinstance(value, float) else value
+        print(f"  {key}: {rendered}")
+    print()
+    print(result.relation.to_text(limit=args.limit))
+    if args.output:
+        write_csv(result.relation, args.output)
+        print(f"\nwrote {len(result.relation)} rows to {args.output}")
+    return 0
+
+
+def _command_demo(args) -> int:
+    builders = {
+        "cds": cd_stores_scenario,
+        "students": students_scenario,
+        "crisis": crisis_scenario,
+    }
+    dataset = builders[args.scenario](entity_count=args.entities)
+    hummer = HumMer()
+    for name, relation in dataset.sources.items():
+        hummer.register(name, relation)
+    print(f"scenario {args.scenario!r}: sources {', '.join(dataset.sources)}")
+    result = hummer.fuse(list(dataset.sources))
+    print("correspondences found:")
+    for correspondence in result.correspondences:
+        print(f"  {correspondence}")
+    print()
+    counts = result.detection.classified.counts
+    print(
+        f"duplicates: {counts['sure_duplicates']} sure, {counts['unsure']} unsure, "
+        f"{counts['sure_non_duplicates']} non-duplicates; "
+        f"{result.detection.cluster_count} distinct objects"
+    )
+    print(
+        f"conflicts: {result.conflicts.contradiction_count} contradictions, "
+        f"{result.conflicts.uncertainty_count} uncertainties"
+    )
+    print()
+    print(result.relation.to_text(limit=args.limit))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"query": _command_query, "fuse": _command_fuse, "demo": _command_demo}
+    try:
+        return handlers[args.command](args)
+    except Exception as exc:  # surface library errors as plain messages
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""HumMer's primary contribution: declarative data fusion.
+
+This package holds the conflict-resolution framework (paper §2.4), the fusion
+operator that collapses duplicate clusters into single clean tuples, the
+value-lineage tracking, conflict classification and the six-step pipeline
+that ties schema matching, duplicate detection and fusion together (Fig. 2).
+"""
+
+from repro.core.conflicts import Conflict, ConflictKind, ConflictReport, find_conflicts
+from repro.core.fusion import FusionOperator, FusionResult, FusionSpec, ResolutionSpec, fuse
+from repro.core.lineage import CellLineage, LineageMap, trace_cell_lineage
+from repro.core.rendering import annotate_with_lineage, render_with_lineage
+from repro.core.pipeline import FusionPipeline, PipelineResult, PipelineTimings
+from repro.core.resolution import (
+    ResolutionContext,
+    ResolutionFunction,
+    ResolutionRegistry,
+    default_registry,
+)
+
+__all__ = [
+    "Conflict",
+    "ConflictKind",
+    "ConflictReport",
+    "find_conflicts",
+    "FusionOperator",
+    "FusionResult",
+    "FusionSpec",
+    "ResolutionSpec",
+    "fuse",
+    "CellLineage",
+    "LineageMap",
+    "trace_cell_lineage",
+    "annotate_with_lineage",
+    "render_with_lineage",
+    "FusionPipeline",
+    "PipelineResult",
+    "PipelineTimings",
+    "ResolutionContext",
+    "ResolutionFunction",
+    "ResolutionRegistry",
+    "default_registry",
+]

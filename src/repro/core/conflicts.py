@@ -1,0 +1,152 @@
+"""Conflict detection and classification.
+
+Before (or instead of) resolving, HumMer can show the user "sample conflicts"
+(Fig. 2, step 5).  A *conflict* exists when the tuples of one object cluster
+carry different values for the same attribute.  Following the data-fusion
+literature the paper builds on, we distinguish
+
+* **uncertainty** — one tuple has a value, others are null (a conflict
+  between a value and nothing), and
+* **contradiction** — at least two distinct non-null values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.engine.relation import Relation
+from repro.engine.types import is_null
+
+__all__ = ["ConflictKind", "Conflict", "ConflictReport", "find_conflicts"]
+
+
+class ConflictKind(enum.Enum):
+    """How the values of one attribute within one cluster disagree."""
+
+    NONE = "none"
+    UNCERTAINTY = "uncertainty"
+    CONTRADICTION = "contradiction"
+
+
+@dataclass
+class Conflict:
+    """One attribute of one object cluster with disagreeing values."""
+
+    object_id: Any
+    column: str
+    kind: ConflictKind
+    values: List[Any]
+    sources: List[Optional[str]] = field(default_factory=list)
+
+    @property
+    def distinct_values(self) -> List[Any]:
+        """Distinct non-null values involved in the conflict."""
+        seen = set()
+        distinct = []
+        for value in self.values:
+            if is_null(value):
+                continue
+            key = (type(value).__name__, str(value))
+            if key not in seen:
+                seen.add(key)
+                distinct.append(value)
+        return distinct
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(v) for v in self.distinct_values)
+        return f"{self.column}[object {self.object_id}]: {self.kind.value} ({rendered})"
+
+
+@dataclass
+class ConflictReport:
+    """All conflicts of a fused input table, with summary statistics."""
+
+    conflicts: List[Conflict] = field(default_factory=list)
+    cluster_count: int = 0
+    multi_tuple_cluster_count: int = 0
+
+    @property
+    def contradiction_count(self) -> int:
+        """Number of contradictions (distinct non-null values disagree)."""
+        return sum(1 for c in self.conflicts if c.kind is ConflictKind.CONTRADICTION)
+
+    @property
+    def uncertainty_count(self) -> int:
+        """Number of uncertainties (value vs. null)."""
+        return sum(1 for c in self.conflicts if c.kind is ConflictKind.UNCERTAINTY)
+
+    def by_column(self) -> Dict[str, List[Conflict]]:
+        """Conflicts grouped by attribute."""
+        grouped: Dict[str, List[Conflict]] = {}
+        for conflict in self.conflicts:
+            grouped.setdefault(conflict.column, []).append(conflict)
+        return grouped
+
+    def sample(self, count: int = 10) -> List[Conflict]:
+        """The first *count* contradictions (what the demo shows as "sample conflicts")."""
+        contradictions = [c for c in self.conflicts if c.kind is ConflictKind.CONTRADICTION]
+        return contradictions[:count]
+
+
+def classify_values(values: Sequence[Any]) -> ConflictKind:
+    """Classify the values of one attribute within one cluster."""
+    non_null = [value for value in values if not is_null(value)]
+    distinct = set()
+    for value in non_null:
+        distinct.add((type(value).__name__, str(value)))
+    if len(distinct) > 1:
+        return ConflictKind.CONTRADICTION
+    if len(non_null) < len(values) and len(non_null) >= 1 and len(values) > 1:
+        return ConflictKind.UNCERTAINTY
+    return ConflictKind.NONE
+
+
+def find_conflicts(
+    relation: Relation,
+    object_column: str = "objectID",
+    source_column: str = "sourceID",
+    ignore_columns: Sequence[str] = (),
+) -> ConflictReport:
+    """Find every conflict in a relation that already carries object ids."""
+    from repro.engine.operators.groupby import group_rows
+
+    ignored = {name.lower() for name in ignore_columns}
+    ignored.add(object_column.lower())
+    # provenance is bookkeeping, not data: differing sourceIDs are not a conflict
+    ignored.add(source_column.lower())
+    source_position = (
+        relation.schema.position(source_column)
+        if relation.schema.has_column(source_column)
+        else None
+    )
+    report = ConflictReport()
+    groups = group_rows(relation, [object_column])
+    report.cluster_count = len(groups)
+    for key_values, rows in groups:
+        if len(rows) > 1:
+            report.multi_tuple_cluster_count += 1
+        else:
+            continue
+        object_id = key_values[0]
+        sources = [
+            None if source_position is None else row[source_position] for row in rows
+        ]
+        for position, column in enumerate(relation.schema):
+            if column.name.lower() in ignored:
+                continue
+            values = [row[position] for row in rows]
+            kind = classify_values(values)
+            if kind is ConflictKind.NONE:
+                continue
+            report.conflicts.append(
+                Conflict(
+                    object_id=object_id,
+                    column=column.name,
+                    kind=kind,
+                    values=values,
+                    sources=sources,
+                )
+            )
+    return report

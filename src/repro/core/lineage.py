@@ -1,0 +1,108 @@
+"""Value-level lineage (provenance) of the fused result.
+
+"As an added feature, data values can be color-coded to represent their
+individual lineage (one color per source relation, mixed colors for merged
+values)." (paper §3)
+
+Instead of colours, the library records, for every cell of the fused result,
+the set of sources that contributed the resolved value.  A cell whose value
+was taken verbatim from one source has single-source lineage; a cell whose
+value was computed from several sources (vote, avg, concat, ...) has merged
+lineage.  The CLI and examples render this as ANSI colours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.engine.types import is_null, values_equal
+
+__all__ = ["CellLineage", "LineageMap", "trace_cell_lineage"]
+
+
+@dataclass(frozen=True)
+class CellLineage:
+    """Provenance of one cell of the fused result."""
+
+    column: str
+    object_id: Any
+    sources: FrozenSet[str]
+    merged: bool
+
+    @property
+    def single_source(self) -> Optional[str]:
+        """The lone contributing source, when there is exactly one."""
+        if len(self.sources) == 1:
+            return next(iter(self.sources))
+        return None
+
+
+class LineageMap:
+    """Lineage for every (object, column) cell of a fused result."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[Tuple[Any, str], CellLineage] = {}
+
+    def record(self, lineage: CellLineage) -> None:
+        """Store lineage for one cell."""
+        self._cells[(lineage.object_id, lineage.column.lower())] = lineage
+
+    def lookup(self, object_id: Any, column: str) -> Optional[CellLineage]:
+        """Lineage of the cell for *object_id* / *column*, if recorded."""
+        return self._cells.get((object_id, column.lower()))
+
+    def sources_used(self) -> List[str]:
+        """Every source that contributed at least one cell, sorted."""
+        sources = set()
+        for lineage in self._cells.values():
+            sources.update(lineage.sources)
+        return sorted(sources)
+
+    def merged_cells(self) -> List[CellLineage]:
+        """Cells whose value combines several sources."""
+        return [lineage for lineage in self._cells.values() if lineage.merged]
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+
+def trace_cell_lineage(
+    column: str,
+    object_id: Any,
+    resolved_value: Any,
+    values: Sequence[Any],
+    sources: Sequence[Optional[str]],
+) -> CellLineage:
+    """Derive the lineage of one resolved cell.
+
+    Sources whose value equals the resolved value are the contributors; if no
+    source value equals it (the function computed something new, e.g. an
+    average or a concatenation), every source that supplied *any* value is a
+    contributor and the cell is marked merged.
+    """
+    exact: set = set()
+    contributing: set = set()
+    for value, source in zip(values, sources):
+        if is_null(value) or source is None:
+            continue
+        contributing.add(str(source))
+        if values_equal(value, resolved_value) or (
+            not is_null(resolved_value) and str(value) == str(resolved_value)
+        ):
+            exact.add(str(source))
+    if is_null(resolved_value):
+        return CellLineage(column=column, object_id=object_id, sources=frozenset(), merged=False)
+    if exact:
+        return CellLineage(
+            column=column, object_id=object_id, sources=frozenset(exact), merged=len(exact) > 1
+        )
+    return CellLineage(
+        column=column,
+        object_id=object_id,
+        sources=frozenset(contributing),
+        merged=len(contributing) > 1,
+    )

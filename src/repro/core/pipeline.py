@@ -1,0 +1,258 @@
+"""The HumMer fusion pipeline (Fig. 2 of the paper).
+
+The six wizard steps are modelled as an explicit, inspectable pipeline:
+
+1. *Choose sources* — fetch the relational form of each alias from the
+   catalog.
+2. *Adjust matching* — instance-based schema matching proposes attribute
+   correspondences; the caller may add/remove correspondences before
+   continuing.
+3. *Adjust duplicate definition* — heuristics select the "interesting"
+   attributes; the caller may add/remove attributes.
+4. *Confirm duplicates* — duplicate detection classifies pairs into sure /
+   unsure / non-duplicates; the caller may decide unsure pairs.
+5. *Specify resolution functions* — conflicts are sampled; the fusion spec
+   (per-column resolution functions) is applied.
+6. *Browse result set* — the clean, consistent result with value lineage.
+
+:class:`FusionPipeline.run` executes all steps automatically (the "usual
+case" of the paper); the ``step_*`` methods expose each stage for the
+interactive flow, and the hooks allow programmatic adjustment, which is the
+library equivalent of the GUI interventions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.name_matcher import NameBasedMatcher
+from repro.core.conflicts import ConflictReport, find_conflicts
+from repro.core.fusion import FusionOperator, FusionResult, FusionSpec
+from repro.core.resolution.base import ResolutionRegistry, default_registry
+from repro.dedup.descriptions import AttributeSelection, select_interesting_attributes
+from repro.dedup.detector import DuplicateDetectionResult, DuplicateDetector, OBJECT_ID_COLUMN
+from repro.engine.catalog import Catalog
+from repro.engine.relation import Relation
+from repro.exceptions import HummerError
+from repro.matching.correspondences import CorrespondenceSet
+from repro.matching.dumas import DumasMatcher
+from repro.matching.multi import MultiMatcher, MultiMatchingResult
+from repro.matching.transform import transform_sources
+
+__all__ = ["PipelineTimings", "PipelineResult", "FusionPipeline"]
+
+
+@dataclass
+class PipelineTimings:
+    """Wall-clock seconds spent in each phase (experiment E4)."""
+
+    fetch: float = 0.0
+    matching: float = 0.0
+    duplicate_detection: float = 0.0
+    fusion: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total time across all phases."""
+        return self.fetch + self.matching + self.duplicate_detection + self.fusion
+
+    def as_dict(self) -> Dict[str, float]:
+        """Phase → seconds mapping (plus the total)."""
+        return {
+            "fetch": self.fetch,
+            "matching": self.matching,
+            "duplicate_detection": self.duplicate_detection,
+            "fusion": self.fusion,
+            "total": self.total,
+        }
+
+
+@dataclass
+class PipelineResult:
+    """Everything a full pipeline run produces (the demo's intermediate artefacts)."""
+
+    sources: List[Relation]
+    matching: Optional[MultiMatchingResult]
+    transformed: Relation
+    attribute_selection: AttributeSelection
+    detection: DuplicateDetectionResult
+    conflicts: ConflictReport
+    fusion: FusionResult
+    timings: PipelineTimings
+
+    @property
+    def relation(self) -> Relation:
+        """The clean and consistent result set (step 6)."""
+        return self.fusion.relation
+
+    @property
+    def correspondences(self) -> CorrespondenceSet:
+        """The attribute correspondences used (empty when only one source)."""
+        if self.matching is None:
+            return CorrespondenceSet()
+        return self.matching.correspondences
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact run summary for logging and the experiment harness."""
+        return {
+            "sources": len(self.sources),
+            "input_tuples": sum(len(source) for source in self.sources),
+            "correspondences": len(self.correspondences),
+            "clusters": self.detection.cluster_count,
+            "duplicate_pairs": len(self.detection.duplicate_pairs),
+            "contradictions": self.conflicts.contradiction_count,
+            "uncertainties": self.conflicts.uncertainty_count,
+            "output_tuples": len(self.fusion.relation),
+            "seconds": self.timings.total,
+        }
+
+
+class FusionPipeline:
+    """Automatic (and optionally interactive) data-fusion pipeline.
+
+    Args:
+        catalog: metadata repository holding the registered sources.
+        matcher: pairwise schema matcher (default: DUMAS with default knobs).
+        detector: duplicate detector (default threshold 0.75).
+        registry: resolution-function registry (default: all built-ins).
+        use_name_fallback: when instance-based matching finds nothing for a
+            relation, fall back to label-based matching instead of failing.
+        adjust_matching / adjust_selection / adjust_duplicates: optional hooks
+            invoked between steps with the intermediate result; they may
+            mutate it (the library counterpart of the demo's GUI wizard).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        matcher: Optional[DumasMatcher] = None,
+        detector: Optional[DuplicateDetector] = None,
+        registry: Optional[ResolutionRegistry] = None,
+        use_name_fallback: bool = True,
+        adjust_matching: Optional[Callable[[MultiMatchingResult], None]] = None,
+        adjust_selection: Optional[Callable[[AttributeSelection], None]] = None,
+        adjust_duplicates: Optional[Callable[[DuplicateDetectionResult], None]] = None,
+    ):
+        self.catalog = catalog
+        self.matcher = matcher or DumasMatcher()
+        self.detector = detector or DuplicateDetector()
+        self.registry = registry or default_registry()
+        self.use_name_fallback = use_name_fallback
+        self.adjust_matching = adjust_matching
+        self.adjust_selection = adjust_selection
+        self.adjust_duplicates = adjust_duplicates
+
+    # -- individual steps ---------------------------------------------------------
+
+    def step_choose_sources(self, aliases: Sequence[str]) -> List[Relation]:
+        """Step 1: fetch the relational form of every alias."""
+        if not aliases:
+            raise HummerError("a fusion query needs at least one source alias")
+        return self.catalog.fetch_many(aliases)
+
+    def step_schema_matching(self, sources: List[Relation]) -> Optional[MultiMatchingResult]:
+        """Step 2: instance-based schema matching over all sources."""
+        if len(sources) < 2:
+            return None
+        fallback = NameBasedMatcher() if self.use_name_fallback else None
+        multi = MultiMatcher(self.matcher, fallback=fallback)
+        result = multi.match(sources)
+        if self.adjust_matching is not None:
+            self.adjust_matching(result)
+        return result
+
+    def step_transform(
+        self, sources: List[Relation], matching: Optional[MultiMatchingResult]
+    ) -> Relation:
+        """Step 2b: rename, add sourceID and outer-union the sources."""
+        correspondences = matching.correspondences if matching else CorrespondenceSet()
+        return transform_sources(sources, correspondences)
+
+    def step_attribute_selection(self, transformed: Relation) -> AttributeSelection:
+        """Step 3: heuristics select the attributes for duplicate detection."""
+        selection = select_interesting_attributes(transformed)
+        if self.adjust_selection is not None:
+            self.adjust_selection(selection)
+        return selection
+
+    def step_duplicate_detection(
+        self, transformed: Relation, selection: AttributeSelection
+    ) -> DuplicateDetectionResult:
+        """Steps 3+4: detect duplicates, then let the caller confirm unsure pairs."""
+        detector = DuplicateDetector(
+            threshold=self.detector.threshold,
+            uncertainty_band=self.detector.uncertainty_band,
+            use_filter=self.detector.use_filter,
+            cross_source_only=self.detector.cross_source_only,
+            selection=selection,
+            accept_unsure=self.detector.accept_unsure,
+            keep_evidence=self.detector.keep_evidence,
+        )
+        result = detector.detect(transformed)
+        if self.adjust_duplicates is not None:
+            self.adjust_duplicates(result)
+            result = detector.redetect_with_decisions(transformed, result)
+        return result
+
+    def step_conflicts(self, detection: DuplicateDetectionResult) -> ConflictReport:
+        """Step 5a: sample the conflicts among detected duplicates."""
+        return find_conflicts(detection.relation)
+
+    def step_fusion(
+        self,
+        detection: DuplicateDetectionResult,
+        spec: Optional[FusionSpec] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> FusionResult:
+        """Steps 5b+6: fuse each cluster into one tuple under the given spec."""
+        fusion_spec = spec or FusionSpec(key_columns=[OBJECT_ID_COLUMN])
+        operator = FusionOperator(
+            fusion_spec,
+            registry=self.registry,
+            table_name="fused",
+            metadata=metadata,
+        )
+        return operator.fuse(detection.relation)
+
+    # -- the automatic end-to-end run -----------------------------------------------
+
+    def run(
+        self,
+        aliases: Sequence[str],
+        spec: Optional[FusionSpec] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> PipelineResult:
+        """Run all six steps automatically and return every intermediate artefact."""
+        timings = PipelineTimings()
+
+        started = time.perf_counter()
+        sources = self.step_choose_sources(aliases)
+        timings.fetch = time.perf_counter() - started
+
+        started = time.perf_counter()
+        matching = self.step_schema_matching(sources)
+        transformed = self.step_transform(sources, matching)
+        timings.matching = time.perf_counter() - started
+
+        started = time.perf_counter()
+        selection = self.step_attribute_selection(transformed)
+        detection = self.step_duplicate_detection(transformed, selection)
+        timings.duplicate_detection = time.perf_counter() - started
+
+        started = time.perf_counter()
+        conflicts = self.step_conflicts(detection)
+        fusion = self.step_fusion(detection, spec=spec, metadata=metadata)
+        timings.fusion = time.perf_counter() - started
+
+        return PipelineResult(
+            sources=sources,
+            matching=matching,
+            transformed=transformed,
+            attribute_selection=selection,
+            detection=detection,
+            conflicts=conflicts,
+            fusion=fusion,
+            timings=timings,
+        )

@@ -1,0 +1,107 @@
+"""Lineage-aware rendering of fused results.
+
+"As an added feature, data values can be color-coded to represent their
+individual lineage (one color per source relation, mixed colors for merged
+values)." (paper §3)
+
+:func:`render_with_lineage` is the terminal counterpart of that GUI feature:
+each cell of the fused relation is coloured by the source that contributed
+its value (ANSI colours), merged values get a distinct style, and a legend
+maps colours back to sources.  :func:`annotate_with_lineage` produces a plain
+text variant (``value [source]``) for environments without colour support.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.fusion import FusionResult
+from repro.core.lineage import LineageMap
+from repro.engine.relation import Relation
+from repro.engine.types import is_null
+
+__all__ = ["SOURCE_COLORS", "render_with_lineage", "annotate_with_lineage"]
+
+#: ANSI foreground colours cycled over the sources, in registration order.
+SOURCE_COLORS = ["36", "33", "32", "35", "34", "31", "96", "93", "92", "95"]
+
+_RESET = "\x1b[0m"
+_MERGED_STYLE = "1;4"  # bold underline marks values merged from several sources
+
+
+def _color_for(source: str, palette: Dict[str, str]) -> str:
+    if source not in palette:
+        palette[source] = SOURCE_COLORS[len(palette) % len(SOURCE_COLORS)]
+    return palette[source]
+
+
+def _cell_lineage(lineage: LineageMap, relation: Relation, row, column: str):
+    key_column = "objectID" if relation.schema.has_column("objectID") else None
+    object_id = row[key_column] if key_column else None
+    if object_id is None:
+        # fall back to the first key-like column value
+        object_id = row[relation.schema.names[0]]
+    return lineage.lookup(object_id, column)
+
+
+def render_with_lineage(
+    result: FusionResult,
+    limit: int = 20,
+    use_color: bool = True,
+) -> str:
+    """Render the fused relation with per-cell provenance colouring.
+
+    Args:
+        result: the fusion result (relation + lineage).
+        limit: maximum number of rows to render.
+        use_color: disable to fall back to the plain ``value [source]`` form.
+    """
+    if not use_color:
+        return annotate_with_lineage(result, limit=limit)
+    relation = result.relation
+    palette: Dict[str, str] = {}
+    lines: List[str] = []
+    names = list(relation.schema.names)
+    lines.append(" | ".join(names))
+    for row in list(relation)[:limit]:
+        cells = []
+        for column in names:
+            value = row[column]
+            text = "" if is_null(value) else str(value)
+            lineage = _cell_lineage(result.lineage, relation, row, column)
+            if lineage is None or not lineage.sources:
+                cells.append(text)
+            elif lineage.merged:
+                cells.append(f"\x1b[{_MERGED_STYLE}m{text}{_RESET}")
+            else:
+                color = _color_for(lineage.single_source, palette)
+                cells.append(f"\x1b[{color}m{text}{_RESET}")
+        lines.append(" | ".join(cells))
+    if len(relation) > limit:
+        lines.append(f"... ({len(relation) - limit} more rows)")
+    legend = ", ".join(
+        f"\x1b[{color}m{source}{_RESET}" for source, color in palette.items()
+    )
+    if legend:
+        lines.append(f"legend: {legend}; merged values are bold/underlined")
+    return "\n".join(lines)
+
+
+def annotate_with_lineage(result: FusionResult, limit: int = 20) -> str:
+    """Plain-text lineage rendering: every sourced cell becomes ``value [source,...]``."""
+    relation = result.relation
+    names = list(relation.schema.names)
+    lines = [" | ".join(names)]
+    for row in list(relation)[:limit]:
+        cells = []
+        for column in names:
+            value = row[column]
+            text = "" if is_null(value) else str(value)
+            lineage = _cell_lineage(result.lineage, relation, row, column)
+            if lineage is not None and lineage.sources:
+                text = f"{text} [{','.join(sorted(lineage.sources))}]"
+            cells.append(text)
+        lines.append(" | ".join(cells))
+    if len(relation) > limit:
+        lines.append(f"... ({len(relation) - limit} more rows)")
+    return "\n".join(lines)

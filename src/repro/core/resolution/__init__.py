@@ -1,0 +1,50 @@
+"""Conflict-resolution functions (paper §2.4).
+
+The registry exposes every strategy the paper lists plus the standard SQL
+aggregates; new strategies are added by registering a
+:class:`ResolutionFunction` subclass or a plain callable.
+"""
+
+from repro.core.resolution.base import (
+    FunctionResolution,
+    ResolutionContext,
+    ResolutionFunction,
+    ResolutionRegistry,
+    default_registry,
+)
+from repro.core.resolution.builtins import build_default_registry
+from repro.core.resolution.content import (
+    AnnotatedConcat,
+    Concat,
+    Group,
+    Longest,
+    Shortest,
+    Vote,
+)
+from repro.core.resolution.metadata_based import Choose, ChooseSourceOrder, MostRecent
+from repro.core.resolution.numeric import Midrange, MostPrecise, TrimmedMean
+from repro.core.resolution.standard import Coalesce, First, Last
+
+__all__ = [
+    "ResolutionContext",
+    "ResolutionFunction",
+    "FunctionResolution",
+    "ResolutionRegistry",
+    "default_registry",
+    "build_default_registry",
+    "Coalesce",
+    "First",
+    "Last",
+    "Vote",
+    "Group",
+    "Concat",
+    "AnnotatedConcat",
+    "Shortest",
+    "Longest",
+    "Choose",
+    "ChooseSourceOrder",
+    "MostRecent",
+    "TrimmedMean",
+    "Midrange",
+    "MostPrecise",
+]

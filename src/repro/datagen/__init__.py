@@ -1,0 +1,32 @@
+"""Synthetic dirty-data generation with known ground truth.
+
+The original demo used CD-store, student and tsunami-relief data sets that
+are not publicly available.  This package generates synthetic equivalents:
+clean entities are drawn from value pools, distributed over several sources
+with configurable overlap, and then *corrupted* (typos, abbreviations,
+formatting changes, missing values, conflicting values) and *renamed*
+(schematic heterogeneity) per source.  Because the generator knows which
+source tuples stem from which entity, every experiment can report precision
+and recall against ground truth — something the demo paper itself never had.
+"""
+
+from repro.datagen.corruptor import CorruptionConfig, Corruptor
+from repro.datagen.generator import DirtySourceGenerator, GeneratedDataset, GroundTruth
+from repro.datagen.scenarios import (
+    cd_stores_scenario,
+    crisis_scenario,
+    students_scenario,
+    thalia_scenario,
+)
+
+__all__ = [
+    "CorruptionConfig",
+    "Corruptor",
+    "DirtySourceGenerator",
+    "GeneratedDataset",
+    "GroundTruth",
+    "cd_stores_scenario",
+    "students_scenario",
+    "crisis_scenario",
+    "thalia_scenario",
+]

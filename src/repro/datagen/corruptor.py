@@ -1,0 +1,165 @@
+"""Value corruption operators.
+
+Given a clean value, a :class:`Corruptor` produces a "dirty" variant the way
+real heterogeneous sources do: typos (insertion, deletion, substitution,
+transposition), case and formatting changes, abbreviations, token swaps,
+numeric noise, and dropped (null) values.  The corruption intensity is
+controlled by :class:`CorruptionConfig`; all randomness flows through one
+seeded :class:`random.Random` so generated data sets are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.engine.types import is_null
+
+__all__ = ["CorruptionConfig", "Corruptor"]
+
+
+@dataclass
+class CorruptionConfig:
+    """Probabilities of the individual corruption operators.
+
+    All probabilities are evaluated independently per cell; set everything to
+    0 for clean copies, raise them for increasingly dirty data.  The presets
+    :meth:`low`, :meth:`medium` and :meth:`high` are the corruption levels
+    used by experiment E2.
+    """
+
+    typo_probability: float = 0.15
+    missing_probability: float = 0.08
+    case_change_probability: float = 0.1
+    abbreviation_probability: float = 0.1
+    token_swap_probability: float = 0.05
+    numeric_noise_probability: float = 0.15
+    numeric_noise_scale: float = 0.05
+    conflicting_value_probability: float = 0.1
+
+    @classmethod
+    def clean(cls) -> "CorruptionConfig":
+        """No corruption at all (exact duplicates)."""
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    @classmethod
+    def low(cls) -> "CorruptionConfig":
+        """Mild corruption: occasional typo or missing value."""
+        return cls(0.05, 0.03, 0.05, 0.03, 0.02, 0.05, 0.02, 0.05)
+
+    @classmethod
+    def medium(cls) -> "CorruptionConfig":
+        """Default corruption level."""
+        return cls()
+
+    @classmethod
+    def high(cls) -> "CorruptionConfig":
+        """Heavy corruption: frequent typos, missing and conflicting values."""
+        return cls(0.3, 0.15, 0.2, 0.2, 0.1, 0.3, 0.15, 0.25)
+
+
+class Corruptor:
+    """Applies the corruption operators of a :class:`CorruptionConfig`."""
+
+    def __init__(self, config: Optional[CorruptionConfig] = None, seed: int = 0):
+        self.config = config or CorruptionConfig()
+        self.random = random.Random(seed)
+
+    # -- public API ------------------------------------------------------------
+
+    def corrupt_value(self, value: Any) -> Any:
+        """Return a corrupted variant of *value* (possibly unchanged or ``None``)."""
+        if is_null(value):
+            return value
+        config = self.config
+        if self.random.random() < config.missing_probability:
+            return None
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return self._corrupt_number(value)
+        return self._corrupt_text(str(value))
+
+    # -- text corruption ----------------------------------------------------------
+
+    def _corrupt_text(self, text: str) -> str:
+        config = self.config
+        result = text
+        if self.random.random() < config.abbreviation_probability:
+            result = self._abbreviate(result)
+        if self.random.random() < config.token_swap_probability:
+            result = self._swap_tokens(result)
+        if self.random.random() < config.typo_probability:
+            result = self._typo(result)
+        if self.random.random() < config.case_change_probability:
+            result = self._change_case(result)
+        return result
+
+    def _typo(self, text: str) -> str:
+        if not text:
+            return text
+        kind = self.random.choice(("insert", "delete", "substitute", "transpose"))
+        position = self.random.randrange(len(text))
+        letters = string.ascii_lowercase
+        if kind == "insert":
+            return text[:position] + self.random.choice(letters) + text[position:]
+        if kind == "delete" and len(text) > 1:
+            return text[:position] + text[position + 1 :]
+        if kind == "substitute":
+            return text[:position] + self.random.choice(letters) + text[position + 1 :]
+        if kind == "transpose" and position < len(text) - 1:
+            return (
+                text[:position]
+                + text[position + 1]
+                + text[position]
+                + text[position + 2 :]
+            )
+        return text
+
+    def _abbreviate(self, text: str) -> str:
+        tokens = text.split()
+        if len(tokens) < 2:
+            return text[: max(1, len(text) // 2)] + "." if len(text) > 4 else text
+        index = self.random.randrange(len(tokens))
+        token = tokens[index]
+        if len(token) > 2:
+            tokens[index] = token[0] + "."
+        return " ".join(tokens)
+
+    def _swap_tokens(self, text: str) -> str:
+        tokens = text.split()
+        if len(tokens) < 2:
+            return text
+        i = self.random.randrange(len(tokens) - 1)
+        tokens[i], tokens[i + 1] = tokens[i + 1], tokens[i]
+        return " ".join(tokens)
+
+    def _change_case(self, text: str) -> str:
+        choice = self.random.choice(("upper", "lower", "title"))
+        if choice == "upper":
+            return text.upper()
+        if choice == "lower":
+            return text.lower()
+        return text.title()
+
+    # -- numeric corruption -----------------------------------------------------------
+
+    def _corrupt_number(self, value):
+        config = self.config
+        if self.random.random() >= config.numeric_noise_probability:
+            return value
+        scale = abs(value) * config.numeric_noise_scale
+        if scale == 0:
+            scale = config.numeric_noise_scale
+        noise = self.random.uniform(-scale, scale)
+        if isinstance(value, int):
+            return int(round(value + noise)) if abs(noise) >= 0.5 else value
+        return round(value + noise, 2)
+
+    # -- conflicts ------------------------------------------------------------------------
+
+    def should_conflict(self) -> bool:
+        """Whether the generator should substitute a genuinely different value."""
+        return self.random.random() < self.config.conflicting_value_probability

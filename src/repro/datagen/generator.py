@@ -1,0 +1,258 @@
+"""Dirty-source generation with ground truth.
+
+:class:`DirtySourceGenerator` takes clean entities (dictionaries with an
+``_entity`` identifier), distributes them over several sources with a
+configurable overlap, corrupts the copies and optionally renames / drops
+attributes per source (schematic heterogeneity).  The resulting
+:class:`GeneratedDataset` bundles the source relations with a
+:class:`GroundTruth` that experiments evaluate against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.datagen.corruptor import CorruptionConfig, Corruptor
+from repro.engine.relation import Relation
+
+__all__ = ["SourceSpec", "GroundTruth", "GeneratedDataset", "DirtySourceGenerator"]
+
+ENTITY_KEY = "_entity"
+
+
+@dataclass
+class SourceSpec:
+    """How one generated source deviates from the canonical schema.
+
+    Attributes:
+        name: source alias.
+        rename: canonical attribute → this source's label.
+        drop: canonical attributes this source does not carry.
+        coverage: fraction of the assigned entities the source actually
+            contains (simulates incomplete sources).
+        corruption: corruption level for this source's values.
+    """
+
+    name: str
+    rename: Dict[str, str] = field(default_factory=dict)
+    drop: List[str] = field(default_factory=list)
+    coverage: float = 1.0
+    corruption: Optional[CorruptionConfig] = None
+
+
+@dataclass
+class GroundTruth:
+    """What the generator knows and the pipeline must rediscover."""
+
+    #: (source alias, row index) → entity id, for every generated tuple.
+    entity_of: Dict[Tuple[str, int], str] = field(default_factory=dict)
+    #: canonical attribute → {source alias: source attribute label}.
+    attribute_map: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: entity id → canonical clean record.
+    clean_records: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def duplicate_pairs_within(self, relation_rows: Sequence[Tuple[str, int]]) -> Set[Tuple[int, int]]:
+        """True duplicate index pairs among *relation_rows* (ordered (source, row) keys).
+
+        *relation_rows* lists, for each tuple of a combined relation (e.g. the
+        outer union), the (source alias, original row index) it came from, in
+        the combined relation's row order.
+        """
+        entities = [self.entity_of.get(key) for key in relation_rows]
+        pairs: Set[Tuple[int, int]] = set()
+        by_entity: Dict[str, List[int]] = {}
+        for index, entity in enumerate(entities):
+            if entity is None:
+                continue
+            by_entity.setdefault(entity, []).append(index)
+        for indices in by_entity.values():
+            for i in range(len(indices)):
+                for j in range(i + 1, len(indices)):
+                    pairs.add((indices[i], indices[j]))
+        return pairs
+
+    def true_correspondences(self, preferred: str, other: str) -> Set[Tuple[str, str]]:
+        """True attribute label pairs (preferred label, other label) shared by two sources."""
+        pairs: Set[Tuple[str, str]] = set()
+        for canonical, labels in self.attribute_map.items():
+            if preferred in labels and other in labels:
+                pairs.add((labels[preferred], labels[other]))
+        return pairs
+
+    def entity_count(self) -> int:
+        """Number of distinct entities that appear in at least one source."""
+        return len({entity for entity in self.entity_of.values()})
+
+
+@dataclass
+class GeneratedDataset:
+    """Generated sources plus their ground truth."""
+
+    sources: Dict[str, Relation]
+    truth: GroundTruth
+    #: (source alias, row index) in outer-union order — convenience for evaluation.
+    row_origin: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def source_list(self) -> List[Relation]:
+        """The source relations, in generation order."""
+        return list(self.sources.values())
+
+    def combined_row_origin(self) -> List[Tuple[str, int]]:
+        """(source, row) keys in the order an outer union over ``source_list`` produces."""
+        if self.row_origin:
+            return self.row_origin
+        origin: List[Tuple[str, int]] = []
+        for name, relation in self.sources.items():
+            origin.extend((name, index) for index in range(len(relation)))
+        return origin
+
+
+class DirtySourceGenerator:
+    """Generates heterogeneous, dirty, overlapping sources from clean entities.
+
+    Args:
+        source_specs: one :class:`SourceSpec` per source to generate.
+        overlap: fraction of entities that appear in more than one source
+            (these are the cross-source duplicates).
+        conflict_fields: attributes whose values may genuinely differ between
+            copies (beyond formatting noise), producing data conflicts.
+        default_corruption: corruption level for sources without their own.
+        seed: master random seed (all randomness is derived from it).
+    """
+
+    def __init__(
+        self,
+        source_specs: Sequence[SourceSpec],
+        overlap: float = 0.3,
+        conflict_fields: Sequence[str] = (),
+        default_corruption: Optional[CorruptionConfig] = None,
+        seed: int = 0,
+    ):
+        if not source_specs:
+            raise ValueError("need at least one source spec")
+        if not 0.0 <= overlap <= 1.0:
+            raise ValueError("overlap must lie in [0, 1]")
+        self.source_specs = list(source_specs)
+        self.overlap = overlap
+        self.conflict_fields = list(conflict_fields)
+        self.default_corruption = default_corruption or CorruptionConfig.medium()
+        self.seed = seed
+        self.random = random.Random(seed)
+
+    def generate(self, entities: Sequence[Mapping[str, Any]]) -> GeneratedDataset:
+        """Distribute, corrupt and relabel *entities* into the configured sources."""
+        entities = [dict(entity) for entity in entities]
+        for index, entity in enumerate(entities):
+            entity.setdefault(ENTITY_KEY, f"entity_{index:05d}")
+
+        assignments = self._assign_entities(entities)
+        truth = GroundTruth()
+        for entity in entities:
+            truth.clean_records[entity[ENTITY_KEY]] = {
+                key: value for key, value in entity.items() if key != ENTITY_KEY
+            }
+
+        canonical_attributes = self._canonical_attributes(entities)
+        sources: Dict[str, Relation] = {}
+        row_origin: List[Tuple[str, int]] = []
+        for spec_index, spec in enumerate(self.source_specs):
+            corruptor = Corruptor(
+                spec.corruption or self.default_corruption,
+                seed=self.seed * 1009 + spec_index * 131 + 7,
+            )
+            conflict_random = random.Random(self.seed * 7919 + spec_index * 17 + 3)
+            records: List[Dict[str, Any]] = []
+            for entity in assignments[spec.name]:
+                record = self._make_source_record(
+                    entity, spec, canonical_attributes, corruptor, conflict_random
+                )
+                truth.entity_of[(spec.name, len(records))] = entity[ENTITY_KEY]
+                records.append(record)
+            relation = Relation.from_dicts(records, name=spec.name)
+            sources[spec.name] = relation
+            row_origin.extend((spec.name, index) for index in range(len(relation)))
+            for canonical in canonical_attributes:
+                if canonical in spec.drop:
+                    continue
+                label = spec.rename.get(canonical, canonical)
+                truth.attribute_map.setdefault(canonical, {})[spec.name] = label
+        return GeneratedDataset(sources=sources, truth=truth, row_origin=row_origin)
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _canonical_attributes(self, entities: Sequence[Mapping[str, Any]]) -> List[str]:
+        attributes: List[str] = []
+        seen = set()
+        for entity in entities:
+            for key in entity:
+                if key == ENTITY_KEY or key in seen:
+                    continue
+                seen.add(key)
+                attributes.append(key)
+        return attributes
+
+    def _assign_entities(
+        self, entities: Sequence[Dict[str, Any]]
+    ) -> Dict[str, List[Dict[str, Any]]]:
+        """Decide which entities appear in which sources."""
+        names = [spec.name for spec in self.source_specs]
+        assignments: Dict[str, List[Dict[str, Any]]] = {name: [] for name in names}
+        for entity in entities:
+            if len(names) > 1 and self.random.random() < self.overlap:
+                count = self.random.randint(2, len(names))
+                chosen = self.random.sample(names, count)
+            else:
+                chosen = [self.random.choice(names)]
+            for name in chosen:
+                assignments[name].append(entity)
+        # apply per-source coverage
+        for spec in self.source_specs:
+            if spec.coverage >= 1.0:
+                continue
+            kept = [
+                entity
+                for entity in assignments[spec.name]
+                if self.random.random() < spec.coverage
+            ]
+            assignments[spec.name] = kept
+        # keep source order deterministic but shuffle rows inside each source
+        for name in names:
+            self.random.shuffle(assignments[name])
+        return assignments
+
+    def _make_source_record(
+        self,
+        entity: Dict[str, Any],
+        spec: SourceSpec,
+        canonical_attributes: Sequence[str],
+        corruptor: Corruptor,
+        conflict_random: random.Random,
+    ) -> Dict[str, Any]:
+        record: Dict[str, Any] = {}
+        for canonical in canonical_attributes:
+            if canonical in spec.drop:
+                continue
+            label = spec.rename.get(canonical, canonical)
+            value = entity.get(canonical)
+            if canonical in self.conflict_fields and corruptor.should_conflict():
+                value = self._conflicting_value(value, conflict_random)
+            record[label] = corruptor.corrupt_value(value)
+        return record
+
+    @staticmethod
+    def _conflicting_value(value: Any, rng: random.Random) -> Any:
+        """A genuinely different value of the same type (a data conflict)."""
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            return not value
+        if isinstance(value, int):
+            return value + rng.choice([-3, -2, -1, 1, 2, 3])
+        if isinstance(value, float):
+            return round(value * rng.uniform(0.7, 1.3) + rng.uniform(0.5, 3.0), 2)
+        text = str(value)
+        suffixes = [" (deluxe)", " Vol. 2", " - remastered", " jr.", " II", " (import)"]
+        return text + rng.choice(suffixes)

@@ -1,0 +1,99 @@
+"""Value pools for synthetic entity generation.
+
+Small but varied pools of names, places, artists, titles and courses used by
+the scenario builders.  Entities combine pool values with generated numbers,
+so arbitrarily many distinct entities can be produced from the finite pools.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = [
+    "Anna", "Ben", "Carla", "David", "Elena", "Felix", "Greta", "Hannes",
+    "Ines", "Jonas", "Katrin", "Lars", "Maria", "Nils", "Olga", "Peter",
+    "Quinn", "Rosa", "Stefan", "Tina", "Ulrich", "Vera", "Wolfgang", "Xenia",
+    "Yusuf", "Zoe", "Alexander", "Melanie", "Jens", "Christoph", "Karsten",
+    "Louiqa", "Laura", "Marc", "Nadia", "Oscar", "Paula", "Rafael", "Sonia",
+    "Tomas",
+]
+
+LAST_NAMES = [
+    "Mueller", "Schmidt", "Schneider", "Fischer", "Weber", "Meyer", "Wagner",
+    "Becker", "Schulz", "Hoffmann", "Koch", "Bauer", "Richter", "Klein",
+    "Wolf", "Neumann", "Schwarz", "Zimmermann", "Braun", "Krueger", "Hofmann",
+    "Hartmann", "Lange", "Werner", "Krause", "Lehmann", "Naumann", "Bilke",
+    "Weis", "Bleiholder", "Draba", "Boehm", "Peterson", "Johnson", "Garcia",
+    "Martinez", "Anderson", "Taylor", "Thomas", "Moore",
+]
+
+CITIES = [
+    "Berlin", "Hamburg", "Munich", "Cologne", "Frankfurt", "Stuttgart",
+    "Duesseldorf", "Dortmund", "Essen", "Leipzig", "Bremen", "Dresden",
+    "Hannover", "Nuremberg", "Potsdam", "Trondheim", "Oslo", "Tokyo",
+    "Baltimore", "Asilomar", "Banda Aceh", "Phuket", "Colombo", "Chennai",
+]
+
+STREETS = [
+    "Unter den Linden", "Friedrichstrasse", "Hauptstrasse", "Bahnhofstrasse",
+    "Schlossallee", "Gartenweg", "Lindenallee", "Marktplatz", "Ringstrasse",
+    "Bergstrasse", "Kirchgasse", "Museumsinsel", "Alexanderplatz",
+    "Invalidenstrasse", "Dorotheenstrasse", "Mohrenstrasse",
+]
+
+UNIVERSITIES = [
+    "Humboldt-Universitaet zu Berlin", "Technische Universitaet Berlin",
+    "Freie Universitaet Berlin", "Universitaet Potsdam",
+    "Universitaet Leipzig", "TU Muenchen", "RWTH Aachen",
+    "Universitaet Hamburg",
+]
+
+MAJORS = [
+    "Computer Science", "Electrical Engineering", "Mathematics", "Physics",
+    "Information Systems", "Mechanical Engineering", "Biology", "Chemistry",
+    "Economics", "Philosophy",
+]
+
+COURSES = [
+    "Database Systems", "Information Integration", "Data Quality",
+    "Distributed Systems", "Algorithms and Data Structures",
+    "Machine Learning", "Operating Systems", "Compiler Construction",
+    "Computer Networks", "Software Engineering", "Information Retrieval",
+    "Data Warehousing",
+]
+
+CD_ARTISTS = [
+    "The Beatles", "Miles Davis", "Johann Sebastian Bach", "Nina Simone",
+    "Radiohead", "Bjork", "Herbert Groenemeyer", "Die Aerzte", "Daft Punk",
+    "Johnny Cash", "Aretha Franklin", "John Coltrane", "Kraftwerk",
+    "Ella Fitzgerald", "David Bowie", "Portishead", "Massive Attack",
+    "Wolfgang Amadeus Mozart", "Ludwig van Beethoven", "Billie Holiday",
+]
+
+CD_TITLES = [
+    "Abbey Road", "Kind of Blue", "Goldberg Variations", "Pastel Blues",
+    "OK Computer", "Homogenic", "Mensch", "Geraeusch", "Discovery",
+    "At Folsom Prison", "Lady Soul", "A Love Supreme", "Autobahn",
+    "Ella and Louis", "Heroes", "Dummy", "Mezzanine", "Requiem",
+    "Symphony No 9", "Lady in Satin", "Blue Train", "The White Album",
+    "Unplugged", "Greatest Hits", "Live in Berlin",
+]
+
+CD_LABELS = [
+    "EMI", "Columbia", "Deutsche Grammophon", "Verve", "Parlophone",
+    "Island", "Sony Classical", "Blue Note", "Motown", "Virgin",
+]
+
+HOSPITAL_NAMES = [
+    "Charite Campus Mitte", "Vivantes Klinikum", "St. Hedwig Hospital",
+    "Provincial General Hospital", "District Field Hospital",
+    "Red Cross Camp A", "Red Cross Camp B", "Coastal Relief Clinic",
+]
+
+DAMAGE_TYPES = [
+    "house destroyed", "house damaged", "boat lost", "crops flooded",
+    "shop destroyed", "vehicle lost", "livestock lost", "well contaminated",
+]
+
+GENRES = [
+    "Rock", "Jazz", "Classical", "Pop", "Electronic", "Soul", "Blues",
+    "Hip-Hop", "Folk",
+]

@@ -1,0 +1,25 @@
+"""Scenario builders matching the paper's motivating applications.
+
+* :func:`cd_stores_scenario` — catalog integration / shopping agents
+  comparing CDs offered by several online stores.
+* :func:`students_scenario` — the paper's running example
+  (``EE_Students`` / ``CS_Students`` fused by name).
+* :func:`crisis_scenario` — the tsunami-relief application: damage /
+  missing-person reports collected multiple times at different levels of
+  detail and accuracy.
+* :func:`thalia_scenario` — university course catalogs exhibiting the twelve
+  THALIA heterogeneity classes.
+"""
+
+from repro.datagen.scenarios.cds import cd_stores_scenario
+from repro.datagen.scenarios.students import students_scenario
+from repro.datagen.scenarios.crisis import crisis_scenario
+from repro.datagen.scenarios.thalia import thalia_scenario, THALIA_CATEGORIES
+
+__all__ = [
+    "cd_stores_scenario",
+    "students_scenario",
+    "crisis_scenario",
+    "thalia_scenario",
+    "THALIA_CATEGORIES",
+]

@@ -1,0 +1,94 @@
+"""CD-store catalog integration scenario.
+
+"Catalog integration is a typical one-time problem ... it is also of interest
+for shopping agents collecting data about identical products offered at
+different sites.  A customer shopping for CDs might want to supply only the
+different sites to search on. ... possibly favoring the data of the cheapest
+store." (paper §1)
+
+The scenario generates a configurable number of online CD stores with
+different schemata (one uses ``artist``/``title``/``price``, another
+``interpret``/``album``/``cost`` etc.), overlapping catalogs, price conflicts
+and the usual dirtiness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.datagen import pools
+from repro.datagen.corruptor import CorruptionConfig
+from repro.datagen.generator import DirtySourceGenerator, GeneratedDataset, SourceSpec
+
+__all__ = ["cd_stores_scenario"]
+
+#: Per-store schema variations: canonical attribute → store label.
+_STORE_SCHEMAS = [
+    {},  # first store keeps the canonical (preferred) schema
+    {"artist": "interpret", "title": "album", "price": "cost", "year": "released"},
+    {"artist": "performer", "title": "cd_title", "price": "amount_eur", "label": "record_label"},
+    {"artist": "act", "title": "recording", "genre": "style", "price": "list_price"},
+    {"title": "product_name", "price": "sales_price", "year": "release_year"},
+    {"artist": "band", "label": "publisher", "genre": "category"},
+]
+
+
+def _make_catalog(entity_count: int, rng: random.Random) -> List[Dict]:
+    catalog = []
+    for index in range(entity_count):
+        artist = rng.choice(pools.CD_ARTISTS)
+        title = rng.choice(pools.CD_TITLES)
+        catalog.append(
+            {
+                "_entity": f"cd_{index:05d}",
+                "artist": artist,
+                "title": f"{title} {index % 7 + 1}" if index >= len(pools.CD_TITLES) else title,
+                "year": rng.randint(1960, 2005),
+                "genre": rng.choice(pools.GENRES),
+                "label": rng.choice(pools.CD_LABELS),
+                "price": round(rng.uniform(5.99, 24.99), 2),
+                "tracks": rng.randint(8, 22),
+            }
+        )
+    return catalog
+
+
+def cd_stores_scenario(
+    entity_count: int = 120,
+    store_count: int = 3,
+    overlap: float = 0.5,
+    corruption: Optional[CorruptionConfig] = None,
+    seed: int = 7,
+) -> GeneratedDataset:
+    """Generate *store_count* CD-store catalogs sharing *overlap* of their CDs.
+
+    Price and year are declared conflict fields: the same CD may genuinely
+    cost different amounts at different stores, which is what the
+    ``choose('cheapest_store')`` / ``min`` resolution strategies act on.
+    """
+    if store_count < 1:
+        raise ValueError("store_count must be at least 1")
+    rng = random.Random(seed)
+    catalog = _make_catalog(entity_count, rng)
+    store_names = [f"cd_store_{chr(ord('a') + index)}" for index in range(store_count)]
+    specs = []
+    for index, name in enumerate(store_names):
+        schema = _STORE_SCHEMAS[index % len(_STORE_SCHEMAS)]
+        specs.append(
+            SourceSpec(
+                name=name,
+                rename=dict(schema),
+                drop=["tracks"] if index % 3 == 2 else [],
+                coverage=1.0,
+                corruption=corruption,
+            )
+        )
+    generator = DirtySourceGenerator(
+        specs,
+        overlap=overlap,
+        conflict_fields=["price", "year"],
+        default_corruption=corruption or CorruptionConfig.medium(),
+        seed=seed,
+    )
+    return generator.generate(catalog)

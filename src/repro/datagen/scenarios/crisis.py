@@ -1,0 +1,93 @@
+"""Tsunami-relief (crisis data) scenario.
+
+"In the affected area, data about damages, missing persons, hospital
+treatments etc. is often collected multiple times (causing duplicates) at
+different levels of detail (causing schematic heterogeneity) and with
+different levels of accuracy (causing data conflicts)." (paper §1)
+
+Three collecting organisations report about the same affected persons: a
+field hospital, a relief NGO and an insurance registry, each with its own
+schema, partial coverage and recency.  The ``reported_on`` date makes the
+``most_recent`` resolution strategy meaningful.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Dict, List, Optional
+
+from repro.datagen import pools
+from repro.datagen.corruptor import CorruptionConfig
+from repro.datagen.generator import DirtySourceGenerator, GeneratedDataset, SourceSpec
+
+__all__ = ["crisis_scenario"]
+
+
+def _make_reports(entity_count: int, rng: random.Random) -> List[Dict]:
+    base_date = datetime.date(2004, 12, 26)
+    reports = []
+    for index in range(entity_count):
+        first = rng.choice(pools.FIRST_NAMES)
+        last = rng.choice(pools.LAST_NAMES)
+        status = rng.choice(["missing", "injured", "safe", "hospitalised", "deceased"])
+        reports.append(
+            {
+                "_entity": f"person_{index:05d}",
+                "person_name": f"{first} {last}",
+                "home_city": rng.choice(pools.CITIES),
+                "status": status,
+                "hospital": rng.choice(pools.HOSPITAL_NAMES) if status == "hospitalised" else None,
+                "damage": rng.choice(pools.DAMAGE_TYPES),
+                "estimated_loss": round(rng.uniform(500, 50000), 2),
+                "reported_on": (base_date + datetime.timedelta(days=rng.randint(0, 60))).isoformat(),
+                "contact_phone": f"+49-30-{rng.randint(1000000, 9999999)}",
+            }
+        )
+    return reports
+
+
+def crisis_scenario(
+    entity_count: int = 100,
+    overlap: float = 0.6,
+    corruption: Optional[CorruptionConfig] = None,
+    seed: int = 23,
+) -> GeneratedDataset:
+    """Generate three overlapping crisis-report sources about the same persons."""
+    rng = random.Random(seed)
+    reports = _make_reports(entity_count, rng)
+    specs = [
+        SourceSpec(
+            name="field_hospital",
+            rename={"person_name": "patient", "home_city": "origin"},
+            drop=["damage", "estimated_loss"],
+            coverage=0.9,
+            corruption=corruption,
+        ),
+        SourceSpec(
+            name="relief_ngo",
+            rename={"person_name": "full_name", "estimated_loss": "loss_usd"},
+            drop=["hospital"],
+            coverage=0.95,
+            corruption=corruption,
+        ),
+        SourceSpec(
+            name="insurance_registry",
+            rename={
+                "person_name": "insured_person",
+                "damage": "damage_category",
+                "estimated_loss": "claim_amount",
+            },
+            drop=["hospital", "status"],
+            coverage=0.7,
+            corruption=corruption,
+        ),
+    ]
+    generator = DirtySourceGenerator(
+        specs,
+        overlap=overlap,
+        conflict_fields=["status", "estimated_loss", "reported_on"],
+        default_corruption=corruption or CorruptionConfig.medium(),
+        seed=seed,
+    )
+    return generator.generate(reports)

@@ -1,0 +1,79 @@
+"""EE / CS students scenario — the paper's running example.
+
+    SELECT Name, RESOLVE(Age, max)
+    FUSE FROM EE_Students, CS_Students
+    FUSE BY (Name)
+
+Two faculty databases store partially overlapping student populations
+(double-major students appear in both) under slightly different schemata and
+with conflicting ages (one database is out of date: "students only get
+older").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.datagen import pools
+from repro.datagen.corruptor import CorruptionConfig
+from repro.datagen.generator import DirtySourceGenerator, GeneratedDataset, SourceSpec
+
+__all__ = ["students_scenario"]
+
+
+def _make_students(entity_count: int, rng: random.Random) -> List[Dict]:
+    students = []
+    for index in range(entity_count):
+        first = rng.choice(pools.FIRST_NAMES)
+        last = rng.choice(pools.LAST_NAMES)
+        students.append(
+            {
+                "_entity": f"student_{index:05d}",
+                "name": f"{first} {last}",
+                "age": rng.randint(18, 34),
+                "major": rng.choice(pools.MAJORS),
+                "university": rng.choice(pools.UNIVERSITIES),
+                "city": rng.choice(pools.CITIES),
+                "semester": rng.randint(1, 12),
+                "email": f"{first.lower()}.{last.lower()}{index % 97}@example.edu",
+            }
+        )
+    return students
+
+
+def students_scenario(
+    entity_count: int = 150,
+    overlap: float = 0.35,
+    corruption: Optional[CorruptionConfig] = None,
+    seed: int = 11,
+) -> GeneratedDataset:
+    """Generate the ``EE_Students`` / ``CS_Students`` pair with overlapping students.
+
+    Age and semester are conflict fields (outdated records), matching the
+    paper's ``RESOLVE(Age, max)`` example.
+    """
+    rng = random.Random(seed)
+    students = _make_students(entity_count, rng)
+    specs = [
+        SourceSpec(name="EE_Students", rename={}, corruption=corruption),
+        SourceSpec(
+            name="CS_Students",
+            rename={
+                "name": "student_name",
+                "age": "years",
+                "major": "field_of_study",
+                "email": "mail",
+            },
+            drop=["city"],
+            corruption=corruption,
+        ),
+    ]
+    generator = DirtySourceGenerator(
+        specs,
+        overlap=overlap,
+        conflict_fields=["age", "semester"],
+        default_corruption=corruption or CorruptionConfig.low(),
+        seed=seed,
+    )
+    return generator.generate(students)

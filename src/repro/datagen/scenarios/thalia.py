@@ -1,0 +1,171 @@
+"""THALIA-style heterogeneity scenario.
+
+The demo planned to "show examples taken from the recent THALIA benchmark for
+information integration" (Hammer, Stonebraker & Topsakal, ICDE 2005).  THALIA
+catalogues twelve classes of syntactic and semantic heterogeneity between
+university course catalogs.  The original benchmark data is not redistributed
+here; instead this module *generates* pairs of course-catalog sources that
+exhibit each heterogeneity class, so experiment E5 can report which classes
+the automatic pipeline bridges.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.datagen import pools
+from repro.datagen.corruptor import CorruptionConfig
+from repro.datagen.generator import DirtySourceGenerator, GeneratedDataset, SourceSpec
+
+__all__ = ["THALIA_CATEGORIES", "thalia_scenario"]
+
+#: The twelve THALIA heterogeneity classes (queries 1-12 of the benchmark).
+THALIA_CATEGORIES: Dict[int, str] = {
+    1: "synonyms — attributes with different names but the same meaning",
+    2: "simple mapping — values related by a mathematical transformation",
+    3: "union types — attribute types differ across sources",
+    4: "complex mappings — values related by a non-trivial transformation",
+    5: "language expression — names/values expressed in different languages",
+    6: "nulls — a value exists in one source and is missing in the other",
+    7: "virtual columns — information only implicit in one source",
+    8: "semantic incompatibility — modelling concepts differ",
+    9: "same attribute in different structure — placement differs",
+    10: "handling sets — sets represented differently",
+    11: "attribute names do not define semantics — opaque labels",
+    12: "attribute composition — one attribute is split over several",
+}
+
+#: Which categories the fully automatic pipeline is expected to bridge.
+#: (Instance-based matching handles renamed/opaque labels and nulls; value
+#: transformations and structural reorganisation need mapping logic HumMer
+#: leaves to the user.)
+AUTOMATABLE_CATEGORIES = {1, 5, 6, 11}
+
+
+def _make_courses(entity_count: int, rng: random.Random) -> List[Dict]:
+    courses = []
+    for index in range(entity_count):
+        title = pools.COURSES[index % len(pools.COURSES)]
+        level = rng.choice(["undergraduate", "graduate"])
+        courses.append(
+            {
+                "_entity": f"course_{index:05d}",
+                "title": f"{title} {index // len(pools.COURSES) + 1}"
+                if index >= len(pools.COURSES)
+                else title,
+                "instructor": f"{rng.choice(pools.FIRST_NAMES)} {rng.choice(pools.LAST_NAMES)}",
+                "credits": rng.choice([3, 4, 6, 8]),
+                "level": level,
+                "room": f"{rng.choice('ABCDE')}-{rng.randint(100, 499)}",
+                "times": f"{rng.choice(['Mon', 'Tue', 'Wed', 'Thu', 'Fri'])} "
+                f"{rng.randint(8, 16)}:00",
+            }
+        )
+    return courses
+
+
+def thalia_scenario(
+    category: int,
+    entity_count: int = 60,
+    overlap: float = 0.6,
+    corruption: Optional[CorruptionConfig] = None,
+    seed: int = 31,
+) -> GeneratedDataset:
+    """Generate a two-source course-catalog pair exhibiting one THALIA category.
+
+    Args:
+        category: THALIA class 1-12 (see :data:`THALIA_CATEGORIES`).
+    """
+    if category not in THALIA_CATEGORIES:
+        raise ValueError(f"THALIA category must be 1..12, got {category}")
+    rng = random.Random(seed + category)
+    courses = _make_courses(entity_count, rng)
+    corruption = corruption or CorruptionConfig.low()
+
+    rename_b: Dict[str, str] = {}
+    drop_b: List[str] = []
+    transform = None
+
+    if category == 1:  # synonyms
+        rename_b = {"instructor": "lecturer", "times": "schedule", "room": "venue"}
+    elif category == 2:  # simple mapping (credits vs. ECTS points: x2)
+        transform = ("credits", lambda value: None if value is None else value * 2)
+        rename_b = {"credits": "ects_points"}
+    elif category == 3:  # union types (credits as text)
+        transform = ("credits", lambda value: None if value is None else f"{value} credit hours")
+    elif category == 4:  # complex mapping (times merged into one descriptive string)
+        transform = ("times", lambda value: None if value is None else f"meets weekly at {value}")
+    elif category == 5:  # language expression
+        translations = {"undergraduate": "Grundstudium", "graduate": "Hauptstudium"}
+        transform = ("level", lambda value: translations.get(value, value))
+        rename_b = {"level": "studienabschnitt", "title": "veranstaltung"}
+    elif category == 6:  # nulls
+        drop_b = ["room", "times"]
+    elif category == 7:  # virtual columns
+        drop_b = ["level"]
+    elif category == 8:  # semantic incompatibility
+        transform = ("credits", lambda value: "yes" if value and value >= 6 else "no")
+        rename_b = {"credits": "is_major_course"}
+    elif category == 9:  # same attribute in different structure
+        rename_b = {"instructor": "course.instructor_name"}
+    elif category == 10:  # handling sets
+        transform = ("times", lambda value: None if value is None else f"[{value}; {value}]")
+    elif category == 11:  # opaque attribute names
+        rename_b = {
+            "title": "col_1",
+            "instructor": "col_2",
+            "credits": "col_3",
+            "level": "col_4",
+            "room": "col_5",
+            "times": "col_6",
+        }
+    elif category == 12:  # attribute composition (instructor split)
+        rename_b = {"instructor": "instructor_last_name"}
+        transform = ("instructor", lambda value: None if value is None else value.split()[-1])
+
+    if transform is not None:
+        attribute, function = transform
+        courses = [dict(course) for course in courses]
+        transformed_courses = []
+        for course in courses:
+            copy = dict(course)
+            copy[f"__b_{attribute}"] = function(course.get(attribute))
+            transformed_courses.append(copy)
+        courses = transformed_courses
+
+    specs = [
+        SourceSpec(name="university_a", rename={}, drop=[key for key in courses[0] if key.startswith("__b_")], corruption=corruption),
+        SourceSpec(
+            name="university_b",
+            rename=_compose_rename(rename_b, transform),
+            drop=_compose_drop(drop_b, transform),
+            corruption=corruption,
+        ),
+    ]
+    generator = DirtySourceGenerator(
+        specs,
+        overlap=overlap,
+        conflict_fields=[],
+        default_corruption=corruption,
+        seed=seed + category,
+    )
+    return generator.generate(courses)
+
+
+def _compose_rename(rename_b: Dict[str, str], transform) -> Dict[str, str]:
+    rename = dict(rename_b)
+    if transform is not None:
+        attribute, _ = transform
+        # source B shows the transformed variant under the (possibly renamed) label
+        rename[f"__b_{attribute}"] = rename_b.get(attribute, attribute)
+    return rename
+
+
+def _compose_drop(drop_b: List[str], transform) -> List[str]:
+    drop = list(drop_b)
+    if transform is not None:
+        attribute, _ = transform
+        # source B drops the original attribute (it carries the transformed one)
+        drop.append(attribute)
+    return drop

@@ -1,0 +1,97 @@
+"""Segmentation of compared pairs into sure / unsure / non-duplicates.
+
+"The results of duplicate detection are visualized in three segments: sure
+duplicates, sure non-duplicates, and unsure cases, all of which users can
+decide upon individually or in summary." (paper §3)
+
+The segmentation uses two thresholds around the duplicate threshold θ: pairs
+scoring at or above θ are duplicates; pairs within an uncertainty band just
+below θ are "unsure" and presented for confirmation; everything lower is a
+sure non-duplicate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dedup.pairs import PairScore
+
+__all__ = ["PairClass", "ClassifiedPairs", "classify_pairs"]
+
+
+class PairClass(enum.Enum):
+    """Outcome of classifying one compared pair."""
+
+    SURE_DUPLICATE = "sure_duplicate"
+    UNSURE = "unsure"
+    SURE_NON_DUPLICATE = "sure_non_duplicate"
+
+
+@dataclass
+class ClassifiedPairs:
+    """Compared pairs grouped into the three demo segments."""
+
+    sure_duplicates: List[PairScore] = field(default_factory=list)
+    unsure: List[PairScore] = field(default_factory=list)
+    sure_non_duplicates: List[PairScore] = field(default_factory=list)
+    #: User decisions on unsure pairs: index pair → accepted as duplicate?
+    decisions: Dict[Tuple[int, int], bool] = field(default_factory=dict)
+
+    def confirm(self, pair: Tuple[int, int], is_duplicate: bool) -> None:
+        """Record a user decision for an unsure pair (demo step 4)."""
+        self.decisions[tuple(sorted(pair))] = is_duplicate
+
+    def confirm_all(self, is_duplicate: bool) -> None:
+        """Decide all unsure pairs at once ("in summary")."""
+        for pair in self.unsure:
+            self.decisions[pair.as_tuple()] = is_duplicate
+
+    def accepted_pairs(self, accept_unsure_by_default: bool = False) -> List[Tuple[int, int]]:
+        """Index pairs that count as duplicates after applying user decisions.
+
+        Unsure pairs without an explicit decision follow
+        *accept_unsure_by_default* (the fully automatic pipeline accepts
+        them, matching a single-threshold detector).
+        """
+        accepted = [pair.as_tuple() for pair in self.sure_duplicates]
+        for pair in self.unsure:
+            decision = self.decisions.get(pair.as_tuple(), accept_unsure_by_default)
+            if decision:
+                accepted.append(pair.as_tuple())
+        return accepted
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Segment sizes, keyed by segment name."""
+        return {
+            "sure_duplicates": len(self.sure_duplicates),
+            "unsure": len(self.unsure),
+            "sure_non_duplicates": len(self.sure_non_duplicates),
+        }
+
+
+def classify_pairs(
+    scores: Sequence[PairScore],
+    threshold: float,
+    uncertainty_band: float = 0.1,
+) -> ClassifiedPairs:
+    """Classify compared pairs around *threshold*.
+
+    * similarity ≥ threshold → sure duplicate
+    * threshold - band ≤ similarity < threshold → unsure
+    * otherwise → sure non-duplicate
+    """
+    if uncertainty_band < 0:
+        raise ValueError("uncertainty_band must be non-negative")
+    result = ClassifiedPairs()
+    lower = threshold - uncertainty_band
+    for score in scores:
+        if score.similarity >= threshold:
+            result.sure_duplicates.append(score)
+        elif score.similarity >= lower:
+            result.unsure.append(score)
+        else:
+            result.sure_non_duplicates.append(score)
+    return result

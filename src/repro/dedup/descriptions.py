@@ -1,0 +1,113 @@
+"""Heuristic selection of "interesting" attributes for duplicate detection.
+
+Paper §2.3: attributes are interesting when they are (i) related to the
+object under consideration, (ii) usable by the similarity measure and
+(iii) likely to distinguish duplicates from non-duplicates.  The heuristics
+below operationalise (ii) and (iii) on profiling statistics; (i) is a given
+for columns of the fused table itself and an opt-in for columns contributed
+by related tables.  The resulting :class:`AttributeSelection` can be adjusted
+by the user before detection runs (the demo's step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.engine.relation import Relation
+from repro.engine.statistics import profile_relation
+from repro.engine.types import DataType
+
+__all__ = ["AttributeSelection", "select_interesting_attributes"]
+
+#: Columns that are bookkeeping, never evidence of identity.
+_SYSTEM_COLUMNS = {"sourceid", "objectid"}
+
+
+@dataclass
+class AttributeSelection:
+    """The attributes duplicate detection will compare, with optional weights.
+
+    Attributes:
+        attributes: selected attribute names, in schema order.
+        weights: optional per-attribute weight overrides (defaults to the
+            soft-IDF weighting computed by the similarity measure).
+        rejected: attributes considered and rejected, with the reason —
+            surfaced to the user so the selection can be adjusted.
+    """
+
+    attributes: List[str]
+    weights: Dict[str, float] = field(default_factory=dict)
+    rejected: Dict[str, str] = field(default_factory=dict)
+
+    def add(self, attribute: str, weight: Optional[float] = None) -> None:
+        """User adjustment: force an attribute into the selection."""
+        if attribute not in self.attributes:
+            self.attributes.append(attribute)
+        if weight is not None:
+            self.weights[attribute] = weight
+        self.rejected.pop(attribute, None)
+
+    def remove(self, attribute: str) -> None:
+        """User adjustment: drop an attribute from the selection."""
+        if attribute in self.attributes:
+            self.attributes.remove(attribute)
+            self.rejected[attribute] = "removed by user"
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self.attributes
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+
+def select_interesting_attributes(
+    relation: Relation,
+    max_null_ratio: float = 0.9,
+    min_distinctness: float = 0.05,
+    exclude: Iterable[str] = (),
+    always_include: Iterable[str] = (),
+) -> AttributeSelection:
+    """Apply the selection heuristics to *relation*.
+
+    Heuristics (each rejection is recorded with its reason):
+
+    * system columns (``sourceID``, ``objectID``) are never evidence;
+    * attributes that are almost always null cannot distinguish anything
+      (completeness below ``1 - max_null_ratio``);
+    * near-constant attributes (distinctness below *min_distinctness*) do not
+      separate duplicates from non-duplicates;
+    * everything else is kept, weighted by distinctness so that highly
+      identifying attributes (names, titles, identifiers) count more.
+    """
+    statistics = profile_relation(relation)
+    excluded = {name.lower() for name in exclude} | _SYSTEM_COLUMNS
+    forced = {name.lower() for name in always_include}
+    selected: List[str] = []
+    weights: Dict[str, float] = {}
+    rejected: Dict[str, str] = {}
+
+    for column in relation.schema:
+        name = column.name
+        key = name.lower()
+        stats = statistics.column(name)
+        if key in forced:
+            selected.append(name)
+            weights[name] = max(stats.distinctness, 0.1)
+            continue
+        if key in excluded:
+            rejected[name] = "system or explicitly excluded column"
+            continue
+        if stats.row_count > 0 and stats.null_ratio > max_null_ratio:
+            rejected[name] = f"too sparse ({stats.null_ratio:.0%} null)"
+            continue
+        if stats.row_count > 1 and stats.distinct_count > 0 and stats.distinctness < min_distinctness:
+            rejected[name] = f"near-constant (distinctness {stats.distinctness:.2f})"
+            continue
+        selected.append(name)
+        weights[name] = max(stats.distinctness, 0.1)
+
+    return AttributeSelection(attributes=selected, weights=weights, rejected=rejected)

@@ -1,0 +1,154 @@
+"""The duplicate detector: selection → filter → compare → classify → cluster.
+
+Output matches the paper: "The output of duplicate detection is the same as
+the input relation, but enriched by an objectID column for identification."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dedup.classification import ClassifiedPairs, classify_pairs
+from repro.dedup.clustering import transitive_closure_clusters
+from repro.dedup.descriptions import AttributeSelection, select_interesting_attributes
+from repro.dedup.filters import FilterStatistics
+from repro.dedup.pairs import CandidatePairGenerator, PairScore
+from repro.dedup.similarity_measure import DuplicateSimilarityMeasure
+from repro.engine.relation import Relation
+from repro.engine.schema import Column
+from repro.engine.types import DataType
+
+__all__ = ["OBJECT_ID_COLUMN", "DuplicateDetectionResult", "DuplicateDetector"]
+
+#: Name of the cluster-id column appended by duplicate detection.
+OBJECT_ID_COLUMN = "objectID"
+
+
+@dataclass
+class DuplicateDetectionResult:
+    """Everything duplicate detection produces.
+
+    Attributes:
+        relation: the input relation enriched with the ``objectID`` column.
+        cluster_assignment: objectID per input row, in row order.
+        classified: pairs segmented into sure / unsure / non-duplicates.
+        scores: all fully compared pairs.
+        selection: the attribute selection that was used.
+        filter_statistics: how many pairs the upper-bound filter pruned.
+    """
+
+    relation: Relation
+    cluster_assignment: List[int]
+    classified: ClassifiedPairs
+    scores: List[PairScore]
+    selection: AttributeSelection
+    filter_statistics: FilterStatistics
+
+    @property
+    def cluster_count(self) -> int:
+        """Number of distinct real-world objects found."""
+        return len(set(self.cluster_assignment))
+
+    @property
+    def duplicate_pairs(self) -> List[Tuple[int, int]]:
+        """Accepted duplicate index pairs (after default handling of unsure pairs)."""
+        return self.classified.accepted_pairs(accept_unsure_by_default=True)
+
+    def clusters(self) -> Dict[int, List[int]]:
+        """objectID → list of row indices."""
+        grouped: Dict[int, List[int]] = {}
+        for index, cluster in enumerate(self.cluster_assignment):
+            grouped.setdefault(cluster, []).append(index)
+        return grouped
+
+    def multi_tuple_clusters(self) -> Dict[int, List[int]]:
+        """Only the clusters with more than one tuple (the actual duplicates)."""
+        return {cid: rows for cid, rows in self.clusters().items() if len(rows) > 1}
+
+
+class DuplicateDetector:
+    """Similarity-threshold duplicate detector with transitive-closure clustering.
+
+    Args:
+        threshold: pairs at or above this similarity are duplicates.
+        uncertainty_band: width of the "unsure" band below the threshold.
+        use_filter: apply the upper-bound filter before full comparison.
+        cross_source_only: only compare tuples from different sources.
+        selection: explicit attribute selection; when omitted the heuristics
+            of :func:`select_interesting_attributes` run on the input.
+        accept_unsure: whether undecided unsure pairs count as duplicates in
+            the fully automatic pipeline (default True).
+        keep_evidence: keep per-attribute evidence on every scored pair.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.7,
+        uncertainty_band: float = 0.1,
+        use_filter: bool = True,
+        cross_source_only: bool = False,
+        selection: Optional[AttributeSelection] = None,
+        accept_unsure: bool = True,
+        keep_evidence: bool = False,
+    ):
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")
+        self.threshold = threshold
+        self.uncertainty_band = uncertainty_band
+        self.use_filter = use_filter
+        self.cross_source_only = cross_source_only
+        self.selection = selection
+        self.accept_unsure = accept_unsure
+        self.keep_evidence = keep_evidence
+
+    def detect(self, relation: Relation) -> DuplicateDetectionResult:
+        """Run duplicate detection on *relation* and append the objectID column."""
+        selection = self.selection or select_interesting_attributes(relation)
+        measure = DuplicateSimilarityMeasure(selection).fit(relation)
+        generator = CandidatePairGenerator(
+            measure,
+            filter_threshold=self.threshold - self.uncertainty_band,
+            use_filter=self.use_filter,
+            cross_source_only=self.cross_source_only,
+            keep_evidence=self.keep_evidence,
+        )
+        scores = generator.score_pairs(relation)
+        classified = classify_pairs(scores, self.threshold, self.uncertainty_band)
+        accepted = classified.accepted_pairs(accept_unsure_by_default=self.accept_unsure)
+        assignment = transitive_closure_clusters(len(relation), accepted)
+        enriched = relation.with_column(
+            Column(OBJECT_ID_COLUMN, DataType.INTEGER), assignment
+        )
+        return DuplicateDetectionResult(
+            relation=enriched,
+            cluster_assignment=assignment,
+            classified=classified,
+            scores=scores,
+            selection=selection,
+            filter_statistics=generator.filter.statistics,
+        )
+
+    def redetect_with_decisions(
+        self, relation: Relation, result: DuplicateDetectionResult
+    ) -> DuplicateDetectionResult:
+        """Re-cluster after the user decided some unsure pairs (demo step 4).
+
+        Comparison scores are reused; only the transitive closure and the
+        objectID column are recomputed.
+        """
+        accepted = result.classified.accepted_pairs(
+            accept_unsure_by_default=self.accept_unsure
+        )
+        assignment = transitive_closure_clusters(len(relation), accepted)
+        enriched = relation.with_column(
+            Column(OBJECT_ID_COLUMN, DataType.INTEGER), assignment
+        )
+        return DuplicateDetectionResult(
+            relation=enriched,
+            cluster_assignment=assignment,
+            classified=result.classified,
+            scores=result.scores,
+            selection=result.selection,
+            filter_statistics=result.filter_statistics,
+        )

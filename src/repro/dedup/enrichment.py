@@ -1,0 +1,125 @@
+"""Enriching duplicate detection with data from related tables.
+
+Paper §2.3: the DogmatiX method considers not only an object's own values but
+also "interesting attributes from relations that have some relationship to
+the current table"; §3 adds that the duplicate-detection component "can
+consult the metadata repository to fetch additional tables and generate child
+data to support duplicate detection".
+
+:class:`RelationshipSpec` describes one such 1:N relationship (e.g. students
+→ enrolled courses); :func:`enrich_with_children` fetches the child table
+from the catalog, aggregates the child values per parent tuple into one
+descriptive string column and appends it to the relation handed to the
+detector.  The appended column then participates in the usual attribute
+selection heuristics and the similarity measure like any other attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.relation import Relation
+from repro.engine.schema import Column
+from repro.engine.types import DataType, is_null
+from repro.exceptions import DedupError
+
+__all__ = ["RelationshipSpec", "enrich_with_children"]
+
+
+@dataclass
+class RelationshipSpec:
+    """One 1:N relationship from the main table to a child table.
+
+    Attributes:
+        child_alias: catalog alias of the child table.
+        parent_key: column of the main table joined on.
+        child_key: column of the child table holding the parent key.
+        child_attributes: child columns whose values describe the parent
+            (defaults to every non-key column).
+        output_column: name of the appended description column
+            (default ``"<child_alias>_description"``).
+        max_values: cap on the number of child values concatenated per parent.
+    """
+
+    child_alias: str
+    parent_key: str
+    child_key: str
+    child_attributes: Optional[Sequence[str]] = None
+    output_column: Optional[str] = None
+    max_values: int = 10
+
+    @property
+    def column_name(self) -> str:
+        return self.output_column or f"{self.child_alias}_description"
+
+
+def _normalise_key(value) -> str:
+    return str(value).strip().lower()
+
+
+def _child_descriptions(child: Relation, spec: RelationshipSpec) -> Dict[str, List[str]]:
+    if not child.schema.has_column(spec.child_key):
+        raise DedupError(
+            f"child table {spec.child_alias!r} has no key column {spec.child_key!r}; "
+            f"available: {', '.join(child.schema.names)}"
+        )
+    attributes = list(spec.child_attributes or [])
+    if not attributes:
+        attributes = [
+            column.name
+            for column in child.schema
+            if column.name.lower() != spec.child_key.lower()
+        ]
+    key_position = child.schema.position(spec.child_key)
+    positions = child.schema.positions(attributes)
+    descriptions: Dict[str, List[str]] = {}
+    for values in child.rows:
+        key = values[key_position]
+        if is_null(key):
+            continue
+        parts = [str(values[p]) for p in positions if not is_null(values[p])]
+        if not parts:
+            continue
+        descriptions.setdefault(_normalise_key(key), []).append(" ".join(parts))
+    return descriptions
+
+
+def enrich_with_children(
+    relation: Relation,
+    catalog: Catalog,
+    relationships: Sequence[RelationshipSpec],
+) -> Relation:
+    """Append one description column per relationship to *relation*.
+
+    Each description cell concatenates (up to ``max_values``) child records of
+    the corresponding parent tuple; parents without children get a null, so
+    the extra evidence never counts against them (missing data is neutral in
+    the similarity measure).
+    """
+    enriched = relation
+    for spec in relationships:
+        if not enriched.schema.has_column(spec.parent_key):
+            raise DedupError(
+                f"main table has no key column {spec.parent_key!r}; "
+                f"available: {', '.join(enriched.schema.names)}"
+            )
+        child = catalog.fetch(spec.child_alias)
+        descriptions = _child_descriptions(child, spec)
+        parent_position = enriched.schema.position(spec.parent_key)
+
+        def description_for(row, _descriptions=descriptions, _position=parent_position, _spec=spec):
+            key = row[_position]
+            if is_null(key):
+                return None
+            parts = _descriptions.get(_normalise_key(key))
+            if not parts:
+                return None
+            return "; ".join(sorted(parts)[: _spec.max_values])
+
+        enriched = enriched.with_column(
+            Column(spec.column_name, DataType.STRING),
+            [description_for(values) for values in enriched.rows],
+        )
+    return enriched

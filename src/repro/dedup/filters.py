@@ -1,0 +1,69 @@
+"""Comparison-pruning filter.
+
+"The number of pairwise comparisons are reduced by applying a filter (upper
+bound to the similarity measure) and comparing only the remaining pairs."
+(paper §2.3)
+
+:class:`UpperBoundFilter` wraps the measure's cheap upper bound and keeps
+statistics so experiment E2 can report how many full comparisons the filter
+saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dedup.similarity_measure import DuplicateSimilarityMeasure
+
+__all__ = ["FilterStatistics", "UpperBoundFilter"]
+
+
+@dataclass
+class FilterStatistics:
+    """Counts of pairs seen and pruned by the filter."""
+
+    considered: int = 0
+    pruned: int = 0
+
+    @property
+    def compared(self) -> int:
+        """Pairs that passed the filter and were fully compared."""
+        return self.considered - self.pruned
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of candidate pairs the filter removed."""
+        if self.considered == 0:
+            return 0.0
+        return self.pruned / self.considered
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.considered = 0
+        self.pruned = 0
+
+
+class UpperBoundFilter:
+    """Prunes candidate pairs whose upper-bound similarity is below the threshold.
+
+    Because the bound is an over-estimate of the true similarity, pruning a
+    pair can never remove a true duplicate that the full measure would have
+    accepted at the same threshold.
+    """
+
+    def __init__(self, measure: DuplicateSimilarityMeasure, threshold: float, enabled: bool = True):
+        self.measure = measure
+        self.threshold = threshold
+        self.enabled = enabled
+        self.statistics = FilterStatistics()
+
+    def passes(self, left: Sequence, right: Sequence) -> bool:
+        """Whether the pair survives the filter (True = compare it in full)."""
+        self.statistics.considered += 1
+        if not self.enabled:
+            return True
+        if self.measure.upper_bound(left, right) >= self.threshold:
+            return True
+        self.statistics.pruned += 1
+        return False

@@ -1,0 +1,96 @@
+"""Candidate-pair generation and scoring.
+
+Generates the tuple pairs to compare (all pairs, or only cross-source pairs
+when duplicates within one source are impossible by assumption), applies the
+upper-bound filter and scores the survivors with the full measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.dedup.filters import UpperBoundFilter
+from repro.dedup.similarity_measure import DuplicateSimilarityMeasure, PairEvidence
+from repro.engine.relation import Relation
+from repro.engine.types import is_null
+
+__all__ = ["PairScore", "CandidatePairGenerator"]
+
+
+@dataclass
+class PairScore:
+    """One fully compared tuple pair."""
+
+    left_index: int
+    right_index: int
+    similarity: float
+    evidence: Optional[PairEvidence] = None
+
+    def as_tuple(self) -> Tuple[int, int]:
+        """The index pair, smaller index first."""
+        return (self.left_index, self.right_index)
+
+
+class CandidatePairGenerator:
+    """Enumerates, filters and scores candidate tuple pairs.
+
+    Args:
+        measure: a fitted :class:`DuplicateSimilarityMeasure`.
+        filter_threshold: threshold handed to the upper-bound filter
+            (normally the duplicate threshold itself).
+        use_filter: disable to measure the filter's benefit (experiment E2).
+        cross_source_only: when true, tuples sharing the same ``sourceID`` are
+            never paired (sources are assumed internally duplicate-free).
+        keep_evidence: retain per-attribute evidence for each scored pair
+            (needed by the demo's conflict preview, costs memory).
+    """
+
+    def __init__(
+        self,
+        measure: DuplicateSimilarityMeasure,
+        filter_threshold: float,
+        use_filter: bool = True,
+        cross_source_only: bool = False,
+        source_column: str = "sourceID",
+        keep_evidence: bool = False,
+    ):
+        self.measure = measure
+        self.filter = UpperBoundFilter(measure, filter_threshold, enabled=use_filter)
+        self.cross_source_only = cross_source_only
+        self.source_column = source_column
+        self.keep_evidence = keep_evidence
+
+    def candidate_indices(self, relation: Relation) -> Iterator[Tuple[int, int]]:
+        """All index pairs ``i < j`` eligible for comparison."""
+        size = len(relation)
+        sources = None
+        if self.cross_source_only and relation.schema.has_column(self.source_column):
+            position = relation.schema.position(self.source_column)
+            sources = [values[position] for values in relation.rows]
+        for i in range(size):
+            for j in range(i + 1, size):
+                if sources is not None:
+                    left_source, right_source = sources[i], sources[j]
+                    if (
+                        not is_null(left_source)
+                        and not is_null(right_source)
+                        and left_source == right_source
+                    ):
+                        continue
+                yield (i, j)
+
+    def score_pairs(self, relation: Relation) -> List[PairScore]:
+        """Filter and score every candidate pair of *relation*."""
+        rows = relation.rows
+        scored: List[PairScore] = []
+        for i, j in self.candidate_indices(relation):
+            if not self.filter.passes(rows[i], rows[j]):
+                continue
+            if self.keep_evidence:
+                evidence = self.measure.explain_rows(rows[i], rows[j])
+                scored.append(PairScore(i, j, evidence.similarity, evidence))
+            else:
+                similarity = self.measure.compare_rows(rows[i], rows[j])
+                scored.append(PairScore(i, j, similarity))
+        return scored

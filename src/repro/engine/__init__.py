@@ -1,0 +1,41 @@
+"""Relational engine substrate (the XXL substitute).
+
+The original HumMer runs on top of XXL, a Java library of database query
+operators.  This package is the Python stand-in: an in-memory relational
+model (:class:`Schema`, :class:`Relation`), an expression language, the
+iterator-model operators the paper lists (table fetch, select, project, join,
+union, **full outer union**, group/aggregate, sort, distinct, limit), the
+metadata repository (:class:`Catalog`) and flat-file / JSON / XML source
+adapters.
+"""
+
+from repro.engine.types import DataType, NULL, coerce, infer_column_type, infer_type, is_null
+from repro.engine.schema import Column, Schema
+from repro.engine.relation import Relation, Row
+from repro.engine.catalog import Catalog, SourceEntry
+from repro.engine.statistics import ColumnStatistics, RelationStatistics, profile_relation
+from repro.engine.io import CsvSource, InlineSource, JsonSource, XmlSource, write_csv, write_json
+
+__all__ = [
+    "DataType",
+    "NULL",
+    "coerce",
+    "infer_type",
+    "infer_column_type",
+    "is_null",
+    "Column",
+    "Schema",
+    "Relation",
+    "Row",
+    "Catalog",
+    "SourceEntry",
+    "ColumnStatistics",
+    "RelationStatistics",
+    "profile_relation",
+    "CsvSource",
+    "InlineSource",
+    "JsonSource",
+    "XmlSource",
+    "write_csv",
+    "write_json",
+]

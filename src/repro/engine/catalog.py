@@ -1,0 +1,138 @@
+"""Metadata repository (source catalog).
+
+The paper: *"A metadata repository stores all registered sources of data
+under an alias.  Sources can include tables in a database, flat files, XML
+files, web services, etc.  Since we assume relational data within the system,
+the metadata repository additionally stores instructions to transform data
+into its relational form."*
+
+:class:`Catalog` is that repository.  A source is anything implementing
+:class:`repro.engine.io.base.DataSource`; registration associates it with an
+alias plus optional transformation instructions (a callable applied to the
+relational form after loading).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.engine.io.base import DataSource
+from repro.engine.io.inline import InlineSource
+from repro.engine.relation import Relation
+from repro.exceptions import CatalogError
+
+__all__ = ["SourceEntry", "Catalog"]
+
+Transformation = Callable[[Relation], Relation]
+
+
+@dataclass
+class SourceEntry:
+    """One registered source: alias, the source object, and transformation steps."""
+
+    alias: str
+    source: DataSource
+    transformations: List[Transformation] = field(default_factory=list)
+    description: str = ""
+
+    def load(self) -> Relation:
+        """Load the relational form of the source and apply the transformations."""
+        relation = self.source.load().renamed(self.alias)
+        for transformation in self.transformations:
+            relation = transformation(relation)
+        return relation
+
+
+class Catalog:
+    """Registry of data sources addressable by alias.
+
+    Loaded relations are cached; :meth:`invalidate` drops the cache for
+    sources whose backing data changed.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SourceEntry] = {}
+        self._cache: Dict[str, Relation] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def register(
+        self,
+        alias: str,
+        source: Union[DataSource, Relation, Iterable[dict]],
+        transformations: Optional[Iterable[Transformation]] = None,
+        description: str = "",
+        replace: bool = False,
+    ) -> SourceEntry:
+        """Register *source* under *alias*.
+
+        *source* may be a :class:`DataSource`, an already-built
+        :class:`Relation`, or an iterable of dictionaries (convenience for
+        tests and examples).
+        """
+        key = alias.lower()
+        if key in self._entries and not replace:
+            raise CatalogError(f"alias {alias!r} is already registered")
+        if isinstance(source, Relation):
+            source = InlineSource(source)
+        elif not isinstance(source, DataSource):
+            source = InlineSource(Relation.from_dicts(list(source), name=alias))
+        entry = SourceEntry(alias, source, list(transformations or ()), description)
+        self._entries[key] = entry
+        self._cache.pop(key, None)
+        return entry
+
+    def unregister(self, alias: str) -> None:
+        """Remove a registered source."""
+        key = alias.lower()
+        if key not in self._entries:
+            raise CatalogError(f"alias {alias!r} is not registered")
+        del self._entries[key]
+        self._cache.pop(key, None)
+
+    # -- lookup -------------------------------------------------------------------
+
+    def aliases(self) -> List[str]:
+        """All registered aliases, in registration order."""
+        return [entry.alias for entry in self._entries.values()]
+
+    def has(self, alias: str) -> bool:
+        """Whether *alias* is registered."""
+        return alias.lower() in self._entries
+
+    def entry(self, alias: str) -> SourceEntry:
+        """The :class:`SourceEntry` for *alias*."""
+        try:
+            return self._entries[alias.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"unknown source alias {alias!r}; registered: {', '.join(self.aliases()) or '(none)'}"
+            ) from None
+
+    def fetch(self, alias: str) -> Relation:
+        """Load (or return the cached) relational form of *alias*."""
+        key = alias.lower()
+        if key not in self._cache:
+            self._cache[key] = self.entry(alias).load()
+        return self._cache[key]
+
+    def fetch_many(self, aliases: Iterable[str]) -> List[Relation]:
+        """Load several aliases in order."""
+        return [self.fetch(alias) for alias in aliases]
+
+    def invalidate(self, alias: Optional[str] = None) -> None:
+        """Drop the load cache for one alias (or all of them)."""
+        if alias is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(alias.lower(), None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, alias: object) -> bool:
+        return isinstance(alias, str) and self.has(alias)
+
+    def __repr__(self) -> str:
+        return f"<Catalog: {', '.join(self.aliases()) or 'empty'}>"

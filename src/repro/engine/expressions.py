@@ -1,0 +1,426 @@
+"""Expression language evaluated over rows.
+
+The Fuse By planner compiles WHERE / HAVING predicates and SELECT items into
+these expression objects, and the engine operators evaluate them row by row.
+The expression language deliberately mirrors the SQL subset the paper
+supports: column references, literals, arithmetic, comparisons with SQL null
+semantics, boolean connectives, ``IS [NOT] NULL``, ``IN``, ``BETWEEN`` and
+``LIKE``.
+"""
+
+from __future__ import annotations
+
+import abc
+import re
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from repro.engine.relation import Row
+from repro.engine.types import is_null, values_equal
+from repro.exceptions import ExpressionError
+
+__all__ = [
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "BinaryOp",
+    "UnaryOp",
+    "Comparison",
+    "BooleanOp",
+    "NotOp",
+    "IsNull",
+    "InList",
+    "Between",
+    "Like",
+    "FunctionCall",
+    "CaseWhen",
+]
+
+
+class Expression(abc.ABC):
+    """Base class of every evaluable expression."""
+
+    @abc.abstractmethod
+    def evaluate(self, row: Row) -> Any:
+        """Evaluate the expression against *row*."""
+
+    @abc.abstractmethod
+    def references(self) -> List[str]:
+        """Column names referenced by this expression (possibly with repeats)."""
+
+    def __call__(self, row: Row) -> Any:
+        return self.evaluate(row)
+
+
+class ColumnRef(Expression):
+    """Reference to a column by name (optionally qualified ``table.column``)."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ExpressionError("column reference needs a name")
+        self.name = name
+
+    def evaluate(self, row: Row) -> Any:
+        schema = row.schema
+        if schema.has_column(self.name):
+            return row[self.name]
+        # fall back to the unqualified name: "Students.Name" -> "Name"
+        if "." in self.name:
+            unqualified = self.name.split(".")[-1]
+            if schema.has_column(unqualified):
+                return row[unqualified]
+        raise ExpressionError(
+            f"unknown column {self.name!r}; available: {', '.join(schema.names)}"
+        )
+
+    def references(self) -> List[str]:
+        return [self.name]
+
+    def __repr__(self) -> str:
+        return f"ColumnRef({self.name!r})"
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def evaluate(self, row: Row) -> Any:
+        return self.value
+
+    def references(self) -> List[str]:
+        return []
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+
+_ARITHMETIC: dict = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+}
+
+
+class BinaryOp(Expression):
+    """Arithmetic (or string concatenation via ``+``) on two sub-expressions."""
+
+    def __init__(self, operator: str, left: Expression, right: Expression):
+        if operator not in _ARITHMETIC:
+            raise ExpressionError(f"unsupported binary operator {operator!r}")
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Row) -> Any:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if is_null(left) or is_null(right):
+            return None
+        try:
+            return _ARITHMETIC[self.operator](left, right)
+        except (TypeError, ZeroDivisionError) as exc:
+            raise ExpressionError(
+                f"cannot evaluate {left!r} {self.operator} {right!r}: {exc}"
+            ) from exc
+
+    def references(self) -> List[str]:
+        return self.left.references() + self.right.references()
+
+    def __repr__(self) -> str:
+        return f"BinaryOp({self.left!r} {self.operator} {self.right!r})"
+
+
+class UnaryOp(Expression):
+    """Unary minus / plus."""
+
+    def __init__(self, operator: str, operand: Expression):
+        if operator not in ("-", "+"):
+            raise ExpressionError(f"unsupported unary operator {operator!r}")
+        self.operator = operator
+        self.operand = operand
+
+    def evaluate(self, row: Row) -> Any:
+        value = self.operand.evaluate(row)
+        if is_null(value):
+            return None
+        return -value if self.operator == "-" else +value
+
+    def references(self) -> List[str]:
+        return self.operand.references()
+
+
+def _null_safe_compare(operator: str, left: Any, right: Any) -> Optional[bool]:
+    """SQL three-valued comparison: any null operand yields ``None`` (unknown)."""
+    if is_null(left) or is_null(right):
+        return None
+    if operator == "=":
+        return values_equal(left, right)
+    if operator in ("!=", "<>"):
+        return not values_equal(left, right)
+    try:
+        if operator == "<":
+            return left < right
+        if operator == "<=":
+            return left <= right
+        if operator == ">":
+            return left > right
+        if operator == ">=":
+            return left >= right
+    except TypeError:
+        # incomparable types: compare string renderings, as ORDER BY does
+        left, right = str(left), str(right)
+        return _null_safe_compare(operator, left, right)
+    raise ExpressionError(f"unsupported comparison operator {operator!r}")
+
+
+class Comparison(Expression):
+    """Comparison with SQL null semantics (``=``, ``!=``, ``<``, ...)."""
+
+    OPERATORS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+    def __init__(self, operator: str, left: Expression, right: Expression):
+        if operator not in self.OPERATORS:
+            raise ExpressionError(f"unsupported comparison operator {operator!r}")
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        return _null_safe_compare(self.operator, self.left.evaluate(row), self.right.evaluate(row))
+
+    def references(self) -> List[str]:
+        return self.left.references() + self.right.references()
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.left!r} {self.operator} {self.right!r})"
+
+
+class BooleanOp(Expression):
+    """``AND`` / ``OR`` over sub-expressions, with three-valued logic."""
+
+    def __init__(self, operator: str, operands: Sequence[Expression]):
+        operator = operator.upper()
+        if operator not in ("AND", "OR"):
+            raise ExpressionError(f"unsupported boolean operator {operator!r}")
+        if not operands:
+            raise ExpressionError("boolean operator needs at least one operand")
+        self.operator = operator
+        self.operands = list(operands)
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        saw_unknown = False
+        for operand in self.operands:
+            value = operand.evaluate(row)
+            if value is None:
+                saw_unknown = True
+                continue
+            truthy = bool(value)
+            if self.operator == "AND" and not truthy:
+                return False
+            if self.operator == "OR" and truthy:
+                return True
+        if saw_unknown:
+            return None
+        return self.operator == "AND"
+
+    def references(self) -> List[str]:
+        refs: List[str] = []
+        for operand in self.operands:
+            refs.extend(operand.references())
+        return refs
+
+
+class NotOp(Expression):
+    """Logical negation with three-valued logic."""
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        return not bool(value)
+
+    def references(self) -> List[str]:
+        return self.operand.references()
+
+
+class IsNull(Expression):
+    """``expr IS NULL`` / ``expr IS NOT NULL``."""
+
+    def __init__(self, operand: Expression, negated: bool = False):
+        self.operand = operand
+        self.negated = negated
+
+    def evaluate(self, row: Row) -> bool:
+        result = is_null(self.operand.evaluate(row))
+        return not result if self.negated else result
+
+    def references(self) -> List[str]:
+        return self.operand.references()
+
+
+class InList(Expression):
+    """``expr IN (v1, v2, ...)`` with SQL null semantics."""
+
+    def __init__(self, operand: Expression, choices: Sequence[Expression], negated: bool = False):
+        self.operand = operand
+        self.choices = list(choices)
+        self.negated = negated
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        value = self.operand.evaluate(row)
+        if is_null(value):
+            return None
+        found = False
+        saw_null = False
+        for choice in self.choices:
+            candidate = choice.evaluate(row)
+            if is_null(candidate):
+                saw_null = True
+            elif values_equal(value, candidate):
+                found = True
+                break
+        if not found and saw_null:
+            return None
+        return not found if self.negated else found
+
+    def references(self) -> List[str]:
+        refs = self.operand.references()
+        for choice in self.choices:
+            refs.extend(choice.references())
+        return refs
+
+
+class Between(Expression):
+    """``expr BETWEEN low AND high``."""
+
+    def __init__(
+        self, operand: Expression, low: Expression, high: Expression, negated: bool = False
+    ):
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        lower = _null_safe_compare(">=", self.operand.evaluate(row), self.low.evaluate(row))
+        upper = _null_safe_compare("<=", self.operand.evaluate(row), self.high.evaluate(row))
+        if lower is None or upper is None:
+            return None
+        result = lower and upper
+        return not result if self.negated else result
+
+    def references(self) -> List[str]:
+        return self.operand.references() + self.low.references() + self.high.references()
+
+
+class Like(Expression):
+    """SQL ``LIKE`` with ``%`` and ``_`` wildcards (case-insensitive)."""
+
+    def __init__(self, operand: Expression, pattern: str, negated: bool = False):
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+        self._regex = re.compile(self._translate(pattern), re.IGNORECASE | re.DOTALL)
+
+    @staticmethod
+    def _translate(pattern: str) -> str:
+        out = []
+        for char in pattern:
+            if char == "%":
+                out.append(".*")
+            elif char == "_":
+                out.append(".")
+            else:
+                out.append(re.escape(char))
+        return "^" + "".join(out) + "$"
+
+    def evaluate(self, row: Row) -> Optional[bool]:
+        value = self.operand.evaluate(row)
+        if is_null(value):
+            return None
+        result = bool(self._regex.match(str(value)))
+        return not result if self.negated else result
+
+    def references(self) -> List[str]:
+        return self.operand.references()
+
+
+_SCALAR_FUNCTIONS: dict = {
+    "upper": lambda v: None if is_null(v) else str(v).upper(),
+    "lower": lambda v: None if is_null(v) else str(v).lower(),
+    "trim": lambda v: None if is_null(v) else str(v).strip(),
+    "length": lambda v: None if is_null(v) else len(str(v)),
+    "abs": lambda v: None if is_null(v) else abs(v),
+    "round": lambda v, digits=0: None if is_null(v) else round(v, int(digits)),
+    "coalesce": lambda *vs: next((v for v in vs if not is_null(v)), None),
+}
+
+
+class FunctionCall(Expression):
+    """Call to a scalar function (``UPPER``, ``LOWER``, ``COALESCE``, ...)."""
+
+    def __init__(self, name: str, arguments: Sequence[Expression]):
+        key = name.lower()
+        if key not in _SCALAR_FUNCTIONS:
+            raise ExpressionError(
+                f"unknown scalar function {name!r}; "
+                f"known: {', '.join(sorted(_SCALAR_FUNCTIONS))}"
+            )
+        self.name = key
+        self.arguments = list(arguments)
+
+    def evaluate(self, row: Row) -> Any:
+        values = [argument.evaluate(row) for argument in self.arguments]
+        try:
+            return _SCALAR_FUNCTIONS[self.name](*values)
+        except TypeError as exc:
+            raise ExpressionError(f"bad arguments to {self.name}(): {exc}") from exc
+
+    def references(self) -> List[str]:
+        refs: List[str] = []
+        for argument in self.arguments:
+            refs.extend(argument.references())
+        return refs
+
+    @staticmethod
+    def known_functions() -> List[str]:
+        """Names of the registered scalar functions."""
+        return sorted(_SCALAR_FUNCTIONS)
+
+
+class CaseWhen(Expression):
+    """``CASE WHEN cond THEN value ... ELSE default END``."""
+
+    def __init__(
+        self,
+        branches: Sequence[tuple],
+        default: Optional[Expression] = None,
+    ):
+        if not branches:
+            raise ExpressionError("CASE needs at least one WHEN branch")
+        self.branches = [(cond, value) for cond, value in branches]
+        self.default = default
+
+    def evaluate(self, row: Row) -> Any:
+        for condition, value in self.branches:
+            outcome = condition.evaluate(row)
+            if outcome:
+                return value.evaluate(row)
+        if self.default is not None:
+            return self.default.evaluate(row)
+        return None
+
+    def references(self) -> List[str]:
+        refs: List[str] = []
+        for condition, value in self.branches:
+            refs.extend(condition.references())
+            refs.extend(value.references())
+        if self.default is not None:
+            refs.extend(self.default.references())
+        return refs

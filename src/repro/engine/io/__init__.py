@@ -1,0 +1,22 @@
+"""Data source adapters: turn external data into relations.
+
+The metadata repository (catalog) registers :class:`DataSource` objects; each
+knows how to produce the relational form of some external data — CSV flat
+files, JSON documents, simple XML files, or in-memory data.
+"""
+
+from repro.engine.io.base import DataSource
+from repro.engine.io.inline import InlineSource
+from repro.engine.io.csv_source import CsvSource, write_csv
+from repro.engine.io.json_source import JsonSource, write_json
+from repro.engine.io.xml_source import XmlSource
+
+__all__ = [
+    "DataSource",
+    "InlineSource",
+    "CsvSource",
+    "JsonSource",
+    "XmlSource",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,25 @@
+"""Data source interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.engine.relation import Relation
+
+__all__ = ["DataSource"]
+
+
+class DataSource(abc.ABC):
+    """Something that can be turned into a relation.
+
+    Implementations must be repeatable: :meth:`load` may be called more than
+    once (the catalog caches, but cache invalidation re-loads).
+    """
+
+    @abc.abstractmethod
+    def load(self) -> Relation:
+        """Produce the relational form of the source."""
+
+    def describe(self) -> str:
+        """Human-readable description for catalog listings."""
+        return type(self).__name__

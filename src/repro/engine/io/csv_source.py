@@ -1,0 +1,100 @@
+"""CSV flat-file source."""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.engine.io.base import DataSource
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.exceptions import SourceError
+
+__all__ = ["CsvSource", "write_csv"]
+
+
+class CsvSource(DataSource):
+    """Reads a delimited flat file into a relation.
+
+    Values are loaded as strings and column types are then inferred from the
+    data (``infer_types=True``, the default), matching how HumMer treats flat
+    files: the metadata repository stores "instructions to transform data into
+    its relational form", which here is the delimiter/quote configuration plus
+    type inference.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        delimiter: str = ",",
+        quotechar: str = '"',
+        has_header: bool = True,
+        column_names: Optional[Sequence[str]] = None,
+        encoding: str = "utf-8",
+        infer_types: bool = True,
+        name: str = "",
+    ):
+        self.path = os.fspath(path)
+        self.delimiter = delimiter
+        self.quotechar = quotechar
+        self.has_header = has_header
+        self.column_names = list(column_names) if column_names else None
+        self.encoding = encoding
+        self.infer_types = infer_types
+        self.name = name or os.path.splitext(os.path.basename(self.path))[0]
+
+    def load(self) -> Relation:
+        if not os.path.exists(self.path):
+            raise SourceError(f"CSV file not found: {self.path}")
+        try:
+            with open(self.path, newline="", encoding=self.encoding) as handle:
+                reader = csv.reader(handle, delimiter=self.delimiter, quotechar=self.quotechar)
+                rows = list(reader)
+        except (OSError, csv.Error) as exc:
+            raise SourceError(f"cannot read CSV file {self.path}: {exc}") from exc
+        return _rows_to_relation(
+            rows, self.has_header, self.column_names, self.infer_types, self.name
+        )
+
+    def describe(self) -> str:
+        return f"CsvSource({self.path})"
+
+
+def _rows_to_relation(
+    rows: list,
+    has_header: bool,
+    column_names: Optional[Sequence[str]],
+    infer_types: bool,
+    name: str,
+) -> Relation:
+    if not rows:
+        return Relation(Schema(column_names or ["column_1"]), [], name=name)
+    if has_header:
+        header = [cell.strip() for cell in rows[0]]
+        body = rows[1:]
+    else:
+        width = max(len(row) for row in rows)
+        header = column_names or [f"column_{i + 1}" for i in range(width)]
+        body = rows
+    if column_names and has_header:
+        header = list(column_names)
+    width = len(header)
+    records = []
+    for row in body:
+        padded = list(row) + [None] * (width - len(row))
+        records.append(dict(zip(header, padded[:width])))
+    relation = Relation.from_dicts(records, name=name, infer_types=infer_types)
+    if infer_types:
+        relation = relation.coerced()
+    return relation
+
+
+def write_csv(relation: Relation, path: Union[str, os.PathLike], delimiter: str = ",") -> None:
+    """Write a relation to a CSV file (used by examples and the CLI)."""
+    with open(os.fspath(path), "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(relation.schema.names)
+        for values in relation.rows:
+            writer.writerow(["" if value is None else value for value in values])

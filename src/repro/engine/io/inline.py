@@ -1,0 +1,21 @@
+"""In-memory data source (already-relational data)."""
+
+from __future__ import annotations
+
+from repro.engine.io.base import DataSource
+from repro.engine.relation import Relation
+
+__all__ = ["InlineSource"]
+
+
+class InlineSource(DataSource):
+    """Wraps an existing :class:`Relation` so it can live in the catalog."""
+
+    def __init__(self, relation: Relation):
+        self._relation = relation
+
+    def load(self) -> Relation:
+        return self._relation
+
+    def describe(self) -> str:
+        return f"InlineSource({self._relation.name or 'anonymous'}, {len(self._relation)} rows)"

@@ -1,0 +1,89 @@
+"""JSON document source (array of objects, or newline-delimited objects)."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Union
+
+from repro.engine.io.base import DataSource
+from repro.engine.relation import Relation
+from repro.exceptions import SourceError
+
+__all__ = ["JsonSource", "write_json"]
+
+
+class JsonSource(DataSource):
+    """Reads a JSON file holding a list of flat objects (or NDJSON lines).
+
+    Nested objects are flattened with dotted keys (``address.city``), which is
+    how HumMer's transformation instructions turn hierarchical sources into
+    relational form.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        records_key: Optional[str] = None,
+        name: str = "",
+    ):
+        self.path = os.fspath(path)
+        self.records_key = records_key
+        self.name = name or os.path.splitext(os.path.basename(self.path))[0]
+
+    def load(self) -> Relation:
+        if not os.path.exists(self.path):
+            raise SourceError(f"JSON file not found: {self.path}")
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise SourceError(f"cannot read JSON file {self.path}: {exc}") from exc
+        records = self._parse(text)
+        flattened = [flatten_record(record) for record in records]
+        return Relation.from_dicts(flattened, name=self.name)
+
+    def _parse(self, text: str) -> list:
+        text = text.strip()
+        if not text:
+            return []
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            # newline-delimited JSON
+            try:
+                return [json.loads(line) for line in text.splitlines() if line.strip()]
+            except json.JSONDecodeError as exc:
+                raise SourceError(f"{self.path} is not valid JSON or NDJSON: {exc}") from exc
+        if isinstance(document, dict):
+            if self.records_key is not None:
+                document = document.get(self.records_key, [])
+            else:
+                # single object → single row
+                document = [document]
+        if not isinstance(document, list):
+            raise SourceError(f"{self.path}: expected a JSON array of objects")
+        return [record for record in document if isinstance(record, dict)]
+
+    def describe(self) -> str:
+        return f"JsonSource({self.path})"
+
+
+def flatten_record(record: dict, prefix: str = "") -> dict:
+    """Flatten nested dictionaries with dotted keys; lists become joined strings."""
+    flat = {}
+    for key, value in record.items():
+        full_key = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(flatten_record(value, prefix=f"{full_key}."))
+        elif isinstance(value, list):
+            flat[full_key] = ", ".join(str(item) for item in value)
+        else:
+            flat[full_key] = value
+    return flat
+
+
+def write_json(relation: Relation, path: Union[str, os.PathLike]) -> None:
+    """Write a relation to a JSON array-of-objects file."""
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        json.dump(relation.to_dicts(), handle, indent=2, default=str)

@@ -1,0 +1,48 @@
+"""Iterator-model relational operators (the XXL substitute).
+
+Each operator is a small class with an ``execute()`` method returning a
+:class:`~repro.engine.relation.Relation`.  Operators compose into trees; the
+Fuse By planner builds such trees and the executor simply calls
+``execute()`` on the root.
+
+The operator set is the one the paper names for the underlying XXL engine:
+"table fetches, joins, unions, and groupings", plus the usual selection,
+projection, renaming, sorting, distinct and limit, and the **full outer
+union** the FUSE FROM clause requires.
+"""
+
+from repro.engine.operators.base import Operator, RelationSource
+from repro.engine.operators.scan import Scan
+from repro.engine.operators.select import Select
+from repro.engine.operators.project import Project, ProjectItem
+from repro.engine.operators.rename import Rename
+from repro.engine.operators.join import CrossProduct, Join
+from repro.engine.operators.union import Union, OuterUnion
+from repro.engine.operators.distinct import Distinct
+from repro.engine.operators.sort import Sort, SortKey
+from repro.engine.operators.limit import Limit
+from repro.engine.operators.groupby import Aggregate, AggregateSpec, GroupBy
+from repro.engine.operators.aggregates import AGGREGATE_FUNCTIONS, aggregate_function
+
+__all__ = [
+    "Operator",
+    "RelationSource",
+    "Scan",
+    "Select",
+    "Project",
+    "ProjectItem",
+    "Rename",
+    "CrossProduct",
+    "Join",
+    "Union",
+    "OuterUnion",
+    "Distinct",
+    "Sort",
+    "SortKey",
+    "Limit",
+    "GroupBy",
+    "Aggregate",
+    "AggregateSpec",
+    "AGGREGATE_FUNCTIONS",
+    "aggregate_function",
+]

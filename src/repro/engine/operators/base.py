@@ -1,0 +1,75 @@
+"""Operator base classes."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List
+
+from repro.engine.relation import Relation, Row
+from repro.engine.schema import Schema
+
+__all__ = ["Operator", "RelationSource"]
+
+
+class Operator(abc.ABC):
+    """A node of a physical query plan.
+
+    Operators follow a simple materialising model: :meth:`execute` pulls the
+    full result of the children and produces a new :class:`Relation`.  For the
+    data volumes HumMer targets (ad-hoc fusion of in-memory tables) this is
+    simpler and fast enough; the interface still allows row-streaming through
+    :meth:`iterate` where useful.
+    """
+
+    #: Child operators, in order.  Leaf operators have no children.
+    children: List["Operator"]
+
+    def __init__(self, *children: "Operator"):
+        self.children = list(children)
+
+    @abc.abstractmethod
+    def execute(self) -> Relation:
+        """Materialise the operator's result."""
+
+    def iterate(self) -> Iterator[Row]:
+        """Iterate over result rows (default: materialise then iterate)."""
+        return iter(self.execute())
+
+    @property
+    def output_schema(self) -> Schema:
+        """Schema of the result (default: compute by executing; overridden where cheap)."""
+        return self.execute().schema
+
+    def explain(self, indent: int = 0) -> str:
+        """Human-readable plan tree."""
+        pad = "  " * indent
+        lines = [f"{pad}{self.describe()}"]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """One-line description of this node."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
+
+class RelationSource(Operator):
+    """Leaf operator wrapping an already-materialised relation."""
+
+    def __init__(self, relation: Relation):
+        super().__init__()
+        self.relation = relation
+
+    def execute(self) -> Relation:
+        return self.relation
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.relation.schema
+
+    def describe(self) -> str:
+        name = self.relation.name or "anonymous"
+        return f"RelationSource({name}, {len(self.relation)} rows)"

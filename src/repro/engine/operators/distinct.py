@@ -1,0 +1,55 @@
+"""Duplicate-row elimination (exact DISTINCT)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.engine.operators.base import Operator
+from repro.engine.relation import Relation
+from repro.engine.types import is_null
+
+__all__ = ["Distinct"]
+
+
+def _row_key(values, positions) -> tuple:
+    key = []
+    for position in positions:
+        value = values[position]
+        if is_null(value):
+            key.append(("null",))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            key.append(("num", float(value)))
+        else:
+            key.append((type(value).__name__, str(value)))
+    return tuple(key)
+
+
+class Distinct(Operator):
+    """Remove exact duplicate rows (optionally considering only some columns).
+
+    This is the *baseline* notion of "duplicate" — identical values — as
+    opposed to the similarity-based duplicate detection in
+    :mod:`repro.dedup`.  When *subset* is given, the first row of each group
+    is kept.
+    """
+
+    def __init__(self, child: Operator, subset: Optional[Sequence[str]] = None):
+        super().__init__(child)
+        self.subset = list(subset) if subset else None
+
+    def execute(self) -> Relation:
+        source = self.children[0].execute()
+        names = self.subset or list(source.schema.names)
+        positions = source.schema.positions(names)
+        seen = set()
+        rows: List[tuple] = []
+        for values in source.rows:
+            key = _row_key(values, positions)
+            if key in seen:
+                continue
+            seen.add(key)
+            rows.append(values)
+        return Relation(source.schema, rows, name=source.name)
+
+    def describe(self) -> str:
+        return f"Distinct(subset={self.subset})"

@@ -1,0 +1,143 @@
+"""Grouping and aggregation operators.
+
+``GroupBy`` implements SQL GROUP BY with standard aggregates; it is both a
+query operator in its own right and the *baseline fusion strategy* against
+which the Fuse By conflict-resolution operator is compared in experiment E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.operators.aggregates import aggregate_function
+from repro.engine.operators.base import Operator
+from repro.engine.relation import Relation, Row
+from repro.engine.schema import Column, Schema
+from repro.engine.types import DataType, infer_column_type, is_null
+
+__all__ = ["AggregateSpec", "GroupBy", "Aggregate", "group_rows"]
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregated output column.
+
+    Attributes:
+        column: input column the aggregate consumes.
+        function: either the name of a standard aggregate (``"max"``) or a
+            callable taking the list of group values.
+        alias: output column name; defaults to ``function_column``.
+    """
+
+    column: str
+    function: Any
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        label = self.function if isinstance(self.function, str) else getattr(
+            self.function, "__name__", "agg"
+        )
+        return f"{label}_{self.column}"
+
+    def resolve(self) -> Callable[[Sequence[Any]], Any]:
+        """Return the callable implementing the aggregate."""
+        if callable(self.function):
+            return self.function
+        return aggregate_function(str(self.function))
+
+
+def _group_key(values: tuple, positions: Sequence[int]) -> tuple:
+    key = []
+    for position in positions:
+        value = values[position]
+        if is_null(value):
+            key.append(("null",))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            key.append(("num", float(value)))
+        else:
+            key.append((type(value).__name__, str(value)))
+    return tuple(key)
+
+
+def group_rows(relation: Relation, by: Sequence[str]) -> List[Tuple[tuple, List[tuple]]]:
+    """Group the rows of *relation* by the columns in *by*.
+
+    Returns a list of ``(key_values, rows)`` pairs in first-seen order, where
+    ``key_values`` are the raw cell values of the grouping columns for the
+    first row of the group.  Exposed as a function because the fusion
+    operator in :mod:`repro.core.fusion` groups by ``objectID`` the same way.
+    """
+    positions = relation.schema.positions(by)
+    order: List[tuple] = []
+    groups: Dict[tuple, List[tuple]] = {}
+    key_values: Dict[tuple, tuple] = {}
+    for values in relation.rows:
+        key = _group_key(values, positions)
+        if key not in groups:
+            groups[key] = []
+            key_values[key] = tuple(values[p] for p in positions)
+            order.append(key)
+        groups[key].append(values)
+    return [(key_values[key], groups[key]) for key in order]
+
+
+class GroupBy(Operator):
+    """SQL GROUP BY: one output row per group, grouping columns plus aggregates."""
+
+    def __init__(
+        self,
+        child: Operator,
+        by: Sequence[str],
+        aggregates: Sequence[AggregateSpec] = (),
+    ):
+        super().__init__(child)
+        self.by = list(by)
+        self.aggregates = list(aggregates)
+
+    def execute(self) -> Relation:
+        source = self.children[0].execute()
+        grouped = group_rows(source, self.by)
+        agg_positions = [source.schema.position(spec.column) for spec in self.aggregates]
+        agg_callables = [spec.resolve() for spec in self.aggregates]
+        rows: List[tuple] = []
+        for key_values, group in grouped:
+            cells = list(key_values)
+            for position, function in zip(agg_positions, agg_callables):
+                cells.append(function([values[position] for values in group]))
+            rows.append(tuple(cells))
+        columns = [source.schema.column(name) for name in self.by]
+        for index, spec in enumerate(self.aggregates):
+            values = (row[len(self.by) + index] for row in rows)
+            columns.append(Column(spec.output_name, infer_column_type(values)))
+        return Relation(Schema(columns), rows, name=source.name)
+
+    def describe(self) -> str:
+        aggs = ", ".join(spec.output_name for spec in self.aggregates)
+        return f"GroupBy(by={self.by}, aggregates=[{aggs}])"
+
+
+class Aggregate(Operator):
+    """Aggregation over the whole input (no grouping columns): one output row."""
+
+    def __init__(self, child: Operator, aggregates: Sequence[AggregateSpec]):
+        super().__init__(child)
+        self.aggregates = list(aggregates)
+
+    def execute(self) -> Relation:
+        source = self.children[0].execute()
+        cells = []
+        for spec in self.aggregates:
+            position = source.schema.position(spec.column)
+            cells.append(spec.resolve()([values[position] for values in source.rows]))
+        columns = [
+            Column(spec.output_name, infer_column_type([cell]))
+            for spec, cell in zip(self.aggregates, cells)
+        ]
+        return Relation(Schema(columns), [tuple(cells)], name=source.name)
+
+    def describe(self) -> str:
+        return f"Aggregate({', '.join(spec.output_name for spec in self.aggregates)})"

@@ -1,0 +1,147 @@
+"""Cross product and (equi/theta) join operators."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine.expressions import Expression
+from repro.engine.operators.base import Operator
+from repro.engine.relation import Relation, Row
+from repro.engine.schema import Schema
+from repro.engine.types import is_null, values_equal
+
+__all__ = ["CrossProduct", "Join"]
+
+
+def _combined_schema(left: Schema, right: Schema, left_name: str, right_name: str) -> Schema:
+    """Schema of a join result; clashing names are qualified with the relation name."""
+    columns = list(left.columns)
+    taken = {column.name.lower() for column in columns}
+    for column in right.columns:
+        name = column.name
+        if name.lower() in taken:
+            qualifier = right_name or "right"
+            name = f"{qualifier}.{column.name}"
+            if name.lower() in taken:
+                suffix = 2
+                while f"{name}_{suffix}".lower() in taken:
+                    suffix += 1
+                name = f"{name}_{suffix}"
+        taken.add(name.lower())
+        columns.append(column.renamed(name))
+    return Schema(columns)
+
+
+class CrossProduct(Operator):
+    """Cartesian product of two children (plain FROM with several tables)."""
+
+    def __init__(self, left: Operator, right: Operator):
+        super().__init__(left, right)
+
+    def execute(self) -> Relation:
+        left = self.children[0].execute()
+        right = self.children[1].execute()
+        schema = _combined_schema(left.schema, right.schema, left.name, right.name)
+        rows = [
+            left_values + right_values
+            for left_values in left.rows
+            for right_values in right.rows
+        ]
+        name = f"{left.name}_x_{right.name}" if left.name and right.name else ""
+        return Relation(schema, rows, name=name)
+
+    def describe(self) -> str:
+        return "CrossProduct"
+
+
+class Join(Operator):
+    """Join two children.
+
+    Supports inner, left-outer and full-outer joins.  When *on* names a pair
+    of columns an efficient hash join is used; otherwise the *predicate*
+    expression is evaluated over the combined row (nested loops).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        on: Optional[Tuple[str, str]] = None,
+        predicate: Optional[Expression] = None,
+        how: str = "inner",
+    ):
+        super().__init__(left, right)
+        if on is None and predicate is None:
+            raise ValueError("Join needs either `on` columns or a `predicate`")
+        if how not in ("inner", "left", "full"):
+            raise ValueError(f"unsupported join type {how!r}")
+        self.on = on
+        self.predicate = predicate
+        self.how = how
+
+    def execute(self) -> Relation:
+        left = self.children[0].execute()
+        right = self.children[1].execute()
+        schema = _combined_schema(left.schema, right.schema, left.name, right.name)
+        if self.on is not None:
+            rows, matched_right = self._hash_join(left, right)
+        else:
+            rows, matched_right = self._nested_loops(left, right, schema)
+        if self.how == "full":
+            right_width = len(right.schema)
+            left_width = len(left.schema)
+            for index, right_values in enumerate(right.rows):
+                if index not in matched_right:
+                    rows.append((None,) * left_width + tuple(right_values))
+        name = f"{left.name}_join_{right.name}" if left.name and right.name else ""
+        return Relation(schema, rows, name=name)
+
+    def _hash_join(self, left: Relation, right: Relation):
+        left_key, right_key = self.on
+        left_pos = left.schema.position(left_key)
+        right_pos = right.schema.position(right_key)
+        index: dict = {}
+        for row_index, values in enumerate(right.rows):
+            key = values[right_pos]
+            if is_null(key):
+                continue
+            index.setdefault(self._hashable(key), []).append((row_index, values))
+        rows: List[tuple] = []
+        matched_right = set()
+        right_width = len(right.schema)
+        for left_values in left.rows:
+            key = left_values[left_pos]
+            matches = [] if is_null(key) else index.get(self._hashable(key), [])
+            if matches:
+                for row_index, right_values in matches:
+                    matched_right.add(row_index)
+                    rows.append(tuple(left_values) + tuple(right_values))
+            elif self.how in ("left", "full"):
+                rows.append(tuple(left_values) + (None,) * right_width)
+        return rows, matched_right
+
+    def _nested_loops(self, left: Relation, right: Relation, schema: Schema):
+        rows: List[tuple] = []
+        matched_right = set()
+        right_width = len(right.schema)
+        for left_values in left.rows:
+            matched = False
+            for row_index, right_values in enumerate(right.rows):
+                combined = Row(schema, tuple(left_values) + tuple(right_values))
+                if bool(self.predicate.evaluate(combined)):
+                    matched = True
+                    matched_right.add(row_index)
+                    rows.append(combined.values)
+            if not matched and self.how in ("left", "full"):
+                rows.append(tuple(left_values) + (None,) * right_width)
+        return rows, matched_right
+
+    @staticmethod
+    def _hashable(value):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return ("num", float(value))
+        return (type(value).__name__, value)
+
+    def describe(self) -> str:
+        condition = f"on={self.on}" if self.on else f"predicate={self.predicate!r}"
+        return f"Join({self.how}, {condition})"

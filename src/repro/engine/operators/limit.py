@@ -1,0 +1,31 @@
+"""LIMIT / OFFSET operator."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.operators.base import Operator
+from repro.engine.relation import Relation
+
+__all__ = ["Limit"]
+
+
+class Limit(Operator):
+    """Return at most *count* rows, after skipping *offset* rows."""
+
+    def __init__(self, child: Operator, count: Optional[int], offset: int = 0):
+        super().__init__(child)
+        if count is not None and count < 0:
+            raise ValueError("LIMIT count must be non-negative")
+        if offset < 0:
+            raise ValueError("OFFSET must be non-negative")
+        self.count = count
+        self.offset = offset
+
+    def execute(self) -> Relation:
+        source = self.children[0].execute()
+        end = None if self.count is None else self.offset + self.count
+        return Relation(source.schema, source.rows[self.offset:end], name=source.name)
+
+    def describe(self) -> str:
+        return f"Limit(count={self.count}, offset={self.offset})"

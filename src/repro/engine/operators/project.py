@@ -1,0 +1,78 @@
+"""Projection operator (with computed items and aliases)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.engine.expressions import ColumnRef, Expression
+from repro.engine.operators.base import Operator
+from repro.engine.relation import Relation
+from repro.engine.schema import Column, Schema
+from repro.engine.types import DataType, infer_column_type
+
+__all__ = ["ProjectItem", "Project"]
+
+
+@dataclass
+class ProjectItem:
+    """One output column of a projection: an expression plus an output name."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        return "expr"
+
+    @classmethod
+    def column(cls, name: str, alias: Optional[str] = None) -> "ProjectItem":
+        """Convenience constructor for a plain column reference."""
+        return cls(ColumnRef(name), alias)
+
+
+class Project(Operator):
+    """Evaluate a list of :class:`ProjectItem` per row."""
+
+    def __init__(self, child: Operator, items: Sequence[ProjectItem]):
+        super().__init__(child)
+        self.items = list(items)
+
+    def execute(self) -> Relation:
+        source = self.children[0].execute()
+        names = self._disambiguate([item.output_name for item in self.items])
+        rows: List[tuple] = []
+        for row in source:
+            rows.append(tuple(item.expression.evaluate(row) for item in self.items))
+        columns = []
+        for position, name in enumerate(names):
+            item = self.items[position]
+            if isinstance(item.expression, ColumnRef) and source.schema.has_column(
+                item.expression.name
+            ):
+                dtype = source.schema.column(item.expression.name).dtype
+            else:
+                dtype = infer_column_type(values[position] for values in rows)
+            columns.append(Column(name, dtype))
+        return Relation(Schema(columns), rows, name=source.name)
+
+    @staticmethod
+    def _disambiguate(names: Sequence[str]) -> List[str]:
+        seen: dict = {}
+        result = []
+        for name in names:
+            key = name.lower()
+            if key in seen:
+                seen[key] += 1
+                result.append(f"{name}_{seen[key]}")
+            else:
+                seen[key] = 0
+                result.append(name)
+        return result
+
+    def describe(self) -> str:
+        return f"Project({', '.join(item.output_name for item in self.items)})"

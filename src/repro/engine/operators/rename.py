@@ -1,0 +1,35 @@
+"""Rename operator (attribute renaming after schema matching)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.engine.operators.base import Operator
+from repro.engine.relation import Relation
+
+__all__ = ["Rename"]
+
+
+class Rename(Operator):
+    """Rename columns of the child according to an old → new mapping.
+
+    This is the operator the data-transformation step uses to align the
+    non-preferred schema with the preferred one once correspondences are
+    known.
+    """
+
+    def __init__(self, child: Operator, mapping: Dict[str, str], relation_name: str = ""):
+        super().__init__(child)
+        self.mapping = dict(mapping)
+        self.relation_name = relation_name
+
+    def execute(self) -> Relation:
+        source = self.children[0].execute()
+        result = source.rename_columns(self.mapping)
+        if self.relation_name:
+            result = result.renamed(self.relation_name)
+        return result
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{old}->{new}" for old, new in self.mapping.items())
+        return f"Rename({pairs})"

@@ -1,0 +1,27 @@
+"""Table scan over a catalog alias."""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import Operator
+from repro.engine.relation import Relation
+
+__all__ = ["Scan"]
+
+
+class Scan(Operator):
+    """Fetch a registered source from the catalog (the paper's "table fetch").
+
+    The catalog is consulted lazily at execution time, so a plan can be built
+    before all sources are registered.
+    """
+
+    def __init__(self, catalog, alias: str):
+        super().__init__()
+        self.catalog = catalog
+        self.alias = alias
+
+    def execute(self) -> Relation:
+        return self.catalog.fetch(self.alias)
+
+    def describe(self) -> str:
+        return f"Scan({self.alias})"

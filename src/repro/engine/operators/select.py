@@ -1,0 +1,29 @@
+"""Selection (filter) operator."""
+
+from __future__ import annotations
+
+from repro.engine.expressions import Expression
+from repro.engine.operators.base import Operator
+from repro.engine.relation import Relation
+
+__all__ = ["Select"]
+
+
+class Select(Operator):
+    """Keep only rows for which *predicate* evaluates to true.
+
+    Follows SQL WHERE semantics: rows where the predicate is unknown
+    (``None``) are dropped.
+    """
+
+    def __init__(self, child: Operator, predicate: Expression):
+        super().__init__(child)
+        self.predicate = predicate
+
+    def execute(self) -> Relation:
+        source = self.children[0].execute()
+        rows = [row.values for row in source if bool(self.predicate.evaluate(row))]
+        return Relation(source.schema, rows, name=source.name)
+
+    def describe(self) -> str:
+        return f"Select({self.predicate!r})"

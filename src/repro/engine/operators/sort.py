@@ -1,0 +1,49 @@
+"""Sorting operator (ORDER BY)."""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.engine.operators.base import Operator
+from repro.engine.relation import Relation
+from repro.engine.types import compare_values
+
+__all__ = ["SortKey", "Sort"]
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """One ORDER BY key: a column name plus direction."""
+
+    column: str
+    descending: bool = False
+
+
+class Sort(Operator):
+    """Sort rows by a sequence of :class:`SortKey` (stable, nulls first)."""
+
+    def __init__(self, child: Operator, keys: Sequence[SortKey]):
+        super().__init__(child)
+        self.keys = list(keys)
+
+    def execute(self) -> Relation:
+        source = self.children[0].execute()
+        positions = [(source.schema.position(key.column), key.descending) for key in self.keys]
+
+        def compare(left: tuple, right: tuple) -> int:
+            for position, descending in positions:
+                outcome = compare_values(left[position], right[position])
+                if outcome:
+                    return -outcome if descending else outcome
+            return 0
+
+        ordered: List[tuple] = sorted(source.rows, key=functools.cmp_to_key(compare))
+        return Relation(source.schema, ordered, name=source.name)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{key.column} {'DESC' if key.descending else 'ASC'}" for key in self.keys
+        )
+        return f"Sort({keys})"

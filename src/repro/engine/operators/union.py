@@ -1,0 +1,86 @@
+"""Union and full outer union operators.
+
+The **full outer union** is the operator FUSE FROM is defined by in the
+paper: the schemata of the inputs are merged (matching columns by name after
+schema matching has renamed them), and every input tuple is padded with nulls
+for the columns it does not provide.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.operators.base import Operator
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.exceptions import SchemaError
+
+__all__ = ["Union", "OuterUnion"]
+
+
+class Union(Operator):
+    """UNION ALL of children with identical (name-compatible) schemata."""
+
+    def __init__(self, *children: Operator):
+        if len(children) < 1:
+            raise SchemaError("Union needs at least one input")
+        super().__init__(*children)
+
+    def execute(self) -> Relation:
+        relations = [child.execute() for child in self.children]
+        first = relations[0]
+        rows: List[tuple] = list(first.rows)
+        for relation in relations[1:]:
+            if len(relation.schema) != len(first.schema):
+                raise SchemaError(
+                    "UNION inputs must have the same number of columns: "
+                    f"{len(first.schema)} vs {len(relation.schema)}"
+                )
+            positions = [
+                relation.schema.position(column.name)
+                if relation.schema.has_column(column.name)
+                else index
+                for index, column in enumerate(first.schema)
+            ]
+            for values in relation.rows:
+                rows.append(tuple(values[p] for p in positions))
+        return Relation(first.schema, rows, name="union")
+
+    def describe(self) -> str:
+        return f"Union({len(self.children)} inputs)"
+
+
+class OuterUnion(Operator):
+    """Full outer union: merge schemata by column name, pad missing cells with null."""
+
+    def __init__(self, *children: Operator):
+        if len(children) < 1:
+            raise SchemaError("OuterUnion needs at least one input")
+        super().__init__(*children)
+
+    def execute(self) -> Relation:
+        relations = [child.execute() for child in self.children]
+        return outer_union(relations)
+
+    def describe(self) -> str:
+        return f"OuterUnion({len(self.children)} inputs)"
+
+
+def outer_union(relations: List[Relation], name: str = "fused_input") -> Relation:
+    """Full outer union of already-materialised relations.
+
+    Exposed as a plain function because the data-transformation step of the
+    pipeline calls it directly, outside any query plan.
+    """
+    if not relations:
+        raise SchemaError("outer union of zero relations is undefined")
+    merged_schema = Schema.union_all([relation.schema for relation in relations])
+    rows: List[tuple] = []
+    for relation in relations:
+        source_positions = {
+            column.name.lower(): index for index, column in enumerate(relation.schema)
+        }
+        layout = [source_positions.get(column.name.lower()) for column in merged_schema]
+        for values in relation.rows:
+            rows.append(tuple(None if p is None else values[p] for p in layout))
+    return Relation(merged_schema, rows, name=name)

@@ -1,0 +1,424 @@
+"""In-memory relation (table) abstraction.
+
+:class:`Relation` is the unit of data exchanged between every HumMer
+component: the catalog produces relations from registered sources, the
+schema-matching step renames their columns and outer-unions them, duplicate
+detection appends an ``objectID`` column and conflict resolution collapses
+each object cluster to one row.
+
+The design follows the paper's XXL substrate: a relation is a schema plus an
+iterable of rows.  Rows are stored as tuples aligned with the schema; cell
+access by column name goes through the schema's position index.  Relations
+are *logically* immutable — all mutating helpers return new relations — which
+makes the pipeline steps and the query operators freely composable.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.engine.schema import Column, Schema
+from repro.engine.types import DataType, coerce, infer_column_type, is_null
+from repro.exceptions import SchemaError, UnknownColumnError
+
+__all__ = ["Row", "Relation"]
+
+
+class Row(Mapping[str, Any]):
+    """A single tuple of a relation, addressable by position or column name."""
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: Schema, values: Sequence[Any]):
+        if len(values) != len(schema):
+            raise SchemaError(
+                f"row has {len(values)} values but schema has {len(schema)} columns"
+            )
+        self._schema = schema
+        self._values = tuple(values)
+
+    # Mapping protocol -------------------------------------------------------
+
+    def __getitem__(self, key: Union[str, int]) -> Any:
+        if isinstance(key, int):
+            return self._values[key]
+        return self._values[self._schema.position(key)]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._schema.names)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values and self._schema == other._schema
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        cells = ", ".join(f"{name}={value!r}" for name, value in self.items())
+        return f"Row({cells})"
+
+    # Convenience -------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """Schema this row conforms to."""
+        return self._schema
+
+    @property
+    def values(self) -> Tuple[Any, ...]:
+        """Cell values in schema order."""
+        return self._values
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if isinstance(key, str) and not self._schema.has_column(key):
+            return default
+        return self[key]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain ``dict`` of column name → value."""
+        return dict(zip(self._schema.names, self._values))
+
+    def replace(self, **updates: Any) -> "Row":
+        """Return a copy of the row with some cells replaced (by column name)."""
+        values = list(self._values)
+        for name, value in updates.items():
+            values[self._schema.position(name)] = value
+        return Row(self._schema, values)
+
+
+class Relation:
+    """An in-memory table: a :class:`Schema` plus a list of rows.
+
+    Relations are logically immutable; helpers such as :meth:`rename` or
+    :meth:`with_column` return new relations sharing row storage where
+    possible.
+    """
+
+    def __init__(
+        self,
+        schema: Union[Schema, Sequence[Union[Column, str, Tuple[str, DataType]]]],
+        rows: Iterable[Sequence[Any]] = (),
+        name: str = "",
+        coerce_types: bool = False,
+    ):
+        self._schema = schema if isinstance(schema, Schema) else Schema(schema)
+        self._name = name
+        width = len(self._schema)
+        stored: List[Tuple[Any, ...]] = []
+        for row in rows:
+            values = tuple(row.values) if isinstance(row, Row) else tuple(row)
+            if len(values) != width:
+                raise SchemaError(
+                    f"row {values!r} has {len(values)} values, expected {width}"
+                )
+            if coerce_types:
+                values = tuple(
+                    coerce(value, column.dtype)
+                    for value, column in zip(values, self._schema.columns)
+                )
+            stored.append(values)
+        self._rows = stored
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls,
+        records: Iterable[Mapping[str, Any]],
+        schema: Optional[Schema] = None,
+        name: str = "",
+        infer_types: bool = True,
+    ) -> "Relation":
+        """Build a relation from dictionaries.
+
+        When *schema* is omitted, the column order is first-seen key order and
+        types are inferred from the data (unless *infer_types* is false).
+        Missing keys become nulls.
+        """
+        materialized = list(records)
+        if schema is None:
+            names: List[str] = []
+            seen = set()
+            for record in materialized:
+                for key in record:
+                    if key.lower() not in seen:
+                        seen.add(key.lower())
+                        names.append(key)
+            columns_by_name = {name_: [] for name_ in names}
+            for record in materialized:
+                lowered = {key.lower(): value for key, value in record.items()}
+                for name_ in names:
+                    columns_by_name[name_].append(lowered.get(name_.lower()))
+            if infer_types:
+                schema = Schema(
+                    [Column(name_, infer_column_type(columns_by_name[name_])) for name_ in names]
+                )
+            else:
+                schema = Schema(names)
+        rows = []
+        for record in materialized:
+            lowered = {key.lower(): value for key, value in record.items()}
+            rows.append(tuple(lowered.get(column.name.lower()) for column in schema))
+        return cls(schema, rows, name=name)
+
+    @classmethod
+    def from_columns(
+        cls, columns: Mapping[str, Sequence[Any]], name: str = "", infer_types: bool = True
+    ) -> "Relation":
+        """Build a relation from a mapping of column name → list of values."""
+        names = list(columns)
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have differing lengths: {sorted(lengths)}")
+        count = lengths.pop() if lengths else 0
+        if infer_types:
+            schema = Schema([Column(n, infer_column_type(columns[n])) for n in names])
+        else:
+            schema = Schema(names)
+        rows = [tuple(columns[n][i] for n in names) for i in range(count)]
+        return cls(schema, rows, name=name)
+
+    @classmethod
+    def empty(cls, schema: Schema, name: str = "") -> "Relation":
+        """An empty relation with the given schema."""
+        return cls(schema, [], name=name)
+
+    # -- basic protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        for values in self._rows:
+            yield Row(self._schema, values)
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Row, "Relation"]:
+        if isinstance(index, slice):
+            return Relation(self._schema, self._rows[index], name=self._name)
+        return Row(self._schema, self._rows[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema == other._schema and self._rows == other._rows
+
+    def __repr__(self) -> str:
+        label = self._name or "relation"
+        return f"<Relation {label}: {len(self._schema)} columns x {len(self._rows)} rows>"
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The relation's schema."""
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        """Relation name (source alias or derived label)."""
+        return self._name
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        """Column names in order."""
+        return self._schema.names
+
+    @property
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """Raw row tuples (a copy, so callers cannot mutate internal state)."""
+        return list(self._rows)
+
+    def row(self, index: int) -> Row:
+        """The *index*-th row."""
+        return Row(self._schema, self._rows[index])
+
+    def column(self, name: str) -> List[Any]:
+        """All values of column *name*, in row order."""
+        position = self._schema.position(name)
+        return [values[position] for values in self._rows]
+
+    def cell(self, row_index: int, column: str) -> Any:
+        """Single cell value."""
+        return self._rows[row_index][self._schema.position(column)]
+
+    def is_empty(self) -> bool:
+        """Whether the relation has no rows."""
+        return not self._rows
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All rows as plain dictionaries."""
+        return [dict(zip(self._schema.names, values)) for values in self._rows]
+
+    # -- transformation helpers --------------------------------------------------
+
+    def renamed(self, name: str) -> "Relation":
+        """Same data under a different relation name."""
+        result = Relation(self._schema, [], name=name)
+        result._rows = self._rows
+        return result
+
+    def rename_columns(self, mapping: Dict[str, str]) -> "Relation":
+        """Rename columns (old → new); data is shared, not copied."""
+        result = Relation(self._schema.rename(mapping), [], name=self._name)
+        result._rows = self._rows
+        return result
+
+    def with_column(
+        self,
+        column: Union[Column, str],
+        values: Union[Sequence[Any], Callable[[Row], Any], Any] = None,
+        position: Optional[int] = None,
+    ) -> "Relation":
+        """Return a relation with one extra column.
+
+        *values* may be a sequence (one value per row), a callable applied to
+        each :class:`Row`, or a single constant.
+        """
+        new_column = column if isinstance(column, Column) else Column(column)
+        if callable(values):
+            computed = [values(Row(self._schema, row)) for row in self._rows]
+        elif isinstance(values, (list, tuple)):
+            if len(values) != len(self._rows):
+                raise SchemaError(
+                    f"expected {len(self._rows)} values for new column, got {len(values)}"
+                )
+            computed = list(values)
+        else:
+            computed = [values] * len(self._rows)
+        schema = self._schema.add(new_column, position)
+        insert_at = len(self._schema) if position is None else position
+        rows = []
+        for row_values, new_value in zip(self._rows, computed):
+            row_list = list(row_values)
+            row_list.insert(insert_at, new_value)
+            rows.append(tuple(row_list))
+        return Relation(schema, rows, name=self._name)
+
+    def without_columns(self, names: Sequence[str]) -> "Relation":
+        """Return a relation with the given columns removed."""
+        keep = [c.name for c in self._schema if c.name.lower() not in {n.lower() for n in names}]
+        return self.project(keep)
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        """Return a relation restricted to the given columns, in order."""
+        positions = self._schema.positions(names)
+        schema = self._schema.project(names)
+        rows = [tuple(values[p] for p in positions) for values in self._rows]
+        return Relation(schema, rows, name=self._name)
+
+    def filter(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """Return a relation keeping only rows where *predicate* is true."""
+        rows = [values for values in self._rows if predicate(Row(self._schema, values))]
+        return Relation(self._schema, rows, name=self._name)
+
+    def map_column(self, name: str, transform: Callable[[Any], Any]) -> "Relation":
+        """Return a relation with *transform* applied to every cell of a column."""
+        position = self._schema.position(name)
+        rows = []
+        for values in self._rows:
+            row_list = list(values)
+            row_list[position] = transform(row_list[position])
+            rows.append(tuple(row_list))
+        return Relation(self._schema, rows, name=self._name)
+
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Return a relation with extra rows appended."""
+        return Relation(self._schema, self._rows + [tuple(r) for r in rows], name=self._name)
+
+    def sorted_by(self, names: Sequence[str], descending: bool = False) -> "Relation":
+        """Rows sorted by the given columns (nulls first)."""
+        from repro.engine.types import compare_values
+        import functools
+
+        positions = self._schema.positions(names)
+
+        def compare(left: Tuple[Any, ...], right: Tuple[Any, ...]) -> int:
+            for p in positions:
+                outcome = compare_values(left[p], right[p])
+                if outcome:
+                    return outcome
+            return 0
+
+        ordered = sorted(self._rows, key=functools.cmp_to_key(compare), reverse=descending)
+        return Relation(self._schema, ordered, name=self._name)
+
+    def head(self, count: int) -> "Relation":
+        """First *count* rows."""
+        return Relation(self._schema, self._rows[:count], name=self._name)
+
+    def copy(self) -> "Relation":
+        """Deep copy (rows are tuples, so a shallow row-list copy suffices)."""
+        return Relation(self._schema, list(self._rows), name=self._name)
+
+    def coerced(self) -> "Relation":
+        """Return a relation with every cell coerced to its declared column type."""
+        return Relation(self._schema, self._rows, name=self._name, coerce_types=True)
+
+    def retyped(self) -> "Relation":
+        """Return a relation whose column types are re-inferred from the data."""
+        columns = []
+        for index, column in enumerate(self._schema.columns):
+            values = (row[index] for row in self._rows)
+            columns.append(column.with_type(infer_column_type(values)))
+        result = Relation(Schema(columns), [], name=self._name)
+        result._rows = self._rows
+        return result
+
+    # -- statistics ---------------------------------------------------------------
+
+    def null_count(self, name: str) -> int:
+        """Number of null cells in a column."""
+        return sum(1 for value in self.column(name) if is_null(value))
+
+    def distinct_values(self, name: str) -> List[Any]:
+        """Distinct non-null values of a column (insertion order)."""
+        seen = []
+        seen_set = set()
+        for value in self.column(name):
+            if is_null(value):
+                continue
+            marker = (type(value).__name__, str(value))
+            if marker not in seen_set:
+                seen_set.add(marker)
+                seen.append(value)
+        return seen
+
+    # -- display -------------------------------------------------------------------
+
+    def to_text(self, limit: int = 20) -> str:
+        """ASCII rendering for examples and the CLI."""
+        names = list(self._schema.names)
+        shown = self._rows[:limit]
+        widths = [len(n) for n in names]
+        rendered = []
+        for values in shown:
+            cells = ["" if is_null(v) else str(v) for v in values]
+            rendered.append(cells)
+            widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        lines = []
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for cells in rendered:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        if len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Schema model: columns and relation schemata.
+
+A :class:`Schema` is an ordered collection of :class:`Column` objects.  Column
+lookup is case-insensitive (as in SQL) but the original spelling is preserved
+for display.  Schemata are immutable; transformation helpers return new
+objects, which keeps operators in :mod:`repro.engine.operators` side-effect
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.types import DataType
+from repro.exceptions import DuplicateColumnError, SchemaError, UnknownColumnError
+
+__all__ = ["Column", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single attribute of a relation.
+
+    Attributes:
+        name: attribute name as exposed to queries.
+        dtype: declared :class:`DataType`.
+        source: optional name of the source relation the column came from
+            (set by the data-transformation step after schema matching).
+        description: optional human-readable documentation.
+    """
+
+    name: str
+    dtype: DataType = DataType.ANY
+    source: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"column name must be a non-empty string, got {self.name!r}")
+
+    def renamed(self, new_name: str) -> "Column":
+        """Return a copy of this column with a different name."""
+        return replace(self, name=new_name)
+
+    def with_source(self, source: str) -> "Column":
+        """Return a copy of this column annotated with its source relation."""
+        return replace(self, source=source)
+
+    def with_type(self, dtype: DataType) -> "Column":
+        """Return a copy of this column with a different declared type."""
+        return replace(self, dtype=dtype)
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.dtype.value}"
+
+
+class Schema:
+    """Ordered, immutable collection of :class:`Column` objects."""
+
+    __slots__ = ("_columns", "_index")
+
+    def __init__(self, columns: Iterable[Union[Column, str, Tuple[str, DataType]]]):
+        normalized: List[Column] = []
+        for item in columns:
+            if isinstance(item, Column):
+                normalized.append(item)
+            elif isinstance(item, str):
+                normalized.append(Column(item))
+            elif isinstance(item, tuple) and len(item) == 2:
+                normalized.append(Column(item[0], item[1]))
+            else:
+                raise SchemaError(f"cannot build a Column from {item!r}")
+        index: Dict[str, int] = {}
+        for position, column in enumerate(normalized):
+            key = column.name.lower()
+            if key in index:
+                raise DuplicateColumnError(f"duplicate column name {column.name!r}")
+            index[key] = position
+        self._columns: Tuple[Column, ...] = tuple(normalized)
+        self._index: Dict[str, int] = index
+
+    # -- basic container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._index
+
+    def __getitem__(self, key: Union[int, str]) -> Column:
+        if isinstance(key, int):
+            return self._columns[key]
+        return self.column(key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(column) for column in self._columns)
+        return f"Schema({inner})"
+
+    # -- lookup --------------------------------------------------------------
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        """The columns, in order."""
+        return self._columns
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Column names, in order."""
+        return tuple(column.name for column in self._columns)
+
+    def column(self, name: str) -> Column:
+        """Return the column called *name* (case-insensitive)."""
+        return self._columns[self.position(name)]
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position of column *name*.
+
+        Raises:
+            UnknownColumnError: if no column has that name.
+        """
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise UnknownColumnError(name, self.names) from None
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column called *name* exists (case-insensitive)."""
+        return name.lower() in self._index
+
+    def positions(self, names: Sequence[str]) -> List[int]:
+        """Positions for several column names, in the given order."""
+        return [self.position(name) for name in names]
+
+    def dtype(self, name: str) -> DataType:
+        """Declared type of column *name*."""
+        return self.column(name).dtype
+
+    # -- transformation helpers ----------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted to *names*, in the given order."""
+        return Schema([self.column(name) for name in names])
+
+    def rename(self, mapping: Dict[str, str]) -> "Schema":
+        """Schema with columns renamed according to *mapping* (old → new)."""
+        lowered = {old.lower(): new for old, new in mapping.items()}
+        for old in mapping:
+            if not self.has_column(old):
+                raise UnknownColumnError(old, self.names)
+        return Schema(
+            [
+                column.renamed(lowered[column.name.lower()])
+                if column.name.lower() in lowered
+                else column
+                for column in self._columns
+            ]
+        )
+
+    def add(self, column: Column, position: Optional[int] = None) -> "Schema":
+        """Schema with *column* appended (or inserted at *position*)."""
+        columns = list(self._columns)
+        if position is None:
+            columns.append(column)
+        else:
+            columns.insert(position, column)
+        return Schema(columns)
+
+    def drop(self, names: Sequence[str]) -> "Schema":
+        """Schema without the columns in *names*."""
+        doomed = {name.lower() for name in names}
+        for name in names:
+            if not self.has_column(name):
+                raise UnknownColumnError(name, self.names)
+        return Schema([column for column in self._columns if column.name.lower() not in doomed])
+
+    def prefixed(self, prefix: str) -> "Schema":
+        """Schema with every column name prefixed ``prefix.name`` (used by joins)."""
+        return Schema([column.renamed(f"{prefix}.{column.name}") for column in self._columns])
+
+    def with_sources(self, source: str) -> "Schema":
+        """Schema with every column annotated as coming from *source*."""
+        return Schema([column.with_source(source) for column in self._columns])
+
+    def merge_outer(self, other: "Schema") -> "Schema":
+        """Outer-union schema: this schema's columns followed by columns that
+        appear only in *other* (matched case-insensitively by name)."""
+        extra = [column for column in other if not self.has_column(column.name)]
+        return Schema(list(self._columns) + extra)
+
+    @staticmethod
+    def union_all(schemas: Sequence["Schema"]) -> "Schema":
+        """Outer-union of several schemata, preserving first-seen column order."""
+        if not schemas:
+            raise SchemaError("cannot union an empty list of schemata")
+        result = schemas[0]
+        for schema in schemas[1:]:
+            result = result.merge_outer(schema)
+        return result

@@ -1,0 +1,94 @@
+"""Relation profiling statistics.
+
+Used by the duplicate-detection heuristics ("interesting" attribute
+selection) and by the documentation/CLI to describe registered sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.engine.relation import Relation
+from repro.engine.types import DataType, is_null
+
+__all__ = ["ColumnStatistics", "RelationStatistics", "profile_relation"]
+
+
+@dataclass
+class ColumnStatistics:
+    """Profile of one column."""
+
+    name: str
+    dtype: DataType
+    row_count: int
+    null_count: int
+    distinct_count: int
+    average_length: float
+
+    @property
+    def null_ratio(self) -> float:
+        """Fraction of cells that are null."""
+        if self.row_count == 0:
+            return 0.0
+        return self.null_count / self.row_count
+
+    @property
+    def distinctness(self) -> float:
+        """Distinct non-null values divided by non-null cells (identifying power proxy)."""
+        non_null = self.row_count - self.null_count
+        if non_null == 0:
+            return 0.0
+        return self.distinct_count / non_null
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of cells that carry a value."""
+        return 1.0 - self.null_ratio
+
+
+@dataclass
+class RelationStatistics:
+    """Profile of a whole relation."""
+
+    name: str
+    row_count: int
+    column_count: int
+    columns: Dict[str, ColumnStatistics]
+
+    def column(self, name: str) -> ColumnStatistics:
+        """Statistics of one column (case-insensitive)."""
+        return self.columns[name.lower()]
+
+
+def profile_relation(relation: Relation) -> RelationStatistics:
+    """Compute per-column statistics for *relation*."""
+    columns: Dict[str, ColumnStatistics] = {}
+    row_count = len(relation)
+    for column in relation.schema:
+        values = relation.column(column.name)
+        null_count = 0
+        lengths: List[int] = []
+        distinct = set()
+        for value in values:
+            if is_null(value):
+                null_count += 1
+                continue
+            text = str(value)
+            lengths.append(len(text))
+            distinct.add(text)
+        average_length = sum(lengths) / len(lengths) if lengths else 0.0
+        columns[column.name.lower()] = ColumnStatistics(
+            name=column.name,
+            dtype=column.dtype,
+            row_count=row_count,
+            null_count=null_count,
+            distinct_count=len(distinct),
+            average_length=average_length,
+        )
+    return RelationStatistics(
+        name=relation.name,
+        row_count=row_count,
+        column_count=len(relation.schema),
+        columns=columns,
+    )

@@ -1,0 +1,47 @@
+"""Pairwise and cluster-level duplicate-detection metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.evaluation.matching_metrics import PrecisionRecall
+
+__all__ = ["pairs_from_clusters", "evaluate_duplicate_pairs", "evaluate_clusters"]
+
+
+def _normalised(pairs: Iterable[Tuple[int, int]]) -> Set[Tuple[int, int]]:
+    return {(min(a, b), max(a, b)) for a, b in pairs if a != b}
+
+
+def pairs_from_clusters(assignment: Sequence[int]) -> Set[Tuple[int, int]]:
+    """All within-cluster index pairs implied by a cluster assignment."""
+    by_cluster: Dict[int, List[int]] = {}
+    for index, cluster in enumerate(assignment):
+        by_cluster.setdefault(cluster, []).append(index)
+    pairs: Set[Tuple[int, int]] = set()
+    for members in by_cluster.values():
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                pairs.add((members[i], members[j]))
+    return pairs
+
+
+def evaluate_duplicate_pairs(
+    predicted_pairs: Iterable[Tuple[int, int]],
+    true_pairs: Iterable[Tuple[int, int]],
+) -> PrecisionRecall:
+    """Pairwise precision / recall of predicted duplicate pairs."""
+    return PrecisionRecall.from_sets(_normalised(predicted_pairs), _normalised(true_pairs))
+
+
+def evaluate_clusters(
+    assignment: Sequence[int],
+    true_pairs: Iterable[Tuple[int, int]],
+) -> PrecisionRecall:
+    """Pairwise precision / recall implied by a full cluster assignment.
+
+    This scores the *transitively closed* result — what the user actually
+    sees — rather than the raw above-threshold pairs, so over-merging through
+    chains of borderline pairs is penalised.
+    """
+    return evaluate_duplicate_pairs(pairs_from_clusters(assignment), true_pairs)

@@ -1,0 +1,134 @@
+"""Quality metrics of a fused result: completeness, conciseness, correctness.
+
+These are the standard data-fusion quality dimensions the Fuse By companion
+paper argues with:
+
+* **completeness** — how much of the available information survives: fraction
+  of (entity, attribute) slots of the ground truth for which the fused result
+  has *some* non-null value.
+* **conciseness** — one tuple per real-world entity: distinct entities
+  divided by the number of result tuples (1.0 means no remaining duplicates,
+  < 1.0 means redundancy).
+* **correctness** — fraction of filled slots whose value matches the clean
+  ground-truth value (up to normalisation / numeric tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.engine.relation import Relation
+from repro.engine.types import is_null
+from repro.similarity.tokenize import normalize_text
+
+__all__ = ["FusionQuality", "evaluate_fusion"]
+
+
+@dataclass
+class FusionQuality:
+    """Completeness / conciseness / correctness of one fused result."""
+
+    completeness: float
+    conciseness: float
+    correctness: float
+    tuple_count: int
+    entity_count: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """All scores as a plain dictionary."""
+        return {
+            "completeness": self.completeness,
+            "conciseness": self.conciseness,
+            "correctness": self.correctness,
+            "tuples": self.tuple_count,
+            "entities": self.entity_count,
+        }
+
+
+def _values_match(result_value: Any, truth_value: Any) -> bool:
+    if is_null(result_value) or is_null(truth_value):
+        return False
+    if isinstance(truth_value, (int, float)) and not isinstance(truth_value, bool):
+        try:
+            return abs(float(result_value) - float(truth_value)) <= max(
+                0.01, 0.1 * abs(float(truth_value))
+            )
+        except (TypeError, ValueError):
+            return False
+    return normalize_text(str(result_value)) == normalize_text(str(truth_value))
+
+
+def evaluate_fusion(
+    result: Relation,
+    clean_records: Mapping[str, Mapping[str, Any]],
+    entity_key_column: str,
+    entity_key_attribute: str,
+    attributes: Optional[Sequence[str]] = None,
+) -> FusionQuality:
+    """Score a fused *result* against the generator's clean records.
+
+    Result tuples are aligned to entities via a key column (e.g. the fused
+    ``title`` matched against the clean ``title``); this keeps the metric
+    independent of internal objectIDs.
+
+    Args:
+        result: the fused relation.
+        clean_records: entity id → clean attribute dict (ground truth).
+        entity_key_column: column of *result* used to identify the entity.
+        entity_key_attribute: attribute of the clean records it corresponds to.
+        attributes: which clean attributes to score (default: all that also
+            appear as columns of *result*).
+    """
+    truth_by_key: Dict[str, Dict[str, Any]] = {}
+    for record in clean_records.values():
+        key = normalize_text(str(record.get(entity_key_attribute, "")))
+        if key:
+            truth_by_key.setdefault(key, dict(record))
+
+    if attributes is None:
+        attributes = [
+            name
+            for name in truth_by_key[next(iter(truth_by_key))].keys()
+            if result.schema.has_column(name)
+        ] if truth_by_key else []
+
+    matched_entities = set()
+    filled_slots = 0
+    correct_slots = 0
+    total_slots = 0
+
+    for row in result:
+        key_value = row.get(entity_key_column)
+        if is_null(key_value):
+            continue
+        truth = truth_by_key.get(normalize_text(str(key_value)))
+        if truth is None:
+            # fuzzy fallback: prefix match on the key
+            key_norm = normalize_text(str(key_value))
+            candidates = [k for k in truth_by_key if k.startswith(key_norm[:6])] if key_norm else []
+            truth = truth_by_key.get(candidates[0]) if candidates else None
+        if truth is None:
+            continue
+        matched_entities.add(normalize_text(str(truth.get(entity_key_attribute, ""))))
+        for attribute in attributes:
+            total_slots += 1
+            value = row.get(attribute)
+            if is_null(value):
+                continue
+            filled_slots += 1
+            if _values_match(value, truth.get(attribute)):
+                correct_slots += 1
+
+    entity_count = len(matched_entities)
+    tuple_count = len(result)
+    completeness = filled_slots / total_slots if total_slots else 0.0
+    correctness = correct_slots / filled_slots if filled_slots else 0.0
+    conciseness = entity_count / tuple_count if tuple_count else 0.0
+    return FusionQuality(
+        completeness=completeness,
+        conciseness=min(1.0, conciseness),
+        correctness=correctness,
+        tuple_count=tuple_count,
+        entity_count=entity_count,
+    )

@@ -1,0 +1,80 @@
+"""Precision / recall of attribute correspondences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set, Tuple
+
+from repro.matching.correspondences import CorrespondenceSet
+
+__all__ = ["PrecisionRecall", "evaluate_correspondences"]
+
+
+@dataclass
+class PrecisionRecall:
+    """Standard precision / recall / F1 triple with the underlying counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of predicted items that are correct (1.0 when nothing was predicted)."""
+        denominator = self.true_positives + self.false_positives
+        if denominator == 0:
+            return 1.0
+        return self.true_positives / denominator
+
+    @property
+    def recall(self) -> float:
+        """Fraction of true items that were found (1.0 when there was nothing to find)."""
+        denominator = self.true_positives + self.false_negatives
+        if denominator == 0:
+            return 1.0
+        return self.true_positives / denominator
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def as_dict(self) -> dict:
+        """All counts and derived scores as a plain dictionary."""
+        return {
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "fn": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+    @classmethod
+    def from_sets(cls, predicted: Set, truth: Set) -> "PrecisionRecall":
+        """Build the triple by comparing a predicted set against a truth set."""
+        true_positives = len(predicted & truth)
+        return cls(
+            true_positives=true_positives,
+            false_positives=len(predicted) - true_positives,
+            false_negatives=len(truth) - true_positives,
+        )
+
+
+def evaluate_correspondences(
+    correspondences: CorrespondenceSet,
+    true_pairs: Iterable[Tuple[str, str]],
+) -> PrecisionRecall:
+    """Compare predicted correspondences against true (left label, right label) pairs.
+
+    Comparison is case-insensitive; each correspondence contributes its
+    ``(left_attribute, right_attribute)`` pair.
+    """
+    predicted = {
+        (c.left_attribute.lower(), c.right_attribute.lower()) for c in correspondences
+    }
+    truth = {(left.lower(), right.lower()) for left, right in true_pairs}
+    return PrecisionRecall.from_sets(predicted, truth)

@@ -1,0 +1,49 @@
+"""Wall-clock timing helpers for the scalability experiment."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+__all__ = ["Timer", "time_call"]
+
+
+@dataclass
+class Timer:
+    """Accumulates named timings across repeated measurements."""
+
+    measurements: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add one measurement for *name*."""
+        self.measurements.setdefault(name, []).append(seconds)
+
+    def measure(self, name: str, function: Callable[[], Any]) -> Any:
+        """Time one call of *function* under *name* and return its result."""
+        started = time.perf_counter()
+        result = function()
+        self.record(name, time.perf_counter() - started)
+        return result
+
+    def mean(self, name: str) -> float:
+        """Mean of the measurements recorded under *name*."""
+        values = self.measurements.get(name, [])
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def total(self, name: str) -> float:
+        """Sum of the measurements recorded under *name*."""
+        return sum(self.measurements.get(name, []))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Mean per name."""
+        return {name: self.mean(name) for name in self.measurements}
+
+
+def time_call(function: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run *function* once and return ``(result, seconds)``."""
+    started = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - started

@@ -1,0 +1,61 @@
+"""The Fuse By query language (paper §2.1, Fig. 1).
+
+HumMer accepts a subset of SQL — Select-Project-Join queries with sorting,
+grouping and aggregation — extended with the **Fuse By** statement:
+
+.. code-block:: sql
+
+    SELECT Name, RESOLVE(Age, max)
+    FUSE FROM EE_Students, CS_Students
+    FUSE BY (Name)
+
+* ``FUSE FROM`` combines the listed tables by **outer union** instead of the
+  cross product a plain ``FROM`` implies.
+* The ``FUSE BY`` attributes serve as the object identifier: tuples agreeing
+  on them describe the same real-world object and are fused into one tuple.
+  An empty ``FUSE BY ()`` asks HumMer to determine object identity itself via
+  similarity-based duplicate detection (the automatic pipeline).
+* ``RESOLVE(column, function)`` picks the conflict-resolution function for a
+  column; without an explicit function SQL's ``COALESCE`` is the default.
+* ``*`` expands to all attributes present in the sources.
+* ``WHERE``, ``GROUP BY``, ``HAVING`` and ``ORDER BY`` keep their usual
+  meaning.
+
+The package contains a hand-written lexer and recursive-descent parser for
+that grammar, a planner that translates the AST into engine operators plus
+the fusion operator, and an executor tying it to a catalog.
+"""
+
+from repro.fuseby.tokens import Token, TokenType
+from repro.fuseby.lexer import Lexer, tokenize_query
+from repro.fuseby.ast import (
+    ColumnExpression,
+    FuseByQuery,
+    OrderItem,
+    ResolveItem,
+    SelectItem,
+    StarItem,
+    TableReference,
+)
+from repro.fuseby.parser import Parser, parse_query
+from repro.fuseby.planner import Planner, QueryPlan
+from repro.fuseby.executor import QueryExecutor
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "Lexer",
+    "tokenize_query",
+    "ColumnExpression",
+    "FuseByQuery",
+    "OrderItem",
+    "ResolveItem",
+    "SelectItem",
+    "StarItem",
+    "TableReference",
+    "Parser",
+    "parse_query",
+    "Planner",
+    "QueryPlan",
+    "QueryExecutor",
+]

@@ -1,0 +1,163 @@
+"""Abstract syntax tree of the Fuse By dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple, Union
+
+__all__ = [
+    "ColumnExpression",
+    "StarItem",
+    "SelectItem",
+    "ResolveItem",
+    "TableReference",
+    "OrderItem",
+    "FuseByQuery",
+]
+
+
+@dataclass(frozen=True)
+class ColumnExpression:
+    """A (possibly qualified) column reference in the query text."""
+
+    name: str
+    table: Optional[str] = None
+
+    @property
+    def qualified_name(self) -> str:
+        """``table.name`` when qualified, else just the name."""
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    def __str__(self) -> str:
+        return self.qualified_name
+
+
+@dataclass(frozen=True)
+class StarItem:
+    """The ``*`` select item: all attributes present in the sources."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """A plain (non-RESOLVE) select item, optionally aliased."""
+
+    column: ColumnExpression
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.column}" + (f" AS {self.alias}" if self.alias else "")
+
+
+@dataclass(frozen=True)
+class ResolveItem:
+    """A ``RESOLVE(colref [, function [(args)]])`` select item."""
+
+    column: ColumnExpression
+    function: Optional[str] = None
+    arguments: Tuple[Any, ...] = ()
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.function is None:
+            inner = f"RESOLVE({self.column})"
+        elif self.arguments:
+            rendered = ", ".join(repr(a) for a in self.arguments)
+            inner = f"RESOLVE({self.column}, {self.function}({rendered}))"
+        else:
+            inner = f"RESOLVE({self.column}, {self.function})"
+        return inner + (f" AS {self.alias}" if self.alias else "")
+
+
+@dataclass(frozen=True)
+class TableReference:
+    """A table (source alias) in the FROM / FUSE FROM clause."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_name(self) -> str:
+        """Alias when present, else the table name."""
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        return self.name + (f" AS {self.alias}" if self.alias else "")
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    column: ColumnExpression
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.column} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass
+class FuseByQuery:
+    """A parsed SELECT / Fuse By statement.
+
+    Attributes:
+        select_items: the SELECT list (:class:`StarItem`, :class:`SelectItem`
+            or :class:`ResolveItem` objects).
+        tables: the FROM / FUSE FROM table references.
+        fuse_from: whether the tables are combined by outer union
+            (``FUSE FROM``) rather than cross product (``FROM``).
+        fuse_by: the object-identifier attributes; ``None`` when the query has
+            no FUSE BY clause at all, ``[]`` for an explicit empty
+            ``FUSE BY ()`` (meaning: let duplicate detection decide).
+        where / having: predicate expression trees from
+            :mod:`repro.engine.expressions` (already built by the parser).
+        group_by: plain GROUP BY attributes (SQL grouping, not fusion).
+        order_by: ORDER BY keys.
+        limit / offset: row limits.
+    """
+
+    select_items: List[Union[StarItem, SelectItem, ResolveItem]] = field(default_factory=list)
+    tables: List[TableReference] = field(default_factory=list)
+    fuse_from: bool = False
+    fuse_by: Optional[List[ColumnExpression]] = None
+    where: Optional[Any] = None
+    group_by: List[ColumnExpression] = field(default_factory=list)
+    having: Optional[Any] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+
+    @property
+    def is_fusion_query(self) -> bool:
+        """Whether this statement requests data fusion (FUSE FROM or FUSE BY present)."""
+        return self.fuse_from or self.fuse_by is not None
+
+    @property
+    def has_star(self) -> bool:
+        """Whether the SELECT list is (or contains) ``*``."""
+        return any(isinstance(item, StarItem) for item in self.select_items)
+
+    def resolve_items(self) -> List[ResolveItem]:
+        """All RESOLVE items of the SELECT list."""
+        return [item for item in self.select_items if isinstance(item, ResolveItem)]
+
+    def __str__(self) -> str:
+        select = ", ".join(str(item) for item in self.select_items)
+        from_kw = "FUSE FROM" if self.fuse_from else "FROM"
+        tables = ", ".join(str(table) for table in self.tables)
+        parts = [f"SELECT {select}", f"{from_kw} {tables}"]
+        if self.where is not None:
+            parts.append("WHERE ...")
+        if self.fuse_by is not None:
+            parts.append(f"FUSE BY ({', '.join(str(c) for c in self.fuse_by)})")
+        if self.group_by:
+            parts.append(f"GROUP BY {', '.join(str(c) for c in self.group_by)}")
+        if self.having is not None:
+            parts.append("HAVING ...")
+        if self.order_by:
+            parts.append(f"ORDER BY {', '.join(str(o) for o in self.order_by)}")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)

@@ -1,0 +1,209 @@
+"""Execution of planned Fuse By queries against a catalog.
+
+The executor realises the two HumMer querying modes (paper §3): the basic SQL
+interface "which parses entire Fuse By queries and returns the result", and —
+for fusion queries — the same phases the wizard walks through, fully
+automatic.
+
+Semantics implemented:
+
+* ``FROM a, b`` — cross product of the sources (plain SQL).
+* ``FUSE FROM a, b`` — schema matching (instance-based, with a label-based
+  fallback), rename to the preferred (first) schema, add ``sourceID``, outer
+  union.
+* ``FUSE BY (k1, ...)`` — tuples agreeing on the key columns are one object;
+  they are fused with the RESOLVE functions (Coalesce default).
+* ``FUSE BY ()`` or ``FUSE FROM`` without a FUSE BY clause — object identity
+  is determined by similarity-based duplicate detection, then fusion on the
+  resulting ``objectID``.
+* ``WHERE`` is applied to the combined input before fusion; ``HAVING``,
+  ``ORDER BY`` and ``LIMIT`` apply to the fused result (the paper keeps their
+  original meaning).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.fusion import FusionOperator, FusionResult, FusionSpec
+from repro.core.pipeline import FusionPipeline
+from repro.core.resolution.base import ResolutionRegistry, default_registry
+from repro.dedup.detector import DuplicateDetector, OBJECT_ID_COLUMN
+from repro.engine.catalog import Catalog
+from repro.engine.operators import (
+    CrossProduct,
+    Limit,
+    Project,
+    ProjectItem,
+    RelationSource,
+    Select,
+    Sort,
+    SortKey,
+)
+from repro.engine.operators.groupby import AggregateSpec, GroupBy
+from repro.engine.relation import Relation
+from repro.exceptions import PlanningError
+from repro.fuseby.ast import FuseByQuery, ResolveItem, SelectItem, StarItem
+from repro.fuseby.parser import parse_query
+from repro.fuseby.planner import Planner, QueryPlan
+from repro.matching.dumas import DumasMatcher
+
+__all__ = ["QueryExecutor"]
+
+
+class QueryExecutor:
+    """Parses, plans and executes Fuse By statements against a catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        registry: Optional[ResolutionRegistry] = None,
+        matcher: Optional[DumasMatcher] = None,
+        detector: Optional[DuplicateDetector] = None,
+    ):
+        self.catalog = catalog
+        self.registry = registry or default_registry()
+        self.matcher = matcher or DumasMatcher()
+        self.detector = detector or DuplicateDetector()
+        self.planner = Planner(self.registry)
+
+    # -- public API ----------------------------------------------------------------
+
+    def execute(self, query_text: str) -> Relation:
+        """Parse and run *query_text*, returning the result relation."""
+        query = parse_query(query_text)
+        plan = self.planner.plan(query)
+        if plan.is_fusion:
+            return self._execute_fusion(plan)
+        return self._execute_plain(plan)
+
+    def explain(self, query_text: str) -> QueryPlan:
+        """Parse and plan *query_text* without executing it."""
+        return self.planner.plan(parse_query(query_text))
+
+    # -- plain SQL path --------------------------------------------------------------
+
+    def _execute_plain(self, plan: QueryPlan) -> Relation:
+        query = plan.query
+        relations = self.catalog.fetch_many(plan.aliases)
+        for reference, relation in zip(query.tables, relations):
+            if reference.alias:
+                relation = relation.renamed(reference.alias)
+        operator = RelationSource(relations[0].renamed(query.tables[0].effective_name))
+        for reference, relation in zip(query.tables[1:], relations[1:]):
+            operator = CrossProduct(
+                operator, RelationSource(relation.renamed(reference.effective_name))
+            )
+        if query.where is not None:
+            operator = Select(operator, query.where)
+        if query.group_by:
+            operator = self._plan_group_by(operator, query)
+        elif not query.has_star:
+            items = self._projection_items(query)
+            operator = Project(operator, items)
+        if query.having is not None:
+            operator = Select(operator, query.having)
+        if query.order_by:
+            operator = Sort(
+                operator,
+                [SortKey(item.column.name, item.descending) for item in query.order_by],
+            )
+        if query.limit is not None or query.offset:
+            operator = Limit(operator, query.limit, query.offset)
+        return operator.execute()
+
+    def _plan_group_by(self, operator, query: FuseByQuery):
+        by = [column.name for column in query.group_by]
+        aggregates: List[AggregateSpec] = []
+        for item in query.select_items:
+            if isinstance(item, StarItem):
+                continue
+            if isinstance(item, SelectItem) and item.column.name.lower() not in {
+                name.lower() for name in by
+            }:
+                # non-grouped plain column: take the first value per group
+                aggregates.append(
+                    AggregateSpec(
+                        item.column.name,
+                        lambda values: values[0] if values else None,
+                        alias=item.alias or item.column.name,
+                    )
+                )
+        return GroupBy(operator, by, aggregates)
+
+    @staticmethod
+    def _projection_items(query: FuseByQuery) -> List[ProjectItem]:
+        items: List[ProjectItem] = []
+        for item in query.select_items:
+            if isinstance(item, StarItem):
+                continue
+            if isinstance(item, ResolveItem):
+                raise PlanningError("RESOLVE is only valid in fusion queries")
+            items.append(ProjectItem.column(item.column.qualified_name, item.alias))
+        return items
+
+    # -- fusion path -------------------------------------------------------------------
+
+    def _execute_fusion(self, plan: QueryPlan) -> Relation:
+        query = plan.query
+        pipeline = FusionPipeline(
+            self.catalog,
+            matcher=self.matcher,
+            detector=self.detector,
+            registry=self.registry,
+        )
+        sources = pipeline.step_choose_sources(plan.aliases)
+        matching = pipeline.step_schema_matching(sources)
+        combined = pipeline.step_transform(sources, matching)
+
+        if query.where is not None:
+            combined = Select(RelationSource(combined), query.where).execute()
+
+        spec = plan.fusion_spec or FusionSpec()
+        if plan.needs_duplicate_detection:
+            selection = pipeline.step_attribute_selection(combined)
+            detection = pipeline.step_duplicate_detection(combined, selection)
+            fusable = detection.relation
+            spec = FusionSpec(
+                key_columns=[OBJECT_ID_COLUMN],
+                resolutions=spec.resolutions,
+                keep_source_column=spec.keep_source_column,
+            )
+        else:
+            fusable = combined
+
+        operator = FusionOperator(spec, registry=self.registry, table_name="fused")
+        fusion: FusionResult = operator.fuse(fusable)
+        result = fusion.relation
+
+        if plan.needs_duplicate_detection and result.schema.has_column(OBJECT_ID_COLUMN):
+            # objectID is internal bookkeeping unless the user selected it
+            wanted = {name.lower() for name in (plan.output_columns or [])}
+            if OBJECT_ID_COLUMN.lower() not in wanted:
+                result = result.without_columns([OBJECT_ID_COLUMN])
+
+        if plan.output_columns:
+            keep = [name for name in plan.output_columns if result.schema.has_column(name)]
+            # fusion keys asked for via FUSE BY are always available
+            for key in plan.fuse_by_columns:
+                if key not in keep and result.schema.has_column(key):
+                    keep.insert(0, key)
+            missing = [name for name in plan.output_columns if not result.schema.has_column(name)]
+            if missing:
+                raise PlanningError(
+                    f"columns {missing} are not present in the fused result; "
+                    f"available: {', '.join(result.schema.names)}"
+                )
+            result = result.project(keep)
+
+        operator_tree = RelationSource(result)
+        if query.having is not None:
+            operator_tree = Select(operator_tree, query.having)
+        if query.order_by:
+            operator_tree = Sort(
+                operator_tree,
+                [SortKey(item.column.name, item.descending) for item in query.order_by],
+            )
+        if query.limit is not None or query.offset:
+            operator_tree = Limit(operator_tree, query.limit, query.offset)
+        return operator_tree.execute()

@@ -1,0 +1,143 @@
+"""Hand-written lexer for the Fuse By dialect."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import LexerError
+from repro.fuseby.tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["Lexer", "tokenize_query"]
+
+_OPERATOR_CHARS = "=<>!+-/%"
+_TWO_CHAR_OPERATORS = {"<=", ">=", "<>", "!="}
+
+
+class Lexer:
+    """Turns query text into a list of :class:`Token` objects."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+        self.line = 1
+
+    def tokenize(self) -> List[Token]:
+        """Lex the whole input; always ends with an EOF token."""
+        tokens: List[Token] = []
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char in " \t\r":
+                self.position += 1
+            elif char == "\n":
+                self.position += 1
+                self.line += 1
+            elif self.text.startswith("--", self.position):
+                self._skip_line_comment()
+            elif char == "'" or char == '"':
+                tokens.append(self._read_string(char))
+            elif char.isdigit() or (
+                char == "." and self._peek_next_is_digit()
+            ):
+                tokens.append(self._read_number())
+            elif char.isalpha() or char == "_":
+                tokens.append(self._read_word())
+            elif char == "*":
+                tokens.append(Token(TokenType.STAR, "*", self.position, self.line))
+                self.position += 1
+            elif char == ",":
+                tokens.append(Token(TokenType.COMMA, ",", self.position, self.line))
+                self.position += 1
+            elif char == ".":
+                tokens.append(Token(TokenType.DOT, ".", self.position, self.line))
+                self.position += 1
+            elif char == "(":
+                tokens.append(Token(TokenType.LPAREN, "(", self.position, self.line))
+                self.position += 1
+            elif char == ")":
+                tokens.append(Token(TokenType.RPAREN, ")", self.position, self.line))
+                self.position += 1
+            elif char == ";":
+                tokens.append(Token(TokenType.SEMICOLON, ";", self.position, self.line))
+                self.position += 1
+            elif char in _OPERATOR_CHARS:
+                tokens.append(self._read_operator())
+            else:
+                raise LexerError(f"illegal character {char!r}", self.position, self.line)
+        tokens.append(Token(TokenType.EOF, None, self.position, self.line))
+        return tokens
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _peek_next_is_digit(self) -> bool:
+        return (
+            self.position + 1 < len(self.text) and self.text[self.position + 1].isdigit()
+        )
+
+    def _skip_line_comment(self) -> None:
+        while self.position < len(self.text) and self.text[self.position] != "\n":
+            self.position += 1
+
+    def _read_string(self, quote: str) -> Token:
+        start = self.position
+        self.position += 1
+        chars: List[str] = []
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char == quote:
+                # doubled quote is an escaped quote
+                if (
+                    self.position + 1 < len(self.text)
+                    and self.text[self.position + 1] == quote
+                ):
+                    chars.append(quote)
+                    self.position += 2
+                    continue
+                self.position += 1
+                return Token(TokenType.STRING, "".join(chars), start, self.line)
+            if char == "\n":
+                self.line += 1
+            chars.append(char)
+            self.position += 1
+        raise LexerError("unterminated string literal", start, self.line)
+
+    def _read_number(self) -> Token:
+        start = self.position
+        seen_dot = False
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char.isdigit():
+                self.position += 1
+            elif char == "." and not seen_dot:
+                seen_dot = True
+                self.position += 1
+            else:
+                break
+        text = self.text[start : self.position]
+        value = float(text) if seen_dot else int(text)
+        return Token(TokenType.NUMBER, value, start, self.line)
+
+    def _read_word(self) -> Token:
+        start = self.position
+        while self.position < len(self.text) and (
+            self.text[self.position].isalnum() or self.text[self.position] == "_"
+        ):
+            self.position += 1
+        word = self.text[start : self.position]
+        if word.upper() in KEYWORDS:
+            return Token(TokenType.KEYWORD, word.upper(), start, self.line)
+        return Token(TokenType.IDENTIFIER, word, start, self.line)
+
+    def _read_operator(self) -> Token:
+        start = self.position
+        two = self.text[self.position : self.position + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            self.position += 2
+            return Token(TokenType.OPERATOR, two, start, self.line)
+        char = self.text[self.position]
+        self.position += 1
+        return Token(TokenType.OPERATOR, char, start, self.line)
+
+
+def tokenize_query(text: str) -> List[Token]:
+    """Convenience function: lex *text* into tokens."""
+    return Lexer(text).tokenize()

@@ -1,0 +1,431 @@
+"""Recursive-descent parser for the Fuse By dialect.
+
+Grammar (Fig. 1 of the paper, completed with the SQL subset §2.1 mentions)::
+
+    query        := SELECT select_list from_clause [where] [fuse_by]
+                    [group_by] [having] [order_by] [limit] [';']
+    select_list  := '*' | select_item (',' select_item)*
+    select_item  := resolve_item | column [AS alias]
+    resolve_item := RESOLVE '(' column [',' function_ref] ')' [AS alias]
+    function_ref := name ['(' literal (',' literal)* ')']
+    from_clause  := (FROM | FUSE FROM) table_ref (',' table_ref)*
+    table_ref    := name [AS alias | alias]
+    fuse_by      := FUSE BY '(' [column (',' column)*] ')'
+    where        := WHERE predicate
+    group_by     := GROUP BY column (',' column)*
+    having       := HAVING predicate
+    order_by     := ORDER BY column [ASC|DESC] (',' column [ASC|DESC])*
+    limit        := LIMIT number [OFFSET number]
+
+Predicates support comparisons, AND/OR/NOT, IS [NOT] NULL, IN, BETWEEN,
+LIKE, parentheses and arithmetic — the expression objects are built directly
+from :mod:`repro.engine.expressions`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple, Union
+
+from repro.engine import expressions as expr
+from repro.exceptions import ParseError
+from repro.fuseby.ast import (
+    ColumnExpression,
+    FuseByQuery,
+    OrderItem,
+    ResolveItem,
+    SelectItem,
+    StarItem,
+    TableReference,
+)
+from repro.fuseby.lexer import tokenize_query
+from repro.fuseby.tokens import Token, TokenType
+
+__all__ = ["Parser", "parse_query"]
+
+
+class Parser:
+    """Parses one Fuse By / SELECT statement."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def check(self, token_type: TokenType, value: Optional[str] = None) -> bool:
+        token = self.current
+        if token.type is not token_type:
+            return False
+        if value is not None and str(token.value).upper() != value.upper():
+            return False
+        return True
+
+    def check_keyword(self, *keywords: str) -> bool:
+        return any(self.current.matches_keyword(keyword) for keyword in keywords)
+
+    def expect(self, token_type: TokenType, value: Optional[str] = None) -> Token:
+        if not self.check(token_type, value):
+            expected = value or token_type.value
+            raise ParseError(f"expected {expected}", self.current)
+        return self.advance()
+
+    def expect_keyword(self, keyword: str) -> Token:
+        if not self.check_keyword(keyword):
+            raise ParseError(f"expected keyword {keyword}", self.current)
+        return self.advance()
+
+    def accept_keyword(self, keyword: str) -> bool:
+        if self.check_keyword(keyword):
+            self.advance()
+            return True
+        return False
+
+    # -- entry point ----------------------------------------------------------------
+
+    def parse(self) -> FuseByQuery:
+        """Parse the statement and check that all input was consumed."""
+        query = self._parse_query()
+        if self.check(TokenType.SEMICOLON):
+            self.advance()
+        if not self.check(TokenType.EOF):
+            raise ParseError("unexpected trailing input", self.current)
+        return query
+
+    def _parse_query(self) -> FuseByQuery:
+        self.expect_keyword("SELECT")
+        select_items = self._parse_select_list()
+        fuse_from, tables = self._parse_from_clause()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self._parse_expression()
+        fuse_by = self._parse_fuse_by()
+        group_by: List[ColumnExpression] = []
+        if self.check_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            group_by = self._parse_column_list()
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self._parse_expression()
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit()
+        return FuseByQuery(
+            select_items=select_items,
+            tables=tables,
+            fuse_from=fuse_from,
+            fuse_by=fuse_by,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    # -- SELECT list ------------------------------------------------------------------
+
+    def _parse_select_list(self) -> List[Union[StarItem, SelectItem, ResolveItem]]:
+        items: List[Union[StarItem, SelectItem, ResolveItem]] = [self._parse_select_item()]
+        while self.check(TokenType.COMMA):
+            self.advance()
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> Union[StarItem, SelectItem, ResolveItem]:
+        if self.check(TokenType.STAR):
+            self.advance()
+            return StarItem()
+        if self.check_keyword("RESOLVE"):
+            return self._parse_resolve_item()
+        column = self._parse_column()
+        alias = self._parse_alias()
+        return SelectItem(column=column, alias=alias)
+
+    def _parse_resolve_item(self) -> ResolveItem:
+        self.expect_keyword("RESOLVE")
+        self.expect(TokenType.LPAREN)
+        column = self._parse_column()
+        function: Optional[str] = None
+        arguments: Tuple[Any, ...] = ()
+        if self.check(TokenType.COMMA):
+            self.advance()
+            function, arguments = self._parse_function_reference()
+        self.expect(TokenType.RPAREN)
+        alias = self._parse_alias()
+        return ResolveItem(column=column, function=function, arguments=arguments, alias=alias)
+
+    def _parse_function_reference(self) -> Tuple[str, Tuple[Any, ...]]:
+        token = self.current
+        if token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            raise ParseError("expected a resolution function name", token)
+        name = str(self.advance().value)
+        arguments: List[Any] = []
+        if self.check(TokenType.LPAREN):
+            self.advance()
+            if not self.check(TokenType.RPAREN):
+                arguments.append(self._parse_literal_or_name())
+                while self.check(TokenType.COMMA):
+                    self.advance()
+                    arguments.append(self._parse_literal_or_name())
+            self.expect(TokenType.RPAREN)
+        return name, tuple(arguments)
+
+    def _parse_literal_or_name(self) -> Any:
+        token = self.current
+        if token.type in (TokenType.STRING, TokenType.NUMBER):
+            return self.advance().value
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            return str(self.advance().value)
+        raise ParseError("expected a literal argument", token)
+
+    def _parse_alias(self) -> Optional[str]:
+        if self.accept_keyword("AS"):
+            token = self.current
+            if token.type not in (TokenType.IDENTIFIER, TokenType.STRING):
+                raise ParseError("expected an alias name after AS", token)
+            return str(self.advance().value)
+        if self.check(TokenType.IDENTIFIER) and not self._identifier_starts_clause():
+            return str(self.advance().value)
+        return None
+
+    def _identifier_starts_clause(self) -> bool:
+        # bare identifiers can only be aliases; clause keywords are KEYWORD tokens
+        return False
+
+    # -- FROM / FUSE FROM ---------------------------------------------------------------
+
+    def _parse_from_clause(self) -> Tuple[bool, List[TableReference]]:
+        fuse_from = False
+        if self.check_keyword("FUSE"):
+            # could be "FUSE FROM" here, or a later "FUSE BY" — only consume on FROM
+            next_token = self.tokens[self.index + 1]
+            if next_token.matches_keyword("FROM"):
+                self.advance()
+                self.advance()
+                fuse_from = True
+            else:
+                raise ParseError("expected FROM after FUSE", next_token)
+        else:
+            self.expect_keyword("FROM")
+        tables = [self._parse_table_reference()]
+        while self.check(TokenType.COMMA):
+            self.advance()
+            tables.append(self._parse_table_reference())
+        return fuse_from, tables
+
+    def _parse_table_reference(self) -> TableReference:
+        token = self.current
+        if token.type is not TokenType.IDENTIFIER:
+            raise ParseError("expected a table name", token)
+        name = str(self.advance().value)
+        alias: Optional[str] = None
+        if self.accept_keyword("AS"):
+            alias = str(self.expect(TokenType.IDENTIFIER).value)
+        elif self.check(TokenType.IDENTIFIER):
+            alias = str(self.advance().value)
+        return TableReference(name=name, alias=alias)
+
+    # -- FUSE BY --------------------------------------------------------------------------
+
+    def _parse_fuse_by(self) -> Optional[List[ColumnExpression]]:
+        if not self.check_keyword("FUSE"):
+            return None
+        next_token = self.tokens[self.index + 1]
+        if not next_token.matches_keyword("BY"):
+            raise ParseError("expected BY after FUSE", next_token)
+        self.advance()
+        self.advance()
+        self.expect(TokenType.LPAREN)
+        columns: List[ColumnExpression] = []
+        if not self.check(TokenType.RPAREN):
+            columns.append(self._parse_column())
+            while self.check(TokenType.COMMA):
+                self.advance()
+                columns.append(self._parse_column())
+        self.expect(TokenType.RPAREN)
+        return columns
+
+    # -- ORDER BY / LIMIT --------------------------------------------------------------------
+
+    def _parse_order_by(self) -> List[OrderItem]:
+        if not self.check_keyword("ORDER"):
+            return []
+        self.advance()
+        self.expect_keyword("BY")
+        items = [self._parse_order_item()]
+        while self.check(TokenType.COMMA):
+            self.advance()
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> OrderItem:
+        column = self._parse_column()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        elif self.accept_keyword("ASC"):
+            descending = False
+        return OrderItem(column=column, descending=descending)
+
+    def _parse_limit(self) -> Tuple[Optional[int], int]:
+        limit: Optional[int] = None
+        offset = 0
+        if self.accept_keyword("LIMIT"):
+            limit = int(self.expect(TokenType.NUMBER).value)
+            if self.accept_keyword("OFFSET"):
+                offset = int(self.expect(TokenType.NUMBER).value)
+        return limit, offset
+
+    # -- columns ---------------------------------------------------------------------------------
+
+    def _parse_column_list(self) -> List[ColumnExpression]:
+        columns = [self._parse_column()]
+        while self.check(TokenType.COMMA):
+            self.advance()
+            columns.append(self._parse_column())
+        return columns
+
+    def _parse_column(self) -> ColumnExpression:
+        token = self.current
+        if token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            raise ParseError("expected a column name", token)
+        first = str(self.advance().value)
+        if self.check(TokenType.DOT):
+            self.advance()
+            second_token = self.current
+            if second_token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+                raise ParseError("expected a column name after '.'", second_token)
+            second = str(self.advance().value)
+            return ColumnExpression(name=second, table=first)
+        return ColumnExpression(name=first)
+
+    # -- predicate expressions (WHERE / HAVING) ----------------------------------------------------
+
+    def _parse_expression(self) -> expr.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> expr.Expression:
+        left = self._parse_and()
+        operands = [left]
+        while self.accept_keyword("OR"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return left
+        return expr.BooleanOp("OR", operands)
+
+    def _parse_and(self) -> expr.Expression:
+        left = self._parse_not()
+        operands = [left]
+        while self.accept_keyword("AND"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return left
+        return expr.BooleanOp("AND", operands)
+
+    def _parse_not(self) -> expr.Expression:
+        if self.accept_keyword("NOT"):
+            return expr.NotOp(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> expr.Expression:
+        left = self._parse_arithmetic()
+        if self.check_keyword("IS"):
+            self.advance()
+            negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return expr.IsNull(left, negated=negated)
+        negated = False
+        if self.check_keyword("NOT"):
+            # NOT IN / NOT BETWEEN / NOT LIKE
+            next_token = self.tokens[self.index + 1]
+            if next_token.matches_keyword("IN") or next_token.matches_keyword(
+                "BETWEEN"
+            ) or next_token.matches_keyword("LIKE"):
+                self.advance()
+                negated = True
+        if self.accept_keyword("IN"):
+            self.expect(TokenType.LPAREN)
+            choices = [self._parse_arithmetic()]
+            while self.check(TokenType.COMMA):
+                self.advance()
+                choices.append(self._parse_arithmetic())
+            self.expect(TokenType.RPAREN)
+            return expr.InList(left, choices, negated=negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self._parse_arithmetic()
+            self.expect_keyword("AND")
+            high = self._parse_arithmetic()
+            return expr.Between(left, low, high, negated=negated)
+        if self.accept_keyword("LIKE"):
+            pattern_token = self.expect(TokenType.STRING)
+            return expr.Like(left, str(pattern_token.value), negated=negated)
+        if self.check(TokenType.OPERATOR) and str(self.current.value) in expr.Comparison.OPERATORS:
+            operator = str(self.advance().value)
+            right = self._parse_arithmetic()
+            return expr.Comparison(operator, left, right)
+        return left
+
+    def _parse_arithmetic(self) -> expr.Expression:
+        left = self._parse_term()
+        while self.check(TokenType.OPERATOR) and str(self.current.value) in ("+", "-"):
+            operator = str(self.advance().value)
+            right = self._parse_term()
+            left = expr.BinaryOp(operator, left, right)
+        return left
+
+    def _parse_term(self) -> expr.Expression:
+        left = self._parse_factor()
+        while (
+            self.check(TokenType.OPERATOR) and str(self.current.value) in ("/", "%")
+        ) or self.check(TokenType.STAR):
+            if self.check(TokenType.STAR):
+                operator = "*"
+                self.advance()
+            else:
+                operator = str(self.advance().value)
+            right = self._parse_factor()
+            left = expr.BinaryOp(operator, left, right)
+        return left
+
+    def _parse_factor(self) -> expr.Expression:
+        token = self.current
+        if self.check(TokenType.OPERATOR) and str(token.value) in ("-", "+"):
+            operator = str(self.advance().value)
+            return expr.UnaryOp(operator, self._parse_factor())
+        if self.check(TokenType.LPAREN):
+            self.advance()
+            inner = self._parse_expression()
+            self.expect(TokenType.RPAREN)
+            return inner
+        if token.type is TokenType.NUMBER:
+            return expr.Literal(self.advance().value)
+        if token.type is TokenType.STRING:
+            return expr.Literal(self.advance().value)
+        if token.matches_keyword("NULL"):
+            self.advance()
+            return expr.Literal(None)
+        if token.matches_keyword("TRUE"):
+            self.advance()
+            return expr.Literal(True)
+        if token.matches_keyword("FALSE"):
+            self.advance()
+            return expr.Literal(False)
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            column = self._parse_column()
+            return expr.ColumnRef(column.qualified_name)
+        raise ParseError("expected an expression", token)
+
+
+def parse_query(text: str) -> FuseByQuery:
+    """Parse *text* into a :class:`FuseByQuery` AST."""
+    return Parser(tokenize_query(text)).parse()

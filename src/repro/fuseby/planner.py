@@ -1,0 +1,155 @@
+"""Semantic analysis and planning of Fuse By queries.
+
+The planner turns a parsed :class:`FuseByQuery` into a :class:`QueryPlan`
+that the executor can run against a catalog:
+
+* plain ``FROM`` queries become engine operator trees (scan → cross product →
+  select → group → project → sort → limit);
+* ``FUSE FROM`` / ``FUSE BY`` queries additionally describe the fusion phases
+  (schema matching needed?, duplicate detection or key-based fusion, the
+  per-column resolution functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple, Union
+
+from repro.core.fusion import FusionSpec, ResolutionSpec
+from repro.core.resolution.base import ResolutionRegistry, default_registry
+from repro.exceptions import PlanningError, UnknownFunctionError
+from repro.fuseby.ast import (
+    ColumnExpression,
+    FuseByQuery,
+    OrderItem,
+    ResolveItem,
+    SelectItem,
+    StarItem,
+)
+
+__all__ = ["QueryPlan", "Planner"]
+
+
+@dataclass
+class QueryPlan:
+    """Everything the executor needs to run one statement.
+
+    Attributes:
+        query: the parsed statement.
+        is_fusion: whether the fusion pipeline is involved at all.
+        fusion_spec: per-column resolution functions and key columns (fusion
+            queries only).  ``key_columns`` empty means "determine object
+            identity by duplicate detection".
+        output_columns: final projection (column names in output order);
+            ``None`` means "all columns of the fused/combined input".
+        aliases: source aliases to fetch, in query order.
+    """
+
+    query: FuseByQuery
+    is_fusion: bool
+    aliases: List[str] = field(default_factory=list)
+    fusion_spec: Optional[FusionSpec] = None
+    output_columns: Optional[List[str]] = None
+    fuse_by_columns: List[str] = field(default_factory=list)
+
+    @property
+    def needs_duplicate_detection(self) -> bool:
+        """True when the query asks HumMer to find object identity itself."""
+        return self.is_fusion and not self.fuse_by_columns
+
+
+class Planner:
+    """Validates a parsed query and produces a :class:`QueryPlan`."""
+
+    def __init__(self, registry: Optional[ResolutionRegistry] = None):
+        self.registry = registry or default_registry()
+
+    def plan(self, query: FuseByQuery) -> QueryPlan:
+        """Produce the plan for *query*.
+
+        Raises:
+            PlanningError: for semantic errors (no tables, RESOLVE outside a
+                fusion query, unknown resolution function, ...).
+        """
+        if not query.tables:
+            raise PlanningError("the query references no tables")
+        aliases = [table.name for table in query.tables]
+
+        resolve_items = query.resolve_items()
+        if resolve_items and not query.is_fusion_query:
+            raise PlanningError(
+                "RESOLVE(...) may only be used in a fusion query (FUSE FROM / FUSE BY)"
+            )
+        for item in resolve_items:
+            if item.function is not None and not self.registry.has(item.function):
+                raise UnknownFunctionError(
+                    f"unknown resolution function {item.function!r}; "
+                    f"registered: {', '.join(self.registry.names())}"
+                )
+
+        if not query.is_fusion_query:
+            return QueryPlan(query=query, is_fusion=False, aliases=aliases)
+
+        fuse_by_columns = [column.name for column in (query.fuse_by or [])]
+        resolutions = self._build_resolutions(query)
+        output_columns = None if query.has_star else self._output_columns(query)
+        spec = FusionSpec(
+            key_columns=fuse_by_columns or ["objectID"],
+            resolutions=resolutions,
+            keep_source_column=False,
+        )
+        return QueryPlan(
+            query=query,
+            is_fusion=True,
+            aliases=aliases,
+            fusion_spec=spec,
+            output_columns=output_columns,
+            fuse_by_columns=fuse_by_columns,
+        )
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _build_resolutions(self, query: FuseByQuery) -> List[ResolutionSpec]:
+        """SELECT items → ResolutionSpec list.
+
+        ``*`` yields an empty list (the fusion operator then expands to all
+        columns with the Coalesce default, exactly the paper's default
+        behaviour).  Plain columns in a fusion query also get the Coalesce
+        default; RESOLVE items get their requested function.
+        """
+        if query.has_star:
+            return []
+        specs: List[ResolutionSpec] = []
+        fuse_by_names = {column.name.lower() for column in (query.fuse_by or [])}
+        for item in query.select_items:
+            if isinstance(item, StarItem):
+                continue
+            if isinstance(item, ResolveItem):
+                function: Union[None, str, Tuple[str, tuple]] = (
+                    None
+                    if item.function is None
+                    else (item.function, tuple(item.arguments))
+                    if item.arguments
+                    else item.function
+                )
+                specs.append(
+                    ResolutionSpec(item.column.name, function, alias=item.alias)
+                )
+            elif isinstance(item, SelectItem):
+                if item.column.name.lower() in fuse_by_names:
+                    # fusion keys are emitted automatically; skip duplicates
+                    continue
+                specs.append(ResolutionSpec(item.column.name, None, alias=item.alias))
+        return specs
+
+    @staticmethod
+    def _output_columns(query: FuseByQuery) -> List[str]:
+        names: List[str] = []
+        for item in query.select_items:
+            if isinstance(item, StarItem):
+                continue
+            if isinstance(item, ResolveItem):
+                names.append(item.alias or item.column.name)
+            elif isinstance(item, SelectItem):
+                names.append(item.alias or item.column.name)
+        return names

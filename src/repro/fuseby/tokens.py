@@ -1,0 +1,79 @@
+"""Token model for the Fuse By lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["TokenType", "Token", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    """Lexical categories of the Fuse By dialect."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    STRING = "string"
+    NUMBER = "number"
+    STAR = "star"
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    OPERATOR = "operator"
+    SEMICOLON = "semicolon"
+    EOF = "eof"
+
+
+#: Reserved words of the dialect (upper-case canonical form).
+KEYWORDS = {
+    "SELECT",
+    "RESOLVE",
+    "FROM",
+    "FUSE",
+    "BY",
+    "WHERE",
+    "GROUP",
+    "HAVING",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "IS",
+    "NULL",
+    "LIKE",
+    "BETWEEN",
+    "TRUE",
+    "FALSE",
+    "JOIN",
+    "ON",
+    "INNER",
+    "LEFT",
+    "OUTER",
+    "FULL",
+    "DISTINCT",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    type: TokenType
+    value: Any
+    position: int = -1
+    line: int = 1
+
+    def matches_keyword(self, keyword: str) -> bool:
+        """Whether this token is the given keyword (case-insensitive)."""
+        return self.type is TokenType.KEYWORD and str(self.value).upper() == keyword.upper()
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r})"

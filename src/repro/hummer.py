@@ -1,0 +1,143 @@
+"""The HumMer facade: one object that registers sources and answers fusion queries.
+
+This is the public one-stop API mirroring the two querying modes of the demo
+(paper §3): the SQL interface (:meth:`HumMer.query`) and the step-by-step
+pipeline (:meth:`HumMer.fuse` / :meth:`HumMer.pipeline`).
+
+Example::
+
+    from repro import HumMer
+
+    hummer = HumMer()
+    hummer.register("EE_Students", ee_rows)
+    hummer.register("CS_Students", cs_rows)
+    result = hummer.query(
+        "SELECT Name, RESOLVE(Age, max) "
+        "FUSE FROM EE_Students, CS_Students FUSE BY (Name)"
+    )
+    print(result.to_text())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.fusion import FusionSpec, ResolutionSpec
+from repro.core.pipeline import FusionPipeline, PipelineResult
+from repro.core.resolution.base import (
+    ResolutionFunction,
+    ResolutionRegistry,
+    default_registry,
+)
+from repro.dedup.detector import DuplicateDetector
+from repro.engine.catalog import Catalog
+from repro.engine.io.base import DataSource
+from repro.engine.relation import Relation
+from repro.fuseby.executor import QueryExecutor
+from repro.matching.dumas import DumasMatcher
+
+__all__ = ["HumMer"]
+
+
+class HumMer:
+    """Ad-hoc, declarative data fusion over registered sources.
+
+    Args:
+        duplicate_threshold: similarity at or above which tuples are duplicates.
+        matcher: schema matcher to use (default DUMAS).
+        registry: resolution-function registry; defaults to a process-wide
+            registry holding every built-in function.
+    """
+
+    def __init__(
+        self,
+        duplicate_threshold: float = 0.7,
+        matcher: Optional[DumasMatcher] = None,
+        detector: Optional[DuplicateDetector] = None,
+        registry: Optional[ResolutionRegistry] = None,
+    ):
+        self.catalog = Catalog()
+        self.registry = registry or default_registry()
+        self.matcher = matcher or DumasMatcher()
+        self.detector = detector or DuplicateDetector(threshold=duplicate_threshold)
+        self._executor = QueryExecutor(
+            self.catalog, registry=self.registry, matcher=self.matcher, detector=self.detector
+        )
+
+    # -- source management ---------------------------------------------------------
+
+    def register(
+        self,
+        alias: str,
+        source: Union[DataSource, Relation, Iterable[dict]],
+        description: str = "",
+        replace: bool = False,
+    ) -> None:
+        """Register a data source (relation, DataSource or iterable of dicts) under *alias*."""
+        self.catalog.register(alias, source, description=description, replace=replace)
+
+    def unregister(self, alias: str) -> None:
+        """Remove a registered source."""
+        self.catalog.unregister(alias)
+
+    def sources(self) -> List[str]:
+        """Aliases of all registered sources."""
+        return self.catalog.aliases()
+
+    def relation(self, alias: str) -> Relation:
+        """The relational form of one registered source."""
+        return self.catalog.fetch(alias)
+
+    # -- resolution functions ----------------------------------------------------------
+
+    def register_resolution_function(self, function: ResolutionFunction, replace: bool = False) -> None:
+        """Add a custom conflict-resolution function (HumMer is extensible)."""
+        self.registry.register(function, replace=replace)
+
+    def resolution_functions(self) -> List[str]:
+        """Names of every available resolution function."""
+        return self.registry.names()
+
+    # -- querying ----------------------------------------------------------------------
+
+    def query(self, query_text: str) -> Relation:
+        """Run a Fuse By / SQL statement and return the result relation."""
+        return self._executor.execute(query_text)
+
+    def explain(self, query_text: str):
+        """Parse and plan a statement without executing it."""
+        return self._executor.explain(query_text)
+
+    def fuse(
+        self,
+        aliases: Sequence[str],
+        resolutions: Optional[
+            Dict[str, Union[str, Tuple[str, Sequence[Any]], ResolutionFunction]]
+        ] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> PipelineResult:
+        """Run the fully automatic pipeline over *aliases* and return all artefacts.
+
+        ``resolutions`` maps column names (of the preferred schema) to
+        resolution functions; unmentioned columns use Coalesce.
+        """
+        specs = [
+            ResolutionSpec(column, function)
+            for column, function in (resolutions or {}).items()
+        ]
+        spec = FusionSpec(resolutions=specs) if specs else None
+        return self.pipeline().run(aliases, spec=spec, metadata=metadata)
+
+    def pipeline(self, **overrides) -> FusionPipeline:
+        """A :class:`FusionPipeline` bound to this instance's catalog and settings.
+
+        Keyword overrides are passed through to the pipeline constructor
+        (e.g. ``adjust_matching=...`` hooks for the interactive flow).
+        """
+        options = {
+            "matcher": self.matcher,
+            "detector": self.detector,
+            "registry": self.registry,
+        }
+        options.update(overrides)
+        return FusionPipeline(self.catalog, **options)

@@ -1,0 +1,50 @@
+"""Instance-based (duplicate-driven) schema matching — the DUMAS component.
+
+The first fully automated HumMer phase (paper §2.2): given heterogeneous
+tables that are assumed to contain some duplicates,
+
+1. :mod:`repro.matching.duplicate_seed` treats each tuple as one string and
+   ranks cross-table tuple pairs by TF-IDF cosine similarity; the top pairs
+   are the *seed duplicates*.
+2. :mod:`repro.matching.field_matrix` compares each seed duplicate field by
+   field with SoftTFIDF, producing one attribute-similarity matrix per seed;
+   the matrices are averaged.
+3. :mod:`repro.matching.assignment` computes a maximum-weight bipartite
+   matching over the averaged matrix (Hungarian algorithm, implemented from
+   scratch), yielding 1:1 attribute correspondences; correspondences below a
+   threshold are pruned.
+4. :mod:`repro.matching.transform` renames matched attributes to the
+   preferred schema, adds the ``sourceID`` column and computes the full outer
+   union — the input expected by duplicate detection.
+
+:class:`DumasMatcher` ties steps 1–3 together; :class:`MultiMatcher` extends
+the pairwise algorithm to more than two relations by matching every relation
+against the preferred (first) one, as the paper's demo does.
+"""
+
+from repro.matching.correspondences import Correspondence, CorrespondenceSet
+from repro.matching.duplicate_seed import DuplicateSeeder, SeedPair
+from repro.matching.field_matrix import FieldSimilarityMatrix, build_field_matrix, average_matrices
+from repro.matching.assignment import hungarian_max_weight, maximum_weight_matching
+from repro.matching.dumas import DumasMatcher, MatchingResult
+from repro.matching.multi import MultiMatcher, MultiMatchingResult
+from repro.matching.transform import SOURCE_ID_COLUMN, apply_correspondences, transform_sources
+
+__all__ = [
+    "Correspondence",
+    "CorrespondenceSet",
+    "DuplicateSeeder",
+    "SeedPair",
+    "FieldSimilarityMatrix",
+    "build_field_matrix",
+    "average_matrices",
+    "hungarian_max_weight",
+    "maximum_weight_matching",
+    "DumasMatcher",
+    "MatchingResult",
+    "MultiMatcher",
+    "MultiMatchingResult",
+    "SOURCE_ID_COLUMN",
+    "apply_correspondences",
+    "transform_sources",
+]

@@ -1,0 +1,110 @@
+"""Maximum-weight bipartite matching (Hungarian algorithm, from scratch).
+
+DUMAS derives 1:1 attribute correspondences by computing the maximum-weight
+matching over the averaged field-similarity matrix.  We implement the
+Hungarian (Kuhn-Munkres) algorithm directly rather than relying on an
+external solver, as required for a self-contained reproduction; a small
+wrapper exposes the result as index pairs restricted to strictly positive
+weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["hungarian_max_weight", "maximum_weight_matching"]
+
+
+def _hungarian_min_cost(cost: np.ndarray) -> List[Tuple[int, int]]:
+    """Solve the square assignment problem minimising total cost.
+
+    Implementation of the O(n^3) Hungarian algorithm using potentials
+    (Jonker-style shortest augmenting paths).  Returns a full assignment of
+    rows to columns.
+    """
+    size = cost.shape[0]
+    # potentials for rows (u) and columns (v); way[j] remembers the previous
+    # column on the augmenting path; matching[j] is the row assigned to column j.
+    u = np.zeros(size + 1)
+    v = np.zeros(size + 1)
+    matching = np.full(size + 1, -1, dtype=int)
+    way = np.zeros(size + 1, dtype=int)
+
+    for row in range(size):
+        matching[size] = row
+        j0 = size
+        minv = np.full(size + 1, np.inf)
+        used = np.zeros(size + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = matching[j0]
+            delta = np.inf
+            j1 = -1
+            for j in range(size):
+                if used[j]:
+                    continue
+                current = cost[i0, j] - u[i0] - v[j]
+                if current < minv[j]:
+                    minv[j] = current
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(size + 1):
+                if used[j]:
+                    u[matching[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if matching[j0] == -1:
+                break
+        # augment along the path
+        while True:
+            j1 = way[j0]
+            matching[j0] = matching[j1]
+            j0 = j1
+            if j0 == size:
+                break
+
+    return [(int(matching[j]), j) for j in range(size) if matching[j] != -1]
+
+
+def hungarian_max_weight(weights: np.ndarray) -> List[Tuple[int, int]]:
+    """Maximum-weight assignment on a (possibly rectangular) weight matrix.
+
+    The matrix is padded to square with zeros; the returned pairs are
+    restricted to real rows/columns.  Pairs with zero or negative weight are
+    kept here (callers prune); use :func:`maximum_weight_matching` to drop
+    them.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.size == 0:
+        return []
+    rows, cols = weights.shape
+    size = max(rows, cols)
+    padded = np.zeros((size, size))
+    padded[:rows, :cols] = weights
+    # maximise weight == minimise (max - weight)
+    cost = padded.max() - padded
+    assignment = _hungarian_min_cost(cost)
+    return [(i, j) for i, j in assignment if i < rows and j < cols]
+
+
+def maximum_weight_matching(
+    weights: np.ndarray, min_weight: float = 0.0
+) -> List[Tuple[int, int, float]]:
+    """1:1 matching maximising total weight, dropping pairs at or below *min_weight*.
+
+    Returns ``(row, column, weight)`` triples sorted by descending weight.
+    """
+    weights = np.asarray(weights, dtype=float)
+    triples = [
+        (i, j, float(weights[i, j]))
+        for i, j in hungarian_max_weight(weights)
+        if weights[i, j] > min_weight
+    ]
+    triples.sort(key=lambda triple: triple[2], reverse=True)
+    return triples

@@ -1,0 +1,135 @@
+"""Attribute correspondences between heterogeneous schemata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Correspondence", "CorrespondenceSet"]
+
+
+@dataclass(frozen=True)
+class Correspondence:
+    """A 1:1 correspondence between an attribute of two relations.
+
+    Attributes:
+        left_relation / left_attribute: the preferred side.
+        right_relation / right_attribute: the non-preferred side (will be
+            renamed to the preferred attribute name during transformation).
+        score: similarity score in ``[0, 1]`` that produced the match.
+        origin: ``"instance"`` (derived from duplicates), ``"name"``
+            (label-based baseline) or ``"manual"`` (user adjustment).
+    """
+
+    left_relation: str
+    left_attribute: str
+    right_relation: str
+    right_attribute: str
+    score: float = 1.0
+    origin: str = "instance"
+
+    def as_pair(self) -> Tuple[str, str]:
+        """The attribute pair ``(left_attribute, right_attribute)``."""
+        return (self.left_attribute, self.right_attribute)
+
+    def reversed(self) -> "Correspondence":
+        """The same correspondence seen from the other side."""
+        return Correspondence(
+            left_relation=self.right_relation,
+            left_attribute=self.right_attribute,
+            right_relation=self.left_relation,
+            right_attribute=self.left_attribute,
+            score=self.score,
+            origin=self.origin,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.left_relation}.{self.left_attribute} ≈ "
+            f"{self.right_relation}.{self.right_attribute} ({self.score:.2f})"
+        )
+
+
+class CorrespondenceSet:
+    """A collection of correspondences with the user-adjustment operations
+    the demo exposes (add missing, delete false)."""
+
+    def __init__(self, correspondences: Iterable[Correspondence] = ()):
+        self._items: List[Correspondence] = list(correspondences)
+
+    def __iter__(self) -> Iterator[Correspondence]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __repr__(self) -> str:
+        return f"CorrespondenceSet({len(self._items)} correspondences)"
+
+    @property
+    def items(self) -> List[Correspondence]:
+        """The correspondences as a list (copy)."""
+        return list(self._items)
+
+    def add(self, correspondence: Correspondence) -> None:
+        """Add a correspondence (the demo's "manually add missing")."""
+        self._items.append(correspondence)
+
+    def remove(self, left_attribute: str, right_attribute: str) -> bool:
+        """Remove the correspondence between the two attributes; returns whether one was removed."""
+        before = len(self._items)
+        self._items = [
+            c
+            for c in self._items
+            if not (
+                c.left_attribute.lower() == left_attribute.lower()
+                and c.right_attribute.lower() == right_attribute.lower()
+            )
+        ]
+        return len(self._items) < before
+
+    def filtered(self, threshold: float) -> "CorrespondenceSet":
+        """Correspondences with score at or above *threshold*."""
+        return CorrespondenceSet([c for c in self._items if c.score >= threshold])
+
+    def for_relation(self, relation_name: str) -> "CorrespondenceSet":
+        """Correspondences whose non-preferred side is *relation_name*."""
+        return CorrespondenceSet(
+            [c for c in self._items if c.right_relation.lower() == relation_name.lower()]
+        )
+
+    def rename_mapping(self, relation_name: str) -> Dict[str, str]:
+        """Mapping right-attribute → left-attribute for one non-preferred relation.
+
+        This is the mapping the transformation step feeds to the Rename
+        operator.  Identity pairs are skipped.
+        """
+        mapping = {}
+        for correspondence in self.for_relation(relation_name):
+            if correspondence.right_attribute.lower() != correspondence.left_attribute.lower():
+                mapping[correspondence.right_attribute] = correspondence.left_attribute
+        return mapping
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        """All ``(left_attribute, right_attribute)`` pairs."""
+        return [c.as_pair() for c in self._items]
+
+    def best_for(self, left_attribute: str) -> Optional[Correspondence]:
+        """Highest-scoring correspondence for a preferred-side attribute."""
+        candidates = [
+            c for c in self._items if c.left_attribute.lower() == left_attribute.lower()
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda c: c.score)
+
+    def merge(self, other: "CorrespondenceSet") -> "CorrespondenceSet":
+        """Union of two correspondence sets (no dedup beyond exact equality)."""
+        merged = list(self._items)
+        for correspondence in other:
+            if correspondence not in merged:
+                merged.append(correspondence)
+        return CorrespondenceSet(merged)

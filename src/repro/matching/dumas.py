@@ -1,0 +1,118 @@
+"""The DUMAS schema matcher: seed duplicates → field matrices → matching.
+
+This is the pairwise algorithm of Bilke & Naumann (ICDE 2005) as summarised
+in the HumMer paper §2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.engine.relation import Relation
+from repro.engine.types import is_null
+from repro.exceptions import InsufficientDuplicatesError
+from repro.matching.assignment import maximum_weight_matching
+from repro.matching.correspondences import Correspondence, CorrespondenceSet
+from repro.matching.duplicate_seed import DuplicateSeeder, SeedPair
+from repro.matching.field_matrix import (
+    FieldSimilarityMatrix,
+    average_matrices,
+    build_field_matrix,
+)
+from repro.similarity.soft_tfidf import SoftTfIdfSimilarity
+
+__all__ = ["MatchingResult", "DumasMatcher"]
+
+
+@dataclass
+class MatchingResult:
+    """Everything the matching phase produces (for inspection/adjustment in the demo).
+
+    Attributes:
+        correspondences: the pruned 1:1 correspondences.
+        seeds: the seed duplicate pairs that drove the matching.
+        matrix: the averaged field-similarity matrix.
+    """
+
+    correspondences: CorrespondenceSet
+    seeds: List[SeedPair] = field(default_factory=list)
+    matrix: Optional[FieldSimilarityMatrix] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchingResult({len(self.correspondences)} correspondences "
+            f"from {len(self.seeds)} seed duplicates)"
+        )
+
+
+class DumasMatcher:
+    """Pairwise instance-based schema matcher.
+
+    Args:
+        max_seeds: number of seed duplicates to use (more seeds → more robust
+            correspondences, more comparisons).
+        min_seed_similarity: whole-tuple TF-IDF threshold below which a pair
+            is not trusted as a seed.
+        correspondence_threshold: correspondences with an averaged field
+            similarity below this are pruned (paper: "correspondences with a
+            similarity score below a given threshold are pruned").
+        field_measure: optional override for the field comparison measure
+            (default: SoftTFIDF fitted on both relations' values).
+    """
+
+    def __init__(
+        self,
+        max_seeds: int = 10,
+        min_seed_similarity: float = 0.25,
+        correspondence_threshold: float = 0.35,
+        field_measure: Optional[Callable[[str, str], float]] = None,
+    ):
+        self.max_seeds = max_seeds
+        self.min_seed_similarity = min_seed_similarity
+        self.correspondence_threshold = correspondence_threshold
+        self.field_measure = field_measure
+        self.seeder = DuplicateSeeder(
+            max_seeds=max_seeds, min_similarity=min_seed_similarity
+        )
+
+    def match(self, left: Relation, right: Relation) -> MatchingResult:
+        """Derive attribute correspondences between *left* (preferred) and *right*.
+
+        Raises:
+            InsufficientDuplicatesError: if no seed duplicates at all could be
+                found — the caller may fall back to a name-based matcher or
+                ask the user.
+        """
+        seeds = self.seeder.find_seeds(left, right)
+        if not seeds:
+            raise InsufficientDuplicatesError(
+                f"no overlapping tuples found between {left.name or 'left'!r} and "
+                f"{right.name or 'right'!r}; instance-based matching needs shared objects"
+            )
+        measure = self.field_measure or self._default_measure(left, right)
+        matrices = [build_field_matrix(left, right, seed, measure=measure) for seed in seeds]
+        averaged = average_matrices(matrices)
+        triples = maximum_weight_matching(
+            averaged.scores, min_weight=self.correspondence_threshold
+        )
+        correspondences = CorrespondenceSet(
+            Correspondence(
+                left_relation=left.name or "left",
+                left_attribute=averaged.left_attributes[i],
+                right_relation=right.name or "right",
+                right_attribute=averaged.right_attributes[j],
+                score=score,
+                origin="instance",
+            )
+            for i, j, score in triples
+        )
+        return MatchingResult(correspondences=correspondences, seeds=seeds, matrix=averaged)
+
+    @staticmethod
+    def _default_measure(left: Relation, right: Relation) -> Callable[[str, str], float]:
+        corpus: List[str] = []
+        for relation in (left, right):
+            for values in relation.rows:
+                corpus.extend(str(value) for value in values if not is_null(value))
+        return SoftTfIdfSimilarity(corpus=corpus).compare

@@ -1,0 +1,124 @@
+"""Seed-duplicate discovery in unaligned tables (DUMAS step 1).
+
+"DUMAS considers a tuple as one string and applies a string similarity
+measure to extract the most similar tuple pairs.  From the information
+retrieval field we adopt the well-known TFIDF similarity for comparing
+records.  Experimental evaluation shows that the most similar tuples are in
+fact duplicates." (paper §2.2)
+
+The goal is *not* to find all duplicates — only enough high-precision seeds
+for schema matching; exhaustive duplicate detection happens later in
+:mod:`repro.dedup`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.relation import Relation
+from repro.engine.types import is_null
+from repro.similarity.tfidf import TfIdfVectorizer, cosine_similarity
+
+__all__ = ["SeedPair", "DuplicateSeeder", "tuple_to_string"]
+
+
+def tuple_to_string(values: Sequence, exclude_positions: Sequence[int] = ()) -> str:
+    """Render a tuple as a single whitespace-joined string (nulls skipped)."""
+    excluded = set(exclude_positions)
+    parts = []
+    for position, value in enumerate(values):
+        if position in excluded or is_null(value):
+            continue
+        parts.append(str(value))
+    return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SeedPair:
+    """A candidate duplicate across two relations, found without aligned schemata."""
+
+    left_index: int
+    right_index: int
+    similarity: float
+
+    def __lt__(self, other: "SeedPair") -> bool:  # heap ordering
+        return self.similarity < other.similarity
+
+
+class DuplicateSeeder:
+    """Finds the top-k most similar cross-table tuple pairs by whole-tuple TF-IDF.
+
+    Args:
+        max_seeds: how many seed pairs to return (the k of top-k).
+        min_similarity: pairs below this cosine similarity are never returned,
+            even if fewer than *max_seeds* pairs qualify.
+        max_tuples_per_relation: optional cap; larger relations are sampled by
+            taking every n-th tuple, keeping the seeding cost bounded
+            (the efficiency point the DUMAS paper makes).
+    """
+
+    def __init__(
+        self,
+        max_seeds: int = 10,
+        min_similarity: float = 0.25,
+        max_tuples_per_relation: Optional[int] = 500,
+    ):
+        if max_seeds < 1:
+            raise ValueError("max_seeds must be at least 1")
+        self.max_seeds = max_seeds
+        self.min_similarity = min_similarity
+        self.max_tuples_per_relation = max_tuples_per_relation
+
+    def find_seeds(self, left: Relation, right: Relation) -> List[SeedPair]:
+        """Return the top seed pairs between *left* and *right*, best first."""
+        left_indices = self._sample_indices(len(left))
+        right_indices = self._sample_indices(len(right))
+        left_strings = [tuple_to_string(left.rows[i]) for i in left_indices]
+        right_strings = [tuple_to_string(right.rows[i]) for i in right_indices]
+
+        vectorizer = TfIdfVectorizer()
+        vectorizer.fit(left_strings + right_strings)
+        left_vectors = [vectorizer.transform(text) for text in left_strings]
+        right_vectors = [vectorizer.transform(text) for text in right_strings]
+
+        # Invert the right-hand vectors so only pairs sharing at least one
+        # term are scored (sparse dot products), instead of all |L| x |R|.
+        postings: dict = {}
+        for position, vector in enumerate(right_vectors):
+            for term in vector:
+                postings.setdefault(term, set()).add(position)
+
+        heap: List[Tuple[float, int, int]] = []
+        for left_position, left_vector in enumerate(left_vectors):
+            candidates = set()
+            for term in left_vector:
+                candidates.update(postings.get(term, ()))
+            for right_position in candidates:
+                similarity = cosine_similarity(left_vector, right_vectors[right_position])
+                if similarity < self.min_similarity:
+                    continue
+                entry = (similarity, left_position, right_position)
+                if len(heap) < self.max_seeds:
+                    heapq.heappush(heap, entry)
+                elif entry > heap[0]:
+                    heapq.heapreplace(heap, entry)
+
+        pairs = [
+            SeedPair(
+                left_index=left_indices[left_position],
+                right_index=right_indices[right_position],
+                similarity=similarity,
+            )
+            for similarity, left_position, right_position in heap
+        ]
+        pairs.sort(key=lambda pair: pair.similarity, reverse=True)
+        return pairs
+
+    def _sample_indices(self, size: int) -> List[int]:
+        limit = self.max_tuples_per_relation
+        if limit is None or size <= limit:
+            return list(range(size))
+        step = max(1, size // limit)
+        return list(range(0, size, step))[:limit]

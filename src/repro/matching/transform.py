@@ -1,0 +1,71 @@
+"""Data transformation after schema matching.
+
+"Without loss of generality, we assume that one schema is the preferred
+schema, which determines the names of attributes that semantically appear in
+multiple sources.  The attributes in the non-preferred schema that
+participate in a correspondence are renamed accordingly.  All tables receive
+an additional sourceID attribute, which is required in later stages.
+Finally, the full outer union of all tables is computed." (paper §2.2)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.operators.union import outer_union
+from repro.engine.relation import Relation
+from repro.engine.schema import Column
+from repro.engine.types import DataType
+from repro.matching.correspondences import CorrespondenceSet
+
+__all__ = ["SOURCE_ID_COLUMN", "apply_correspondences", "add_source_id", "transform_sources"]
+
+#: Name of the provenance column added to every table before the outer union.
+SOURCE_ID_COLUMN = "sourceID"
+
+
+def apply_correspondences(
+    relation: Relation, correspondences: CorrespondenceSet, preferred_name: str
+) -> Relation:
+    """Rename the attributes of a non-preferred relation to the preferred names."""
+    if relation.name and relation.name == preferred_name:
+        return relation
+    mapping = correspondences.rename_mapping(relation.name)
+    # Never rename onto a column the relation already has under another name
+    # (would collide); such cases are left to the outer union's padding.
+    safe_mapping: Dict[str, str] = {}
+    taken = {name.lower() for name in relation.schema.names}
+    for old, new in mapping.items():
+        if new.lower() in taken and new.lower() != old.lower():
+            continue
+        safe_mapping[old] = new
+    if not safe_mapping:
+        return relation
+    return relation.rename_columns(safe_mapping)
+
+
+def add_source_id(relation: Relation, alias: Optional[str] = None) -> Relation:
+    """Append the ``sourceID`` column holding the source alias for every tuple."""
+    if relation.schema.has_column(SOURCE_ID_COLUMN):
+        return relation
+    value = alias if alias is not None else (relation.name or "unknown")
+    return relation.with_column(Column(SOURCE_ID_COLUMN, DataType.STRING), value)
+
+
+def transform_sources(
+    relations: Sequence[Relation],
+    correspondences: CorrespondenceSet,
+    preferred_name: Optional[str] = None,
+) -> Relation:
+    """Rename, tag with sourceID and outer-union all source relations.
+
+    The result is the single table handed to duplicate detection.
+    """
+    if not relations:
+        raise ValueError("need at least one relation to transform")
+    preferred = preferred_name or relations[0].name
+    transformed: List[Relation] = []
+    for relation in relations:
+        renamed = apply_correspondences(relation, correspondences, preferred)
+        transformed.append(add_source_id(renamed, relation.name))
+    return outer_union(transformed, name="fused_input")

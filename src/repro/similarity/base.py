@@ -1,0 +1,27 @@
+"""Similarity measure interfaces."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+__all__ = ["SimilarityMeasure", "TokenSimilarity"]
+
+
+class SimilarityMeasure(abc.ABC):
+    """A normalised similarity between two strings: ``compare(a, b) ∈ [0, 1]``."""
+
+    @abc.abstractmethod
+    def compare(self, left: str, right: str) -> float:
+        """Return the similarity of the two strings (1 = identical)."""
+
+    def __call__(self, left: str, right: str) -> float:
+        return self.compare(left, right)
+
+
+class TokenSimilarity(abc.ABC):
+    """A normalised similarity between two token sequences."""
+
+    @abc.abstractmethod
+    def compare_tokens(self, left: Sequence[str], right: Sequence[str]) -> float:
+        """Return the similarity of the two token sequences (1 = identical)."""

@@ -1,0 +1,69 @@
+"""Levenshtein (edit) distance and the derived normalised similarity.
+
+The duplicate-detection similarity measure uses edit distance for textual
+attribute values (paper §2.3, "data similarity between matched attributes
+using edit distance and numerical distance functions").
+"""
+
+from __future__ import annotations
+
+from repro.similarity.base import SimilarityMeasure
+from repro.similarity.tokenize import normalize_text
+
+__all__ = ["levenshtein_distance", "levenshtein_similarity", "LevenshteinSimilarity"]
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Minimum number of single-character edits turning *left* into *right*.
+
+    Classic two-row dynamic program, O(len(left) * len(right)).
+    """
+    left = "" if left is None else str(left)
+    right = "" if right is None else str(right)
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    if len(left) < len(right):
+        left, right = right, left
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        for j, right_char in enumerate(right, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (left_char != right_char)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(left: str, right: str, normalize: bool = True) -> float:
+    """Edit distance scaled to ``[0, 1]``: ``1 - distance / max(len)``.
+
+    With *normalize* the strings are case-folded and accent-stripped first.
+    """
+    if normalize:
+        left = normalize_text(left)
+        right = normalize_text(right)
+    else:
+        left = "" if left is None else str(left)
+        right = "" if right is None else str(right)
+    if not left and not right:
+        return 1.0
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(left, right) / longest
+
+
+class LevenshteinSimilarity(SimilarityMeasure):
+    """Object wrapper around :func:`levenshtein_similarity`."""
+
+    def __init__(self, normalize: bool = True):
+        self.normalize = normalize
+
+    def compare(self, left: str, right: str) -> float:
+        return levenshtein_similarity(left, right, normalize=self.normalize)

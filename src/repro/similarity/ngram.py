@@ -1,0 +1,33 @@
+"""Character n-gram similarity."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.similarity.base import SimilarityMeasure
+from repro.similarity.tokenize import qgrams
+
+__all__ = ["ngram_similarity", "NgramSimilarity"]
+
+
+def ngram_similarity(left: str, right: str, size: int = 3) -> float:
+    """Dice coefficient over padded character q-grams, in ``[0, 1]``."""
+    left_grams = Counter(qgrams(left, size=size))
+    right_grams = Counter(qgrams(right, size=size))
+    if not left_grams and not right_grams:
+        return 1.0
+    if not left_grams or not right_grams:
+        return 0.0
+    overlap = sum((left_grams & right_grams).values())
+    total = sum(left_grams.values()) + sum(right_grams.values())
+    return 2.0 * overlap / total
+
+
+class NgramSimilarity(SimilarityMeasure):
+    """Object wrapper around :func:`ngram_similarity`."""
+
+    def __init__(self, size: int = 3):
+        self.size = size
+
+    def compare(self, left: str, right: str) -> float:
+        return ngram_similarity(left, right, size=self.size)

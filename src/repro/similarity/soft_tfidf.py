@@ -1,0 +1,84 @@
+"""SoftTFIDF similarity (Cohen, Ravikumar & Fienberg, IIWeb 2003).
+
+SoftTFIDF generalises TF-IDF cosine similarity by also crediting token pairs
+that are merely *similar* (under a secondary character-based measure, by
+default Jaro-Winkler) rather than identical:
+
+    CLOSE(θ, S, T)  = tokens w ∈ S such that some v ∈ T has sim(w, v) > θ
+    SoftTFIDF(S, T) = Σ_{w ∈ CLOSE} V(w, S) · V(N(w,T), T) · sim(w, N(w, T))
+
+where ``V(w, S)`` is the normalised TF-IDF weight of ``w`` in ``S`` and
+``N(w, T)`` is the most similar token of ``T``.  HumMer compares the fields
+of seed duplicates with SoftTFIDF to build the attribute-correspondence
+similarity matrix (paper §2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.similarity.base import SimilarityMeasure
+from repro.similarity.jaro import jaro_winkler_similarity
+from repro.similarity.tfidf import TfIdfVectorizer
+from repro.similarity.tokenize import tokenize
+
+__all__ = ["SoftTfIdfSimilarity"]
+
+
+class SoftTfIdfSimilarity(SimilarityMeasure):
+    """SoftTFIDF with a pluggable secondary measure.
+
+    Args:
+        corpus: documents used to fit IDF weights.  When omitted, weights are
+            fitted lazily on each compared pair (TF-only behaviour).
+        secondary: character-level similarity for near-matching tokens.
+        threshold: minimum secondary similarity for a token pair to count as
+            "close" (0.9 in the original paper).
+    """
+
+    def __init__(
+        self,
+        corpus: Optional[Iterable[str]] = None,
+        secondary: Callable[[str, str], float] = jaro_winkler_similarity,
+        threshold: float = 0.9,
+    ):
+        self.vectorizer = TfIdfVectorizer()
+        self.secondary = secondary
+        self.threshold = threshold
+        self._fitted = False
+        if corpus is not None:
+            self.fit(corpus)
+
+    def fit(self, corpus: Iterable[str]) -> "SoftTfIdfSimilarity":
+        """Fit IDF weights on *corpus*."""
+        self.vectorizer.fit(corpus)
+        self._fitted = True
+        return self
+
+    def compare(self, left: str, right: str) -> float:
+        if not self._fitted:
+            self.vectorizer.fit([left, right])
+        left_vector = self.vectorizer.transform(left)
+        right_vector = self.vectorizer.transform(right)
+        if not left_vector or not right_vector:
+            return 1.0 if not left_vector and not right_vector else 0.0
+
+        score = self._directed(left_vector, right_vector)
+        # SoftTFIDF is asymmetric in CLOSE(); use the max of both directions so
+        # compare(a, b) == compare(b, a), which the matching matrix relies on.
+        return min(1.0, max(score, self._directed(right_vector, left_vector)))
+
+    def _directed(self, source: Dict[str, float], target: Dict[str, float]) -> float:
+        total = 0.0
+        for token, source_weight in source.items():
+            if token in target:
+                best_token, best_similarity = token, 1.0
+            else:
+                best_token, best_similarity = None, 0.0
+                for candidate in target:
+                    similarity = self.secondary(token, candidate)
+                    if similarity > best_similarity:
+                        best_token, best_similarity = candidate, similarity
+            if best_token is not None and best_similarity > self.threshold:
+                total += source_weight * target[best_token] * best_similarity
+        return total

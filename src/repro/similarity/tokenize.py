@@ -1,0 +1,38 @@
+"""Tokenisation helpers shared by the similarity measures."""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from typing import List
+
+__all__ = ["normalize_text", "tokenize", "qgrams"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def normalize_text(text: str) -> str:
+    """Lower-case, strip accents and collapse whitespace."""
+    if text is None:
+        return ""
+    decomposed = unicodedata.normalize("NFKD", str(text))
+    stripped = "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+    return re.sub(r"\s+", " ", stripped.lower()).strip()
+
+
+def tokenize(text: str) -> List[str]:
+    """Split *text* into lower-case alphanumeric word tokens."""
+    return _TOKEN_RE.findall(normalize_text(text))
+
+
+def qgrams(text: str, size: int = 3, pad: bool = True) -> List[str]:
+    """Character q-grams of *text* (padded with ``#`` so short strings still produce grams)."""
+    normalized = normalize_text(text)
+    if not normalized:
+        return []
+    if pad:
+        padding = "#" * (size - 1)
+        normalized = f"{padding}{normalized}{padding}"
+    if len(normalized) < size:
+        return [normalized]
+    return [normalized[i : i + size] for i in range(len(normalized) - size + 1)]

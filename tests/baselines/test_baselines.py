@@ -1,0 +1,146 @@
+"""Tests for the comparison baselines (name matcher, naive union, exact dedup, GROUP BY)."""
+
+import pytest
+
+from repro.baselines import (
+    ExactDuplicateDetector,
+    NameBasedMatcher,
+    groupby_fusion,
+    naive_union,
+)
+from repro.engine.relation import Relation
+from repro.matching.correspondences import Correspondence, CorrespondenceSet
+from repro.matching.transform import SOURCE_ID_COLUMN
+
+
+class TestNameBasedMatcher:
+    def test_exact_label_match(self):
+        assert NameBasedMatcher().label_similarity("price", "Price") == 1.0
+
+    def test_synonym_match(self):
+        assert NameBasedMatcher().label_similarity("zip", "postcode") == pytest.approx(0.95)
+
+    def test_substring_containment(self):
+        assert NameBasedMatcher().label_similarity("cd_title", "title") >= 0.7
+
+    def test_underscores_are_word_separators(self):
+        matcher = NameBasedMatcher()
+        assert matcher.label_similarity("student_name", "student name") == 1.0
+
+    def test_match_produces_one_to_one_correspondences(self, ee_students, cs_students):
+        correspondences = NameBasedMatcher().match(ee_students, cs_students)
+        lefts = [c.left_attribute for c in correspondences]
+        assert len(lefts) == len(set(lefts))
+        pairs = {c.as_pair() for c in correspondences}
+        assert ("Email", "Mail") in pairs
+
+    def test_fails_on_opaque_labels_where_instances_would_succeed(self):
+        left = Relation.from_dicts(
+            [{"artist": "Miles Davis", "title": "Kind of Blue"}], name="a"
+        )
+        right = Relation.from_dicts(
+            [{"col_1": "Miles Davis", "col_2": "Kind of Blue"}], name="b"
+        )
+        assert len(NameBasedMatcher().match(left, right)) == 0
+
+    def test_custom_synonyms(self):
+        matcher = NameBasedMatcher(synonyms=[("lehrer", "teacher")])
+        assert matcher.label_similarity("teacher", "lehrer") == pytest.approx(0.95)
+
+
+class TestNaiveUnion:
+    def test_without_correspondences_keeps_all_columns(self, ee_students, cs_students):
+        result = naive_union([ee_students, cs_students])
+        assert len(result) == 7
+        assert "StudentName" in result.schema
+        assert "Name" in result.schema
+
+    def test_with_correspondences_aligns_schemas(self, ee_students, cs_students):
+        correspondences = CorrespondenceSet(
+            [Correspondence("EE_Students", "Name", "CS_Students", "StudentName", 1.0)]
+        )
+        result = naive_union([ee_students, cs_students], correspondences)
+        assert "StudentName" not in result.schema
+        assert SOURCE_ID_COLUMN in result.schema
+        # no fusion: duplicates remain
+        assert result.column("Name").count("Anna Schmidt") == 2
+
+
+class TestExactDuplicateDetector:
+    def test_groups_exact_key_matches(self):
+        relation = Relation.from_dicts(
+            [
+                {"name": "Anna Schmidt", "age": 1},
+                {"name": "anna  schmidt", "age": 2},
+                {"name": "Ben Mueller", "age": 3},
+            ],
+            name="r",
+        )
+        detector = ExactDuplicateDetector(["name"])
+        assignment = detector.assign_clusters(relation)
+        assert assignment[0] == assignment[1]
+        assert assignment[2] != assignment[0]
+
+    def test_misses_typo_duplicates(self):
+        relation = Relation.from_dicts(
+            [{"name": "Anna Schmidt"}, {"name": "Anna Schmitd"}], name="r"
+        )
+        assignment = ExactDuplicateDetector(["name"]).assign_clusters(relation)
+        assert assignment[0] != assignment[1]
+
+    def test_null_keys_stay_singletons(self):
+        relation = Relation.from_dicts(
+            [{"name": None, "x": 1}, {"name": None, "x": 2}], name="r"
+        )
+        assignment = ExactDuplicateDetector(["name"]).assign_clusters(relation)
+        assert assignment[0] != assignment[1]
+
+    def test_detect_appends_object_id(self, ee_students):
+        result = ExactDuplicateDetector(["Name"]).detect(ee_students)
+        assert "objectID" in result.schema
+
+    def test_requires_key_columns(self):
+        with pytest.raises(ValueError):
+            ExactDuplicateDetector([])
+
+    def test_without_normalisation_case_matters(self):
+        relation = Relation.from_dicts([{"name": "Anna"}, {"name": "ANNA"}], name="r")
+        strict = ExactDuplicateDetector(["name"], normalize=False).assign_clusters(relation)
+        assert strict[0] != strict[1]
+
+
+class TestGroupByFusion:
+    def test_collapses_by_key_with_default_aggregate(self):
+        relation = Relation.from_dicts(
+            [
+                {"title": "Abbey Road", "price": 12.99, "year": 1969},
+                {"title": "Abbey Road", "price": 10.99, "year": 1969},
+                {"title": "Kind of Blue", "price": 9.99, "year": 1959},
+            ],
+            name="cds",
+        )
+        result = groupby_fusion(relation, ["title"], aggregate="min")
+        assert len(result) == 2
+        abbey = [row for row in result if row["title"] == "Abbey Road"][0]
+        assert abbey["price"] == 10.99
+
+    def test_per_column_override(self):
+        relation = Relation.from_dicts(
+            [
+                {"title": "X", "price": 10.0, "stock": 3},
+                {"title": "X", "price": 12.0, "stock": 5},
+            ],
+            name="cds",
+        )
+        result = groupby_fusion(
+            relation, ["title"], aggregate="min", per_column={"stock": "max"}
+        )
+        row = result.to_dicts()[0]
+        assert row["price"] == 10.0
+        assert row["stock"] == 5
+
+    def test_dirty_key_leaves_duplicates(self):
+        relation = Relation.from_dicts(
+            [{"title": "Abbey Road"}, {"title": "Abby Road"}], name="cds"
+        )
+        assert len(groupby_fusion(relation, ["title"])) == 2

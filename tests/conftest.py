@@ -1,0 +1,100 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.corruptor import CorruptionConfig
+from repro.datagen.scenarios import cd_stores_scenario, students_scenario
+from repro.engine.catalog import Catalog
+from repro.engine.relation import Relation
+from repro.engine.schema import Column, Schema
+from repro.engine.types import DataType
+from repro.hummer import HumMer
+
+
+@pytest.fixture
+def people_relation() -> Relation:
+    """A small typed relation used across engine tests."""
+    schema = Schema(
+        [
+            Column("name", DataType.STRING),
+            Column("age", DataType.INTEGER),
+            Column("city", DataType.STRING),
+            Column("salary", DataType.FLOAT),
+        ]
+    )
+    rows = [
+        ("Alice", 34, "Berlin", 52000.0),
+        ("Bob", 28, "Hamburg", 48000.0),
+        ("Carol", 41, "Berlin", 61000.0),
+        ("Dave", 28, None, 39000.0),
+        ("Eve", None, "Munich", 45500.0),
+    ]
+    return Relation(schema, rows, name="people")
+
+
+@pytest.fixture
+def ee_students() -> Relation:
+    """The paper's EE_Students example table (preferred schema)."""
+    return Relation.from_dicts(
+        [
+            {"Name": "Anna Schmidt", "Age": 22, "Major": "Electrical Engineering",
+             "Email": "anna.schmidt@hu-berlin.de"},
+            {"Name": "Ben Mueller", "Age": 25, "Major": "Electrical Engineering",
+             "Email": "ben.mueller@hu-berlin.de"},
+            {"Name": "Carla Weber", "Age": 23, "Major": "Electrical Engineering",
+             "Email": "carla.weber@hu-berlin.de"},
+            {"Name": "David Fischer", "Age": 27, "Major": "Electrical Engineering",
+             "Email": "david.fischer@hu-berlin.de"},
+        ],
+        name="EE_Students",
+    )
+
+
+@pytest.fixture
+def cs_students() -> Relation:
+    """The paper's CS_Students example table (heterogeneous schema, overlapping people)."""
+    return Relation.from_dicts(
+        [
+            {"StudentName": "Anna Schmidt", "Years": 23, "Field": "Computer Science",
+             "Mail": "anna.schmidt@hu-berlin.de"},
+            {"StudentName": "Ben Mueller", "Years": 25, "Field": "Computer Science",
+             "Mail": "ben.mueller@hu-berlin.de"},
+            {"StudentName": "Elena Wolf", "Years": 21, "Field": "Computer Science",
+             "Mail": "elena.wolf@hu-berlin.de"},
+        ],
+        name="CS_Students",
+    )
+
+
+@pytest.fixture
+def small_students_dataset():
+    """A generated students dataset with ground truth (small, fast)."""
+    return students_scenario(entity_count=30, corruption=CorruptionConfig.low(), seed=5)
+
+
+@pytest.fixture
+def small_cds_dataset():
+    """A generated CD-store dataset with ground truth (small, fast)."""
+    return cd_stores_scenario(
+        entity_count=40, store_count=2, corruption=CorruptionConfig.low(), seed=9
+    )
+
+
+@pytest.fixture
+def catalog(ee_students, cs_students) -> Catalog:
+    """A catalog with the EE/CS student tables registered."""
+    cat = Catalog()
+    cat.register("EE_Students", ee_students)
+    cat.register("CS_Students", cs_students)
+    return cat
+
+
+@pytest.fixture
+def hummer(ee_students, cs_students) -> HumMer:
+    """A HumMer instance with the EE/CS student tables registered."""
+    instance = HumMer()
+    instance.register("EE_Students", ee_students)
+    instance.register("CS_Students", cs_students)
+    return instance

@@ -1,0 +1,167 @@
+"""Tests for the fusion operator, conflicts, and lineage."""
+
+import pytest
+
+from repro.core.conflicts import ConflictKind, find_conflicts
+from repro.core.fusion import FusionOperator, FusionSpec, ResolutionSpec, fuse
+from repro.core.lineage import trace_cell_lineage
+from repro.core.resolution import Choose
+from repro.engine.relation import Relation
+from repro.exceptions import FusionError
+
+
+@pytest.fixture
+def clustered():
+    """A relation as it leaves duplicate detection: sourceID + objectID present."""
+    return Relation.from_dicts(
+        [
+            {"objectID": 0, "name": "Anna Schmidt", "age": 22, "city": "Berlin", "sourceID": "ee"},
+            {"objectID": 0, "name": "Anna Schmidt", "age": 23, "city": None, "sourceID": "cs"},
+            {"objectID": 1, "name": "Ben Mueller", "age": 25, "city": "Hamburg", "sourceID": "ee"},
+            {"objectID": 2, "name": "Elena Wolf", "age": 21, "city": None, "sourceID": "cs"},
+        ],
+        name="students",
+    )
+
+
+class TestFusionOperator:
+    def test_one_tuple_per_object(self, clustered):
+        result = fuse(clustered, ["objectID"])
+        assert len(result.relation) == 3
+        assert result.input_tuple_count == 4
+        assert result.compression_ratio == pytest.approx(4 / 3)
+
+    def test_default_coalesce_fills_nulls(self, clustered):
+        result = fuse(clustered, ["objectID"])
+        anna = result.relation.to_dicts()[0]
+        assert anna["city"] == "Berlin"  # null from cs filled by ee
+
+    def test_star_expansion_skips_bookkeeping_columns(self, clustered):
+        result = fuse(clustered, ["objectID"])
+        assert "sourceID" not in result.relation.schema
+        assert set(result.relation.column_names) == {"objectID", "name", "age", "city"}
+
+    def test_explicit_resolution_max(self, clustered):
+        result = fuse(clustered, ["objectID"], resolutions={"name": "coalesce", "age": "max"})
+        anna = result.relation.to_dicts()[0]
+        assert anna["age"] == 23
+        assert set(result.relation.column_names) == {"objectID", "name", "age"}
+
+    def test_parameterised_resolution_choose(self, clustered):
+        result = fuse(
+            clustered,
+            ["objectID"],
+            resolutions={"age": ("choose", ["cs"]), "name": "coalesce"},
+        )
+        assert result.relation.to_dicts()[0]["age"] == 23
+
+    def test_resolution_function_instance(self, clustered):
+        result = fuse(clustered, ["objectID"], resolutions={"age": Choose("cs")})
+        assert result.relation.to_dicts()[0]["age"] == 23
+
+    def test_alias_renames_output_column(self, clustered):
+        spec = FusionSpec(
+            key_columns=["objectID"],
+            resolutions=[ResolutionSpec("age", "max", alias="oldest_age")],
+        )
+        result = FusionOperator(spec).fuse(clustered)
+        assert "oldest_age" in result.relation.schema
+
+    def test_fusing_on_natural_key(self, clustered):
+        result = fuse(clustered, ["name"])
+        assert len(result.relation) == 3
+        assert "name" in result.relation.schema
+
+    def test_missing_key_column_raises(self, clustered):
+        with pytest.raises(FusionError):
+            fuse(clustered, ["ghost"])
+
+    def test_missing_resolution_column_raises(self, clustered):
+        with pytest.raises(FusionError):
+            fuse(clustered, ["objectID"], resolutions={"ghost": "max"})
+
+    def test_conflict_count(self, clustered):
+        result = fuse(clustered, ["objectID"])
+        # only the age of Anna truly conflicts (22 vs 23)
+        assert result.resolved_conflict_count == 1
+
+    def test_keep_source_column(self, clustered):
+        spec = FusionSpec(key_columns=["objectID"], keep_source_column=True)
+        result = FusionOperator(spec).fuse(clustered)
+        assert "sourceID" in result.relation.schema
+
+    def test_empty_relation(self):
+        relation = Relation.from_dicts([], name="empty")
+        relation = relation.with_column("objectID", [])
+        result = fuse(relation, ["objectID"])
+        assert len(result.relation) == 0
+
+
+class TestLineage:
+    def test_single_source_lineage(self, clustered):
+        result = fuse(clustered, ["objectID"])
+        lineage = result.lineage.lookup(0, "city")
+        assert lineage.sources == frozenset({"ee"})
+        assert not lineage.merged
+        assert lineage.single_source == "ee"
+
+    def test_merged_lineage_for_computed_values(self, clustered):
+        result = fuse(clustered, ["objectID"], resolutions={"age": "avg"})
+        lineage = result.lineage.lookup(0, "age")
+        assert lineage.sources == frozenset({"ee", "cs"})
+        assert lineage.merged
+
+    def test_agreeing_sources_are_both_recorded(self, clustered):
+        result = fuse(clustered, ["objectID"])
+        lineage = result.lineage.lookup(0, "name")
+        assert lineage.sources == frozenset({"ee", "cs"})
+
+    def test_lineage_map_queries(self, clustered):
+        result = fuse(clustered, ["objectID"])
+        assert set(result.lineage.sources_used()) == {"ee", "cs"}
+        assert len(result.lineage) == 3 * 3  # 3 objects x 3 value columns
+        assert all(cell.merged for cell in result.lineage.merged_cells())
+
+    def test_trace_null_result_has_empty_lineage(self):
+        lineage = trace_cell_lineage("c", 1, None, [None, None], ["a", "b"])
+        assert lineage.sources == frozenset()
+        assert not lineage.merged
+
+
+class TestConflictReport:
+    def test_find_conflicts_classifies_kinds(self, clustered):
+        report = find_conflicts(clustered)
+        assert report.cluster_count == 3
+        assert report.multi_tuple_cluster_count == 1
+        kinds = {(c.column, c.kind) for c in report.conflicts}
+        assert ("age", ConflictKind.CONTRADICTION) in kinds
+        assert ("city", ConflictKind.UNCERTAINTY) in kinds
+        assert all(c.column != "name" for c in report.conflicts)
+
+    def test_counts_and_by_column(self, clustered):
+        report = find_conflicts(clustered)
+        assert report.contradiction_count == 1
+        assert report.uncertainty_count == 1
+        assert set(report.by_column()) == {"age", "city"}
+
+    def test_sample_returns_contradictions_only(self, clustered):
+        sample = find_conflicts(clustered).sample(5)
+        assert all(c.kind is ConflictKind.CONTRADICTION for c in sample)
+
+    def test_ignore_columns(self, clustered):
+        report = find_conflicts(clustered, ignore_columns=["age"])
+        assert report.contradiction_count == 0
+
+    def test_conflict_str_and_distinct_values(self, clustered):
+        report = find_conflicts(clustered)
+        conflict = [c for c in report.conflicts if c.column == "age"][0]
+        assert set(conflict.distinct_values) == {22, 23}
+        assert "age" in str(conflict)
+
+    def test_source_column_absent(self):
+        relation = Relation.from_dicts(
+            [{"objectID": 0, "v": 1}, {"objectID": 0, "v": 2}], name="r"
+        )
+        report = find_conflicts(relation)
+        assert report.contradiction_count == 1
+        assert report.conflicts[0].sources == [None, None]

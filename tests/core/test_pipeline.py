@@ -1,0 +1,136 @@
+"""Tests for the six-step fusion pipeline (Fig. 2)."""
+
+import pytest
+
+from repro.core.fusion import FusionSpec, ResolutionSpec
+from repro.core.pipeline import FusionPipeline
+from repro.dedup.detector import OBJECT_ID_COLUMN, DuplicateDetector
+from repro.engine.catalog import Catalog
+from repro.exceptions import HummerError
+from repro.matching.transform import SOURCE_ID_COLUMN
+
+
+def make_pipeline(catalog, **overrides):
+    """Pipeline over the EE/CS demo tables (default settings)."""
+    overrides.setdefault("detector", DuplicateDetector())
+    return FusionPipeline(catalog, **overrides)
+
+
+class TestPipelineSteps:
+    def test_choose_sources(self, catalog):
+        pipeline = FusionPipeline(catalog)
+        sources = pipeline.step_choose_sources(["EE_Students", "CS_Students"])
+        assert [s.name for s in sources] == ["EE_Students", "CS_Students"]
+
+    def test_choose_sources_requires_aliases(self, catalog):
+        with pytest.raises(HummerError):
+            FusionPipeline(catalog).step_choose_sources([])
+
+    def test_schema_matching_step(self, catalog):
+        pipeline = FusionPipeline(catalog)
+        sources = pipeline.step_choose_sources(["EE_Students", "CS_Students"])
+        matching = pipeline.step_schema_matching(sources)
+        assert matching is not None
+        assert len(matching.correspondences) >= 2
+
+    def test_schema_matching_skipped_for_single_source(self, catalog):
+        pipeline = FusionPipeline(catalog)
+        sources = pipeline.step_choose_sources(["EE_Students"])
+        assert pipeline.step_schema_matching(sources) is None
+
+    def test_transform_step_adds_source_id(self, catalog):
+        pipeline = FusionPipeline(catalog)
+        sources = pipeline.step_choose_sources(["EE_Students", "CS_Students"])
+        matching = pipeline.step_schema_matching(sources)
+        combined = pipeline.step_transform(sources, matching)
+        assert SOURCE_ID_COLUMN in combined.schema
+        assert len(combined) == 7
+
+    def test_detection_step_adds_object_id(self, catalog):
+        pipeline = make_pipeline(catalog)
+        sources = pipeline.step_choose_sources(["EE_Students", "CS_Students"])
+        combined = pipeline.step_transform(sources, pipeline.step_schema_matching(sources))
+        selection = pipeline.step_attribute_selection(combined)
+        detection = pipeline.step_duplicate_detection(combined, selection)
+        assert OBJECT_ID_COLUMN in detection.relation.schema
+        # Anna and Ben appear in both faculties: 7 tuples, 5 real persons
+        assert detection.cluster_count == 5
+
+
+class TestPipelineRun:
+    def test_full_run_produces_clean_result(self, catalog):
+        result = make_pipeline(catalog).run(["EE_Students", "CS_Students"])
+        assert len(result.relation) == 5
+        assert result.fusion.output_tuple_count == 5
+        names = set(result.relation.column("Name"))
+        assert "Anna Schmidt" in names
+        assert "Elena Wolf" in names
+
+    def test_run_with_explicit_resolution(self, catalog):
+        spec = FusionSpec(resolutions=[
+            ResolutionSpec("Name"), ResolutionSpec("Age", "max"),
+        ])
+        result = make_pipeline(catalog).run(["EE_Students", "CS_Students"], spec=spec)
+        anna = [row for row in result.relation if row["Name"] == "Anna Schmidt"][0]
+        assert anna["Age"] == 23  # max of 22 (EE) and 23 (CS)
+
+    def test_run_single_source_is_identity_modulo_bookkeeping(self, catalog):
+        result = FusionPipeline(catalog).run(["EE_Students"])
+        assert len(result.relation) == 4
+        assert result.matching is None
+
+    def test_timings_are_recorded(self, catalog):
+        result = FusionPipeline(catalog).run(["EE_Students", "CS_Students"])
+        timings = result.timings.as_dict()
+        assert timings["total"] > 0
+        assert set(timings) == {"fetch", "matching", "duplicate_detection", "fusion", "total"}
+
+    def test_summary_keys(self, catalog):
+        summary = make_pipeline(catalog).run(["EE_Students", "CS_Students"]).summary()
+        assert summary["sources"] == 2
+        assert summary["input_tuples"] == 7
+        assert summary["output_tuples"] == 5
+
+    def test_conflict_report_present(self, catalog):
+        result = make_pipeline(catalog).run(["EE_Students", "CS_Students"])
+        # Anna's age conflicts between the two faculties
+        assert result.conflicts.contradiction_count >= 1
+
+
+class TestPipelineHooks:
+    def test_adjust_matching_hook_can_remove_correspondences(self, catalog):
+        removed = {}
+
+        def drop_age(matching):
+            removed["before"] = len(matching.correspondences)
+            matching.correspondences.remove("Age", "Years")
+
+        pipeline = make_pipeline(catalog, adjust_matching=drop_age)
+        result = pipeline.run(["EE_Students", "CS_Students"])
+        assert removed["before"] >= 2
+        # Years stays a separate column because its correspondence was removed
+        assert "Years" in result.transformed.schema
+
+    def test_adjust_selection_hook(self, catalog):
+        captured = {}
+
+        def record_selection(selection):
+            captured["attributes"] = list(selection.attributes)
+
+        make_pipeline(catalog, adjust_selection=record_selection).run(
+            ["EE_Students", "CS_Students"]
+        )
+        assert "Name" in captured["attributes"]
+
+    def test_adjust_duplicates_hook_can_reject_pairs(self, catalog):
+        def reject_everything(detection):
+            detection.classified.confirm_all(False)
+            for pair in list(detection.classified.sure_duplicates):
+                detection.classified.sure_duplicates.remove(pair)
+                detection.classified.unsure.append(pair)
+            detection.classified.confirm_all(False)
+
+        pipeline = make_pipeline(catalog, adjust_duplicates=reject_everything)
+        result = pipeline.run(["EE_Students", "CS_Students"])
+        # with every pair rejected, nothing is merged
+        assert len(result.relation) == 7

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for fusion and resolution invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fusion import fuse
+from repro.core.resolution import (
+    Coalesce,
+    Concat,
+    First,
+    Group,
+    Last,
+    Longest,
+    ResolutionContext,
+    Shortest,
+    Vote,
+)
+from repro.engine.operators.union import outer_union
+from repro.engine.relation import Relation
+from repro.engine.types import is_null
+
+values = st.one_of(
+    st.none(),
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(alphabet=string.ascii_lowercase + " ", max_size=12),
+)
+
+
+def make_context(vals):
+    return ResolutionContext(column="c", values=list(vals), sources=[None] * len(vals))
+
+
+class TestResolutionFunctionProperties:
+    @given(st.lists(values, min_size=1, max_size=10))
+    @settings(max_examples=80)
+    def test_single_value_strategies_return_an_input_value_or_none(self, vals):
+        context = make_context(vals)
+        for function in (Coalesce(), First(), Last(), Vote(), Shortest(), Longest()):
+            result = function.resolve(context)
+            assert result is None or any(
+                (not is_null(v)) and str(v) == str(result) for v in vals
+            ) or (result is None)
+
+    @given(st.lists(values, min_size=1, max_size=10))
+    @settings(max_examples=80)
+    def test_coalesce_skips_exactly_the_leading_nulls(self, vals):
+        result = Coalesce().resolve(make_context(vals))
+        non_null = [v for v in vals if not is_null(v)]
+        assert result == (non_null[0] if non_null else None)
+
+    @given(st.lists(values, min_size=1, max_size=10))
+    @settings(max_examples=60)
+    def test_resolution_is_insensitive_to_duplicated_input_order_for_vote(self, vals):
+        # voting twice over the same multiset gives the same winner
+        doubled = vals + vals
+        assert str(Vote().resolve(make_context(vals))) == str(
+            Vote().resolve(make_context(doubled))
+        )
+
+    @given(st.lists(values, min_size=1, max_size=8))
+    @settings(max_examples=60)
+    def test_group_and_concat_cover_all_distinct_values(self, vals):
+        context = make_context(vals)
+        distinct = context.distinct_values
+        concat = Concat().resolve(context)
+        if len(distinct) > 1:
+            for value in distinct:
+                assert str(value) in str(concat)
+            grouped = Group().resolve(context)
+            assert len(grouped) == len(distinct)
+
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+@st.composite
+def clustered_relations(draw):
+    """Random relation with an objectID column and a couple of value columns."""
+    n_rows = draw(st.integers(min_value=1, max_value=20))
+    n_clusters = draw(st.integers(min_value=1, max_value=max(1, n_rows)))
+    rows = []
+    for i in range(n_rows):
+        rows.append(
+            {
+                "objectID": draw(st.integers(min_value=0, max_value=n_clusters - 1)),
+                "a": draw(values),
+                "b": draw(values),
+            }
+        )
+    return Relation.from_dicts(rows, name="clustered")
+
+
+class TestFusionInvariants:
+    @given(clustered_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_one_output_tuple_per_cluster(self, relation):
+        result = fuse(relation, ["objectID"])
+        cluster_count = len(set(relation.column("objectID")))
+        assert len(result.relation) == cluster_count
+        assert result.output_tuple_count == cluster_count
+        assert result.input_tuple_count == len(relation)
+
+    @given(clustered_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_default_fusion_values_come_from_the_cluster(self, relation):
+        result = fuse(relation, ["objectID"])
+        by_cluster = {}
+        for row in relation:
+            by_cluster.setdefault(row["objectID"], []).append(row)
+        for fused_row in result.relation:
+            members = by_cluster[fused_row["objectID"]]
+            for column in ("a", "b"):
+                value = fused_row[column]
+                if is_null(value):
+                    # every member must be null in that column (coalesce semantics)
+                    assert all(is_null(member[column]) for member in members)
+                else:
+                    assert any(
+                        (not is_null(member[column])) and str(member[column]) == str(value)
+                        for member in members
+                    )
+
+    @given(clustered_relations())
+    @settings(max_examples=40, deadline=None)
+    def test_fusion_is_idempotent(self, relation):
+        once = fuse(relation, ["objectID"]).relation
+        twice = fuse(once, ["objectID"]).relation
+        assert len(once) == len(twice)
+        assert sorted(map(str, once.rows)) == sorted(map(str, twice.rows))
+
+
+@st.composite
+def relation_pairs(draw):
+    """Two relations with partially overlapping schemata."""
+    shared = draw(st.lists(names, min_size=1, max_size=3, unique=True))
+    only_left = draw(st.lists(names, max_size=2, unique=True))
+    only_right = draw(st.lists(names, max_size=2, unique=True))
+    left_columns = list(dict.fromkeys(shared + only_left))
+    right_columns = list(dict.fromkeys(shared + only_right))
+
+    def build(columns, count):
+        rows = [{c: draw(values) for c in columns} for _ in range(count)]
+        relation = Relation.from_dicts(rows, name="r")
+        if not rows:
+            relation = Relation(columns, [], name="r")
+        return relation
+
+    left = build(left_columns, draw(st.integers(min_value=0, max_value=6)))
+    right = build(right_columns, draw(st.integers(min_value=0, max_value=6)))
+    return left, right
+
+
+class TestOuterUnionProperties:
+    @given(relation_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_outer_union_preserves_all_tuples_and_columns(self, pair):
+        left, right = pair
+        result = outer_union([left, right])
+        assert len(result) == len(left) + len(right)
+        for column in list(left.schema.names) + list(right.schema.names):
+            assert result.schema.has_column(column)
+
+    @given(relation_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_outer_union_pads_missing_columns_with_null(self, pair):
+        left, right = pair
+        result = outer_union([left, right])
+        only_right = [
+            c.name for c in right.schema if not left.schema.has_column(c.name)
+        ]
+        for index in range(len(left)):
+            for column in only_right:
+                assert is_null(result.cell(index, column))

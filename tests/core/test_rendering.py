@@ -1,0 +1,53 @@
+"""Tests for lineage-aware rendering of fused results."""
+
+import pytest
+
+from repro.core.fusion import fuse
+from repro.core.rendering import annotate_with_lineage, render_with_lineage
+from repro.engine.relation import Relation
+
+
+@pytest.fixture
+def fusion_result():
+    relation = Relation.from_dicts(
+        [
+            {"objectID": 0, "name": "Anna Schmidt", "age": 22, "sourceID": "ee"},
+            {"objectID": 0, "name": "Anna Schmidt", "age": 23, "sourceID": "cs"},
+            {"objectID": 1, "name": "Ben Mueller", "age": 25, "sourceID": "ee"},
+        ],
+        name="students",
+    )
+    return fuse(relation, ["objectID"], resolutions={"name": "coalesce", "age": "avg"})
+
+
+class TestColourRendering:
+    def test_contains_values_and_ansi_codes(self, fusion_result):
+        text = render_with_lineage(fusion_result)
+        assert "Anna Schmidt" in text
+        assert "\x1b[" in text
+        assert "legend" in text
+
+    def test_merged_values_are_marked(self, fusion_result):
+        text = render_with_lineage(fusion_result)
+        # the averaged age combines both sources -> bold/underline style
+        assert "\x1b[1;4m" in text
+
+    def test_limit_truncates(self, fusion_result):
+        text = render_with_lineage(fusion_result, limit=1)
+        assert "more rows" in text
+
+    def test_colour_can_be_disabled(self, fusion_result):
+        text = render_with_lineage(fusion_result, use_color=False)
+        assert "\x1b[" not in text
+        assert "[ee" in text or "[cs" in text
+
+
+class TestPlainAnnotation:
+    def test_values_are_annotated_with_their_sources(self, fusion_result):
+        text = annotate_with_lineage(fusion_result)
+        assert "Anna Schmidt [cs,ee]" in text or "Anna Schmidt [ee,cs]" in text
+        assert "Ben Mueller [ee]" in text
+
+    def test_header_present(self, fusion_result):
+        text = annotate_with_lineage(fusion_result)
+        assert text.splitlines()[0].startswith("objectID")

@@ -1,0 +1,241 @@
+"""Tests for the conflict-resolution functions and the registry."""
+
+import pytest
+
+from repro.core.resolution import (
+    AnnotatedConcat,
+    Choose,
+    ChooseSourceOrder,
+    Coalesce,
+    Concat,
+    First,
+    Group,
+    Last,
+    Longest,
+    Midrange,
+    MostPrecise,
+    MostRecent,
+    ResolutionContext,
+    ResolutionFunction,
+    ResolutionRegistry,
+    Shortest,
+    TrimmedMean,
+    Vote,
+    build_default_registry,
+    default_registry,
+)
+from repro.engine.relation import Row
+from repro.engine.schema import Schema
+from repro.exceptions import ResolutionError, UnknownResolutionFunctionError
+
+
+def make_context(values, sources=None, rows=None, column="price", metadata=None):
+    return ResolutionContext(
+        column=column,
+        values=list(values),
+        rows=rows or [],
+        sources=list(sources) if sources else [None] * len(values),
+        object_id=1,
+        table_name="fused",
+        metadata=metadata or {},
+    )
+
+
+class TestContext:
+    def test_non_null_and_distinct(self):
+        context = make_context([None, "a", "b", "a"])
+        assert context.non_null_values == ["a", "b", "a"]
+        assert context.distinct_values == ["a", "b"]
+
+    def test_conflict_and_uncertainty_flags(self):
+        assert make_context(["a", "b"]).has_conflict
+        assert not make_context(["a", "a"]).has_conflict
+        assert make_context(["a", None]).is_uncertain
+        assert not make_context(["a", "a"]).is_uncertain
+
+    def test_numeric_values_compare_by_value(self):
+        assert make_context([2, 2.0]).distinct_values == [2]
+
+    def test_value_for_source(self):
+        context = make_context([9.99, 10.49], sources=["a", "b"])
+        assert context.value_for_source("b") == 10.49
+        assert context.value_for_source("ghost") is None
+
+
+class TestPaperFunctions:
+    def test_coalesce_first_non_null(self):
+        assert Coalesce()(make_context([None, None, "x", "y"])) == "x"
+        assert Coalesce()(make_context([None, None])) is None
+
+    def test_first_and_last_keep_nulls(self):
+        assert First()(make_context([None, "x"])) is None
+        assert Last()(make_context(["x", None])) is None
+        assert First()(make_context([])) is None
+
+    def test_vote_majority(self):
+        assert Vote()(make_context(["a", "b", "a", None])) == "a"
+
+    def test_vote_tie_prefers_first_seen(self):
+        assert Vote()(make_context(["b", "a"])) == "b"
+
+    def test_vote_all_null(self):
+        assert Vote()(make_context([None, None])) is None
+
+    def test_group_returns_all_conflicting_values(self):
+        result = Group()(make_context(["b", "a", "b"]))
+        assert result == ("a", "b")
+        assert Group()(make_context(["only", None])) == "only"
+        assert Group()(make_context([None])) is None
+
+    def test_concat(self):
+        assert Concat()(make_context(["x", "y", "x"])) == "x, y"
+        assert Concat(separator=" | ")(make_context(["x", "y"])) == "x | y"
+        assert Concat()(make_context(["single"])) == "single"
+
+    def test_annotated_concat_includes_sources(self):
+        result = AnnotatedConcat()(make_context([9.99, 10.49], sources=["store_a", "store_b"]))
+        assert "9.99 [store_a]" in result
+        assert "10.49 [store_b]" in result
+        assert AnnotatedConcat()(make_context([None], sources=["a"])) is None
+
+    def test_shortest_and_longest(self):
+        context = make_context(["J. Smith", "John Smith", None])
+        assert Shortest()(context) == "J. Smith"
+        assert Longest()(context) == "John Smith"
+        assert Shortest()(make_context([None])) is None
+
+    def test_choose_prefers_requested_source(self):
+        context = make_context([12.0, 9.5], sources=["expensive", "cheap"])
+        assert Choose("cheap")(context) == 9.5
+        assert Choose("expensive")(context) == 12.0
+
+    def test_choose_falls_back_unless_strict(self):
+        context = make_context([None, 9.5], sources=["preferred", "other"])
+        assert Choose("preferred")(context) == 9.5
+        assert Choose("preferred", strict=True)(context) is None
+
+    def test_choose_requires_source(self):
+        with pytest.raises(ResolutionError):
+            Choose("")
+
+    def test_choose_source_order(self):
+        context = make_context([None, 2.0, 3.0], sources=["a", "b", "c"])
+        assert ChooseSourceOrder("a", "c", "b")(context) == 3.0
+
+    def test_most_recent_uses_recency_column(self):
+        schema = Schema(["status", "updated"])
+        rows = [Row(schema, ("missing", "2005-01-02")), Row(schema, ("safe", "2005-02-10"))]
+        context = make_context(["missing", "safe"], rows=rows, column="status")
+        assert MostRecent("updated")(context) == "safe"
+
+    def test_most_recent_via_metadata(self):
+        schema = Schema(["status", "updated"])
+        rows = [Row(schema, ("a", "2005-03-01")), Row(schema, ("b", "2005-01-01"))]
+        context = make_context(
+            ["a", "b"], rows=rows, column="status", metadata={"recency_column": "updated"}
+        )
+        assert MostRecent()(context) == "a"
+
+    def test_most_recent_numeric_recency(self):
+        schema = Schema(["value", "version"])
+        rows = [Row(schema, ("old", 1)), Row(schema, ("new", 7))]
+        context = make_context(["old", "new"], rows=rows, column="value")
+        assert MostRecent("version")(context) == "new"
+
+    def test_most_recent_without_column_raises(self):
+        with pytest.raises(ResolutionError):
+            MostRecent()(make_context(["a"]))
+
+    def test_most_recent_falls_back_when_recency_unusable(self):
+        schema = Schema(["value", "updated"])
+        rows = [Row(schema, ("a", "???")), Row(schema, ("b", None))]
+        context = make_context(["a", "b"], rows=rows, column="value")
+        assert MostRecent("updated")(context) == "a"
+
+
+class TestNumericExtensions:
+    def test_trimmed_mean(self):
+        assert TrimmedMean()(make_context([1.0, 100.0, 2.0, 3.0])) == pytest.approx(2.5)
+        assert TrimmedMean()(make_context([1.0, 2.0])) == pytest.approx(1.5)
+        assert TrimmedMean()(make_context(["abc"])) is None
+
+    def test_midrange(self):
+        assert Midrange()(make_context([1, 5, 3])) == 3.0
+
+    def test_most_precise(self):
+        assert MostPrecise()(make_context([9.5, 9.4999, 10])) == 9.4999
+
+
+class TestRegistry:
+    def test_default_registry_contains_paper_functions(self):
+        registry = default_registry()
+        for name in [
+            "coalesce", "first", "last", "vote", "group", "concat",
+            "annotated_concat", "shortest", "longest", "choose", "most_recent",
+            "min", "max", "sum", "avg",
+        ]:
+            assert registry.has(name), name
+
+    def test_get_standard_aggregate_behaves_like_aggregate(self):
+        registry = build_default_registry()
+        assert registry.get("max").resolve(make_context([1, 5, None])) == 5
+        assert registry.get("avg").resolve(make_context([2, 4])) == 3
+
+    def test_parameterised_lookup(self):
+        registry = build_default_registry()
+        function = registry.get("choose", "cheap_store")
+        context = make_context([3.0, 1.0], sources=["x", "cheap_store"])
+        assert function.resolve(context) == 1.0
+
+    def test_unknown_function_raises_with_suggestions(self):
+        registry = build_default_registry()
+        with pytest.raises(UnknownResolutionFunctionError) as excinfo:
+            registry.get("frobnicate")
+        assert "coalesce" in str(excinfo.value)
+
+    def test_register_custom_function(self):
+        class PreferEven(ResolutionFunction):
+            """Prefers even numbers (toy custom strategy)."""
+
+            name = "prefer_even"
+
+            def resolve(self, context):
+                for value in context.non_null_values:
+                    if isinstance(value, int) and value % 2 == 0:
+                        return value
+                return None
+
+        registry = build_default_registry()
+        registry.register(PreferEven())
+        assert registry.get("prefer_even").resolve(make_context([3, 4])) == 4
+
+    def test_duplicate_registration_rejected(self):
+        registry = build_default_registry()
+        with pytest.raises(ResolutionError):
+            registry.register(Coalesce())
+        registry.register(Coalesce(), replace=True)  # explicit replace is allowed
+
+    def test_register_callable(self):
+        registry = ResolutionRegistry()
+        registry.register_callable("always_42", lambda values: 42)
+        assert registry.get("always_42").resolve(make_context(["x"])) == 42
+
+    def test_names_and_container_protocol(self):
+        registry = build_default_registry()
+        assert "vote" in registry
+        assert "nonexistent" not in registry
+        assert len(registry) == len(registry.names())
+        assert sorted(iter(registry)) == registry.names()
+
+    def test_function_without_name_rejected(self):
+        class Nameless(ResolutionFunction):
+            name = ""
+
+            def resolve(self, context):
+                return None
+
+        with pytest.raises(ResolutionError):
+            ResolutionRegistry().register(Nameless())
+
+    def test_describe(self):
+        assert "non-null" in Coalesce().describe().lower() or Coalesce().describe()

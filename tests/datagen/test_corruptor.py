@@ -1,0 +1,89 @@
+"""Tests for the corruption operators."""
+
+import pytest
+
+from repro.datagen.corruptor import CorruptionConfig, Corruptor
+
+
+class TestCorruptionConfig:
+    def test_presets_ordering(self):
+        low, medium, high = CorruptionConfig.low(), CorruptionConfig.medium(), CorruptionConfig.high()
+        assert low.typo_probability < medium.typo_probability < high.typo_probability
+        assert low.missing_probability < high.missing_probability
+
+    def test_clean_preset_is_all_zero(self):
+        clean = CorruptionConfig.clean()
+        assert clean.typo_probability == 0
+        assert clean.missing_probability == 0
+        assert clean.conflicting_value_probability == 0
+
+
+class TestCorruptor:
+    def test_clean_config_is_identity(self):
+        corruptor = Corruptor(CorruptionConfig.clean(), seed=1)
+        for value in ["Abbey Road", 42, 3.14, True, None]:
+            assert corruptor.corrupt_value(value) == value
+
+    def test_deterministic_given_seed(self):
+        first = Corruptor(CorruptionConfig.high(), seed=7)
+        second = Corruptor(CorruptionConfig.high(), seed=7)
+        values = ["Anna Schmidt", "Berlin", "Kind of Blue", 12.99, 1969]
+        assert [first.corrupt_value(v) for v in values] == [
+            second.corrupt_value(v) for v in values
+        ]
+
+    def test_different_seeds_eventually_differ(self):
+        first = Corruptor(CorruptionConfig.high(), seed=1)
+        second = Corruptor(CorruptionConfig.high(), seed=2)
+        values = ["Anna Schmidt"] * 50
+        assert [first.corrupt_value(v) for v in values] != [
+            second.corrupt_value(v) for v in values
+        ]
+
+    def test_null_stays_null(self):
+        assert Corruptor(CorruptionConfig.high(), seed=3).corrupt_value(None) is None
+
+    def test_booleans_pass_through(self):
+        corruptor = Corruptor(CorruptionConfig(missing_probability=0.0), seed=3)
+        assert corruptor.corrupt_value(True) is True
+
+    def test_high_corruption_changes_many_strings(self):
+        corruptor = Corruptor(CorruptionConfig.high(), seed=11)
+        originals = [f"Example Value {i}" for i in range(100)]
+        changed = sum(1 for v in originals if corruptor.corrupt_value(v) != v)
+        assert changed > 30
+
+    def test_high_corruption_introduces_missing_values(self):
+        corruptor = Corruptor(CorruptionConfig.high(), seed=13)
+        nulls = sum(1 for _ in range(200) if corruptor.corrupt_value("something") is None)
+        assert nulls > 5
+
+    def test_numeric_noise_stays_close(self):
+        config = CorruptionConfig(
+            typo_probability=0, missing_probability=0,
+            numeric_noise_probability=1.0, numeric_noise_scale=0.05,
+        )
+        corruptor = Corruptor(config, seed=17)
+        for _ in range(50):
+            corrupted = corruptor.corrupt_value(100.0)
+            assert 90.0 <= corrupted <= 110.0
+
+    def test_integer_values_stay_integers(self):
+        config = CorruptionConfig(
+            typo_probability=0, missing_probability=0, numeric_noise_probability=1.0,
+            numeric_noise_scale=0.2,
+        )
+        corruptor = Corruptor(config, seed=19)
+        assert all(isinstance(corruptor.corrupt_value(1969), int) for _ in range(20))
+
+    def test_should_conflict_rate_roughly_matches_probability(self):
+        corruptor = Corruptor(CorruptionConfig(conflicting_value_probability=0.5), seed=23)
+        rate = sum(corruptor.should_conflict() for _ in range(1000)) / 1000
+        assert 0.4 < rate < 0.6
+
+    def test_typo_operators_produce_valid_strings(self):
+        corruptor = Corruptor(CorruptionConfig(typo_probability=1.0, missing_probability=0.0), seed=29)
+        for value in ["a", "ab", "Abbey Road", "X"]:
+            corrupted = corruptor.corrupt_value(value)
+            assert isinstance(corrupted, str)
+            assert corrupted  # never empties a value

@@ -1,0 +1,158 @@
+"""Tests for the dirty-source generator and the scenario builders."""
+
+import pytest
+
+from repro.datagen.corruptor import CorruptionConfig
+from repro.datagen.generator import DirtySourceGenerator, SourceSpec
+from repro.datagen.scenarios import (
+    cd_stores_scenario,
+    crisis_scenario,
+    students_scenario,
+    thalia_scenario,
+)
+from repro.datagen.scenarios.thalia import AUTOMATABLE_CATEGORIES, THALIA_CATEGORIES
+
+
+ENTITIES = [
+    {"_entity": f"e{i}", "name": f"Person {i}", "age": 20 + i, "city": "Berlin"}
+    for i in range(20)
+]
+
+
+class TestDirtySourceGenerator:
+    def make(self, **kwargs):
+        specs = [
+            SourceSpec(name="a"),
+            SourceSpec(name="b", rename={"name": "full_name"}, drop=["city"]),
+        ]
+        defaults = dict(overlap=0.5, default_corruption=CorruptionConfig.clean(), seed=3)
+        defaults.update(kwargs)
+        return DirtySourceGenerator(specs, **defaults)
+
+    def test_sources_and_ground_truth_are_consistent(self):
+        dataset = self.make().generate(ENTITIES)
+        assert set(dataset.sources) == {"a", "b"}
+        for (source, row_index), entity in dataset.truth.entity_of.items():
+            assert row_index < len(dataset.sources[source])
+            assert entity in dataset.truth.clean_records
+
+    def test_renaming_and_dropping_applied(self):
+        dataset = self.make().generate(ENTITIES)
+        b = dataset.sources["b"]
+        assert "full_name" in b.schema
+        assert "name" not in b.schema
+        assert "city" not in b.schema
+
+    def test_attribute_map_records_labels(self):
+        dataset = self.make().generate(ENTITIES)
+        assert dataset.truth.attribute_map["name"]["b"] == "full_name"
+        assert dataset.truth.attribute_map["name"]["a"] == "name"
+        assert dataset.truth.true_correspondences("a", "b") >= {("name", "full_name")}
+
+    def test_overlap_creates_cross_source_duplicates(self):
+        dataset = self.make(overlap=1.0).generate(ENTITIES)
+        pairs = dataset.truth.duplicate_pairs_within(dataset.combined_row_origin())
+        assert len(pairs) >= len(ENTITIES) * 0.8
+
+    def test_zero_overlap_creates_no_duplicates(self):
+        dataset = self.make(overlap=0.0).generate(ENTITIES)
+        pairs = dataset.truth.duplicate_pairs_within(dataset.combined_row_origin())
+        assert pairs == set()
+
+    def test_deterministic_with_same_seed(self):
+        first = self.make(seed=9).generate(ENTITIES)
+        second = self.make(seed=9).generate(ENTITIES)
+        assert first.sources["a"].rows == second.sources["a"].rows
+        assert first.truth.entity_of == second.truth.entity_of
+
+    def test_coverage_reduces_source_size(self):
+        specs = [SourceSpec(name="a"), SourceSpec(name="b", coverage=0.2)]
+        generator = DirtySourceGenerator(
+            specs, overlap=1.0, default_corruption=CorruptionConfig.clean(), seed=5
+        )
+        dataset = generator.generate(ENTITIES)
+        assert len(dataset.sources["b"]) < len(dataset.sources["a"])
+
+    def test_conflict_fields_produce_genuinely_different_values(self):
+        specs = [SourceSpec(name="a"), SourceSpec(name="b")]
+        generator = DirtySourceGenerator(
+            specs,
+            overlap=1.0,
+            conflict_fields=["age"],
+            default_corruption=CorruptionConfig(
+                typo_probability=0, missing_probability=0, case_change_probability=0,
+                abbreviation_probability=0, token_swap_probability=0,
+                numeric_noise_probability=0, conflicting_value_probability=1.0,
+            ),
+            seed=5,
+        )
+        dataset = generator.generate(ENTITIES)
+        conflicts = 0
+        for (source, row), entity in dataset.truth.entity_of.items():
+            clean_age = dataset.truth.clean_records[entity]["age"]
+            actual = dataset.sources[source].cell(row, "age")
+            if actual is not None and actual != clean_age:
+                conflicts += 1
+        assert conflicts > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DirtySourceGenerator([], overlap=0.5)
+        with pytest.raises(ValueError):
+            DirtySourceGenerator([SourceSpec(name="a")], overlap=1.5)
+
+
+class TestScenarios:
+    def test_students_scenario_shape(self):
+        dataset = students_scenario(entity_count=25, seed=3)
+        assert set(dataset.sources) == {"EE_Students", "CS_Students"}
+        cs = dataset.sources["CS_Students"]
+        assert "student_name" in cs.schema
+        assert "city" not in cs.schema
+        assert dataset.truth.entity_count() <= 25
+
+    def test_cd_stores_scenario_shape(self):
+        dataset = cd_stores_scenario(entity_count=30, store_count=3, seed=3)
+        assert len(dataset.sources) == 3
+        # second store uses the renamed schema
+        second = list(dataset.sources.values())[1]
+        assert "interpret" in second.schema or "album" in second.schema
+
+    def test_cd_store_count_validation(self):
+        with pytest.raises(ValueError):
+            cd_stores_scenario(store_count=0)
+
+    def test_crisis_scenario_shape(self):
+        dataset = crisis_scenario(entity_count=20, seed=3)
+        assert set(dataset.sources) == {"field_hospital", "relief_ngo", "insurance_registry"}
+        hospital = dataset.sources["field_hospital"]
+        assert "patient" in hospital.schema
+        assert "damage" not in hospital.schema
+
+    def test_scenarios_are_deterministic(self):
+        first = students_scenario(entity_count=15, seed=8)
+        second = students_scenario(entity_count=15, seed=8)
+        assert first.sources["EE_Students"].rows == second.sources["EE_Students"].rows
+
+    def test_thalia_categories_complete(self):
+        assert set(THALIA_CATEGORIES) == set(range(1, 13))
+        assert AUTOMATABLE_CATEGORIES <= set(THALIA_CATEGORIES)
+
+    @pytest.mark.parametrize("category", sorted(THALIA_CATEGORIES))
+    def test_thalia_scenario_builds_every_category(self, category):
+        dataset = thalia_scenario(category, entity_count=12, seed=2)
+        assert set(dataset.sources) == {"university_a", "university_b"}
+        assert len(dataset.sources["university_a"]) > 0
+        assert len(dataset.sources["university_b"]) > 0
+
+    def test_thalia_opaque_labels_category(self):
+        dataset = thalia_scenario(11, entity_count=12, seed=2)
+        assert "col_1" in dataset.sources["university_b"].schema
+
+    def test_thalia_synonym_category(self):
+        dataset = thalia_scenario(1, entity_count=12, seed=2)
+        assert "lecturer" in dataset.sources["university_b"].schema
+
+    def test_thalia_invalid_category(self):
+        with pytest.raises(ValueError):
+            thalia_scenario(13)

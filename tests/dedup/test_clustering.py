@@ -1,0 +1,76 @@
+"""Tests for union-find and transitive-closure clustering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dedup.clustering import UnionFind, transitive_closure_clusters
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(3)
+        assert not uf.connected(0, 1)
+        assert uf.find(2) == 2
+
+    def test_union_connects(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.union(0, 1)  # already merged
+
+    def test_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_groups(self):
+        uf = UnionFind(5)
+        uf.union(0, 2)
+        uf.union(3, 4)
+        groups = uf.groups()
+        assert [0, 2] in groups
+        assert [3, 4] in groups
+        assert [1] in groups
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_len(self):
+        assert len(UnionFind(7)) == 7
+
+
+class TestTransitiveClosure:
+    def test_no_pairs_gives_singletons(self):
+        assert transitive_closure_clusters(3, []) == [0, 1, 2]
+
+    def test_chain_merges_into_one_cluster(self):
+        assignment = transitive_closure_clusters(4, [(0, 1), (1, 2), (2, 3)])
+        assert len(set(assignment)) == 1
+
+    def test_cluster_ids_are_dense_and_ordered(self):
+        assignment = transitive_closure_clusters(5, [(3, 4)])
+        assert assignment == [0, 1, 2, 3, 3]
+
+    def test_two_separate_clusters(self):
+        assignment = transitive_closure_clusters(6, [(0, 5), (1, 2)])
+        assert assignment[0] == assignment[5]
+        assert assignment[1] == assignment[2]
+        assert assignment[0] != assignment[1]
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=40),
+    )
+    @settings(max_examples=60)
+    def test_property_pairs_end_up_in_same_cluster(self, size, raw_pairs):
+        pairs = [(a % size, b % size) for a, b in raw_pairs]
+        assignment = transitive_closure_clusters(size, pairs)
+        assert len(assignment) == size
+        for a, b in pairs:
+            assert assignment[a] == assignment[b]
+        # ids are dense: 0..k-1
+        assert set(assignment) == set(range(len(set(assignment))))

@@ -1,0 +1,188 @@
+"""Tests for the expression language (SQL three-valued logic included)."""
+
+import pytest
+
+from repro.engine import expressions as expr
+from repro.engine.relation import Relation, Row
+from repro.engine.schema import Schema
+from repro.exceptions import ExpressionError
+
+
+@pytest.fixture
+def row():
+    schema = Schema(["name", "age", "city", "score"])
+    return Row(schema, ("Alice", 30, None, 7.5))
+
+
+class TestColumnRefAndLiteral:
+    def test_column_ref(self, row):
+        assert expr.ColumnRef("age").evaluate(row) == 30
+
+    def test_column_ref_case_insensitive(self, row):
+        assert expr.ColumnRef("NAME").evaluate(row) == "Alice"
+
+    def test_qualified_falls_back_to_unqualified(self, row):
+        assert expr.ColumnRef("people.age").evaluate(row) == 30
+
+    def test_unknown_column_raises(self, row):
+        with pytest.raises(ExpressionError):
+            expr.ColumnRef("missing").evaluate(row)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExpressionError):
+            expr.ColumnRef("")
+
+    def test_literal(self, row):
+        assert expr.Literal(42).evaluate(row) == 42
+
+    def test_references(self):
+        assert expr.ColumnRef("a").references() == ["a"]
+        assert expr.Literal(1).references() == []
+
+
+class TestArithmetic:
+    def test_binary_ops(self, row):
+        age = expr.ColumnRef("age")
+        assert expr.BinaryOp("+", age, expr.Literal(5)).evaluate(row) == 35
+        assert expr.BinaryOp("-", age, expr.Literal(5)).evaluate(row) == 25
+        assert expr.BinaryOp("*", age, expr.Literal(2)).evaluate(row) == 60
+        assert expr.BinaryOp("/", age, expr.Literal(2)).evaluate(row) == 15
+        assert expr.BinaryOp("%", age, expr.Literal(7)).evaluate(row) == 2
+
+    def test_null_propagates(self, row):
+        assert expr.BinaryOp("+", expr.ColumnRef("city"), expr.Literal("x")).evaluate(row) is None
+
+    def test_division_by_zero_raises(self, row):
+        with pytest.raises(ExpressionError):
+            expr.BinaryOp("/", expr.Literal(1), expr.Literal(0)).evaluate(row)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            expr.BinaryOp("**", expr.Literal(1), expr.Literal(2))
+
+    def test_unary_minus(self, row):
+        assert expr.UnaryOp("-", expr.ColumnRef("age")).evaluate(row) == -30
+
+    def test_unary_on_null(self, row):
+        assert expr.UnaryOp("-", expr.ColumnRef("city")).evaluate(row) is None
+
+
+class TestComparison:
+    def test_equality(self, row):
+        assert expr.Comparison("=", expr.ColumnRef("age"), expr.Literal(30)).evaluate(row) is True
+        assert expr.Comparison("!=", expr.ColumnRef("age"), expr.Literal(30)).evaluate(row) is False
+
+    def test_ordering(self, row):
+        assert expr.Comparison("<", expr.ColumnRef("age"), expr.Literal(40)).evaluate(row) is True
+        assert expr.Comparison(">=", expr.ColumnRef("age"), expr.Literal(30)).evaluate(row) is True
+
+    def test_null_comparison_is_unknown(self, row):
+        assert expr.Comparison("=", expr.ColumnRef("city"), expr.Literal("Berlin")).evaluate(row) is None
+
+    def test_cross_type_comparison_does_not_raise(self, row):
+        assert expr.Comparison("<", expr.ColumnRef("name"), expr.Literal(5)).evaluate(row) in (
+            True,
+            False,
+        )
+
+
+class TestBooleanLogic:
+    def test_and_or(self, row):
+        true = expr.Comparison("=", expr.ColumnRef("age"), expr.Literal(30))
+        false = expr.Comparison(">", expr.ColumnRef("age"), expr.Literal(100))
+        assert expr.BooleanOp("AND", [true, true]).evaluate(row) is True
+        assert expr.BooleanOp("AND", [true, false]).evaluate(row) is False
+        assert expr.BooleanOp("OR", [false, true]).evaluate(row) is True
+        assert expr.BooleanOp("OR", [false, false]).evaluate(row) is False
+
+    def test_three_valued_logic(self, row):
+        unknown = expr.Comparison("=", expr.ColumnRef("city"), expr.Literal("x"))
+        true = expr.Comparison("=", expr.ColumnRef("age"), expr.Literal(30))
+        false = expr.Comparison(">", expr.ColumnRef("age"), expr.Literal(100))
+        # unknown AND true -> unknown; unknown AND false -> false
+        assert expr.BooleanOp("AND", [unknown, true]).evaluate(row) is None
+        assert expr.BooleanOp("AND", [unknown, false]).evaluate(row) is False
+        # unknown OR true -> true; unknown OR false -> unknown
+        assert expr.BooleanOp("OR", [unknown, true]).evaluate(row) is True
+        assert expr.BooleanOp("OR", [unknown, false]).evaluate(row) is None
+
+    def test_not(self, row):
+        true = expr.Comparison("=", expr.ColumnRef("age"), expr.Literal(30))
+        unknown = expr.Comparison("=", expr.ColumnRef("city"), expr.Literal("x"))
+        assert expr.NotOp(true).evaluate(row) is False
+        assert expr.NotOp(unknown).evaluate(row) is None
+
+    def test_empty_boolean_rejected(self):
+        with pytest.raises(ExpressionError):
+            expr.BooleanOp("AND", [])
+
+
+class TestPredicates:
+    def test_is_null(self, row):
+        assert expr.IsNull(expr.ColumnRef("city")).evaluate(row) is True
+        assert expr.IsNull(expr.ColumnRef("age")).evaluate(row) is False
+        assert expr.IsNull(expr.ColumnRef("city"), negated=True).evaluate(row) is False
+
+    def test_in_list(self, row):
+        assert expr.InList(
+            expr.ColumnRef("age"), [expr.Literal(29), expr.Literal(30)]
+        ).evaluate(row) is True
+        assert expr.InList(expr.ColumnRef("age"), [expr.Literal(1)]).evaluate(row) is False
+        assert expr.InList(
+            expr.ColumnRef("age"), [expr.Literal(1)], negated=True
+        ).evaluate(row) is True
+
+    def test_in_list_with_null_choice_is_unknown_when_not_found(self, row):
+        assert expr.InList(
+            expr.ColumnRef("age"), [expr.Literal(1), expr.Literal(None)]
+        ).evaluate(row) is None
+
+    def test_between(self, row):
+        assert expr.Between(
+            expr.ColumnRef("age"), expr.Literal(20), expr.Literal(40)
+        ).evaluate(row) is True
+        assert expr.Between(
+            expr.ColumnRef("age"), expr.Literal(31), expr.Literal(40)
+        ).evaluate(row) is False
+        assert expr.Between(
+            expr.ColumnRef("age"), expr.Literal(20), expr.Literal(40), negated=True
+        ).evaluate(row) is False
+
+    def test_like(self, row):
+        assert expr.Like(expr.ColumnRef("name"), "Ali%").evaluate(row) is True
+        assert expr.Like(expr.ColumnRef("name"), "a_ice").evaluate(row) is True
+        assert expr.Like(expr.ColumnRef("name"), "Bob%").evaluate(row) is False
+        assert expr.Like(expr.ColumnRef("city"), "%").evaluate(row) is None
+
+
+class TestFunctionsAndCase:
+    def test_scalar_functions(self, row):
+        assert expr.FunctionCall("upper", [expr.ColumnRef("name")]).evaluate(row) == "ALICE"
+        assert expr.FunctionCall("length", [expr.ColumnRef("name")]).evaluate(row) == 5
+        assert expr.FunctionCall(
+            "coalesce", [expr.ColumnRef("city"), expr.Literal("unknown")]
+        ).evaluate(row) == "unknown"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ExpressionError):
+            expr.FunctionCall("frobnicate", [])
+
+    def test_case_when(self, row):
+        case = expr.CaseWhen(
+            [
+                (expr.Comparison(">", expr.ColumnRef("age"), expr.Literal(40)), expr.Literal("old")),
+                (expr.Comparison(">", expr.ColumnRef("age"), expr.Literal(20)), expr.Literal("adult")),
+            ],
+            default=expr.Literal("young"),
+        )
+        assert case.evaluate(row) == "adult"
+
+    def test_case_without_default_returns_none(self, row):
+        case = expr.CaseWhen(
+            [(expr.Comparison(">", expr.ColumnRef("age"), expr.Literal(100)), expr.Literal("x"))]
+        )
+        assert case.evaluate(row) is None
+
+    def test_case_requires_branches(self):
+        with pytest.raises(ExpressionError):
+            expr.CaseWhen([])

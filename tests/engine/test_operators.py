@@ -1,0 +1,302 @@
+"""Tests for the relational operators (select, project, join, union, group, ...)."""
+
+import pytest
+
+from repro.engine import expressions as expr
+from repro.engine.operators import (
+    Aggregate,
+    AggregateSpec,
+    CrossProduct,
+    Distinct,
+    GroupBy,
+    Join,
+    Limit,
+    OuterUnion,
+    Project,
+    ProjectItem,
+    RelationSource,
+    Rename,
+    Scan,
+    Select,
+    Sort,
+    SortKey,
+    Union,
+)
+from repro.engine.operators.aggregates import AGGREGATE_FUNCTIONS, aggregate_function
+from repro.engine.operators.union import outer_union
+from repro.engine.catalog import Catalog
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.exceptions import ExpressionError, SchemaError
+
+
+@pytest.fixture
+def orders():
+    return Relation.from_dicts(
+        [
+            {"order_id": 1, "customer": "Alice", "amount": 30.0},
+            {"order_id": 2, "customer": "Bob", "amount": 20.0},
+            {"order_id": 3, "customer": "Alice", "amount": 50.0},
+            {"order_id": 4, "customer": "Carol", "amount": None},
+        ],
+        name="orders",
+    )
+
+
+@pytest.fixture
+def customers():
+    return Relation.from_dicts(
+        [
+            {"name": "Alice", "city": "Berlin"},
+            {"name": "Bob", "city": "Hamburg"},
+            {"name": "Dora", "city": "Munich"},
+        ],
+        name="customers",
+    )
+
+
+class TestSourceAndScan:
+    def test_relation_source(self, orders):
+        assert RelationSource(orders).execute() is orders
+
+    def test_scan_fetches_lazily(self, orders):
+        catalog = Catalog()
+        scan = Scan(catalog, "orders")
+        catalog.register("orders", orders)
+        assert len(scan.execute()) == 4
+
+    def test_explain_tree(self, orders):
+        plan = Select(RelationSource(orders), expr.IsNull(expr.ColumnRef("amount")))
+        text = plan.explain()
+        assert "Select" in text
+        assert "RelationSource" in text
+
+
+class TestSelect:
+    def test_filters_rows(self, orders):
+        predicate = expr.Comparison(">", expr.ColumnRef("amount"), expr.Literal(25))
+        result = Select(RelationSource(orders), predicate).execute()
+        assert [row["order_id"] for row in result] == [1, 3]
+
+    def test_unknown_predicate_drops_row(self, orders):
+        predicate = expr.Comparison(">", expr.ColumnRef("amount"), expr.Literal(0))
+        result = Select(RelationSource(orders), predicate).execute()
+        # Carol's null amount is unknown, hence dropped
+        assert len(result) == 3
+
+
+class TestProject:
+    def test_plain_projection(self, orders):
+        result = Project(
+            RelationSource(orders),
+            [ProjectItem.column("customer"), ProjectItem.column("amount", alias="total")],
+        ).execute()
+        assert result.column_names == ("customer", "total")
+
+    def test_computed_item(self, orders):
+        doubled = ProjectItem(
+            expr.BinaryOp("*", expr.ColumnRef("amount"), expr.Literal(2)), alias="double"
+        )
+        result = Project(RelationSource(orders), [doubled]).execute()
+        assert result.column("double")[0] == 60.0
+
+    def test_duplicate_output_names_are_disambiguated(self, orders):
+        result = Project(
+            RelationSource(orders),
+            [ProjectItem.column("customer"), ProjectItem.column("customer")],
+        ).execute()
+        assert len(set(result.column_names)) == 2
+
+
+class TestRename:
+    def test_rename(self, orders):
+        result = Rename(RelationSource(orders), {"customer": "buyer"}).execute()
+        assert "buyer" in result.schema
+        assert "customer" not in result.schema
+
+
+class TestJoins:
+    def test_cross_product(self, orders, customers):
+        result = CrossProduct(RelationSource(orders), RelationSource(customers)).execute()
+        assert len(result) == 12
+        assert len(result.schema) == 5
+
+    def test_inner_hash_join(self, orders, customers):
+        result = Join(
+            RelationSource(orders),
+            RelationSource(customers),
+            on=("customer", "name"),
+        ).execute()
+        assert len(result) == 3  # Carol has no match, Dora never matches
+        assert set(result.column("city")) == {"Berlin", "Hamburg"}
+
+    def test_left_join_pads_with_nulls(self, orders, customers):
+        result = Join(
+            RelationSource(orders),
+            RelationSource(customers),
+            on=("customer", "name"),
+            how="left",
+        ).execute()
+        assert len(result) == 4
+        carol = [row for row in result if row["customer"] == "Carol"][0]
+        assert carol["city"] is None
+
+    def test_full_join_includes_unmatched_right(self, orders, customers):
+        result = Join(
+            RelationSource(orders),
+            RelationSource(customers),
+            on=("customer", "name"),
+            how="full",
+        ).execute()
+        cities = [row["city"] for row in result]
+        assert "Munich" in cities
+        assert len(result) == 5
+
+    def test_predicate_join(self, orders, customers):
+        predicate = expr.Comparison(
+            "=", expr.ColumnRef("customer"), expr.ColumnRef("name")
+        )
+        result = Join(
+            RelationSource(orders), RelationSource(customers), predicate=predicate
+        ).execute()
+        assert len(result) == 3
+
+    def test_join_name_clash_is_qualified(self, customers):
+        other = Relation.from_dicts([{"name": "Alice", "city": "Potsdam"}], name="alt")
+        result = Join(
+            RelationSource(customers), RelationSource(other), on=("name", "name")
+        ).execute()
+        assert "alt.name" in result.schema or "alt.city" in result.schema
+
+    def test_join_requires_condition(self, orders, customers):
+        with pytest.raises(ValueError):
+            Join(RelationSource(orders), RelationSource(customers))
+
+    def test_join_rejects_unknown_type(self, orders, customers):
+        with pytest.raises(ValueError):
+            Join(RelationSource(orders), RelationSource(customers), on=("a", "b"), how="right")
+
+
+class TestUnions:
+    def test_union_all(self, orders):
+        result = Union(RelationSource(orders), RelationSource(orders)).execute()
+        assert len(result) == 8
+
+    def test_union_width_mismatch_raises(self, orders, customers):
+        with pytest.raises(SchemaError):
+            Union(RelationSource(orders), RelationSource(customers)).execute()
+
+    def test_outer_union_merges_schemas(self, orders, customers):
+        result = OuterUnion(RelationSource(orders), RelationSource(customers)).execute()
+        assert len(result) == 7
+        assert set(result.column_names) == {"order_id", "customer", "amount", "name", "city"}
+        # padded cells are null
+        assert result.cell(0, "city") is None
+        assert result.cell(4, "order_id") is None
+
+    def test_outer_union_function_requires_input(self):
+        with pytest.raises(SchemaError):
+            outer_union([])
+
+    def test_outer_union_matches_columns_by_name_case_insensitively(self):
+        left = Relation.from_dicts([{"Name": "x", "Age": 1}], name="l")
+        right = Relation.from_dicts([{"name": "y"}], name="r")
+        result = outer_union([left, right])
+        assert len(result.schema) == 2
+        assert result.column("Name") == ["x", "y"]
+
+
+class TestDistinctSortLimit:
+    def test_distinct_full_row(self, orders):
+        doubled = Union(RelationSource(orders), RelationSource(orders)).execute()
+        result = Distinct(RelationSource(doubled)).execute()
+        assert len(result) == 4
+
+    def test_distinct_subset_keeps_first(self, orders):
+        result = Distinct(RelationSource(orders), subset=["customer"]).execute()
+        assert len(result) == 3
+        alice = [row for row in result if row["customer"] == "Alice"][0]
+        assert alice["order_id"] == 1
+
+    def test_sort_ascending_and_descending(self, orders):
+        ascending = Sort(RelationSource(orders), [SortKey("amount")]).execute()
+        assert ascending.cell(0, "customer") == "Carol"  # null first
+        descending = Sort(RelationSource(orders), [SortKey("amount", descending=True)]).execute()
+        assert descending.cell(0, "amount") == 50.0
+
+    def test_sort_multiple_keys_is_stable(self, orders):
+        result = Sort(
+            RelationSource(orders), [SortKey("customer"), SortKey("amount")]
+        ).execute()
+        assert [row["order_id"] for row in result][:2] == [1, 3]
+
+    def test_limit_and_offset(self, orders):
+        assert len(Limit(RelationSource(orders), 2).execute()) == 2
+        offset = Limit(RelationSource(orders), 2, offset=3).execute()
+        assert len(offset) == 1
+
+    def test_limit_rejects_negative(self, orders):
+        with pytest.raises(ValueError):
+            Limit(RelationSource(orders), -1)
+
+
+class TestAggregates:
+    def test_standard_aggregates_ignore_nulls(self):
+        values = [1, 2, None, 3]
+        assert AGGREGATE_FUNCTIONS["count"](values) == 3
+        assert AGGREGATE_FUNCTIONS["count_all"](values) == 4
+        assert AGGREGATE_FUNCTIONS["sum"](values) == 6
+        assert AGGREGATE_FUNCTIONS["avg"](values) == 2
+        assert AGGREGATE_FUNCTIONS["min"](values) == 1
+        assert AGGREGATE_FUNCTIONS["max"](values) == 3
+        assert AGGREGATE_FUNCTIONS["median"]([1, 2, None, 10]) == 2
+
+    def test_aggregates_on_all_nulls_return_none(self):
+        assert AGGREGATE_FUNCTIONS["sum"]([None, None]) is None
+        assert AGGREGATE_FUNCTIONS["max"]([None]) is None
+
+    def test_count_distinct(self):
+        assert AGGREGATE_FUNCTIONS["count_distinct"]([1, 1.0, "1", None]) == 2
+
+    def test_min_max_on_mixed_types_do_not_raise(self):
+        assert AGGREGATE_FUNCTIONS["min"]([3, "abc"]) in (3, "abc")
+
+    def test_lookup_unknown_aggregate(self):
+        with pytest.raises(ExpressionError):
+            aggregate_function("frobnicate")
+
+    def test_stddev_needs_two_values(self):
+        assert AGGREGATE_FUNCTIONS["stddev"]([1]) is None
+        assert AGGREGATE_FUNCTIONS["stddev"]([1, 3]) == pytest.approx(1.4142, rel=1e-3)
+
+
+class TestGroupBy:
+    def test_group_with_aggregates(self, orders):
+        result = GroupBy(
+            RelationSource(orders),
+            ["customer"],
+            [AggregateSpec("amount", "sum", alias="total"), AggregateSpec("order_id", "count")],
+        ).execute()
+        assert len(result) == 3
+        alice = [row for row in result if row["customer"] == "Alice"][0]
+        assert alice["total"] == 80.0
+        assert alice["count_order_id"] == 2
+
+    def test_group_preserves_first_seen_order(self, orders):
+        result = GroupBy(RelationSource(orders), ["customer"]).execute()
+        assert [row["customer"] for row in result] == ["Alice", "Bob", "Carol"]
+
+    def test_callable_aggregate(self, orders):
+        result = GroupBy(
+            RelationSource(orders),
+            ["customer"],
+            [AggregateSpec("amount", lambda values: len(values), alias="n")],
+        ).execute()
+        assert [row["n"] for row in result] == [2, 1, 1]
+
+    def test_whole_table_aggregate(self, orders):
+        result = Aggregate(
+            RelationSource(orders), [AggregateSpec("amount", "max", alias="maximum")]
+        ).execute()
+        assert len(result) == 1
+        assert result.cell(0, "maximum") == 50.0

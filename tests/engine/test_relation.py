@@ -1,0 +1,188 @@
+"""Tests for repro.engine.relation: Row and Relation behaviour."""
+
+import pytest
+
+from repro.engine.relation import Relation, Row
+from repro.engine.schema import Column, Schema
+from repro.engine.types import DataType
+from repro.exceptions import SchemaError
+
+
+class TestRow:
+    def test_access_by_name_and_index(self, people_relation):
+        row = people_relation.row(0)
+        assert row["name"] == "Alice"
+        assert row[1] == 34
+
+    def test_mapping_protocol(self, people_relation):
+        row = people_relation.row(0)
+        assert set(row.keys()) == {"name", "age", "city", "salary"}
+        assert row.to_dict()["city"] == "Berlin"
+
+    def test_get_with_default(self, people_relation):
+        row = people_relation.row(0)
+        assert row.get("missing", "fallback") == "fallback"
+
+    def test_replace(self, people_relation):
+        row = people_relation.row(0).replace(age=35)
+        assert row["age"] == 35
+        assert people_relation.row(0)["age"] == 34
+
+    def test_wrong_width_raises(self):
+        with pytest.raises(SchemaError):
+            Row(Schema(["a", "b"]), (1,))
+
+    def test_equality_and_hash(self):
+        schema = Schema(["a"])
+        assert Row(schema, (1,)) == Row(schema, (1,))
+        assert hash(Row(schema, (1,))) == hash(Row(schema, (1,)))
+
+
+class TestRelationConstruction:
+    def test_row_width_checked(self):
+        with pytest.raises(SchemaError):
+            Relation(Schema(["a", "b"]), [(1,)])
+
+    def test_from_dicts_infers_schema_and_types(self):
+        relation = Relation.from_dicts(
+            [{"name": "X", "age": 3}, {"name": "Y", "age": 4, "extra": "e"}]
+        )
+        assert relation.column_names == ("name", "age", "extra")
+        assert relation.schema.dtype("age") is DataType.INTEGER
+        assert relation.cell(0, "extra") is None
+
+    def test_from_dicts_case_insensitive_keys(self):
+        relation = Relation.from_dicts([{"Name": "X"}, {"name": "Y"}])
+        assert relation.column_names == ("Name",)
+        assert relation.column("Name") == ["X", "Y"]
+
+    def test_from_columns(self):
+        relation = Relation.from_columns({"a": [1, 2], "b": ["x", "y"]})
+        assert len(relation) == 2
+        assert relation.column("b") == ["x", "y"]
+
+    def test_from_columns_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            Relation.from_columns({"a": [1], "b": [1, 2]})
+
+    def test_empty(self):
+        relation = Relation.empty(Schema(["a"]))
+        assert relation.is_empty()
+
+    def test_coerce_types_on_construction(self):
+        schema = Schema([Column("n", DataType.INTEGER)])
+        relation = Relation(schema, [("4",), ("5",)], coerce_types=True)
+        assert relation.column("n") == [4, 5]
+
+
+class TestRelationAccess:
+    def test_len_iter_getitem(self, people_relation):
+        assert len(people_relation) == 5
+        assert [row["name"] for row in people_relation] == [
+            "Alice", "Bob", "Carol", "Dave", "Eve",
+        ]
+        assert people_relation[1]["name"] == "Bob"
+        sliced = people_relation[1:3]
+        assert isinstance(sliced, Relation)
+        assert len(sliced) == 2
+
+    def test_column_and_cell(self, people_relation):
+        assert people_relation.column("age") == [34, 28, 41, 28, None]
+        assert people_relation.cell(2, "city") == "Berlin"
+
+    def test_rows_returns_copy(self, people_relation):
+        rows = people_relation.rows
+        rows.append(("X", 1, "Y", 2.0))
+        assert len(people_relation) == 5
+
+    def test_to_dicts(self, people_relation):
+        dicts = people_relation.to_dicts()
+        assert dicts[0]["name"] == "Alice"
+        assert len(dicts) == 5
+
+    def test_equality(self, people_relation):
+        assert people_relation == people_relation.copy()
+
+
+class TestRelationTransforms:
+    def test_rename_columns_shares_rows(self, people_relation):
+        renamed = people_relation.rename_columns({"name": "person"})
+        assert renamed.column("person") == people_relation.column("name")
+        assert "name" not in renamed.schema
+
+    def test_with_column_constant(self, people_relation):
+        extended = people_relation.with_column("source", "census")
+        assert extended.column("source") == ["census"] * 5
+
+    def test_with_column_callable(self, people_relation):
+        extended = people_relation.with_column(
+            "older", lambda row: (row["age"] or 0) > 30
+        )
+        assert extended.column("older") == [True, False, True, False, False]
+
+    def test_with_column_sequence_and_position(self, people_relation):
+        extended = people_relation.with_column(
+            Column("id", DataType.INTEGER), [1, 2, 3, 4, 5], position=0
+        )
+        assert extended.column_names[0] == "id"
+        assert extended.cell(0, "id") == 1
+
+    def test_with_column_wrong_length(self, people_relation):
+        with pytest.raises(SchemaError):
+            people_relation.with_column("x", [1, 2])
+
+    def test_without_columns(self, people_relation):
+        reduced = people_relation.without_columns(["salary", "city"])
+        assert reduced.column_names == ("name", "age")
+
+    def test_project(self, people_relation):
+        projected = people_relation.project(["city", "name"])
+        assert projected.column_names == ("city", "name")
+        assert projected.cell(0, "city") == "Berlin"
+
+    def test_filter(self, people_relation):
+        berliners = people_relation.filter(lambda row: row["city"] == "Berlin")
+        assert len(berliners) == 2
+
+    def test_map_column(self, people_relation):
+        upper = people_relation.map_column("name", str.upper)
+        assert upper.cell(0, "name") == "ALICE"
+
+    def test_append_rows(self, people_relation):
+        extended = people_relation.append_rows([("Frank", 50, "Bonn", 1.0)])
+        assert len(extended) == 6
+        assert len(people_relation) == 5
+
+    def test_sorted_by_with_nulls_first(self, people_relation):
+        ordered = people_relation.sorted_by(["age"])
+        assert ordered.cell(0, "name") == "Eve"  # null age sorts first
+        assert ordered.cell(4, "name") == "Carol"
+
+    def test_sorted_by_descending(self, people_relation):
+        ordered = people_relation.sorted_by(["age"], descending=True)
+        assert ordered.cell(0, "name") == "Carol"
+
+    def test_head(self, people_relation):
+        assert len(people_relation.head(2)) == 2
+
+    def test_retyped(self):
+        relation = Relation(Schema(["n"]), [("1",), ("2",)])
+        assert relation.retyped().schema.dtype("n") is DataType.INTEGER
+
+
+class TestRelationStatsAndDisplay:
+    def test_null_count(self, people_relation):
+        assert people_relation.null_count("age") == 1
+        assert people_relation.null_count("name") == 0
+
+    def test_distinct_values(self, people_relation):
+        assert people_relation.distinct_values("city") == ["Berlin", "Hamburg", "Munich"]
+
+    def test_to_text_contains_header_and_rows(self, people_relation):
+        text = people_relation.to_text()
+        assert "name" in text
+        assert "Alice" in text
+
+    def test_to_text_limit(self, people_relation):
+        text = people_relation.to_text(limit=2)
+        assert "more rows" in text

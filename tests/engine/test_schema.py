@@ -1,0 +1,133 @@
+"""Tests for repro.engine.schema."""
+
+import pytest
+
+from repro.engine.schema import Column, Schema
+from repro.engine.types import DataType
+from repro.exceptions import DuplicateColumnError, SchemaError, UnknownColumnError
+
+
+class TestColumn:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_renamed_returns_new_column(self):
+        original = Column("name", DataType.STRING)
+        renamed = original.renamed("fullname")
+        assert renamed.name == "fullname"
+        assert renamed.dtype is DataType.STRING
+        assert original.name == "name"
+
+    def test_with_source(self):
+        assert Column("a").with_source("s1").source == "s1"
+
+    def test_with_type(self):
+        assert Column("a").with_type(DataType.INTEGER).dtype is DataType.INTEGER
+
+    def test_str(self):
+        assert str(Column("age", DataType.INTEGER)) == "age:integer"
+
+
+class TestSchemaConstruction:
+    def test_from_strings(self):
+        schema = Schema(["a", "b"])
+        assert schema.names == ("a", "b")
+        assert schema["a"].dtype is DataType.ANY
+
+    def test_from_tuples(self):
+        schema = Schema([("a", DataType.INTEGER)])
+        assert schema.dtype("a") is DataType.INTEGER
+
+    def test_from_columns(self):
+        schema = Schema([Column("x"), Column("y")])
+        assert len(schema) == 2
+
+    def test_rejects_duplicate_names_case_insensitively(self):
+        with pytest.raises(DuplicateColumnError):
+            Schema(["Name", "name"])
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            Schema([42])
+
+
+class TestSchemaLookup:
+    def test_position_case_insensitive(self):
+        schema = Schema(["Name", "Age"])
+        assert schema.position("name") == 0
+        assert schema.position("AGE") == 1
+
+    def test_unknown_column_raises_with_available(self):
+        schema = Schema(["a", "b"])
+        with pytest.raises(UnknownColumnError) as excinfo:
+            schema.position("c")
+        assert "a" in str(excinfo.value)
+
+    def test_contains(self):
+        schema = Schema(["a"])
+        assert "A" in schema
+        assert "b" not in schema
+        assert 42 not in schema
+
+    def test_getitem_by_index_and_name(self):
+        schema = Schema(["a", "b"])
+        assert schema[1].name == "b"
+        assert schema["b"].name == "b"
+
+    def test_positions_preserves_order(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.positions(["c", "a"]) == [2, 0]
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a"]) != Schema(["b"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+
+class TestSchemaTransforms:
+    def test_project(self):
+        schema = Schema(["a", "b", "c"]).project(["c", "a"])
+        assert schema.names == ("c", "a")
+
+    def test_rename(self):
+        schema = Schema(["a", "b"]).rename({"a": "x"})
+        assert schema.names == ("x", "b")
+
+    def test_rename_unknown_raises(self):
+        with pytest.raises(UnknownColumnError):
+            Schema(["a"]).rename({"zzz": "x"})
+
+    def test_add_and_drop(self):
+        schema = Schema(["a"]).add(Column("b"))
+        assert schema.names == ("a", "b")
+        assert schema.drop(["a"]).names == ("b",)
+
+    def test_add_at_position(self):
+        schema = Schema(["a", "c"]).add(Column("b"), position=1)
+        assert schema.names == ("a", "b", "c")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(UnknownColumnError):
+            Schema(["a"]).drop(["b"])
+
+    def test_prefixed(self):
+        assert Schema(["a"]).prefixed("t").names == ("t.a",)
+
+    def test_merge_outer_unions_by_name(self):
+        left = Schema(["a", "b"])
+        right = Schema(["B", "c"])
+        merged = left.merge_outer(right)
+        assert merged.names == ("a", "b", "c")
+
+    def test_union_all(self):
+        merged = Schema.union_all([Schema(["a"]), Schema(["b"]), Schema(["a", "c"])])
+        assert merged.names == ("a", "b", "c")
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.union_all([])
+
+    def test_with_sources(self):
+        schema = Schema(["a"]).with_sources("s1")
+        assert schema["a"].source == "s1"

@@ -1,0 +1,43 @@
+"""Tests for relation profiling."""
+
+from repro.engine.relation import Relation
+from repro.engine.statistics import profile_relation
+
+
+class TestProfileRelation:
+    def test_basic_counts(self, people_relation):
+        stats = profile_relation(people_relation)
+        assert stats.row_count == 5
+        assert stats.column_count == 4
+        assert stats.column("name").null_count == 0
+        assert stats.column("age").null_count == 1
+        assert stats.column("city").distinct_count == 3
+
+    def test_ratios(self, people_relation):
+        stats = profile_relation(people_relation)
+        assert stats.column("age").null_ratio == 0.2
+        assert stats.column("age").completeness == 0.8
+        # 3 distinct ages among 4 non-null cells
+        assert stats.column("age").distinctness == 0.75
+
+    def test_average_length_is_over_strings(self, people_relation):
+        stats = profile_relation(people_relation)
+        assert stats.column("name").average_length == sum(len(n) for n in
+            ["Alice", "Bob", "Carol", "Dave", "Eve"]) / 5
+
+    def test_empty_relation(self):
+        relation = Relation.from_dicts([])
+        stats = profile_relation(relation)
+        assert stats.row_count == 0
+        assert stats.column_count == 0
+
+    def test_all_null_column(self):
+        relation = Relation.from_dicts([{"a": None}, {"a": None}])
+        stats = profile_relation(relation)
+        assert stats.column("a").null_ratio == 1.0
+        assert stats.column("a").distinctness == 0.0
+        assert stats.column("a").average_length == 0.0
+
+    def test_case_insensitive_lookup(self, people_relation):
+        stats = profile_relation(people_relation)
+        assert stats.column("NAME").name == "name"

@@ -1,0 +1,185 @@
+"""Tests for repro.engine.types: coercion, inference, null handling, comparison."""
+
+import datetime
+import math
+
+import pytest
+
+from repro.engine.types import (
+    DataType,
+    coerce,
+    compare_values,
+    infer_column_type,
+    infer_type,
+    is_null,
+    values_equal,
+)
+from repro.exceptions import TypeCoercionError
+
+
+class TestIsNull:
+    def test_none_is_null(self):
+        assert is_null(None)
+
+    def test_nan_is_null(self):
+        assert is_null(float("nan"))
+
+    def test_zero_is_not_null(self):
+        assert not is_null(0)
+
+    def test_empty_string_is_not_null(self):
+        assert not is_null("")
+
+    def test_false_is_not_null(self):
+        assert not is_null(False)
+
+
+class TestCoerce:
+    def test_none_stays_none(self):
+        assert coerce(None, DataType.INTEGER) is None
+
+    def test_null_literal_string_becomes_none(self):
+        assert coerce("  NULL ", DataType.STRING) is None
+        assert coerce("n/a", DataType.INTEGER) is None
+        assert coerce("", DataType.FLOAT) is None
+
+    def test_any_passes_through(self):
+        value = object()
+        assert coerce(value, DataType.ANY) is value
+
+    def test_string_from_number(self):
+        assert coerce(42, DataType.STRING) == "42"
+        assert coerce(42.0, DataType.STRING) == "42"
+        assert coerce(42.5, DataType.STRING) == "42.5"
+
+    def test_string_from_bool(self):
+        assert coerce(True, DataType.STRING) == "true"
+
+    def test_integer_from_string(self):
+        assert coerce("17", DataType.INTEGER) == 17
+        assert coerce(" -3 ", DataType.INTEGER) == -3
+        assert coerce("1,200", DataType.INTEGER) == 1200
+
+    def test_integer_from_integral_float(self):
+        assert coerce(4.0, DataType.INTEGER) == 4
+
+    def test_integer_from_fractional_float_fails(self):
+        with pytest.raises(TypeCoercionError):
+            coerce(4.5, DataType.INTEGER)
+
+    def test_integer_from_garbage_fails(self):
+        with pytest.raises(TypeCoercionError):
+            coerce("not a number", DataType.INTEGER)
+
+    def test_float_from_string(self):
+        assert coerce("3.25", DataType.FLOAT) == pytest.approx(3.25)
+
+    def test_float_from_currency_string(self):
+        assert coerce("$12.50", DataType.FLOAT) == pytest.approx(12.5)
+
+    def test_float_from_int(self):
+        assert coerce(7, DataType.FLOAT) == 7.0
+
+    def test_boolean_from_strings(self):
+        assert coerce("yes", DataType.BOOLEAN) is True
+        assert coerce("No", DataType.BOOLEAN) is False
+        assert coerce("1", DataType.BOOLEAN) is True
+
+    def test_boolean_from_bad_string_fails(self):
+        with pytest.raises(TypeCoercionError):
+            coerce("maybe", DataType.BOOLEAN)
+
+    def test_date_from_iso_string(self):
+        assert coerce("2005-08-30", DataType.DATE) == datetime.date(2005, 8, 30)
+
+    def test_date_from_german_format(self):
+        assert coerce("30.08.2005", DataType.DATE) == datetime.date(2005, 8, 30)
+
+    def test_date_from_datetime_string(self):
+        value = coerce("2005-08-30 12:30:00", DataType.DATE)
+        assert isinstance(value, datetime.datetime)
+        assert value.hour == 12
+
+    def test_date_from_bad_string_fails(self):
+        with pytest.raises(TypeCoercionError):
+            coerce("next tuesday", DataType.DATE)
+
+
+class TestInferType:
+    def test_null_is_any(self):
+        assert infer_type(None) is DataType.ANY
+
+    def test_bool_before_int(self):
+        assert infer_type(True) is DataType.BOOLEAN
+
+    def test_int(self):
+        assert infer_type(3) is DataType.INTEGER
+
+    def test_float(self):
+        assert infer_type(3.5) is DataType.FLOAT
+
+    def test_numeric_string(self):
+        assert infer_type("42") is DataType.INTEGER
+        assert infer_type("42.5") is DataType.FLOAT
+
+    def test_boolean_string(self):
+        assert infer_type("true") is DataType.BOOLEAN
+
+    def test_date_string(self):
+        assert infer_type("2005-08-30") is DataType.DATE
+
+    def test_plain_string(self):
+        assert infer_type("HumMer") is DataType.STRING
+
+    def test_date_object(self):
+        assert infer_type(datetime.date(2005, 8, 30)) is DataType.DATE
+
+
+class TestInferColumnType:
+    def test_all_nulls(self):
+        assert infer_column_type([None, None]) is DataType.ANY
+
+    def test_homogeneous_integers(self):
+        assert infer_column_type([1, 2, None, 3]) is DataType.INTEGER
+
+    def test_int_float_mix_is_float(self):
+        assert infer_column_type([1, 2.5]) is DataType.FLOAT
+
+    def test_mixed_types_fall_back_to_string(self):
+        assert infer_column_type([1, "abc"]) is DataType.STRING
+
+    def test_empty_iterable(self):
+        assert infer_column_type([]) is DataType.ANY
+
+
+class TestValuesEqual:
+    def test_nulls_never_equal(self):
+        assert not values_equal(None, None)
+        assert not values_equal(None, 1)
+
+    def test_numeric_cross_type_equality(self):
+        assert values_equal(2, 2.0)
+
+    def test_bool_not_equal_to_int(self):
+        assert not values_equal(True, 1)
+
+    def test_string_equality(self):
+        assert values_equal("a", "a")
+        assert not values_equal("a", "A")
+
+
+class TestCompareValues:
+    def test_nulls_sort_first(self):
+        assert compare_values(None, 5) == -1
+        assert compare_values(5, None) == 1
+        assert compare_values(None, None) == 0
+
+    def test_numeric_ordering(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(3, 2) == 1
+        assert compare_values(2, 2) == 0
+
+    def test_incomparable_types_use_string_order(self):
+        assert compare_values(10, "abc") in (-1, 1)
+        # deterministic: "10" < "abc"
+        assert compare_values(10, "abc") == -1

@@ -1,0 +1,76 @@
+"""Tests for the AST node helpers."""
+
+from repro.fuseby.ast import (
+    ColumnExpression,
+    FuseByQuery,
+    OrderItem,
+    ResolveItem,
+    SelectItem,
+    StarItem,
+    TableReference,
+)
+
+
+class TestNodes:
+    def test_column_expression_qualification(self):
+        assert ColumnExpression("Age").qualified_name == "Age"
+        assert ColumnExpression("Age", table="EE").qualified_name == "EE.Age"
+        assert str(ColumnExpression("Age", table="EE")) == "EE.Age"
+
+    def test_star_item(self):
+        assert str(StarItem()) == "*"
+
+    def test_select_item_str(self):
+        assert str(SelectItem(ColumnExpression("Name"), alias="n")) == "Name AS n"
+
+    def test_resolve_item_str_variants(self):
+        plain = ResolveItem(ColumnExpression("Age"))
+        named = ResolveItem(ColumnExpression("Age"), function="max")
+        with_args = ResolveItem(
+            ColumnExpression("price"), function="choose", arguments=("shop",), alias="p"
+        )
+        assert str(plain) == "RESOLVE(Age)"
+        assert str(named) == "RESOLVE(Age, max)"
+        assert "choose" in str(with_args) and "AS p" in str(with_args)
+
+    def test_table_reference_effective_name(self):
+        assert TableReference("EE_Students").effective_name == "EE_Students"
+        assert TableReference("EE_Students", alias="ee").effective_name == "ee"
+
+    def test_order_item_str(self):
+        assert str(OrderItem(ColumnExpression("Age"), descending=True)) == "Age DESC"
+
+
+class TestQueryHelpers:
+    def make_query(self, **kwargs):
+        defaults = dict(
+            select_items=[SelectItem(ColumnExpression("Name")), ResolveItem(ColumnExpression("Age"))],
+            tables=[TableReference("a"), TableReference("b")],
+        )
+        defaults.update(kwargs)
+        return FuseByQuery(**defaults)
+
+    def test_is_fusion_query_flags(self):
+        assert not self.make_query().is_fusion_query
+        assert self.make_query(fuse_from=True).is_fusion_query
+        assert self.make_query(fuse_by=[]).is_fusion_query
+        assert self.make_query(fuse_by=[ColumnExpression("Name")]).is_fusion_query
+
+    def test_has_star_and_resolve_items(self):
+        query = self.make_query(select_items=[StarItem()])
+        assert query.has_star
+        assert query.resolve_items() == []
+        query = self.make_query()
+        assert len(query.resolve_items()) == 1
+
+    def test_str_mentions_clauses(self):
+        query = self.make_query(
+            fuse_from=True,
+            fuse_by=[ColumnExpression("Name")],
+            order_by=[OrderItem(ColumnExpression("Name"))],
+            limit=3,
+        )
+        text = str(query)
+        assert "FUSE FROM" in text
+        assert "FUSE BY (Name)" in text
+        assert "LIMIT 3" in text

@@ -1,0 +1,151 @@
+"""Tests for end-to-end query execution (plain SQL and fusion queries)."""
+
+import pytest
+
+from repro.engine.relation import Relation
+from repro.exceptions import PlanningError
+from repro.fuseby.executor import QueryExecutor
+from repro.engine.catalog import Catalog
+
+
+@pytest.fixture
+def executor(catalog):
+    return QueryExecutor(catalog)
+
+
+class TestPlainQueries:
+    def test_select_star(self, executor):
+        result = executor.execute("SELECT * FROM EE_Students")
+        assert len(result) == 4
+        assert "Name" in result.schema
+
+    def test_projection_and_alias(self, executor):
+        result = executor.execute("SELECT Name AS who, Age FROM EE_Students")
+        assert result.column_names == ("who", "Age")
+
+    def test_where_filter(self, executor):
+        result = executor.execute("SELECT Name FROM EE_Students WHERE Age > 23")
+        assert set(result.column("Name")) == {"Ben Mueller", "David Fischer"}
+
+    def test_where_with_like_and_in(self, executor):
+        result = executor.execute(
+            "SELECT Name FROM EE_Students WHERE Name LIKE 'A%' OR Age IN (27)"
+        )
+        assert set(result.column("Name")) == {"Anna Schmidt", "David Fischer"}
+
+    def test_order_by_and_limit(self, executor):
+        result = executor.execute("SELECT Name, Age FROM EE_Students ORDER BY Age DESC LIMIT 2")
+        assert result.column("Name") == ["David Fischer", "Ben Mueller"]
+
+    def test_cross_product_of_two_tables(self, executor):
+        result = executor.execute("SELECT * FROM EE_Students, CS_Students")
+        assert len(result) == 12
+
+    def test_group_by(self, executor):
+        result = executor.execute("SELECT Major FROM EE_Students GROUP BY Major")
+        assert len(result) == 1
+
+    def test_unknown_source_raises(self, executor):
+        from repro.exceptions import CatalogError
+
+        with pytest.raises(CatalogError):
+            executor.execute("SELECT * FROM Ghost_Table")
+
+    def test_explain_returns_plan(self, executor):
+        plan = executor.explain("SELECT * FUSE FROM EE_Students, CS_Students FUSE BY (Name)")
+        assert plan.is_fusion
+
+
+class TestFusionQueries:
+    def test_paper_example_key_based(self, executor):
+        result = executor.execute(
+            "SELECT Name, RESOLVE(Age, max) "
+            "FUSE FROM EE_Students, CS_Students FUSE BY (Name)"
+        )
+        assert len(result) == 5  # 4 EE + 3 CS students, 2 in both
+        by_name = {row["Name"]: row["Age"] for row in result}
+        assert by_name["Anna Schmidt"] == 23  # max(22, 23)
+        assert by_name["Ben Mueller"] == 25
+        assert by_name["Elena Wolf"] == 21
+
+    def test_fuse_from_single_table_collapses_exact_key_duplicates(self, catalog, ee_students):
+        catalog.register("EE_copy", ee_students.renamed("EE_copy"))
+        executor = QueryExecutor(catalog)
+        result = executor.execute(
+            "SELECT Name, RESOLVE(Age, min) FUSE FROM EE_Students, EE_copy FUSE BY (Name)"
+        )
+        assert len(result) == 4
+
+    def test_star_fusion_query(self, executor):
+        result = executor.execute("SELECT * FUSE FROM EE_Students, CS_Students FUSE BY (Name)")
+        assert len(result) == 5
+        assert "Major" in result.schema
+
+    def test_automatic_duplicate_detection_without_fuse_by(self, executor):
+        result = executor.execute("SELECT * FUSE FROM EE_Students, CS_Students")
+        assert len(result) == 5
+        assert "objectID" not in result.schema
+
+    def test_where_applies_before_fusion(self, executor):
+        result = executor.execute(
+            "SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Students, CS_Students "
+            "WHERE Age > 22 FUSE BY (Name)"
+        )
+        names = set(result.column("Name"))
+        # Anna's EE tuple (22) is filtered out, but her CS tuple (23) survives
+        assert "Anna Schmidt" in names
+        assert "Elena Wolf" not in names  # 21 filtered
+
+    def test_order_by_and_limit_apply_after_fusion(self, executor):
+        result = executor.execute(
+            "SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Students, CS_Students "
+            "FUSE BY (Name) ORDER BY Age DESC LIMIT 2"
+        )
+        assert len(result) == 2
+        assert result.cell(0, "Name") == "David Fischer"
+
+    def test_having_filters_fused_result(self, executor):
+        result = executor.execute(
+            "SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Students, CS_Students "
+            "FUSE BY (Name) HAVING Age > 24"
+        )
+        assert set(result.column("Name")) == {"Ben Mueller", "David Fischer"}
+
+    def test_choose_resolution_function(self, executor):
+        result = executor.execute(
+            "SELECT Name, RESOLVE(Age, choose('CS_Students')) "
+            "FUSE FROM EE_Students, CS_Students FUSE BY (Name)"
+        )
+        by_name = {row["Name"]: row["Age"] for row in result}
+        assert by_name["Anna Schmidt"] == 23  # CS value preferred
+
+    def test_concat_and_annotated_concat_resolutions(self, executor):
+        concat = executor.execute(
+            "SELECT Name, RESOLVE(Age, concat) "
+            "FUSE FROM EE_Students, CS_Students FUSE BY (Name)"
+        )
+        anna = [row for row in concat if row["Name"] == "Anna Schmidt"][0]
+        assert "22" in str(anna["Age"]) and "23" in str(anna["Age"])
+        annotated = executor.execute(
+            "SELECT Name, RESOLVE(Age, annotated_concat) "
+            "FUSE FROM EE_Students, CS_Students FUSE BY (Name)"
+        )
+        anna = [row for row in annotated if row["Name"] == "Anna Schmidt"][0]
+        assert "EE_Students" in str(anna["Age"])
+        assert "CS_Students" in str(anna["Age"])
+
+    def test_unknown_output_column_raises(self, executor):
+        from repro.exceptions import HummerError
+
+        with pytest.raises(HummerError):
+            executor.execute(
+                "SELECT Ghost FUSE FROM EE_Students, CS_Students FUSE BY (Name)"
+            )
+
+    def test_multi_key_fuse_by(self, executor):
+        result = executor.execute(
+            "SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Students, CS_Students "
+            "FUSE BY (Name, Major)"
+        )
+        # Major conflicts for the shared students, so they do NOT merge on (Name, Major)
+        assert len(result) == 7

@@ -1,0 +1,91 @@
+"""Figure 1 conformance: the parser accepts exactly the Fuse By syntax diagram.
+
+The syntax diagram of the paper (Fig. 1) consists of:
+
+    SELECT  { colref | RESOLVE(colref) | RESOLVE(colref, function) | * } , ...
+    FUSE FROM tableref , ...          (FROM also allowed for plain SQL)
+    [ where-clause ]
+    FUSE BY ( colref, ... )           (optional; may be empty)
+
+plus the statement "HAVING and ORDER BY keep their original meaning".  Every
+production in the diagram must be accepted; a set of near-miss statements
+must be rejected.
+"""
+
+import pytest
+
+from repro.exceptions import ParseError, QueryError
+from repro.fuseby.parser import parse_query
+
+#: Every production of the Fig. 1 diagram, one accepted example per path.
+ACCEPTED = [
+    # SELECT list paths
+    "SELECT * FUSE FROM a, b FUSE BY (k)",
+    "SELECT col FUSE FROM a, b FUSE BY (k)",
+    "SELECT RESOLVE(col) FUSE FROM a, b FUSE BY (k)",
+    "SELECT RESOLVE(col, vote) FUSE FROM a, b FUSE BY (k)",
+    "SELECT c1, c2, c3 FUSE FROM a, b FUSE BY (k)",
+    "SELECT c1, RESOLVE(c2), RESOLVE(c3, max) FUSE FROM a, b FUSE BY (k)",
+    # FROM vs FUSE FROM, one or many tablerefs
+    "SELECT * FROM a",
+    "SELECT * FROM a, b, c",
+    "SELECT * FUSE FROM a FUSE BY (k)",
+    "SELECT * FUSE FROM a, b, c, d FUSE BY (k)",
+    # where-clause optional
+    "SELECT * FUSE FROM a, b WHERE x > 1 FUSE BY (k)",
+    "SELECT * FUSE FROM a, b FUSE BY (k)",
+    # FUSE BY with one, many, or no colrefs, or absent entirely
+    "SELECT * FUSE FROM a, b FUSE BY (k1)",
+    "SELECT * FUSE FROM a, b FUSE BY (k1, k2, k3)",
+    "SELECT * FUSE FROM a, b FUSE BY ()",
+    "SELECT * FUSE FROM a, b",
+    # HAVING and ORDER BY keep their original meaning
+    "SELECT * FUSE FROM a, b FUSE BY (k) HAVING n > 1",
+    "SELECT * FUSE FROM a, b FUSE BY (k) ORDER BY k",
+    "SELECT * FUSE FROM a, b FUSE BY (k) ORDER BY k DESC",
+    "SELECT * FUSE FROM a, b WHERE x = 1 FUSE BY (k) HAVING y < 2 ORDER BY k ASC",
+    # the paper's own example
+    "SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)",
+]
+
+#: Statements just outside the diagram's language.
+REJECTED = [
+    "RESOLVE(Age) FROM t",                       # no SELECT
+    "SELECT FROM t",                             # empty select list
+    "SELECT * FUSE BY (k)",                      # no FROM clause at all
+    "SELECT * FUSE FROM",                        # missing tableref
+    "SELECT * FUSE FROM a, FUSE BY (k)",         # dangling comma
+    "SELECT * FUSE FROM a, b FUSE BY k",         # FUSE BY without parentheses
+    "SELECT * FUSE FROM a, b FUSE BY (k",        # unclosed parenthesis
+    "SELECT RESOLVE() FUSE FROM a FUSE BY (k)",  # RESOLVE without colref
+    "SELECT RESOLVE(c,) FUSE FROM a FUSE BY (k)",  # RESOLVE with dangling comma
+    "SELECT * FUSE a, b FUSE BY (k)",            # FUSE without FROM/BY
+    "SELECT * FROM a ORDER k",                   # ORDER without BY
+    "SELECT * FROM a GROUP city",                # GROUP without BY
+]
+
+
+class TestFigure1Grammar:
+    @pytest.mark.parametrize("statement", ACCEPTED)
+    def test_accepts_every_diagram_production(self, statement):
+        query = parse_query(statement)
+        assert query.tables
+
+    @pytest.mark.parametrize("statement", REJECTED)
+    def test_rejects_near_misses(self, statement):
+        with pytest.raises(QueryError):
+            parse_query(statement)
+
+    def test_default_select_star_expands_to_source_attributes(self, hummer):
+        result = hummer.query("SELECT * FUSE FROM EE_Students, CS_Students FUSE BY (Name)")
+        # all attributes present in the sources survive (under preferred names)
+        for column in ("Name", "Age", "Major", "Email"):
+            assert column in result.schema
+
+    def test_default_resolution_is_coalesce(self, hummer):
+        result = hummer.query(
+            "SELECT Name, RESOLVE(Major) FUSE FROM EE_Students, CS_Students FUSE BY (Name)"
+        )
+        anna = [row for row in result if row["Name"] == "Anna Schmidt"][0]
+        # coalesce takes the first non-null value, i.e. the EE (preferred) one
+        assert anna["Major"] == "Electrical Engineering"

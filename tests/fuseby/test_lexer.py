@@ -1,0 +1,82 @@
+"""Tests for the Fuse By lexer."""
+
+import pytest
+
+from repro.exceptions import LexerError
+from repro.fuseby.lexer import tokenize_query
+from repro.fuseby.tokens import TokenType
+
+
+def types(text):
+    return [token.type for token in tokenize_query(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize_query(text)]
+
+
+class TestLexer:
+    def test_keywords_are_uppercased(self):
+        tokens = tokenize_query("select name fuse from t")
+        assert tokens[0].value == "SELECT"
+        assert tokens[2].value == "FUSE"
+        assert tokens[3].value == "FROM"
+
+    def test_identifiers_keep_their_case(self):
+        tokens = tokenize_query("SELECT EE_Students")
+        assert tokens[1].type is TokenType.IDENTIFIER
+        assert tokens[1].value == "EE_Students"
+
+    def test_star_comma_parens_dot(self):
+        assert types("*, ().")[:5] == [
+            TokenType.STAR,
+            TokenType.COMMA,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.DOT,
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize_query("42 3.14")
+        assert tokens[0].value == 42
+        assert isinstance(tokens[0].value, int)
+        assert tokens[1].value == pytest.approx(3.14)
+
+    def test_single_and_double_quoted_strings(self):
+        tokens = tokenize_query("'abc' \"def\"")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "abc"
+        assert tokens[1].value == "def"
+
+    def test_escaped_quote(self):
+        tokens = tokenize_query("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize_query("'oops")
+
+    def test_operators_including_two_char(self):
+        tokens = tokenize_query("a >= 1 and b <> 2 and c != 3 and d < 4")
+        operator_values = [t.value for t in tokens if t.type is TokenType.OPERATOR]
+        assert operator_values == [">=", "<>", "!=", "<"]
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize_query("SELECT a -- this is a comment\nFROM t")
+        assert [t.value for t in tokens if t.type is TokenType.KEYWORD] == ["SELECT", "FROM"]
+
+    def test_line_numbers(self):
+        tokens = tokenize_query("SELECT a\nFROM t")
+        from_token = [t for t in tokens if t.matches_keyword("FROM")][0]
+        assert from_token.line == 2
+
+    def test_illegal_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize_query("SELECT a ? b")
+
+    def test_always_ends_with_eof(self):
+        assert tokenize_query("")[-1].type is TokenType.EOF
+        assert tokenize_query("SELECT")[-1].type is TokenType.EOF
+
+    def test_semicolon(self):
+        assert TokenType.SEMICOLON in types("SELECT a FROM t;")

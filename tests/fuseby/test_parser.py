@@ -1,0 +1,153 @@
+"""Tests for the Fuse By parser (AST construction and error handling)."""
+
+import pytest
+
+from repro.engine import expressions as expr
+from repro.exceptions import ParseError
+from repro.fuseby.ast import ResolveItem, SelectItem, StarItem
+from repro.fuseby.parser import parse_query
+
+
+class TestSelectList:
+    def test_star(self):
+        query = parse_query("SELECT * FROM t")
+        assert query.has_star
+        assert isinstance(query.select_items[0], StarItem)
+
+    def test_plain_columns_with_aliases(self):
+        query = parse_query("SELECT a, b AS bee, t.c FROM t")
+        items = query.select_items
+        assert isinstance(items[0], SelectItem)
+        assert items[1].alias == "bee"
+        assert items[2].column.table == "t"
+        assert items[2].column.qualified_name == "t.c"
+
+    def test_resolve_without_function(self):
+        query = parse_query("SELECT RESOLVE(Age) FUSE FROM a, b FUSE BY (Name)")
+        item = query.select_items[0]
+        assert isinstance(item, ResolveItem)
+        assert item.function is None
+
+    def test_resolve_with_function(self):
+        query = parse_query("SELECT Name, RESOLVE(Age, max) FUSE FROM a, b FUSE BY (Name)")
+        item = query.resolve_items()[0]
+        assert item.column.name == "Age"
+        assert item.function == "max"
+
+    def test_resolve_with_function_arguments(self):
+        query = parse_query(
+            "SELECT RESOLVE(price, choose('cheap_store')) FUSE FROM a, b FUSE BY (title)"
+        )
+        item = query.resolve_items()[0]
+        assert item.function == "choose"
+        assert item.arguments == ("cheap_store",)
+
+    def test_resolve_with_numeric_argument_and_alias(self):
+        query = parse_query(
+            "SELECT RESOLVE(price, round_to(2)) AS p FUSE FROM a FUSE BY (title)"
+        )
+        item = query.resolve_items()[0]
+        assert item.arguments == (2,)
+        assert item.alias == "p"
+
+    def test_resolve_missing_paren_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT RESOLVE Age FROM t")
+
+
+class TestFromAndFuseBy:
+    def test_plain_from(self):
+        query = parse_query("SELECT * FROM t1, t2")
+        assert not query.fuse_from
+        assert [t.name for t in query.tables] == ["t1", "t2"]
+        assert not query.is_fusion_query
+
+    def test_fuse_from(self):
+        query = parse_query("SELECT * FUSE FROM t1, t2")
+        assert query.fuse_from
+        assert query.is_fusion_query
+        assert query.fuse_by is None
+
+    def test_table_aliases(self):
+        query = parse_query("SELECT * FROM students AS s, courses c")
+        assert query.tables[0].alias == "s"
+        assert query.tables[1].alias == "c"
+        assert query.tables[1].effective_name == "c"
+
+    def test_fuse_by_columns(self):
+        query = parse_query("SELECT * FUSE FROM a, b FUSE BY (Name, City)")
+        assert [c.name for c in query.fuse_by] == ["Name", "City"]
+
+    def test_fuse_by_empty_parens(self):
+        query = parse_query("SELECT * FUSE FROM a, b FUSE BY ()")
+        assert query.fuse_by == []
+        assert query.is_fusion_query
+
+    def test_fuse_by_on_plain_from(self):
+        query = parse_query("SELECT * FROM a FUSE BY (Name)")
+        assert not query.fuse_from
+        assert query.is_fusion_query
+
+    def test_missing_from_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a")
+
+    def test_fuse_without_from_or_by_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FUSE t1")
+
+
+class TestOtherClauses:
+    def test_where_builds_expression_tree(self):
+        query = parse_query("SELECT * FROM t WHERE age > 20 AND city = 'Berlin'")
+        assert isinstance(query.where, expr.BooleanOp)
+
+    def test_where_supports_in_between_like_null(self):
+        query = parse_query(
+            "SELECT * FROM t WHERE a IN (1, 2) AND b BETWEEN 1 AND 5 "
+            "AND c LIKE 'x%' AND d IS NOT NULL AND NOT e = 1"
+        )
+        assert query.where is not None
+
+    def test_group_by_and_having(self):
+        query = parse_query("SELECT city FROM t GROUP BY city HAVING count > 3")
+        assert [c.name for c in query.group_by] == ["city"]
+        assert query.having is not None
+
+    def test_order_by_directions(self):
+        query = parse_query("SELECT * FROM t ORDER BY age DESC, name")
+        assert query.order_by[0].descending
+        assert not query.order_by[1].descending
+
+    def test_limit_and_offset(self):
+        query = parse_query("SELECT * FROM t LIMIT 10 OFFSET 5")
+        assert query.limit == 10
+        assert query.offset == 5
+
+    def test_trailing_semicolon_is_accepted(self):
+        assert parse_query("SELECT * FROM t;").tables[0].name == "t"
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM t garbage garbage garbage")
+
+    def test_str_round_trips_the_clause_structure(self):
+        text = (
+            "SELECT Name, RESOLVE(Age, max) FUSE FROM EE, CS "
+            "WHERE Age > 20 FUSE BY (Name) ORDER BY Name LIMIT 5"
+        )
+        rendered = str(parse_query(text))
+        for fragment in ["SELECT", "FUSE FROM", "FUSE BY (Name)", "ORDER BY", "LIMIT 5"]:
+            assert fragment in rendered
+
+
+class TestPaperExample:
+    def test_the_papers_statement_parses(self):
+        query = parse_query(
+            "SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)"
+        )
+        assert query.fuse_from
+        assert [t.name for t in query.tables] == ["EE_Student", "CS_Students"]
+        assert [c.name for c in query.fuse_by] == ["Name"]
+        item = query.resolve_items()[0]
+        assert (item.column.name, item.function) == ("Age", "max")

@@ -1,0 +1,73 @@
+"""Tests for query planning (semantic analysis)."""
+
+import pytest
+
+from repro.exceptions import PlanningError, UnknownFunctionError
+from repro.fuseby.parser import parse_query
+from repro.fuseby.planner import Planner
+
+
+def plan(text):
+    return Planner().plan(parse_query(text))
+
+
+class TestPlanner:
+    def test_plain_query_is_not_fusion(self):
+        query_plan = plan("SELECT a FROM t WHERE a > 1")
+        assert not query_plan.is_fusion
+        assert query_plan.aliases == ["t"]
+        assert query_plan.fusion_spec is None
+
+    def test_fusion_query_with_keys(self):
+        query_plan = plan("SELECT Name, RESOLVE(Age, max) FUSE FROM a, b FUSE BY (Name)")
+        assert query_plan.is_fusion
+        assert query_plan.fuse_by_columns == ["Name"]
+        assert not query_plan.needs_duplicate_detection
+        columns = {spec.column: spec.function for spec in query_plan.fusion_spec.resolutions}
+        assert columns == {"Age": "max"}
+        assert query_plan.output_columns == ["Name", "Age"]
+
+    def test_fusion_without_fuse_by_needs_duplicate_detection(self):
+        query_plan = plan("SELECT * FUSE FROM a, b")
+        assert query_plan.needs_duplicate_detection
+        assert query_plan.fusion_spec.key_columns == ["objectID"]
+
+    def test_empty_fuse_by_needs_duplicate_detection(self):
+        query_plan = plan("SELECT * FUSE FROM a, b FUSE BY ()")
+        assert query_plan.needs_duplicate_detection
+
+    def test_star_keeps_output_columns_open(self):
+        query_plan = plan("SELECT * FUSE FROM a, b FUSE BY (k)")
+        assert query_plan.output_columns is None
+        assert query_plan.fusion_spec.resolutions == []
+
+    def test_parameterised_function_is_preserved(self):
+        query_plan = plan(
+            "SELECT RESOLVE(price, choose('cheap')) FUSE FROM a, b FUSE BY (title)"
+        )
+        spec = query_plan.fusion_spec.resolutions[0]
+        assert spec.function == ("choose", ("cheap",))
+
+    def test_resolve_alias_becomes_output_name(self):
+        query_plan = plan(
+            "SELECT RESOLVE(Age, max) AS oldest FUSE FROM a, b FUSE BY (Name)"
+        )
+        assert query_plan.fusion_spec.resolutions[0].alias == "oldest"
+        assert query_plan.output_columns == ["oldest"]
+
+    def test_resolve_outside_fusion_rejected(self):
+        with pytest.raises(PlanningError):
+            plan("SELECT RESOLVE(Age, max) FROM t")
+
+    def test_unknown_resolution_function_rejected(self):
+        with pytest.raises(UnknownFunctionError):
+            plan("SELECT RESOLVE(Age, frobnicate) FUSE FROM a, b FUSE BY (Name)")
+
+    def test_known_aggregates_allowed_as_resolution(self):
+        query_plan = plan("SELECT RESOLVE(Age, avg) FUSE FROM a, b FUSE BY (Name)")
+        assert query_plan.fusion_spec.resolutions[0].function == "avg"
+
+    def test_fuse_by_column_not_duplicated_in_resolutions(self):
+        query_plan = plan("SELECT Name, Age FUSE FROM a, b FUSE BY (Name)")
+        columns = [spec.column for spec in query_plan.fusion_spec.resolutions]
+        assert columns == ["Age"]

@@ -1,0 +1,93 @@
+"""Tests for the Hungarian maximum-weight matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.assignment import hungarian_max_weight, maximum_weight_matching
+
+
+class TestHungarian:
+    def test_identity_matrix_matches_diagonal(self):
+        pairs = hungarian_max_weight(np.eye(3))
+        assert sorted(pairs) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_simple_known_optimum(self):
+        weights = np.array([[0.9, 0.1], [0.2, 0.8]])
+        pairs = set(hungarian_max_weight(weights))
+        assert pairs == {(0, 0), (1, 1)}
+
+    def test_anti_diagonal_optimum(self):
+        weights = np.array([[0.1, 0.9], [0.9, 0.1]])
+        pairs = set(hungarian_max_weight(weights))
+        assert pairs == {(0, 1), (1, 0)}
+
+    def test_rectangular_more_columns(self):
+        weights = np.array([[0.1, 0.9, 0.3], [0.8, 0.2, 0.4]])
+        pairs = dict(hungarian_max_weight(weights))
+        assert pairs[0] == 1
+        assert pairs[1] == 0
+
+    def test_rectangular_more_rows(self):
+        weights = np.array([[0.9], [0.8], [0.1]])
+        pairs = hungarian_max_weight(weights)
+        assert len(pairs) == 1
+        assert pairs[0] == (0, 0)
+
+    def test_empty_matrix(self):
+        assert hungarian_max_weight(np.zeros((0, 0))) == []
+
+    def test_greedy_is_suboptimal_but_hungarian_is_not(self):
+        # greedy would pick (0,0)=0.9 then be forced to (1,1)=0.0 for total 0.9;
+        # the optimum is (0,1)+(1,0) = 0.8+0.8 = 1.6.
+        weights = np.array([[0.9, 0.8], [0.8, 0.0]])
+        pairs = set(hungarian_max_weight(weights))
+        assert pairs == {(0, 1), (1, 0)}
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.randoms(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force_on_small_instances(self, rows, cols, rng):
+        weights = np.array([[rng.random() for _ in range(cols)] for _ in range(rows)])
+        pairs = hungarian_max_weight(weights)
+        total = sum(weights[i, j] for i, j in pairs)
+        best = _brute_force_best(weights)
+        assert total == pytest.approx(best, abs=1e-9)
+
+
+def _brute_force_best(weights: np.ndarray) -> float:
+    import itertools
+
+    rows, cols = weights.shape
+    size = min(rows, cols)
+    best = 0.0
+    row_sets = itertools.permutations(range(rows), size)
+    for row_choice in row_sets:
+        for col_choice in itertools.permutations(range(cols), size):
+            total = sum(weights[i, j] for i, j in zip(row_choice, col_choice))
+            best = max(best, total)
+    return best
+
+
+class TestMaximumWeightMatching:
+    def test_prunes_below_min_weight(self):
+        weights = np.array([[0.9, 0.0], [0.0, 0.2]])
+        triples = maximum_weight_matching(weights, min_weight=0.5)
+        assert triples == [(0, 0, 0.9)]
+
+    def test_sorted_by_weight(self):
+        weights = np.array([[0.4, 0.0], [0.0, 0.9]])
+        triples = maximum_weight_matching(weights)
+        assert triples[0][2] >= triples[1][2]
+
+    def test_one_to_one_constraint(self):
+        weights = np.array([[0.9, 0.8, 0.7], [0.85, 0.6, 0.5]])
+        triples = maximum_weight_matching(weights)
+        rows = [i for i, _, _ in triples]
+        cols = [j for _, j, _ in triples]
+        assert len(rows) == len(set(rows))
+        assert len(cols) == len(set(cols))

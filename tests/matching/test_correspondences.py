@@ -1,0 +1,71 @@
+"""Tests for the correspondence model."""
+
+from repro.matching.correspondences import Correspondence, CorrespondenceSet
+
+
+def make(left_attr, right_attr, score=0.9, right_rel="CS"):
+    return Correspondence("EE", left_attr, right_rel, right_attr, score=score)
+
+
+class TestCorrespondence:
+    def test_as_pair_and_str(self):
+        correspondence = make("Name", "StudentName")
+        assert correspondence.as_pair() == ("Name", "StudentName")
+        assert "EE.Name" in str(correspondence)
+
+    def test_reversed(self):
+        reversed_c = make("Name", "StudentName").reversed()
+        assert reversed_c.left_attribute == "StudentName"
+        assert reversed_c.right_relation == "EE"
+        assert reversed_c.score == 0.9
+
+
+class TestCorrespondenceSet:
+    def test_add_and_len(self):
+        collection = CorrespondenceSet()
+        collection.add(make("Name", "StudentName"))
+        assert len(collection) == 1
+
+    def test_remove_is_case_insensitive(self):
+        collection = CorrespondenceSet([make("Name", "StudentName")])
+        assert collection.remove("name", "studentname")
+        assert len(collection) == 0
+        assert not collection.remove("name", "studentname")
+
+    def test_filtered_by_threshold(self):
+        collection = CorrespondenceSet([make("a", "b", 0.9), make("c", "d", 0.2)])
+        assert len(collection.filtered(0.5)) == 1
+
+    def test_for_relation(self):
+        collection = CorrespondenceSet(
+            [make("a", "b", right_rel="CS"), make("a", "x", right_rel="Other")]
+        )
+        assert len(collection.for_relation("cs")) == 1
+
+    def test_rename_mapping_skips_identity(self):
+        collection = CorrespondenceSet(
+            [make("Name", "StudentName"), make("Age", "age")]
+        )
+        mapping = collection.rename_mapping("CS")
+        assert mapping == {"StudentName": "Name"}
+
+    def test_best_for(self):
+        collection = CorrespondenceSet([make("a", "b", 0.5), make("a", "c", 0.9)])
+        best = collection.best_for("A")
+        assert best.right_attribute == "c"
+        assert collection.best_for("zzz") is None
+
+    def test_merge_deduplicates_exact(self):
+        one = make("a", "b")
+        collection = CorrespondenceSet([one]).merge(CorrespondenceSet([one, make("c", "d")]))
+        assert len(collection) == 2
+
+    def test_pairs(self):
+        collection = CorrespondenceSet([make("a", "b")])
+        assert collection.pairs() == [("a", "b")]
+
+    def test_contains_and_items(self):
+        one = make("a", "b")
+        collection = CorrespondenceSet([one])
+        assert one in collection
+        assert collection.items == [one]

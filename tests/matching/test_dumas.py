@@ -1,0 +1,136 @@
+"""Tests for the DUMAS matcher and its building blocks (seeds, matrices)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.relation import Relation
+from repro.exceptions import InsufficientDuplicatesError
+from repro.matching.dumas import DumasMatcher
+from repro.matching.duplicate_seed import DuplicateSeeder, SeedPair, tuple_to_string
+from repro.matching.field_matrix import (
+    FieldSimilarityMatrix,
+    average_matrices,
+    build_field_matrix,
+)
+
+
+class TestTupleToString:
+    def test_joins_non_null_values(self):
+        assert tuple_to_string(("Anna", 22, None)) == "Anna 22"
+
+    def test_excluded_positions(self):
+        assert tuple_to_string(("Anna", 22, "x"), exclude_positions=[2]) == "Anna 22"
+
+
+class TestDuplicateSeeder:
+    def test_finds_shared_tuples(self, ee_students, cs_students):
+        seeds = DuplicateSeeder(max_seeds=5).find_seeds(ee_students, cs_students)
+        assert seeds
+        seeded_names = {
+            ee_students.cell(seed.left_index, "Name") for seed in seeds[:2]
+        }
+        assert seeded_names <= {"Anna Schmidt", "Ben Mueller"}
+
+    def test_returns_sorted_by_similarity(self, ee_students, cs_students):
+        seeds = DuplicateSeeder(max_seeds=5).find_seeds(ee_students, cs_students)
+        similarities = [seed.similarity for seed in seeds]
+        assert similarities == sorted(similarities, reverse=True)
+
+    def test_respects_max_seeds(self, ee_students, cs_students):
+        assert len(DuplicateSeeder(max_seeds=1).find_seeds(ee_students, cs_students)) == 1
+
+    def test_min_similarity_filters_everything_when_disjoint(self):
+        left = Relation.from_dicts([{"a": "alpha beta"}], name="l")
+        right = Relation.from_dicts([{"x": "gamma delta"}], name="r")
+        assert DuplicateSeeder().find_seeds(left, right) == []
+
+    def test_max_seeds_validation(self):
+        with pytest.raises(ValueError):
+            DuplicateSeeder(max_seeds=0)
+
+    def test_sampling_caps_large_relations(self):
+        rows = [{"a": f"value {i}", "b": i} for i in range(50)]
+        left = Relation.from_dicts(rows, name="l")
+        right = Relation.from_dicts(rows, name="r")
+        seeder = DuplicateSeeder(max_seeds=3, max_tuples_per_relation=10)
+        seeds = seeder.find_seeds(left, right)
+        assert len(seeds) <= 3
+
+
+class TestFieldMatrix:
+    def test_build_matrix_scores_matching_fields_high(self, ee_students, cs_students):
+        seed = SeedPair(left_index=0, right_index=0, similarity=0.9)
+        matrix = build_field_matrix(ee_students, cs_students, seed)
+        assert matrix.get("Name", "StudentName") > 0.8
+        assert matrix.get("Name", "Years") == 0.0
+
+    def test_matrix_shape_validation(self):
+        with pytest.raises(ValueError):
+            FieldSimilarityMatrix(["a"], ["b"], np.zeros((2, 2)))
+
+    def test_set_and_get(self):
+        matrix = FieldSimilarityMatrix(["a"], ["b"])
+        matrix.set("a", "b", 0.7)
+        assert matrix.get("a", "b") == 0.7
+
+    def test_average_matrices(self):
+        first = FieldSimilarityMatrix(["a"], ["b"], np.array([[0.2]]))
+        second = FieldSimilarityMatrix(["a"], ["b"], np.array([[0.8]]))
+        assert average_matrices([first, second]).get("a", "b") == pytest.approx(0.5)
+
+    def test_average_requires_same_attributes(self):
+        first = FieldSimilarityMatrix(["a"], ["b"])
+        second = FieldSimilarityMatrix(["x"], ["b"])
+        with pytest.raises(ValueError):
+            average_matrices([first, second])
+
+    def test_average_requires_input(self):
+        with pytest.raises(ValueError):
+            average_matrices([])
+
+
+class TestDumasMatcher:
+    def test_matches_students_example(self, ee_students, cs_students):
+        result = DumasMatcher(max_seeds=3).match(ee_students, cs_students)
+        pairs = {c.as_pair() for c in result.correspondences}
+        assert ("Name", "StudentName") in pairs
+        assert ("Age", "Years") in pairs
+
+    def test_scores_are_in_unit_interval(self, ee_students, cs_students):
+        result = DumasMatcher().match(ee_students, cs_students)
+        assert all(0.0 <= c.score <= 1.0 for c in result.correspondences)
+
+    def test_result_exposes_seeds_and_matrix(self, ee_students, cs_students):
+        result = DumasMatcher().match(ee_students, cs_students)
+        assert result.seeds
+        assert result.matrix is not None
+
+    def test_no_shared_tuples_raises(self):
+        left = Relation.from_dicts([{"a": "alpha beta gamma"}], name="l")
+        right = Relation.from_dicts([{"x": "delta epsilon zeta"}], name="r")
+        with pytest.raises(InsufficientDuplicatesError):
+            DumasMatcher().match(left, right)
+
+    def test_threshold_prunes_weak_correspondences(self, ee_students, cs_students):
+        strict = DumasMatcher(correspondence_threshold=0.99).match(ee_students, cs_students)
+        lenient = DumasMatcher(correspondence_threshold=0.1).match(ee_students, cs_students)
+        assert len(strict.correspondences) <= len(lenient.correspondences)
+
+    def test_correspondences_are_one_to_one(self, small_students_dataset):
+        sources = small_students_dataset.source_list
+        result = DumasMatcher().match(sources[0], sources[1])
+        lefts = [c.left_attribute for c in result.correspondences]
+        rights = [c.right_attribute for c in result.correspondences]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+    def test_high_accuracy_on_generated_students(self, small_students_dataset):
+        from repro.evaluation import evaluate_correspondences
+
+        sources = small_students_dataset.source_list
+        result = DumasMatcher().match(sources[0], sources[1])
+        truth = small_students_dataset.truth.true_correspondences(
+            sources[0].name, sources[1].name
+        )
+        metrics = evaluate_correspondences(result.correspondences, truth)
+        assert metrics.f1 >= 0.8

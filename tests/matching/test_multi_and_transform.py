@@ -1,0 +1,115 @@
+"""Tests for multi-relation matching and the data-transformation step."""
+
+import pytest
+
+from repro.baselines.name_matcher import NameBasedMatcher
+from repro.engine.relation import Relation
+from repro.matching.correspondences import Correspondence, CorrespondenceSet
+from repro.matching.dumas import DumasMatcher
+from repro.matching.multi import MultiMatcher
+from repro.matching.transform import (
+    SOURCE_ID_COLUMN,
+    add_source_id,
+    apply_correspondences,
+    transform_sources,
+)
+
+
+class TestMultiMatcher:
+    def test_two_relations(self, ee_students, cs_students):
+        result = MultiMatcher().match([ee_students, cs_students])
+        assert result.preferred == "EE_Students"
+        assert len(result.correspondences) >= 2
+
+    def test_three_relations(self, small_cds_dataset):
+        sources = small_cds_dataset.source_list
+        result = MultiMatcher().match(sources)
+        # every non-preferred relation contributed correspondences
+        assert set(result.per_relation) == {s.name for s in sources[1:]}
+
+    def test_single_relation(self, ee_students):
+        result = MultiMatcher().match([ee_students])
+        assert len(result.correspondences) == 0
+
+    def test_requires_input(self):
+        with pytest.raises(ValueError):
+            MultiMatcher().match([])
+
+    def test_fallback_used_when_instances_do_not_overlap(self, ee_students):
+        disjoint = Relation.from_dicts(
+            [{"Name": "Zora Quux", "Age": 99, "Major": "Alchemy"}], name="Other"
+        )
+        without_fallback = MultiMatcher(DumasMatcher())
+        assert without_fallback.match([ee_students, disjoint]).failed_relations == ["Other"]
+        with_fallback = MultiMatcher(DumasMatcher(), fallback=NameBasedMatcher())
+        result = with_fallback.match([ee_students, disjoint])
+        assert result.failed_relations == []
+        assert len(result.correspondences) >= 2
+
+    def test_rename_mapping_for_relation(self, ee_students, cs_students):
+        result = MultiMatcher().match([ee_students, cs_students])
+        mapping = result.rename_mapping("CS_Students")
+        assert mapping.get("StudentName") == "Name"
+
+
+class TestTransform:
+    def test_add_source_id(self, ee_students):
+        tagged = add_source_id(ee_students)
+        assert tagged.column(SOURCE_ID_COLUMN) == ["EE_Students"] * len(ee_students)
+
+    def test_add_source_id_idempotent(self, ee_students):
+        tagged = add_source_id(add_source_id(ee_students))
+        assert tagged.column_names.count(SOURCE_ID_COLUMN) == 1
+
+    def test_apply_correspondences_renames_non_preferred(self, cs_students):
+        correspondences = CorrespondenceSet(
+            [Correspondence("EE_Students", "Name", "CS_Students", "StudentName", 0.9)]
+        )
+        renamed = apply_correspondences(cs_students, correspondences, "EE_Students")
+        assert "Name" in renamed.schema
+        assert "StudentName" not in renamed.schema
+
+    def test_apply_correspondences_keeps_preferred_untouched(self, ee_students):
+        correspondences = CorrespondenceSet(
+            [Correspondence("EE_Students", "Name", "CS_Students", "StudentName", 0.9)]
+        )
+        assert apply_correspondences(ee_students, correspondences, "EE_Students") is ee_students
+
+    def test_apply_correspondences_avoids_collisions(self):
+        relation = Relation.from_dicts([{"title": "a", "name": "b"}], name="R")
+        correspondences = CorrespondenceSet(
+            [Correspondence("P", "name", "R", "title", 0.9)]
+        )
+        renamed = apply_correspondences(relation, correspondences, "P")
+        # renaming title->name would collide with the existing name column
+        assert set(renamed.column_names) == {"title", "name"}
+
+    def test_transform_sources_produces_outer_union_with_source_ids(
+        self, ee_students, cs_students
+    ):
+        correspondences = CorrespondenceSet(
+            [
+                Correspondence("EE_Students", "Name", "CS_Students", "StudentName", 1.0),
+                Correspondence("EE_Students", "Age", "CS_Students", "Years", 0.9),
+                Correspondence("EE_Students", "Major", "CS_Students", "Field", 0.9),
+                Correspondence("EE_Students", "Email", "CS_Students", "Mail", 0.9),
+            ]
+        )
+        combined = transform_sources([ee_students, cs_students], correspondences)
+        assert len(combined) == len(ee_students) + len(cs_students)
+        assert set(combined.column_names) == {
+            "Name", "Age", "Major", "Email", SOURCE_ID_COLUMN,
+        }
+        assert set(combined.column(SOURCE_ID_COLUMN)) == {"EE_Students", "CS_Students"}
+
+    def test_transform_sources_without_correspondences_pads_with_nulls(
+        self, ee_students, cs_students
+    ):
+        combined = transform_sources([ee_students, cs_students], CorrespondenceSet())
+        # un-aligned: both schemata side by side
+        assert "StudentName" in combined.schema
+        assert combined.cell(0, "StudentName") is None
+
+    def test_transform_requires_input(self):
+        with pytest.raises(ValueError):
+            transform_sources([], CorrespondenceSet())

@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for the similarity substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    ngram_similarity,
+)
+from repro.similarity.tfidf import TfIdfVectorizer
+
+text = st.text(alphabet=string.ascii_letters + string.digits + " ", max_size=30)
+
+
+class TestLevenshteinProperties:
+    @given(text, text)
+    @settings(max_examples=80)
+    def test_distance_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(text)
+    @settings(max_examples=50)
+    def test_distance_identity(self, a):
+        assert levenshtein_distance(a, a) == 0
+
+    @given(text, text)
+    @settings(max_examples=80)
+    def test_distance_bounded_by_longer_string(self, a, b):
+        assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+    @given(text, text, text)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= levenshtein_distance(a, b) + levenshtein_distance(b, c)
+
+    @given(text, text)
+    @settings(max_examples=80)
+    def test_similarity_in_unit_interval(self, a, b):
+        assert 0.0 <= levenshtein_similarity(a, b) <= 1.0
+
+
+class TestBoundedSymmetricMeasures:
+    @given(text, text)
+    @settings(max_examples=60)
+    def test_jaro_winkler_bounds_and_symmetry(self, a, b):
+        forward = jaro_winkler_similarity(a, b)
+        assert 0.0 <= forward <= 1.0 + 1e-9
+        assert abs(forward - jaro_winkler_similarity(b, a)) < 1e-9
+
+    @given(text, text)
+    @settings(max_examples=60)
+    def test_ngram_bounds_and_symmetry(self, a, b):
+        forward = ngram_similarity(a, b)
+        assert 0.0 <= forward <= 1.0
+        assert abs(forward - ngram_similarity(b, a)) < 1e-9
+
+    @given(text, text)
+    @settings(max_examples=60)
+    def test_jaccard_bounds_and_symmetry(self, a, b):
+        forward = jaccard_similarity(a, b)
+        assert 0.0 <= forward <= 1.0
+        assert abs(forward - jaccard_similarity(b, a)) < 1e-9
+
+    @given(text)
+    @settings(max_examples=40)
+    def test_self_similarity_is_one(self, a):
+        assert jaccard_similarity(a, a) == 1.0
+        assert ngram_similarity(a, a) == 1.0
+        assert monge_elkan_similarity(a, a) == 1.0
+
+
+class TestTfIdfProperties:
+    @given(st.lists(text, min_size=1, max_size=10))
+    @settings(max_examples=40)
+    def test_vectors_are_unit_length_or_empty(self, corpus):
+        vectorizer = TfIdfVectorizer().fit(corpus)
+        for document in corpus:
+            vector = vectorizer.transform(document)
+            if vector:
+                norm = sum(weight ** 2 for weight in vector.values())
+                assert abs(norm - 1.0) < 1e-9
+
+    @given(st.lists(text, min_size=2, max_size=8))
+    @settings(max_examples=40)
+    def test_self_similarity_is_maximal(self, corpus):
+        vectorizer = TfIdfVectorizer().fit(corpus)
+        for document in corpus:
+            if vectorizer.transform(document):
+                assert vectorizer.similarity(document, document) > 0.999

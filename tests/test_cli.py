@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.engine.io.csv_source import write_csv
+from repro.engine.relation import Relation
+
+
+@pytest.fixture
+def csv_sources(tmp_path, ee_students, cs_students):
+    ee_path = tmp_path / "ee.csv"
+    cs_path = tmp_path / "cs.csv"
+    write_csv(ee_students, ee_path)
+    write_csv(cs_students, cs_path)
+    return ee_path, cs_path
+
+
+class TestParser:
+    def test_query_command_parses(self):
+        args = build_parser().parse_args(
+            ["query", "SELECT * FROM t", "--source", "t=/tmp/t.csv"]
+        )
+        assert args.command == "query"
+        assert args.source == [("t", "/tmp/t.csv")]
+
+    def test_source_argument_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "SELECT 1", "--source", "not_a_pair"])
+
+    def test_demo_scenarios_are_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "unknown_scenario"])
+
+
+class TestQueryCommand:
+    def test_runs_fusion_query_from_csv(self, csv_sources, capsys):
+        ee_path, cs_path = csv_sources
+        exit_code = main(
+            [
+                "query",
+                "SELECT Name, RESOLVE(Age, max) FUSE FROM ee, cs FUSE BY (Name)",
+                "--source", f"ee={ee_path}",
+                "--source", f"cs={cs_path}",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Anna Schmidt" in output
+
+    def test_writes_output_csv(self, csv_sources, tmp_path, capsys):
+        ee_path, cs_path = csv_sources
+        out_path = tmp_path / "result.csv"
+        exit_code = main(
+            [
+                "query",
+                "SELECT Name FROM ee ORDER BY Name",
+                "--source", f"ee={ee_path}",
+                "--source", f"cs={cs_path}",
+                "--output", str(out_path),
+            ]
+        )
+        assert exit_code == 0
+        assert out_path.exists()
+        assert "Anna Schmidt" in out_path.read_text()
+
+    def test_error_is_reported_not_raised(self, capsys):
+        exit_code = main(["query", "SELECT * FROM missing_table"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error" in captured.err.lower()
+
+
+class TestFuseCommand:
+    def test_fuse_prints_summary(self, csv_sources, capsys):
+        ee_path, cs_path = csv_sources
+        exit_code = main(
+            ["fuse", "--source", f"ee={ee_path}", "--source", f"cs={cs_path}"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "pipeline summary" in output
+        assert "output_tuples" in output
+
+
+class TestDemoCommand:
+    def test_students_demo_runs(self, capsys):
+        exit_code = main(["demo", "students", "--entities", "15", "--limit", "5"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "correspondences found" in output
+        assert "distinct objects" in output

@@ -1,0 +1,160 @@
+"""Cross-module integration tests: full scenarios against generator ground truth."""
+
+import pytest
+
+from repro import HumMer
+from repro.datagen.corruptor import CorruptionConfig
+from repro.datagen.scenarios import cd_stores_scenario, crisis_scenario, students_scenario
+from repro.evaluation import evaluate_clusters, evaluate_correspondences, evaluate_fusion
+
+
+def register_all(dataset):
+    hummer = HumMer()
+    for alias, relation in dataset.sources.items():
+        hummer.register(alias, relation)
+    return hummer
+
+
+class TestStudentsScenarioEndToEnd:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        dataset = students_scenario(
+            entity_count=50, overlap=0.4, corruption=CorruptionConfig.low(), seed=77
+        )
+        hummer = register_all(dataset)
+        result = hummer.fuse(list(dataset.sources))
+        return dataset, result
+
+    def test_schema_matching_recovers_renamings(self, outcome):
+        dataset, result = outcome
+        names = [s.name for s in result.sources]
+        truth = dataset.truth.true_correspondences(names[0], names[1])
+        metrics = evaluate_correspondences(result.correspondences, truth)
+        assert metrics.f1 >= 0.8
+
+    def test_duplicate_detection_quality(self, outcome):
+        dataset, result = outcome
+        truth_pairs = dataset.truth.duplicate_pairs_within(dataset.combined_row_origin())
+        metrics = evaluate_clusters(result.detection.cluster_assignment, truth_pairs)
+        assert metrics.f1 >= 0.85
+
+    def test_output_size_close_to_entity_count(self, outcome):
+        dataset, result = outcome
+        input_tuples = sum(len(s) for s in result.sources)
+        entities = dataset.truth.entity_count()
+        assert len(result.relation) <= input_tuples
+        # close to the true entity count; generated people may share a name,
+        # so the occasional extra merge of genuinely indistinguishable
+        # entities is allowed
+        assert abs(len(result.relation) - entities) <= 0.1 * entities
+
+    def test_fusion_quality_against_clean_records(self, outcome):
+        dataset, result = outcome
+        quality = evaluate_fusion(
+            result.relation,
+            dataset.truth.clean_records,
+            entity_key_column="name",
+            entity_key_attribute="name",
+            attributes=["major", "university", "semester"],
+        )
+        assert quality.conciseness >= 0.9
+        assert quality.completeness >= 0.8
+
+    def test_every_output_tuple_has_lineage(self, outcome):
+        _, result = outcome
+        sources_used = set(result.fusion.lineage.sources_used())
+        assert sources_used <= {s.name for s in result.sources}
+        assert sources_used  # at least one source contributed
+
+
+class TestCdScenarioEndToEnd:
+    def test_three_store_fusion(self):
+        dataset = cd_stores_scenario(
+            entity_count=40, store_count=3, overlap=0.5,
+            corruption=CorruptionConfig.low(), seed=55,
+        )
+        hummer = register_all(dataset)
+        result = hummer.fuse(list(dataset.sources), resolutions=None)
+        truth_pairs = dataset.truth.duplicate_pairs_within(dataset.combined_row_origin())
+        metrics = evaluate_clusters(result.detection.cluster_assignment, truth_pairs)
+        assert metrics.f1 >= 0.7
+        # the preferred store's schema survives
+        for column in ("artist", "title", "price"):
+            assert result.relation.schema.has_column(column)
+
+    def test_min_price_query_is_never_above_any_store_price(self):
+        dataset = cd_stores_scenario(
+            entity_count=30, store_count=2, overlap=0.8,
+            corruption=CorruptionConfig.clean(), seed=56,
+        )
+        hummer = register_all(dataset)
+        aliases = list(dataset.sources)
+        result = hummer.query(
+            f"SELECT title, RESOLVE(price, min) FUSE FROM {aliases[0]}, {aliases[1]} "
+            "FUSE BY (title)"
+        )
+        max_clean_price = max(
+            record["price"] for record in dataset.truth.clean_records.values()
+        )
+        for row in result:
+            if row["price"] is not None:
+                assert row["price"] <= max_clean_price * 1.5
+
+
+class TestCrisisScenarioEndToEnd:
+    def test_pipeline_handles_three_heterogeneous_sources(self):
+        dataset = crisis_scenario(
+            entity_count=30, overlap=0.6, corruption=CorruptionConfig.low(), seed=58
+        )
+        hummer = register_all(dataset)
+        result = hummer.fuse(list(dataset.sources))
+        assert len(result.sources) == 3
+        # duplicates across the three organisations were merged
+        input_tuples = sum(len(s) for s in result.sources)
+        assert len(result.relation) < input_tuples
+        # conflicts were found and resolved
+        assert result.conflicts.contradiction_count > 0
+        assert result.fusion.resolved_conflict_count > 0
+
+
+class TestRobustness:
+    def test_single_source_single_tuple(self):
+        hummer = HumMer()
+        hummer.register("tiny", [{"a": 1, "b": "x"}])
+        result = hummer.fuse(["tiny"])
+        assert len(result.relation) == 1
+
+    def test_sources_with_disjoint_schemas_and_no_shared_instances(self):
+        hummer = HumMer()
+        hummer.register("left", [{"name": "Anna Schmidt", "age": 22}])
+        hummer.register("right", [{"product": "Abbey Road", "price": 12.99}])
+        result = hummer.fuse(["left", "right"])
+        # nothing merges, nothing crashes; all columns survive
+        assert len(result.relation) == 2
+
+    def test_source_with_all_null_column(self):
+        hummer = HumMer()
+        hummer.register("a", [{"name": "Anna Schmidt", "note": None},
+                              {"name": "Ben Mueller", "note": None}])
+        hummer.register("b", [{"name": "Anna Schmidt", "note": None}])
+        result = hummer.fuse(["a", "b"])
+        assert len(result.relation) <= 3
+
+    def test_identical_sources_collapse_to_one_copy(self):
+        rows = [
+            {"name": "Anna Schmidt", "city": "Berlin", "email": "anna@example.org"},
+            {"name": "Ben Mueller", "city": "Hamburg", "email": "ben@example.org"},
+        ]
+        hummer = HumMer()
+        hummer.register("first", rows)
+        hummer.register("second", rows)
+        result = hummer.fuse(["first", "second"])
+        assert len(result.relation) == 2
+
+    def test_empty_source_does_not_break_the_pipeline(self):
+        hummer = HumMer()
+        hummer.register("filled", [{"name": "Anna Schmidt", "city": "Berlin"},
+                                   {"name": "Ben Mueller", "city": "Hamburg"}])
+        hummer.register("empty", [])
+        result = hummer.fuse(["filled", "empty"])
+        assert len(result.relation) == 2
