@@ -17,6 +17,7 @@ import sys
 from typing import List, Optional, Tuple
 
 from repro.datagen.scenarios import cd_stores_scenario, crisis_scenario, students_scenario
+from repro.dedup.blocking import BLOCKING_STRATEGIES, resolve_blocking
 from repro.engine.io.csv_source import CsvSource, write_csv
 from repro.engine.io.json_source import JsonSource
 from repro.hummer import HumMer
@@ -31,6 +32,41 @@ def _parse_source(argument: str) -> Tuple[str, str]:
         )
     alias, path = argument.split("=", 1)
     return alias.strip(), path.strip()
+
+
+def _add_blocking_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--blocking",
+        choices=sorted(BLOCKING_STRATEGIES),
+        default="allpairs",
+        help="candidate-pair blocking strategy (allpairs is exact; snm and "
+        "token trade a little candidate recall for near-linear scaling)",
+    )
+    parser.add_argument(
+        "--snm-window",
+        type=int,
+        default=None,
+        help="sorted-neighborhood window size (only with --blocking snm)",
+    )
+    parser.add_argument(
+        "--token-max-block",
+        type=int,
+        default=None,
+        help="largest token block kept as candidates (only with --blocking token)",
+    )
+
+
+def _build_blocking(args):
+    if args.snm_window is not None and args.blocking != "snm":
+        raise ValueError("--snm-window only applies with --blocking snm")
+    if args.token_max_block is not None and args.blocking != "token":
+        raise ValueError("--token-max-block only applies with --blocking token")
+    options = {}
+    if args.blocking == "snm" and args.snm_window is not None:
+        options["window"] = args.snm_window
+    if args.blocking == "token" and args.token_max_block is not None:
+        options["max_block_size"] = args.token_max_block
+    return resolve_blocking(args.blocking, **options)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuse.add_argument("--threshold", type=float, default=0.75, help="duplicate threshold")
     fuse.add_argument("--output", help="write the fused result to this CSV file")
     fuse.add_argument("--limit", type=int, default=25, help="rows to print")
+    _add_blocking_arguments(fuse)
 
     demo = subparsers.add_parser("demo", help="run a built-in scenario on generated data")
     demo.add_argument(
@@ -74,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument("--entities", type=int, default=60, help="entities to generate")
     demo.add_argument("--limit", type=int, default=15, help="rows to print")
+    _add_blocking_arguments(demo)
     return parser
 
 
@@ -97,7 +135,7 @@ def _command_query(args) -> int:
 
 
 def _command_fuse(args) -> int:
-    hummer = HumMer(duplicate_threshold=args.threshold)
+    hummer = HumMer(duplicate_threshold=args.threshold, blocking=_build_blocking(args))
     _register_sources(hummer, args.source)
     aliases = [alias for alias, _ in args.source]
     result = hummer.fuse(aliases)
@@ -121,7 +159,7 @@ def _command_demo(args) -> int:
         "crisis": crisis_scenario,
     }
     dataset = builders[args.scenario](entity_count=args.entities)
-    hummer = HumMer()
+    hummer = HumMer(blocking=_build_blocking(args))
     for name, relation in dataset.sources.items():
         hummer.register(name, relation)
     print(f"scenario {args.scenario!r}: sources {', '.join(dataset.sources)}")
@@ -131,6 +169,12 @@ def _command_demo(args) -> int:
         print(f"  {correspondence}")
     print()
     counts = result.detection.classified.counts
+    statistics = result.detection.filter_statistics
+    print(
+        f"blocking ({args.blocking}): {statistics.blocking_candidates} of "
+        f"{statistics.total_pairs} possible pairs proposed, "
+        f"{statistics.compared} compared in full"
+    )
     print(
         f"duplicates: {counts['sure_duplicates']} sure, {counts['unsure']} unsure, "
         f"{counts['sure_non_duplicates']} non-duplicates; "

@@ -31,6 +31,7 @@ from repro.baselines.name_matcher import NameBasedMatcher
 from repro.core.conflicts import ConflictReport, find_conflicts
 from repro.core.fusion import FusionOperator, FusionResult, FusionSpec
 from repro.core.resolution.base import ResolutionRegistry, default_registry
+from repro.dedup.blocking import BlockingSpec, resolve_blocking
 from repro.dedup.descriptions import AttributeSelection, select_interesting_attributes
 from repro.dedup.detector import DuplicateDetectionResult, DuplicateDetector, OBJECT_ID_COLUMN
 from repro.engine.catalog import Catalog
@@ -102,6 +103,8 @@ class PipelineResult:
             "correspondences": len(self.correspondences),
             "clusters": self.detection.cluster_count,
             "duplicate_pairs": len(self.detection.duplicate_pairs),
+            "candidate_pairs": self.detection.filter_statistics.blocking_candidates,
+            "compared_pairs": self.detection.filter_statistics.compared,
             "contradictions": self.conflicts.contradiction_count,
             "uncertainties": self.conflicts.uncertainty_count,
             "output_tuples": len(self.fusion.relation),
@@ -119,6 +122,9 @@ class FusionPipeline:
         registry: resolution-function registry (default: all built-ins).
         use_name_fallback: when instance-based matching finds nothing for a
             relation, fall back to label-based matching instead of failing.
+        blocking: candidate-pair blocking strategy for duplicate detection —
+            a strategy instance, a name (``"allpairs"``, ``"snm"``,
+            ``"token"``) or ``None`` to use the detector's own strategy.
         adjust_matching / adjust_selection / adjust_duplicates: optional hooks
             invoked between steps with the intermediate result; they may
             mutate it (the library counterpart of the demo's GUI wizard).
@@ -131,6 +137,7 @@ class FusionPipeline:
         detector: Optional[DuplicateDetector] = None,
         registry: Optional[ResolutionRegistry] = None,
         use_name_fallback: bool = True,
+        blocking: BlockingSpec = None,
         adjust_matching: Optional[Callable[[MultiMatchingResult], None]] = None,
         adjust_selection: Optional[Callable[[AttributeSelection], None]] = None,
         adjust_duplicates: Optional[Callable[[DuplicateDetectionResult], None]] = None,
@@ -140,6 +147,7 @@ class FusionPipeline:
         self.detector = detector or DuplicateDetector()
         self.registry = registry or default_registry()
         self.use_name_fallback = use_name_fallback
+        self.blocking = resolve_blocking(blocking) if blocking is not None else None
         self.adjust_matching = adjust_matching
         self.adjust_selection = adjust_selection
         self.adjust_duplicates = adjust_duplicates
@@ -189,6 +197,7 @@ class FusionPipeline:
             selection=selection,
             accept_unsure=self.detector.accept_unsure,
             keep_evidence=self.detector.keep_evidence,
+            blocking=self.blocking if self.blocking is not None else self.detector.blocking,
         )
         result = detector.detect(transformed)
         if self.adjust_duplicates is not None:

@@ -7,9 +7,11 @@ by schema matching:
    attributes worth comparing (related to the object, usable by the measure,
    likely to distinguish duplicates from non-duplicates); the selection can
    be adjusted by the user.
-2. :mod:`repro.dedup.pairs` and :mod:`repro.dedup.filters` — candidate tuple
-   pairs are generated and pruned with a cheap upper bound on the similarity
-   measure, so only promising pairs are compared in full.
+2. :mod:`repro.dedup.blocking`, :mod:`repro.dedup.pairs` and
+   :mod:`repro.dedup.filters` — a pluggable blocking strategy proposes
+   candidate tuple pairs (all pairs, sorted-neighborhood windows or a token
+   inverted index) which are then pruned with a cheap upper bound on the
+   similarity measure, so only promising pairs are compared in full.
 3. :mod:`repro.dedup.similarity_measure` — the full measure accounts for
    matched vs. unmatched attributes, data similarity (edit / numeric
    distance), the identifying power of a value (soft IDF) and treats
@@ -22,6 +24,13 @@ by schema matching:
    confirmation step.
 """
 
+from repro.dedup.blocking import (
+    AllPairsBlocking,
+    BlockingStrategy,
+    SortedNeighborhoodBlocking,
+    TokenBlocking,
+    resolve_blocking,
+)
 from repro.dedup.descriptions import AttributeSelection, select_interesting_attributes
 from repro.dedup.enrichment import RelationshipSpec, enrich_with_children
 from repro.dedup.similarity_measure import DuplicateSimilarityMeasure, PairEvidence
@@ -32,6 +41,11 @@ from repro.dedup.classification import PairClass, classify_pairs, ClassifiedPair
 from repro.dedup.detector import DuplicateDetector, DuplicateDetectionResult, OBJECT_ID_COLUMN
 
 __all__ = [
+    "BlockingStrategy",
+    "AllPairsBlocking",
+    "SortedNeighborhoodBlocking",
+    "TokenBlocking",
+    "resolve_blocking",
     "AttributeSelection",
     "select_interesting_attributes",
     "RelationshipSpec",

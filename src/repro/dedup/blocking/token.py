@@ -1,0 +1,130 @@
+"""Token blocking — an inverted index over the interesting attributes.
+
+Every non-null value of every interesting attribute is split into tokens
+(optionally q-grams of those tokens for typo robustness); each token is a
+*block* listing the tuples containing it, and a pair is a candidate iff the
+two tuples share at least one block.  Tokens that occur in a large fraction
+of the tuples ("the", a shared city, a constant label) would re-create the
+quadratic blow-up inside a single block, so blocks are frequency-capped: any
+block larger than the cap is dropped entirely.  Such stop-tokens carry no
+identifying power, which is the same soft-IDF intuition the similarity
+measure itself uses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.dedup.blocking.base import BlockingStrategy
+from repro.engine.relation import Relation
+from repro.engine.types import is_null
+from repro.similarity.tokenize import qgrams, tokenize
+
+__all__ = ["TokenBlocking"]
+
+
+class TokenBlocking(BlockingStrategy):
+    """Candidate pairs share at least one (frequency-capped) token block.
+
+    Args:
+        qgram: when set, index the q-grams of each token instead of whole
+            tokens, so single-character typos still land the pair in shared
+            blocks.  ``None`` (default) indexes whole word tokens, which is
+            cheaper and sufficient when several attributes are compared.
+        max_block_size: absolute cap on a block's tuple count; larger blocks
+            are dropped as stop-tokens.
+        max_block_fraction: relative cap — a block is also dropped when it
+            holds more than this fraction of all tuples.  The effective cap
+            is the smaller of the two (but never below 2).
+        min_token_length: tokens shorter than this are ignored; one- and
+            two-character fragments ("a", "de") are near-stopwords and only
+            inflate blocks.
+    """
+
+    name = "token"
+
+    def __init__(
+        self,
+        qgram: Optional[int] = None,
+        max_block_size: int = 50,
+        max_block_fraction: float = 0.5,
+        min_token_length: int = 3,
+    ):
+        if qgram is not None and qgram < 2:
+            raise ValueError("qgram must be at least 2 when given")
+        if max_block_size < 2:
+            raise ValueError("max_block_size must be at least 2")
+        if not 0.0 < max_block_fraction <= 1.0:
+            raise ValueError("max_block_fraction must lie in (0, 1]")
+        if min_token_length < 1:
+            raise ValueError("min_token_length must be at least 1")
+        self.qgram = qgram
+        self.max_block_size = max_block_size
+        self.max_block_fraction = max_block_fraction
+        self.min_token_length = min_token_length
+
+    def effective_cap(self, row_count: int) -> int:
+        """The block-size cap for a relation of *row_count* tuples."""
+        relative = math.ceil(row_count * self.max_block_fraction)
+        return max(2, min(self.max_block_size, relative))
+
+    def tokens(self, value) -> Set[str]:
+        """The index tokens of one cell value.
+
+        Tokenisation shares :mod:`repro.similarity.tokenize` with the
+        similarity measures, so blocking sees values (accent stripping
+        included) exactly as the measure will compare them.
+        """
+        words = [
+            token
+            for token in tokenize(str(value))
+            if len(token) >= self.min_token_length
+        ]
+        if self.qgram is None:
+            return set(words)
+        grams: Set[str] = set()
+        for word in words:
+            grams.update(qgrams(word, size=self.qgram, pad=False))
+        return grams
+
+    def build_index(
+        self, relation: Relation, attributes: Sequence[str]
+    ) -> Dict[str, List[int]]:
+        """Token → sorted tuple indices, before frequency capping."""
+        index: Dict[str, List[int]] = {}
+        positions = self.key_values(relation, attributes)
+        for row_index, values in enumerate(relation.rows):
+            row_tokens: Set[str] = set()
+            for _, position in positions:
+                value = values[position]
+                if is_null(value):
+                    continue
+                row_tokens.update(self.tokens(value))
+            for token in row_tokens:
+                index.setdefault(token, []).append(row_index)
+        return index
+
+    def pairs(self, relation: Relation, attributes: Sequence[str]) -> Iterator[Tuple[int, int]]:
+        index = self.build_index(relation, attributes)
+        cap = self.effective_cap(len(relation))
+        seen: Set[Tuple[int, int]] = set()
+        for members in index.values():
+            if len(members) < 2 or len(members) > cap:
+                continue
+            # members are in insertion order = ascending row index
+            for left_position in range(len(members)):
+                left = members[left_position]
+                for right in members[left_position + 1 :]:
+                    pair = (left, right)
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    yield pair
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenBlocking(qgram={self.qgram!r}, max_block_size={self.max_block_size}, "
+            f"max_block_fraction={self.max_block_fraction}, "
+            f"min_token_length={self.min_token_length})"
+        )

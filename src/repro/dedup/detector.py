@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.dedup.blocking import BlockingSpec, resolve_blocking
 from repro.dedup.classification import ClassifiedPairs, classify_pairs
 from repro.dedup.clustering import transitive_closure_clusters
 from repro.dedup.descriptions import AttributeSelection, select_interesting_attributes
@@ -35,7 +36,8 @@ class DuplicateDetectionResult:
         classified: pairs segmented into sure / unsure / non-duplicates.
         scores: all fully compared pairs.
         selection: the attribute selection that was used.
-        filter_statistics: how many pairs the upper-bound filter pruned.
+        filter_statistics: how many pairs each stage (blocking, cross-source
+            rule, upper-bound filter) pruned.
     """
 
     relation: Relation
@@ -80,6 +82,10 @@ class DuplicateDetector:
         accept_unsure: whether undecided unsure pairs count as duplicates in
             the fully automatic pipeline (default True).
         keep_evidence: keep per-attribute evidence on every scored pair.
+        blocking: candidate-pair blocking strategy — a
+            :class:`~repro.dedup.blocking.BlockingStrategy` instance, a name
+            (``"allpairs"``, ``"snm"``, ``"token"``) or ``None`` for the
+            exact all-pairs baseline.
     """
 
     def __init__(
@@ -91,6 +97,7 @@ class DuplicateDetector:
         selection: Optional[AttributeSelection] = None,
         accept_unsure: bool = True,
         keep_evidence: bool = False,
+        blocking: BlockingSpec = None,
     ):
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must lie in [0, 1]")
@@ -101,6 +108,7 @@ class DuplicateDetector:
         self.selection = selection
         self.accept_unsure = accept_unsure
         self.keep_evidence = keep_evidence
+        self.blocking = resolve_blocking(blocking)
 
     def detect(self, relation: Relation) -> DuplicateDetectionResult:
         """Run duplicate detection on *relation* and append the objectID column."""
@@ -112,6 +120,7 @@ class DuplicateDetector:
             use_filter=self.use_filter,
             cross_source_only=self.cross_source_only,
             keep_evidence=self.keep_evidence,
+            blocking=self.blocking,
         )
         scores = generator.score_pairs(relation)
         classified = classify_pairs(scores, self.threshold, self.uncertainty_band)

@@ -21,8 +21,25 @@ __all__ = ["FilterStatistics", "UpperBoundFilter"]
 
 @dataclass
 class FilterStatistics:
-    """Counts of pairs seen and pruned by the filter."""
+    """Counts of pairs at every pruning stage of candidate generation.
 
+    Pairs flow through three gates, each cheaper than the next stage::
+
+        all i<j pairs --blocking--> candidates --cross-source--> considered
+                      --upper-bound filter--> compared in full
+
+    Attributes:
+        total_pairs: every ``i < j`` pair of the input relation.
+        blocking_candidates: pairs proposed by the blocking strategy.
+        cross_source_skipped: proposed pairs dropped because both tuples came
+            from the same source (``cross_source_only``).
+        considered: pairs that reached the upper-bound filter.
+        pruned: pairs the upper-bound filter removed.
+    """
+
+    total_pairs: int = 0
+    blocking_candidates: int = 0
+    cross_source_skipped: int = 0
     considered: int = 0
     pruned: int = 0
 
@@ -33,13 +50,40 @@ class FilterStatistics:
 
     @property
     def pruning_ratio(self) -> float:
-        """Fraction of candidate pairs the filter removed."""
+        """Fraction of considered pairs the upper-bound filter removed."""
         if self.considered == 0:
             return 0.0
         return self.pruned / self.considered
 
+    @property
+    def blocking_pruned(self) -> int:
+        """Pairs the blocking strategy never proposed."""
+        return max(0, self.total_pairs - self.blocking_candidates)
+
+    @property
+    def blocking_ratio(self) -> float:
+        """Fraction of all pairs removed by blocking alone."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.blocking_pruned / self.total_pairs
+
+    def as_dict(self) -> dict:
+        """All counters and ratios, for summaries and the experiment harness."""
+        return {
+            "total_pairs": self.total_pairs,
+            "blocking_candidates": self.blocking_candidates,
+            "blocking_pruned": self.blocking_pruned,
+            "cross_source_skipped": self.cross_source_skipped,
+            "considered": self.considered,
+            "pruned": self.pruned,
+            "compared": self.compared,
+        }
+
     def reset(self) -> None:
         """Zero the counters."""
+        self.total_pairs = 0
+        self.blocking_candidates = 0
+        self.cross_source_skipped = 0
         self.considered = 0
         self.pruned = 0
 

@@ -1,8 +1,11 @@
 """Candidate-pair generation and scoring.
 
-Generates the tuple pairs to compare (all pairs, or only cross-source pairs
-when duplicates within one source are impossible by assumption), applies the
-upper-bound filter and scores the survivors with the full measure.
+A pluggable :class:`~repro.dedup.blocking.BlockingStrategy` proposes the
+tuple pairs to look at (all pairs by default, sorted-neighborhood or token
+blocking for near-linear scaling), the cross-source rule drops pairs whose
+tuples share a source (when duplicates within one source are impossible by
+assumption), the upper-bound filter prunes hopeless pairs and the survivors
+are scored with the full measure.
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.dedup.blocking import BlockingSpec, BlockingStrategy, resolve_blocking
 from repro.dedup.filters import UpperBoundFilter
 from repro.dedup.similarity_measure import DuplicateSimilarityMeasure, PairEvidence
 from repro.engine.relation import Relation
@@ -44,6 +48,9 @@ class CandidatePairGenerator:
             never paired (sources are assumed internally duplicate-free).
         keep_evidence: retain per-attribute evidence for each scored pair
             (needed by the demo's conflict preview, costs memory).
+        blocking: a :class:`BlockingStrategy`, a strategy name
+            (``"allpairs"``, ``"snm"``, ``"token"``) or ``None`` for the
+            exact all-pairs baseline.
     """
 
     def __init__(
@@ -54,31 +61,57 @@ class CandidatePairGenerator:
         cross_source_only: bool = False,
         source_column: str = "sourceID",
         keep_evidence: bool = False,
+        blocking: BlockingSpec = None,
     ):
         self.measure = measure
         self.filter = UpperBoundFilter(measure, filter_threshold, enabled=use_filter)
         self.cross_source_only = cross_source_only
         self.source_column = source_column
         self.keep_evidence = keep_evidence
+        self.blocking: BlockingStrategy = resolve_blocking(blocking)
+
+    @property
+    def statistics(self):
+        """The shared :class:`FilterStatistics` covering every pruning stage."""
+        return self.filter.statistics
+
+    def blocking_attributes(self, relation: Relation) -> List[str]:
+        """The selected attributes present in *relation* — the blocking keys.
+
+        Ordered by selection weight (most identifying first), so strategies
+        that cap their key count work on the attributes with the highest
+        identifying power.
+        """
+        weights = self.measure.selection.weights
+        present = [
+            attribute
+            for attribute in self.measure.selection.attributes
+            if relation.schema.has_column(attribute)
+        ]
+        return sorted(present, key=lambda attribute: -weights.get(attribute, 1.0))
 
     def candidate_indices(self, relation: Relation) -> Iterator[Tuple[int, int]]:
-        """All index pairs ``i < j`` eligible for comparison."""
+        """Index pairs ``i < j`` proposed by blocking and the cross-source rule."""
         size = len(relation)
-        sources = None
+        statistics = self.statistics
+        statistics.total_pairs += size * (size - 1) // 2
+        source_position: Optional[int] = None
         if self.cross_source_only and relation.schema.has_column(self.source_column):
-            position = relation.schema.position(self.source_column)
-            sources = [values[position] for values in relation.rows]
-        for i in range(size):
-            for j in range(i + 1, size):
-                if sources is not None:
-                    left_source, right_source = sources[i], sources[j]
-                    if (
-                        not is_null(left_source)
-                        and not is_null(right_source)
-                        and left_source == right_source
-                    ):
-                        continue
-                yield (i, j)
+            source_position = relation.schema.position(self.source_column)
+        rows = relation.rows
+        for i, j in self.blocking.pairs(relation, self.blocking_attributes(relation)):
+            statistics.blocking_candidates += 1
+            if source_position is not None:
+                left_source = rows[i][source_position]
+                right_source = rows[j][source_position]
+                if (
+                    not is_null(left_source)
+                    and not is_null(right_source)
+                    and left_source == right_source
+                ):
+                    statistics.cross_source_skipped += 1
+                    continue
+            yield (i, j)
 
     def score_pairs(self, relation: Relation) -> List[PairScore]:
         """Filter and score every candidate pair of *relation*."""

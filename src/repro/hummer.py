@@ -29,6 +29,7 @@ from repro.core.resolution.base import (
     ResolutionRegistry,
     default_registry,
 )
+from repro.dedup.blocking import BlockingSpec
 from repro.dedup.detector import DuplicateDetector
 from repro.engine.catalog import Catalog
 from repro.engine.io.base import DataSource
@@ -47,6 +48,11 @@ class HumMer:
         matcher: schema matcher to use (default DUMAS).
         registry: resolution-function registry; defaults to a process-wide
             registry holding every built-in function.
+        blocking: candidate-pair blocking strategy for duplicate detection —
+            a strategy instance, a name (``"allpairs"``, ``"snm"``,
+            ``"token"``) or ``None`` for the exact all-pairs baseline.
+            Mutually exclusive with an explicit *detector* (configure
+            ``DuplicateDetector(blocking=...)`` instead).
     """
 
     def __init__(
@@ -55,11 +61,19 @@ class HumMer:
         matcher: Optional[DumasMatcher] = None,
         detector: Optional[DuplicateDetector] = None,
         registry: Optional[ResolutionRegistry] = None,
+        blocking: BlockingSpec = None,
     ):
+        if detector is not None and blocking is not None:
+            raise ValueError(
+                "pass blocking via DuplicateDetector(blocking=...) when an "
+                "explicit detector is given"
+            )
         self.catalog = Catalog()
         self.registry = registry or default_registry()
         self.matcher = matcher or DumasMatcher()
-        self.detector = detector or DuplicateDetector(threshold=duplicate_threshold)
+        self.detector = detector or DuplicateDetector(
+            threshold=duplicate_threshold, blocking=blocking
+        )
         self._executor = QueryExecutor(
             self.catalog, registry=self.registry, matcher=self.matcher, detector=self.detector
         )
