@@ -11,8 +11,6 @@ removing sharpening hurts the most because borderline non-duplicates start to
 chain through the transitive closure.
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.datagen.corruptor import CorruptionConfig
 from repro.datagen.scenarios import students_scenario

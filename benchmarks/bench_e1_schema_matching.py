@@ -8,8 +8,6 @@ instance matcher reaches high F1 with a handful of seeds while the baseline
 stays flat and low.
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.baselines.name_matcher import NameBasedMatcher
 from repro.datagen.corruptor import CorruptionConfig

@@ -13,8 +13,6 @@ best-F1 plateau in the middle; the harder the corruption, the lower the
 plateau; the filter prunes a large share of comparisons "for free".
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.datagen.corruptor import CorruptionConfig
 from repro.datagen.scenarios import students_scenario

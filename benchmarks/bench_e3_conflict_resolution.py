@@ -14,8 +14,6 @@ strategy reaches full conciseness, with correctness depending on the strategy
 (vote/min/coalesce differ only on genuinely conflicting attributes).
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.baselines.groupby_fusion import groupby_fusion
 from repro.baselines.naive_union import naive_union

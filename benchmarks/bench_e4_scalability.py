@@ -8,18 +8,21 @@ in the number of tuples (pairwise comparisons) under the all-pairs baseline,
 schema matching grows mildly (seeding is capped), fusion is linear in the
 number of tuples.  The blocking series shows `snm` and `token` proposing a
 shrinking fraction of the quadratic pair count while reproducing the exact
-accepted duplicate-pair set at the parity checkpoint.
+accepted duplicate-pair set at the parity checkpoint.  The parallel-scoring
+series shows the multiprocess executor reproducing the serial run bit for
+bit while reporting the wall-clock speedup (informational — CI runners may
+be single-core).
 """
 
+import json
 import time
-
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.core.pipeline import FusionPipeline
 from repro.datagen.corruptor import CorruptionConfig
 from repro.datagen.scenarios import cd_stores_scenario, students_scenario
 from repro.dedup.detector import DuplicateDetector
+from repro.dedup.executor import MultiprocessExecutor, SerialExecutor
 from repro.engine.catalog import Catalog
 from repro.matching.dumas import DumasMatcher
 from repro.matching.multi import MultiMatcher
@@ -33,6 +36,10 @@ SOURCE_COUNTS = [2, 3, 4]
 #: quadratic enumeration is already painful.
 BLOCKING_ENTITY_COUNTS = [40, 80, 120, 250, 500]
 PARITY_CHECKPOINT = 120  # largest size where all-pairs is still cheap enough
+
+#: Default sizes for the serial-vs-parallel scoring series (override with
+#: ``--e4-entities`` for the CI smoke run).
+PARALLEL_ENTITY_COUNTS = [80, 160, 320]
 
 
 def run_students(entities):
@@ -179,6 +186,104 @@ def test_e4_blocking_vs_allpairs(benchmark):
 
     benchmark.pedantic(
         lambda: DuplicateDetector(blocking="token").detect(prepare_students(80)),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e4_parallel_scoring(benchmark, request):
+    """Serial vs. multiprocess scoring: identical results, reported speedup.
+
+    Acceptance bar for the executor subsystem: with 2+ workers the
+    multiprocess executor must reproduce the serial accepted duplicate-pair
+    set, cluster assignment and filter statistics exactly at every size.
+    Speedup is reported but not asserted — CI runners may expose one core.
+    """
+    workers = request.config.getoption("--workers")
+    entities_option = request.config.getoption("--e4-entities")
+    json_path = request.config.getoption("--e4-json")
+    sizes = (
+        [int(value) for value in entities_option.split(",") if value.strip()]
+        if entities_option
+        else PARALLEL_ENTITY_COUNTS
+    )
+
+    rows = []
+    records = []
+    for entities in sizes:
+        combined = prepare_students(entities)
+
+        started = time.perf_counter()
+        serial = DuplicateDetector(
+            blocking="token", executor=SerialExecutor()
+        ).detect(combined)
+        serial_s = time.perf_counter() - started
+
+        # min_parallel_pairs=0 forces the pool even at smoke sizes, so the
+        # parallel code path is genuinely exercised on every CI run.
+        started = time.perf_counter()
+        parallel = DuplicateDetector(
+            blocking="token",
+            executor=MultiprocessExecutor(workers=workers, min_parallel_pairs=0),
+        ).detect(combined)
+        parallel_s = time.perf_counter() - started
+
+        assert set(parallel.duplicate_pairs) == set(serial.duplicate_pairs)
+        assert parallel.cluster_assignment == serial.cluster_assignment
+        assert [
+            (score.left_index, score.right_index, score.similarity)
+            for score in parallel.scores
+        ] == [
+            (score.left_index, score.right_index, score.similarity)
+            for score in serial.scores
+        ]
+        assert (
+            parallel.filter_statistics.as_dict() == serial.filter_statistics.as_dict()
+        )
+
+        speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+        rows.append(
+            (
+                entities,
+                len(combined),
+                serial.filter_statistics.compared,
+                len(serial.duplicate_pairs),
+                serial_s,
+                parallel_s,
+                speedup,
+            )
+        )
+        records.append(
+            {
+                "entities": entities,
+                "tuples": len(combined),
+                "workers": workers,
+                "compared_pairs": serial.filter_statistics.compared,
+                "accepted_pairs": len(serial.duplicate_pairs),
+                "serial_seconds": serial_s,
+                "parallel_seconds": parallel_s,
+                "speedup": speedup,
+            }
+        )
+    print_table(
+        f"E4d: serial vs parallel scoring ({workers} workers, students, token blocking)",
+        ["entities", "tuples", "compared", "accepted", "serial s", "parallel s", "speedup"],
+        rows,
+    )
+
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {"benchmark": "e4_parallel_scoring", "workers": workers, "rows": records},
+                handle,
+                indent=2,
+            )
+
+    benchmark.pedantic(
+        lambda: DuplicateDetector(
+            blocking="token",
+            executor=MultiprocessExecutor(workers=workers, min_parallel_pairs=0),
+        ).detect(prepare_students(sizes[0])),
         rounds=1,
         iterations=1,
     )

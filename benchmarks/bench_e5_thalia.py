@@ -12,8 +12,6 @@ paper leaves those to the user, which is exactly what the coverage column
 shows.
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.core.pipeline import FusionPipeline
 from repro.datagen.scenarios.thalia import AUTOMATABLE_CATEGORIES, THALIA_CATEGORIES, thalia_scenario

@@ -11,6 +11,32 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence
 
 
+def pytest_addoption(parser):
+    """Benchmark knobs, used by the CI smoke job (see .github/workflows/ci.yml)."""
+    group = parser.getgroup("hummer-benchmarks")
+    group.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=2,
+        help="worker processes for the E4 parallel-scoring series",
+    )
+    group.addoption(
+        "--e4-entities",
+        action="store",
+        default=None,
+        help="comma-separated entity counts for the E4 parallel-scoring "
+        "series (overrides the built-in sizes, e.g. 40,80 for a CI smoke run)",
+    )
+    group.addoption(
+        "--e4-json",
+        action="store",
+        default=None,
+        help="write the E4 parallel-scoring timings to this JSON file "
+        "(uploaded as a CI artifact so the timing trajectory accumulates)",
+    )
+
+
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
     """Render one experiment table to stdout (captured with ``pytest -s``)."""
     rendered_rows: List[List[str]] = []

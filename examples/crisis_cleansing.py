@@ -47,7 +47,7 @@ def main() -> None:
     )
 
     conflicts = pipeline.step_conflicts(detection)
-    print(f"\nSample conflicts shown to the relief worker (step 5):")
+    print("\nSample conflicts shown to the relief worker (step 5):")
     for conflict in conflicts.sample(5):
         print(f"  {conflict}")
 

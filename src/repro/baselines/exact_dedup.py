@@ -8,7 +8,7 @@ it, which is exactly the gap similarity-based detection closes in E2.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.dedup.clustering import transitive_closure_clusters
 from repro.dedup.detector import OBJECT_ID_COLUMN

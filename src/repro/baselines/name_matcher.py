@@ -9,7 +9,7 @@ the opaque or absent labels the paper's shopping scenario highlights.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 
 from repro.datagen.scenarios import cd_stores_scenario, crisis_scenario, students_scenario
 from repro.dedup.blocking import BLOCKING_STRATEGIES, resolve_blocking
+from repro.dedup.executor import executor_for_workers
 from repro.engine.io.csv_source import CsvSource, write_csv
 from repro.engine.io.json_source import JsonSource
 from repro.hummer import HumMer
@@ -54,6 +55,29 @@ def _add_blocking_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="largest token block kept as candidates (only with --blocking token)",
     )
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for candidate-pair scoring (1 or omitted = "
+        "serial; N>1 = multiprocess with N workers)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="candidate pairs per scoring batch (only with --workers N>1; "
+        "default splits the candidates into ~4 batches per worker)",
+    )
+
+
+def _build_executor(args):
+    if args.chunk_size is not None and (args.workers is None or args.workers <= 1):
+        raise ValueError("--chunk-size only applies with --workers greater than 1")
+    return executor_for_workers(args.workers, chunk_size=args.chunk_size)
 
 
 def _build_blocking(args):
@@ -102,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuse.add_argument("--output", help="write the fused result to this CSV file")
     fuse.add_argument("--limit", type=int, default=25, help="rows to print")
     _add_blocking_arguments(fuse)
+    _add_executor_arguments(fuse)
 
     demo = subparsers.add_parser("demo", help="run a built-in scenario on generated data")
     demo.add_argument(
@@ -112,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--entities", type=int, default=60, help="entities to generate")
     demo.add_argument("--limit", type=int, default=15, help="rows to print")
     _add_blocking_arguments(demo)
+    _add_executor_arguments(demo)
     return parser
 
 
@@ -135,7 +161,11 @@ def _command_query(args) -> int:
 
 
 def _command_fuse(args) -> int:
-    hummer = HumMer(duplicate_threshold=args.threshold, blocking=_build_blocking(args))
+    hummer = HumMer(
+        duplicate_threshold=args.threshold,
+        blocking=_build_blocking(args),
+        executor=_build_executor(args),
+    )
     _register_sources(hummer, args.source)
     aliases = [alias for alias, _ in args.source]
     result = hummer.fuse(aliases)
@@ -159,7 +189,7 @@ def _command_demo(args) -> int:
         "crisis": crisis_scenario,
     }
     dataset = builders[args.scenario](entity_count=args.entities)
-    hummer = HumMer(blocking=_build_blocking(args))
+    hummer = HumMer(blocking=_build_blocking(args), executor=_build_executor(args))
     for name, relation in dataset.sources.items():
         hummer.register(name, relation)
     print(f"scenario {args.scenario!r}: sources {', '.join(dataset.sources)}")
@@ -173,7 +203,8 @@ def _command_demo(args) -> int:
     print(
         f"blocking ({args.blocking}): {statistics.blocking_candidates} of "
         f"{statistics.total_pairs} possible pairs proposed, "
-        f"{statistics.compared} compared in full"
+        f"{statistics.compared} compared in full "
+        f"(scoring: {hummer.detector.executor.name})"
     )
     print(
         f"duplicates: {counts['sure_duplicates']} sure, {counts['unsure']} unsure, "

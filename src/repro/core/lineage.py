@@ -13,7 +13,7 @@ lineage.  The CLI and examples render this as ANSI colours.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.engine.types import is_null, values_equal

@@ -24,7 +24,7 @@ library equivalent of the GUI interventions.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.baselines.name_matcher import NameBasedMatcher
@@ -33,6 +33,7 @@ from repro.core.fusion import FusionOperator, FusionResult, FusionSpec
 from repro.core.resolution.base import ResolutionRegistry, default_registry
 from repro.dedup.blocking import BlockingSpec, resolve_blocking
 from repro.dedup.descriptions import AttributeSelection, select_interesting_attributes
+from repro.dedup.executor import ExecutorSpec, resolve_executor
 from repro.dedup.detector import DuplicateDetectionResult, DuplicateDetector, OBJECT_ID_COLUMN
 from repro.engine.catalog import Catalog
 from repro.engine.relation import Relation
@@ -125,6 +126,9 @@ class FusionPipeline:
         blocking: candidate-pair blocking strategy for duplicate detection —
             a strategy instance, a name (``"allpairs"``, ``"snm"``,
             ``"token"``) or ``None`` to use the detector's own strategy.
+        executor: pair-scoring executor for duplicate detection — an
+            executor instance, a name (``"serial"``, ``"multiprocess"``) or
+            ``None`` to use the detector's own executor.
         adjust_matching / adjust_selection / adjust_duplicates: optional hooks
             invoked between steps with the intermediate result; they may
             mutate it (the library counterpart of the demo's GUI wizard).
@@ -138,6 +142,7 @@ class FusionPipeline:
         registry: Optional[ResolutionRegistry] = None,
         use_name_fallback: bool = True,
         blocking: BlockingSpec = None,
+        executor: ExecutorSpec = None,
         adjust_matching: Optional[Callable[[MultiMatchingResult], None]] = None,
         adjust_selection: Optional[Callable[[AttributeSelection], None]] = None,
         adjust_duplicates: Optional[Callable[[DuplicateDetectionResult], None]] = None,
@@ -148,6 +153,7 @@ class FusionPipeline:
         self.registry = registry or default_registry()
         self.use_name_fallback = use_name_fallback
         self.blocking = resolve_blocking(blocking) if blocking is not None else None
+        self.executor = resolve_executor(executor) if executor is not None else None
         self.adjust_matching = adjust_matching
         self.adjust_selection = adjust_selection
         self.adjust_duplicates = adjust_duplicates
@@ -198,6 +204,7 @@ class FusionPipeline:
             accept_unsure=self.detector.accept_unsure,
             keep_evidence=self.detector.keep_evidence,
             blocking=self.blocking if self.blocking is not None else self.detector.blocking,
+            executor=self.executor if self.executor is not None else self.detector.executor,
         )
         result = detector.detect(transformed)
         if self.adjust_duplicates is not None:

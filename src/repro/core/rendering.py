@@ -13,7 +13,7 @@ text variant (``value [source]``) for environments without colour support.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.core.fusion import FusionResult
 from repro.core.lineage import LineageMap

@@ -8,7 +8,7 @@ numeric extensions, all under one extensible registry.
 
 from __future__ import annotations
 
-from repro.core.resolution.base import FunctionResolution, ResolutionRegistry
+from repro.core.resolution.base import ResolutionRegistry
 from repro.core.resolution.content import (
     AnnotatedConcat,
     Concat,

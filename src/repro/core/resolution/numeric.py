@@ -8,11 +8,9 @@ outliers, preferring the most precise value, ...).
 
 from __future__ import annotations
 
-import statistics
 from typing import Any, List
 
 from repro.core.resolution.base import ResolutionContext, ResolutionFunction
-from repro.engine.types import is_null
 
 __all__ = ["TrimmedMean", "MostPrecise", "Midrange"]
 

@@ -12,7 +12,7 @@ the automatic pipeline bridges.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.datagen import pools
 from repro.datagen.corruptor import CorruptionConfig

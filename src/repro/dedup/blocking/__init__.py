@@ -16,7 +16,7 @@ unchanged.  See ``docs/blocking.md`` for selection guidance.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 from repro.dedup.blocking.allpairs import AllPairsBlocking
 from repro.dedup.blocking.base import BlockingStrategy

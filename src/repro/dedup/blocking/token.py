@@ -14,6 +14,7 @@ measure itself uses.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.dedup.blocking.base import BlockingStrategy
@@ -63,6 +64,14 @@ class TokenBlocking(BlockingStrategy):
         self.max_block_size = max_block_size
         self.max_block_fraction = max_block_fraction
         self.min_token_length = min_token_length
+        # (relation identity, attribute tuple) → (relation, index); the
+        # relation reference both anchors the id() key (no reuse while the
+        # entry lives) and lets lookups verify identity.  Bounded LRU so a
+        # long-lived strategy on a slowly changing catalog cannot leak.
+        self._index_cache: "OrderedDict[Tuple[int, Tuple[str, ...]], Tuple[Relation, Dict[str, List[int]]]]" = (
+            OrderedDict()
+        )
+        self._index_cache_size = 4
 
     def effective_cap(self, row_count: int) -> int:
         """The block-size cap for a relation of *row_count* tuples."""
@@ -105,8 +114,31 @@ class TokenBlocking(BlockingStrategy):
                 index.setdefault(token, []).append(row_index)
         return index
 
-    def pairs(self, relation: Relation, attributes: Sequence[str]) -> Iterator[Tuple[int, int]]:
+    def indexed_blocks(
+        self, relation: Relation, attributes: Sequence[str]
+    ) -> Dict[str, List[int]]:
+        """The inverted index for *relation*, memoised per (relation, attributes).
+
+        Relations are logically immutable, so the index of one relation never
+        changes; a detector run (and HumMer's repeated fusion over registered
+        sources) can therefore reuse it instead of re-tokenising every value
+        on each ``detect()`` call.  This is the in-memory stepping stone to
+        the ROADMAP's persistent per-source block indexes.
+        """
+        key = (id(relation), tuple(attributes))
+        cached = self._index_cache.get(key)
+        if cached is not None and cached[0] is relation:
+            self._index_cache.move_to_end(key)
+            return cached[1]
         index = self.build_index(relation, attributes)
+        self._index_cache[key] = (relation, index)
+        self._index_cache.move_to_end(key)
+        while len(self._index_cache) > self._index_cache_size:
+            self._index_cache.popitem(last=False)
+        return index
+
+    def pairs(self, relation: Relation, attributes: Sequence[str]) -> Iterator[Tuple[int, int]]:
+        index = self.indexed_blocks(relation, attributes)
         cap = self.effective_cap(len(relation))
         seen: Set[Tuple[int, int]] = set()
         for members in index.values():

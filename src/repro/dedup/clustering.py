@@ -9,7 +9,7 @@ and union by rank.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 __all__ = ["UnionFind", "transitive_closure_clusters"]
 

@@ -12,11 +12,10 @@ by the user before detection runs (the demo's step 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from repro.engine.relation import Relation
 from repro.engine.statistics import profile_relation
-from repro.engine.types import DataType
 
 __all__ = ["AttributeSelection", "select_interesting_attributes"]
 

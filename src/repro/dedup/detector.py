@@ -6,11 +6,12 @@ the input relation, but enriched by an objectID column for identification."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.dedup.blocking import BlockingSpec, resolve_blocking
 from repro.dedup.classification import ClassifiedPairs, classify_pairs
+from repro.dedup.executor import ExecutorSpec, resolve_executor
 from repro.dedup.clustering import transitive_closure_clusters
 from repro.dedup.descriptions import AttributeSelection, select_interesting_attributes
 from repro.dedup.filters import FilterStatistics
@@ -86,6 +87,10 @@ class DuplicateDetector:
             :class:`~repro.dedup.blocking.BlockingStrategy` instance, a name
             (``"allpairs"``, ``"snm"``, ``"token"``) or ``None`` for the
             exact all-pairs baseline.
+        executor: pair-scoring executor — a
+            :class:`~repro.dedup.executor.ScoringExecutor` instance, a name
+            (``"serial"``, ``"multiprocess"``) or ``None`` for the in-process
+            serial baseline.
     """
 
     def __init__(
@@ -98,6 +103,7 @@ class DuplicateDetector:
         accept_unsure: bool = True,
         keep_evidence: bool = False,
         blocking: BlockingSpec = None,
+        executor: ExecutorSpec = None,
     ):
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must lie in [0, 1]")
@@ -109,6 +115,7 @@ class DuplicateDetector:
         self.accept_unsure = accept_unsure
         self.keep_evidence = keep_evidence
         self.blocking = resolve_blocking(blocking)
+        self.executor = resolve_executor(executor)
 
     def detect(self, relation: Relation) -> DuplicateDetectionResult:
         """Run duplicate detection on *relation* and append the objectID column."""
@@ -121,6 +128,7 @@ class DuplicateDetector:
             cross_source_only=self.cross_source_only,
             keep_evidence=self.keep_evidence,
             blocking=self.blocking,
+            executor=self.executor,
         )
         scores = generator.score_pairs(relation)
         classified = classify_pairs(scores, self.threshold, self.uncertainty_band)

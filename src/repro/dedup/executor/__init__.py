@@ -1,0 +1,91 @@
+"""Pluggable execution of candidate-pair scoring.
+
+Blocking (PR 1) decides *which* pairs duplicate detection looks at; this
+package decides *where* the surviving pairs are filtered and scored — the
+second pluggable axis of the dedup pipeline:
+
+* :class:`SerialExecutor` — the in-process baseline (default), byte-identical
+  to the seed scoring loop;
+* :class:`MultiprocessExecutor` — stdlib ``ProcessPoolExecutor`` fan-out over
+  contiguous candidate batches, with deterministic merge and an automatic
+  serial fallback below a pair-count threshold.
+
+Executors never change *what* is scored: the same pairs get the same
+similarities and the same :class:`FilterStatistics`, in the same order.  See
+``docs/parallel_scoring.md`` for selection and tuning guidance.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.dedup.executor.base import (
+    BatchScores,
+    ScoringBatch,
+    ScoringExecutor,
+    score_batch,
+)
+from repro.dedup.executor.multiprocess import MultiprocessExecutor
+from repro.dedup.executor.serial import SerialExecutor
+
+__all__ = [
+    "ScoringExecutor",
+    "ExecutorSpec",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "ScoringBatch",
+    "BatchScores",
+    "score_batch",
+    "SCORING_EXECUTORS",
+    "resolve_executor",
+    "executor_for_workers",
+]
+
+#: CLI / config name → executor class.
+SCORING_EXECUTORS = {
+    SerialExecutor.name: SerialExecutor,
+    MultiprocessExecutor.name: MultiprocessExecutor,
+}
+
+#: What every ``executor=`` parameter accepts: an executor name, an instance
+#: or ``None`` (→ the serial baseline).
+ExecutorSpec = Union[str, ScoringExecutor, None]
+
+
+def resolve_executor(spec: ExecutorSpec, **options) -> ScoringExecutor:
+    """Turn an executor name, instance or ``None`` into a :class:`ScoringExecutor`.
+
+    Args:
+        spec: ``None`` (→ serial baseline), a name from
+            :data:`SCORING_EXECUTORS` (``"serial"``, ``"multiprocess"``), or
+            an already-constructed executor.
+        options: keyword arguments for the executor constructor when *spec*
+            is a name (e.g. ``workers=``, ``chunk_size=`` for multiprocess).
+            Rejected when *spec* is an instance.
+    """
+    if spec is None:
+        spec = SerialExecutor.name
+    if isinstance(spec, ScoringExecutor):
+        if options:
+            raise ValueError(
+                "executor options cannot be combined with an already-constructed executor"
+            )
+        return spec
+    try:
+        executor_class = SCORING_EXECUTORS[spec]
+    except KeyError:
+        known = ", ".join(sorted(SCORING_EXECUTORS))
+        raise ValueError(f"unknown scoring executor {spec!r} (known: {known})") from None
+    return executor_class(**options)
+
+
+def executor_for_workers(workers, chunk_size=None) -> ScoringExecutor:
+    """The executor implied by a ``--workers N`` style setting.
+
+    ``None`` or ``workers <= 1`` selects the serial baseline; anything larger
+    selects :class:`MultiprocessExecutor` with that worker count (and the
+    optional *chunk_size*).
+    """
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return MultiprocessExecutor(workers=workers, chunk_size=chunk_size)

@@ -1,0 +1,147 @@
+"""Multiprocess scoring — fan candidate batches out over a process pool.
+
+Scoring a candidate pair touches nothing but the fitted measure and the two
+row tuples, so the work partitions perfectly: the parent enumerates
+candidates (blocking + cross-source rule, cheap and sequential), slices them
+into contiguous batches, and ships each batch to a ``ProcessPoolExecutor``
+worker.  Workers receive the :class:`~repro.dedup.executor.base.ScoringBatch`
+snapshot once, through the pool initializer, so the measure and the rows are
+pickled per *worker*, not per batch.
+
+Determinism: batches are contiguous slices of the candidate stream and
+results are merged in batch order (``Executor.map`` preserves it), so the
+returned score list — and the merged filter counters — are identical to a
+serial run regardless of worker scheduling.
+
+Small inputs fall back to the serial path: below
+``min_parallel_pairs`` candidates the fork/pickle overhead dwarfs the scoring
+work, and the fallback keeps tiny interactive runs free of it entirely.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.dedup.executor.base import (
+    BatchScores,
+    ScoringBatch,
+    ScoringExecutor,
+    score_batch,
+    score_with_filter,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.dedup.pairs import CandidatePairGenerator, PairScore
+    from repro.engine.relation import Relation
+
+__all__ = ["MultiprocessExecutor"]
+
+#: Snapshot installed once per worker process by the pool initializer.
+_worker_batch: Optional[ScoringBatch] = None
+
+
+def _initialise_worker(batch: ScoringBatch) -> None:
+    global _worker_batch
+    _worker_batch = batch
+
+
+def _score_chunk(pairs: Sequence[Tuple[int, int]]) -> BatchScores:
+    assert _worker_batch is not None, "worker used before initialisation"
+    return score_batch(_worker_batch, pairs)
+
+
+class MultiprocessExecutor(ScoringExecutor):
+    """Scores candidate batches across worker processes (stdlib only).
+
+    Args:
+        workers: worker process count; defaults to ``os.cpu_count()``.
+        chunk_size: pairs per batch.  ``None`` (default) slices the candidate
+            list into roughly four batches per worker — large enough to
+            amortise per-batch dispatch, small enough to keep the pool busy
+            when batch runtimes vary (blocks of near-duplicates filter less
+            and score slower than random pairs).
+        min_parallel_pairs: below this many candidate pairs the executor
+            scores serially in-process; forking a pool for a few hundred
+            pairs costs more than it saves.  Set to 0 to force the pool
+            (useful in tests).
+        mp_context: optional :mod:`multiprocessing` context (e.g. the
+            ``"spawn"`` context on platforms where ``fork`` is unsafe);
+            ``None`` uses the platform default.
+    """
+
+    name = "multiprocess"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        min_parallel_pairs: int = 2048,
+        mp_context=None,
+    ):
+        resolved_workers = workers if workers is not None else os.cpu_count() or 1
+        if resolved_workers < 1:
+            raise ValueError("workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1 when given")
+        if min_parallel_pairs < 0:
+            raise ValueError("min_parallel_pairs must not be negative")
+        self.workers = resolved_workers
+        self.chunk_size = chunk_size
+        self.min_parallel_pairs = min_parallel_pairs
+        self.mp_context = mp_context
+
+    def effective_chunk_size(self, pair_count: int) -> int:
+        """Batch size for *pair_count* candidates (≈ 4 batches per worker)."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(pair_count / (self.workers * 4)))
+
+    def snapshot(
+        self, generator: "CandidatePairGenerator", rows: List[Sequence]
+    ) -> ScoringBatch:
+        """The picklable worker payload for one scoring run."""
+        return ScoringBatch(
+            measure=generator.measure,
+            rows=rows,
+            filter_threshold=generator.filter.threshold,
+            use_filter=generator.filter.enabled,
+            keep_evidence=generator.keep_evidence,
+        )
+
+    def score_pairs(
+        self, generator: "CandidatePairGenerator", relation: "Relation"
+    ) -> List["PairScore"]:
+        rows = relation.rows
+        pairs = list(generator.candidate_indices(relation))
+        if self.workers == 1 or len(pairs) < max(self.min_parallel_pairs, 2):
+            return score_with_filter(generator, rows, pairs)
+
+        chunk = self.effective_chunk_size(len(pairs))
+        chunks = [pairs[start : start + chunk] for start in range(0, len(pairs), chunk)]
+        pool_size = min(self.workers, len(chunks))
+        batch = self.snapshot(generator, rows)
+        with ProcessPoolExecutor(
+            max_workers=pool_size,
+            mp_context=self.mp_context,
+            initializer=_initialise_worker,
+            initargs=(batch,),
+        ) as pool:
+            results = list(pool.map(_score_chunk, chunks))
+
+        statistics = generator.statistics
+        scored: List["PairScore"] = []
+        for result in results:
+            statistics.considered += result.considered
+            statistics.pruned += result.pruned
+            scored.extend(result.scores)
+        return scored
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiprocessExecutor(workers={self.workers}, "
+            f"chunk_size={self.chunk_size!r}, "
+            f"min_parallel_pairs={self.min_parallel_pairs})"
+        )

@@ -1,0 +1,31 @@
+"""Serial scoring — the in-process baseline, byte-identical to the seed loop."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.dedup.executor.base import ScoringExecutor, score_with_filter
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.dedup.pairs import CandidatePairGenerator, PairScore
+    from repro.engine.relation import Relation
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(ScoringExecutor):
+    """Scores every candidate pair in the calling process (the default).
+
+    This is the seed behaviour exactly: pairs stream straight from candidate
+    enumeration through the generator's shared filter into the score list, so
+    there is no materialisation overhead and statistics accumulate in place.
+    """
+
+    name = "serial"
+
+    def score_pairs(
+        self, generator: "CandidatePairGenerator", relation: "Relation"
+    ) -> List["PairScore"]:
+        return score_with_filter(
+            generator, relation.rows, generator.candidate_indices(relation)
+        )

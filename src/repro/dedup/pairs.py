@@ -5,15 +5,21 @@ tuple pairs to look at (all pairs by default, sorted-neighborhood or token
 blocking for near-linear scaling), the cross-source rule drops pairs whose
 tuples share a source (when duplicates within one source are impossible by
 assumption), the upper-bound filter prunes hopeless pairs and the survivors
-are scored with the full measure.
+are scored with the full measure.  A pluggable
+:class:`~repro.dedup.executor.ScoringExecutor` decides *where* the filter and
+the full measure run — in-process (serial baseline) or fanned out over a
+process pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.dedup.blocking import BlockingSpec, BlockingStrategy, resolve_blocking
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.dedup.executor import ExecutorSpec
 from repro.dedup.filters import UpperBoundFilter
 from repro.dedup.similarity_measure import DuplicateSimilarityMeasure, PairEvidence
 from repro.engine.relation import Relation
@@ -51,6 +57,9 @@ class CandidatePairGenerator:
         blocking: a :class:`BlockingStrategy`, a strategy name
             (``"allpairs"``, ``"snm"``, ``"token"``) or ``None`` for the
             exact all-pairs baseline.
+        executor: a :class:`~repro.dedup.executor.ScoringExecutor`, an
+            executor name (``"serial"``, ``"multiprocess"``) or ``None`` for
+            the in-process serial baseline.
     """
 
     def __init__(
@@ -62,13 +71,18 @@ class CandidatePairGenerator:
         source_column: str = "sourceID",
         keep_evidence: bool = False,
         blocking: BlockingSpec = None,
+        executor: "ExecutorSpec" = None,
     ):
+        # imported here because the executor package imports PairScore
+        from repro.dedup.executor import resolve_executor
+
         self.measure = measure
         self.filter = UpperBoundFilter(measure, filter_threshold, enabled=use_filter)
         self.cross_source_only = cross_source_only
         self.source_column = source_column
         self.keep_evidence = keep_evidence
         self.blocking: BlockingStrategy = resolve_blocking(blocking)
+        self.executor = resolve_executor(executor)
 
     @property
     def statistics(self):
@@ -114,16 +128,10 @@ class CandidatePairGenerator:
             yield (i, j)
 
     def score_pairs(self, relation: Relation) -> List[PairScore]:
-        """Filter and score every candidate pair of *relation*."""
-        rows = relation.rows
-        scored: List[PairScore] = []
-        for i, j in self.candidate_indices(relation):
-            if not self.filter.passes(rows[i], rows[j]):
-                continue
-            if self.keep_evidence:
-                evidence = self.measure.explain_rows(rows[i], rows[j])
-                scored.append(PairScore(i, j, evidence.similarity, evidence))
-            else:
-                similarity = self.measure.compare_rows(rows[i], rows[j])
-                scored.append(PairScore(i, j, similarity))
-        return scored
+        """Filter and score every candidate pair of *relation*.
+
+        Delegates to the configured executor; the serial baseline streams
+        pairs through the shared filter in-process, the multiprocess executor
+        fans batches out and merges scores and statistics deterministically.
+        """
+        return self.executor.score_pairs(self, relation)

@@ -31,7 +31,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.dedup.descriptions import AttributeSelection
 from repro.engine.relation import Relation
@@ -91,6 +91,20 @@ class DuplicateSimilarityMeasure:
         self._row_count = 0
         self._positions: Dict[str, int] = {}
         self._trigram_cache: Dict[int, frozenset] = {}
+
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Picklable snapshot for parallel scoring workers.
+
+        The trigram cache is keyed by row-tuple hashes and can grow to one
+        entry per row; shipping it to workers would multiply the snapshot
+        size for no benefit (workers rebuild it lazily for exactly the rows
+        they touch), so it is dropped here.
+        """
+        state = self.__dict__.copy()
+        state["_trigram_cache"] = {}
+        return state
 
     # -- fitting -----------------------------------------------------------------
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 import re
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.engine.relation import Row
 from repro.engine.types import is_null, values_equal

@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 import csv
-import io
 import os
-from typing import Iterable, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from repro.engine.io.base import DataSource
 from repro.engine.relation import Relation

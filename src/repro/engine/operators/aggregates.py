@@ -10,7 +10,6 @@ where they overlap.
 
 from __future__ import annotations
 
-import math
 import statistics
 from typing import Any, Callable, Dict, List, Sequence
 

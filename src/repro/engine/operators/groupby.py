@@ -12,9 +12,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.operators.aggregates import aggregate_function
 from repro.engine.operators.base import Operator
-from repro.engine.relation import Relation, Row
+from repro.engine.relation import Relation
 from repro.engine.schema import Column, Schema
-from repro.engine.types import DataType, infer_column_type, is_null
+from repro.engine.types import infer_column_type, is_null
 
 __all__ = ["AggregateSpec", "GroupBy", "Aggregate", "group_rows"]
 

@@ -8,7 +8,7 @@ from repro.engine.expressions import Expression
 from repro.engine.operators.base import Operator
 from repro.engine.relation import Relation, Row
 from repro.engine.schema import Schema
-from repro.engine.types import is_null, values_equal
+from repro.engine.types import is_null
 
 __all__ = ["CrossProduct", "Join"]
 
@@ -88,7 +88,6 @@ class Join(Operator):
         else:
             rows, matched_right = self._nested_loops(left, right, schema)
         if self.how == "full":
-            right_width = len(right.schema)
             left_width = len(left.schema)
             for index, right_values in enumerate(right.rows):
                 if index not in matched_right:

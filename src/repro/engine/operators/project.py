@@ -9,7 +9,7 @@ from repro.engine.expressions import ColumnRef, Expression
 from repro.engine.operators.base import Operator
 from repro.engine.relation import Relation
 from repro.engine.schema import Column, Schema
-from repro.engine.types import DataType, infer_column_type
+from repro.engine.types import infer_column_type
 
 __all__ = ["ProjectItem", "Project"]
 

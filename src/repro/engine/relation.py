@@ -15,7 +15,6 @@ makes the pipeline steps and the query operators freely composable.
 
 from __future__ import annotations
 
-import copy
 from typing import (
     Any,
     Callable,
@@ -32,7 +31,7 @@ from typing import (
 
 from repro.engine.schema import Column, Schema
 from repro.engine.types import DataType, coerce, infer_column_type, is_null
-from repro.exceptions import SchemaError, UnknownColumnError
+from repro.exceptions import SchemaError
 
 __all__ = ["Row", "Relation"]
 

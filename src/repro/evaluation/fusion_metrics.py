@@ -16,7 +16,7 @@ paper argues with:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 from repro.engine.relation import Relation
 from repro.engine.types import is_null

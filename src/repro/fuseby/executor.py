@@ -23,7 +23,7 @@ Semantics implemented:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.core.fusion import FusionOperator, FusionResult, FusionSpec
 from repro.core.pipeline import FusionPipeline

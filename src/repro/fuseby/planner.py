@@ -13,19 +13,12 @@ that the executor can run against a catalog:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.core.fusion import FusionSpec, ResolutionSpec
 from repro.core.resolution.base import ResolutionRegistry, default_registry
 from repro.exceptions import PlanningError, UnknownFunctionError
-from repro.fuseby.ast import (
-    ColumnExpression,
-    FuseByQuery,
-    OrderItem,
-    ResolveItem,
-    SelectItem,
-    StarItem,
-)
+from repro.fuseby.ast import FuseByQuery, ResolveItem, SelectItem, StarItem
 
 __all__ = ["QueryPlan", "Planner"]
 

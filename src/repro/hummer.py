@@ -31,6 +31,7 @@ from repro.core.resolution.base import (
 )
 from repro.dedup.blocking import BlockingSpec
 from repro.dedup.detector import DuplicateDetector
+from repro.dedup.executor import ExecutorSpec
 from repro.engine.catalog import Catalog
 from repro.engine.io.base import DataSource
 from repro.engine.relation import Relation
@@ -53,6 +54,11 @@ class HumMer:
             ``"token"``) or ``None`` for the exact all-pairs baseline.
             Mutually exclusive with an explicit *detector* (configure
             ``DuplicateDetector(blocking=...)`` instead).
+        executor: pair-scoring executor for duplicate detection — an
+            executor instance, a name (``"serial"``, ``"multiprocess"``) or
+            ``None`` for the in-process serial baseline.  Mutually exclusive
+            with an explicit *detector* (configure
+            ``DuplicateDetector(executor=...)`` instead).
     """
 
     def __init__(
@@ -62,17 +68,23 @@ class HumMer:
         detector: Optional[DuplicateDetector] = None,
         registry: Optional[ResolutionRegistry] = None,
         blocking: BlockingSpec = None,
+        executor: ExecutorSpec = None,
     ):
         if detector is not None and blocking is not None:
             raise ValueError(
                 "pass blocking via DuplicateDetector(blocking=...) when an "
                 "explicit detector is given"
             )
+        if detector is not None and executor is not None:
+            raise ValueError(
+                "pass the executor via DuplicateDetector(executor=...) when an "
+                "explicit detector is given"
+            )
         self.catalog = Catalog()
         self.registry = registry or default_registry()
         self.matcher = matcher or DumasMatcher()
         self.detector = detector or DuplicateDetector(
-            threshold=duplicate_threshold, blocking=blocking
+            threshold=duplicate_threshold, blocking=blocking, executor=executor
         )
         self._executor = QueryExecutor(
             self.catalog, registry=self.registry, matcher=self.matcher, detector=self.detector

@@ -8,7 +8,7 @@ maximum weight matching is computed." (paper §2.2)
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 

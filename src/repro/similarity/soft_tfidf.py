@@ -20,7 +20,6 @@ from typing import Callable, Dict, Iterable, Optional
 from repro.similarity.base import SimilarityMeasure
 from repro.similarity.jaro import jaro_winkler_similarity
 from repro.similarity.tfidf import TfIdfVectorizer
-from repro.similarity.tokenize import tokenize
 
 __all__ = ["SoftTfIdfSimilarity"]
 

@@ -5,7 +5,6 @@ import pytest
 from repro.core.fusion import FusionSpec, ResolutionSpec
 from repro.core.pipeline import FusionPipeline
 from repro.dedup.detector import OBJECT_ID_COLUMN, DuplicateDetector
-from repro.engine.catalog import Catalog
 from repro.exceptions import HummerError
 from repro.matching.transform import SOURCE_ID_COLUMN
 

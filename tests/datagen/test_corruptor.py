@@ -1,7 +1,5 @@
 """Tests for the corruption operators."""
 
-import pytest
-
 from repro.datagen.corruptor import CorruptionConfig, Corruptor
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.dedup.blocking import (
     AllPairsBlocking,
-    BlockingStrategy,
     SortedNeighborhoodBlocking,
     TokenBlocking,
     resolve_blocking,
@@ -179,6 +178,41 @@ class TestTokenBlocking:
     def test_min_token_length_drops_fragments(self):
         assert "de" not in TokenBlocking().tokens("ben m de mail")
         assert "mail" in TokenBlocking().tokens("ben m de mail")
+
+    def test_index_memoised_per_relation(self, people, monkeypatch):
+        strategy = TokenBlocking()
+        builds = []
+        original = TokenBlocking.build_index
+
+        def counting_build(self, relation, attributes):
+            builds.append(attributes)
+            return original(self, relation, attributes)
+
+        monkeypatch.setattr(TokenBlocking, "build_index", counting_build)
+        first = set(strategy.pairs(people, ["name", "city"]))
+        second = set(strategy.pairs(people, ["name", "city"]))
+        assert first == second
+        assert len(builds) == 1  # second call hits the cache
+        list(strategy.pairs(people, ["name"]))  # different attributes → rebuild
+        assert len(builds) == 2
+
+    def test_index_cache_is_identity_checked(self, people):
+        strategy = TokenBlocking()
+        first = set(strategy.pairs(people, ["name", "city"]))
+        clone = Relation.from_dicts(
+            [dict(row.items()) for row in people], name="people"
+        )
+        assert set(strategy.pairs(clone, ["name", "city"])) == first
+
+    def test_index_cache_is_bounded(self, people):
+        strategy = TokenBlocking()
+        relations = [
+            Relation.from_dicts([dict(row.items()) for row in people], name=f"r{i}")
+            for i in range(strategy._index_cache_size + 3)
+        ]
+        for relation in relations:
+            list(strategy.pairs(relation, ["name", "city"]))
+        assert len(strategy._index_cache) == strategy._index_cache_size
 
     def test_accents_normalised_like_the_measure(self):
         # Blocking shares the measure's accent-stripping normalisation, so

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dedup.classification import PairClass, classify_pairs
+from repro.dedup.classification import classify_pairs
 from repro.dedup.descriptions import select_interesting_attributes
 from repro.dedup.detector import OBJECT_ID_COLUMN, DuplicateDetector
 from repro.dedup.filters import UpperBoundFilter

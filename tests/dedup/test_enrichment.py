@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.dedup.detector import DuplicateDetector
 from repro.dedup.enrichment import RelationshipSpec, enrich_with_children
 from repro.engine.catalog import Catalog
 from repro.engine.relation import Relation

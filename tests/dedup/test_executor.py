@@ -1,0 +1,226 @@
+"""Determinism and parity tests for the pluggable scoring executors."""
+
+import pickle
+
+import pytest
+
+from repro.dedup.descriptions import select_interesting_attributes
+from repro.dedup.detector import DuplicateDetector
+from repro.dedup.executor import (
+    MultiprocessExecutor,
+    ScoringBatch,
+    SerialExecutor,
+    executor_for_workers,
+    resolve_executor,
+    score_batch,
+)
+from repro.dedup.pairs import CandidatePairGenerator
+from repro.dedup.similarity_measure import DuplicateSimilarityMeasure
+from repro.matching.dumas import DumasMatcher
+from repro.matching.multi import MultiMatcher
+from repro.matching.transform import transform_sources
+
+
+def combined_relation(dataset):
+    sources = dataset.source_list
+    matching = MultiMatcher(DumasMatcher()).match(sources)
+    return transform_sources(sources, matching.correspondences)
+
+
+def score_key(scores):
+    return [(score.left_index, score.right_index, score.similarity) for score in scores]
+
+
+class TestResolveExecutor:
+    def test_none_is_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+
+    def test_names_resolve(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("multiprocess"), MultiprocessExecutor)
+
+    def test_options_are_forwarded(self):
+        executor = resolve_executor("multiprocess", workers=3, chunk_size=128)
+        assert executor.workers == 3
+        assert executor.chunk_size == 128
+
+    def test_instances_pass_through(self):
+        executor = MultiprocessExecutor(workers=2)
+        assert resolve_executor(executor) is executor
+
+    def test_instance_with_options_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_executor(SerialExecutor(), workers=2)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown scoring executor"):
+            resolve_executor("threads")
+
+    def test_executor_for_workers(self):
+        assert isinstance(executor_for_workers(None), SerialExecutor)
+        assert isinstance(executor_for_workers(1), SerialExecutor)
+        multiprocess = executor_for_workers(4, chunk_size=64)
+        assert isinstance(multiprocess, MultiprocessExecutor)
+        assert multiprocess.workers == 4
+        assert multiprocess.chunk_size == 64
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            MultiprocessExecutor(workers=0)
+        with pytest.raises(ValueError):
+            MultiprocessExecutor(chunk_size=0)
+        with pytest.raises(ValueError):
+            MultiprocessExecutor(min_parallel_pairs=-1)
+
+
+class TestChunking:
+    def test_default_chunk_size_targets_four_batches_per_worker(self):
+        executor = MultiprocessExecutor(workers=2)
+        assert executor.effective_chunk_size(8000) == 1000
+
+    def test_explicit_chunk_size_wins(self):
+        executor = MultiprocessExecutor(workers=2, chunk_size=100)
+        assert executor.effective_chunk_size(8000) == 100
+
+    def test_chunk_size_never_zero(self):
+        executor = MultiprocessExecutor(workers=8)
+        assert executor.effective_chunk_size(1) == 1
+
+
+class TestMeasurePickling:
+    def test_snapshot_drops_trigram_cache(self, small_students_dataset):
+        relation = combined_relation(small_students_dataset)
+        selection = select_interesting_attributes(relation)
+        measure = DuplicateSimilarityMeasure(selection).fit(relation)
+        rows = relation.rows
+        measure.upper_bound(rows[0], rows[1])  # populate the cache
+        assert measure._trigram_cache
+
+        clone = pickle.loads(pickle.dumps(measure))
+        assert clone._trigram_cache == {}
+        # the clone scores identically despite the dropped cache
+        assert clone.compare_rows(rows[0], rows[1]) == measure.compare_rows(
+            rows[0], rows[1]
+        )
+        assert clone.upper_bound(rows[0], rows[1]) == measure.upper_bound(
+            rows[0], rows[1]
+        )
+
+    def test_score_batch_matches_direct_scoring(self, small_students_dataset):
+        relation = combined_relation(small_students_dataset)
+        selection = select_interesting_attributes(relation)
+        measure = DuplicateSimilarityMeasure(selection).fit(relation)
+        generator = CandidatePairGenerator(measure, filter_threshold=0.6)
+        pairs = list(generator.candidate_indices(relation))
+        batch = ScoringBatch(
+            measure=pickle.loads(pickle.dumps(measure)),
+            rows=relation.rows,
+            filter_threshold=0.6,
+            use_filter=True,
+            keep_evidence=False,
+        )
+        result = score_batch(batch, pairs)
+        expected = generator.score_pairs(relation)
+        assert score_key(result.scores) == score_key(expected)
+        assert result.considered == len(pairs)
+        assert result.pruned == generator.statistics.pruned
+
+
+class TestSerialParity:
+    """The serial executor is byte-identical to the seed scoring loop."""
+
+    def test_detector_defaults_to_serial(self):
+        assert isinstance(DuplicateDetector().executor, SerialExecutor)
+
+    def test_small_input_fallback_matches_serial(self, small_students_dataset):
+        relation = combined_relation(small_students_dataset)
+        serial = DuplicateDetector(executor=SerialExecutor()).detect(relation)
+        # high threshold → the fallback path scores in-process
+        fallback = DuplicateDetector(
+            executor=MultiprocessExecutor(workers=2, min_parallel_pairs=10**9)
+        ).detect(relation)
+        assert score_key(fallback.scores) == score_key(serial.scores)
+        assert fallback.cluster_assignment == serial.cluster_assignment
+        assert (
+            fallback.filter_statistics.as_dict() == serial.filter_statistics.as_dict()
+        )
+
+
+@pytest.mark.parametrize("blocking", ["allpairs", "token"])
+class TestMultiprocessParity:
+    """Multiprocess scoring reproduces the serial run exactly (ISSUE 2 bar)."""
+
+    def parity_check(self, relation, blocking, **executor_options):
+        serial = DuplicateDetector(blocking=blocking, executor=SerialExecutor()).detect(
+            relation
+        )
+        parallel = DuplicateDetector(
+            blocking=blocking,
+            executor=MultiprocessExecutor(min_parallel_pairs=0, **executor_options),
+        ).detect(relation)
+        assert score_key(parallel.scores) == score_key(serial.scores)
+        assert set(parallel.duplicate_pairs) == set(serial.duplicate_pairs)
+        assert parallel.cluster_assignment == serial.cluster_assignment
+        assert (
+            parallel.filter_statistics.as_dict() == serial.filter_statistics.as_dict()
+        )
+        return serial, parallel
+
+    def test_students_parity(self, small_students_dataset, blocking):
+        relation = combined_relation(small_students_dataset)
+        self.parity_check(relation, blocking, workers=2)
+
+    def test_cds_parity(self, small_cds_dataset, blocking):
+        relation = combined_relation(small_cds_dataset)
+        self.parity_check(relation, blocking, workers=2)
+
+    def test_tiny_chunks_preserve_order(self, small_students_dataset, blocking):
+        # chunk_size=7 forces many batches per worker; the merged score list
+        # must still come back in candidate order.
+        relation = combined_relation(small_students_dataset)
+        self.parity_check(relation, blocking, workers=2, chunk_size=7)
+
+
+class TestEvidenceAndThreading:
+    def test_keep_evidence_survives_the_pool(self, small_students_dataset):
+        relation = combined_relation(small_students_dataset)
+        serial = DuplicateDetector(
+            keep_evidence=True, executor=SerialExecutor()
+        ).detect(relation)
+        parallel = DuplicateDetector(
+            keep_evidence=True,
+            executor=MultiprocessExecutor(workers=2, min_parallel_pairs=0),
+        ).detect(relation)
+        assert score_key(parallel.scores) == score_key(serial.scores)
+        for left, right in zip(serial.scores, parallel.scores):
+            assert left.evidence is not None and right.evidence is not None
+            assert left.evidence.similarity == right.evidence.similarity
+            assert left.evidence.per_attribute == right.evidence.per_attribute
+
+    def test_hummer_threads_executor_into_detector(self):
+        from repro.hummer import HumMer
+
+        hummer = HumMer(executor="multiprocess")
+        assert isinstance(hummer.detector.executor, MultiprocessExecutor)
+
+    def test_hummer_rejects_executor_with_explicit_detector(self):
+        from repro.hummer import HumMer
+
+        with pytest.raises(ValueError):
+            HumMer(detector=DuplicateDetector(), executor="multiprocess")
+
+    def test_pipeline_override_beats_detector_executor(self, small_students_dataset):
+        from repro.core.pipeline import FusionPipeline
+        from repro.engine.catalog import Catalog
+
+        dataset = small_students_dataset
+        catalog = Catalog()
+        for alias, relation in dataset.sources.items():
+            catalog.register(alias, relation)
+        pipeline = FusionPipeline(catalog, executor="multiprocess")
+        assert isinstance(pipeline.executor, MultiprocessExecutor)
+        result = pipeline.run(list(dataset.sources))
+        serial_result = FusionPipeline(catalog).run(list(dataset.sources))
+        assert result.detection.cluster_assignment == (
+            serial_result.detection.cluster_assignment
+        )

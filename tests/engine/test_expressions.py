@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engine import expressions as expr
-from repro.engine.relation import Relation, Row
+from repro.engine.relation import Row
 from repro.engine.schema import Schema
 from repro.exceptions import ExpressionError
 

@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.engine.io import CsvSource, JsonSource, XmlSource, write_csv, write_json
-from repro.engine.relation import Relation
 from repro.engine.types import DataType
 from repro.exceptions import SourceError
 

@@ -26,7 +26,6 @@ from repro.engine.operators.aggregates import AGGREGATE_FUNCTIONS, aggregate_fun
 from repro.engine.operators.union import outer_union
 from repro.engine.catalog import Catalog
 from repro.engine.relation import Relation
-from repro.engine.schema import Schema
 from repro.exceptions import ExpressionError, SchemaError
 
 

@@ -1,7 +1,6 @@
 """Tests for repro.engine.types: coercion, inference, null handling, comparison."""
 
 import datetime
-import math
 
 import pytest
 

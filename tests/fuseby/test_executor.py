@@ -2,10 +2,7 @@
 
 import pytest
 
-from repro.engine.relation import Relation
-from repro.exceptions import PlanningError
 from repro.fuseby.executor import QueryExecutor
-from repro.engine.catalog import Catalog
 
 
 @pytest.fixture

@@ -14,7 +14,7 @@ must be rejected.
 
 import pytest
 
-from repro.exceptions import ParseError, QueryError
+from repro.exceptions import QueryError
 from repro.fuseby.parser import parse_query
 
 #: Every production of the Fig. 1 diagram, one accepted example per path.

@@ -1,12 +1,9 @@
 """Tests for the command-line interface."""
 
-import json
-
 import pytest
 
 from repro.cli import build_parser, main
 from repro.engine.io.csv_source import write_csv
-from repro.engine.relation import Relation
 
 
 @pytest.fixture
