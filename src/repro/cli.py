@@ -17,7 +17,7 @@ import sys
 from typing import List, Optional, Tuple
 
 from repro.datagen.scenarios import cd_stores_scenario, crisis_scenario, students_scenario
-from repro.dedup.blocking import BLOCKING_STRATEGIES, resolve_blocking
+from repro.dedup.blocking import BLOCKING_STRATEGIES, format_plan_report, resolve_blocking
 from repro.dedup.executor import executor_for_workers
 from repro.engine.io.csv_source import CsvSource, write_csv
 from repro.engine.io.json_source import JsonSource
@@ -38,10 +38,13 @@ def _parse_source(argument: str) -> Tuple[str, str]:
 def _add_blocking_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--blocking",
-        choices=sorted(BLOCKING_STRATEGIES),
         default="allpairs",
-        help="candidate-pair blocking strategy (allpairs is exact; snm and "
-        "token trade a little candidate recall for near-linear scaling)",
+        metavar="STRATEGY",
+        help="candidate-pair blocking strategy: one of "
+        f"{', '.join(sorted(BLOCKING_STRATEGIES))}, or a composite "
+        "'union:a+b' spelling (e.g. union:snm+token).  allpairs is exact; "
+        "snm and token trade a little candidate recall for near-linear "
+        "scaling; adaptive profiles the input and picks a plan itself",
     )
     parser.add_argument(
         "--snm-window",
@@ -160,6 +163,14 @@ def _command_query(args) -> int:
     return 0
 
 
+def _print_blocking_plan(statistics) -> None:
+    """Print a deciding strategy's plan report, if one was recorded."""
+    if statistics.blocking_plan is None:
+        return
+    for line in format_plan_report(statistics.blocking_plan):
+        print(line)
+
+
 def _command_fuse(args) -> int:
     hummer = HumMer(
         duplicate_threshold=args.threshold,
@@ -174,6 +185,7 @@ def _command_fuse(args) -> int:
     for key, value in summary.items():
         rendered = f"{value:.3f}" if isinstance(value, float) else value
         print(f"  {key}: {rendered}")
+    _print_blocking_plan(result.detection.filter_statistics)
     print()
     print(result.relation.to_text(limit=args.limit))
     if args.output:
@@ -206,6 +218,7 @@ def _command_demo(args) -> int:
         f"{statistics.compared} compared in full "
         f"(scoring: {hummer.detector.executor.name})"
     )
+    _print_blocking_plan(statistics)
     print(
         f"duplicates: {counts['sure_duplicates']} sure, {counts['unsure']} unsure, "
         f"{counts['sure_non_duplicates']} non-duplicates; "

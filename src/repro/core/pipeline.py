@@ -98,7 +98,7 @@ class PipelineResult:
 
     def summary(self) -> Dict[str, Any]:
         """Compact run summary for logging and the experiment harness."""
-        return {
+        summary = {
             "sources": len(self.sources),
             "input_tuples": sum(len(source) for source in self.sources),
             "correspondences": len(self.correspondences),
@@ -111,6 +111,10 @@ class PipelineResult:
             "output_tuples": len(self.fusion.relation),
             "seconds": self.timings.total,
         }
+        plan = self.detection.filter_statistics.blocking_plan
+        if plan is not None:
+            summary["blocking_plan"] = plan.get("strategy")
+        return summary
 
 
 class FusionPipeline:
@@ -125,7 +129,8 @@ class FusionPipeline:
             relation, fall back to label-based matching instead of failing.
         blocking: candidate-pair blocking strategy for duplicate detection —
             a strategy instance, a name (``"allpairs"``, ``"snm"``,
-            ``"token"``) or ``None`` to use the detector's own strategy.
+            ``"token"``, ``"union:snm+token"``, ``"adaptive"``) or ``None``
+            to use the detector's own strategy.
         executor: pair-scoring executor for duplicate detection — an
             executor instance, a name (``"serial"``, ``"multiprocess"``) or
             ``None`` to use the detector's own executor.

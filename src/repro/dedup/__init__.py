@@ -28,10 +28,14 @@ by schema matching:
 """
 
 from repro.dedup.blocking import (
+    AdaptiveBlocking,
     AllPairsBlocking,
+    BlockingPlan,
     BlockingStrategy,
     SortedNeighborhoodBlocking,
     TokenBlocking,
+    UnionBlocking,
+    profile_relation,
     resolve_blocking,
 )
 from repro.dedup.descriptions import AttributeSelection, select_interesting_attributes
@@ -55,6 +59,10 @@ __all__ = [
     "AllPairsBlocking",
     "SortedNeighborhoodBlocking",
     "TokenBlocking",
+    "UnionBlocking",
+    "AdaptiveBlocking",
+    "BlockingPlan",
+    "profile_relation",
     "resolve_blocking",
     "ScoringExecutor",
     "SerialExecutor",

@@ -64,13 +64,13 @@ class TokenBlocking(BlockingStrategy):
         self.max_block_size = max_block_size
         self.max_block_fraction = max_block_fraction
         self.min_token_length = min_token_length
-        # (relation identity, attribute tuple) → (relation, index); the
-        # relation reference both anchors the id() key (no reuse while the
-        # entry lives) and lets lookups verify identity.  Bounded LRU so a
-        # long-lived strategy on a slowly changing catalog cannot leak.
-        self._index_cache: "OrderedDict[Tuple[int, Tuple[str, ...]], Tuple[Relation, Dict[str, List[int]]]]" = (
-            OrderedDict()
-        )
+        # (relation content key, attribute tuple) → index.  Content keying
+        # (rather than id()) means an equal clone of a cached relation hits,
+        # a mutated-then-reused relation misses, and — because the key is the
+        # content itself, not a hash — a collision can never serve another
+        # relation's index.  Bounded LRU so a long-lived strategy on a slowly
+        # changing catalog cannot leak.
+        self._index_cache: "OrderedDict[Tuple, Dict[str, List[int]]]" = OrderedDict()
         self._index_cache_size = 4
 
     def effective_cap(self, row_count: int) -> int:
@@ -117,21 +117,24 @@ class TokenBlocking(BlockingStrategy):
     def indexed_blocks(
         self, relation: Relation, attributes: Sequence[str]
     ) -> Dict[str, List[int]]:
-        """The inverted index for *relation*, memoised per (relation, attributes).
+        """The inverted index for *relation*, memoised per (content, attributes).
 
         Relations are logically immutable, so the index of one relation never
         changes; a detector run (and HumMer's repeated fusion over registered
         sources) can therefore reuse it instead of re-tokenising every value
-        on each ``detect()`` call.  This is the in-memory stepping stone to
-        the ROADMAP's persistent per-source block indexes.
+        on each ``detect()`` call.  The key is the relation's *content key*
+        (:meth:`Relation.content_key`), so equal-content clones share an
+        entry and a relation whose row storage was mutated in place is never
+        served stale candidates.  This is the in-memory stepping stone to the
+        ROADMAP's persistent per-source block indexes.
         """
-        key = (id(relation), tuple(attributes))
+        key = (relation.content_key(), tuple(attributes))
         cached = self._index_cache.get(key)
-        if cached is not None and cached[0] is relation:
+        if cached is not None:
             self._index_cache.move_to_end(key)
-            return cached[1]
+            return cached
         index = self.build_index(relation, attributes)
-        self._index_cache[key] = (relation, index)
+        self._index_cache[key] = index
         self._index_cache.move_to_end(key)
         while len(self._index_cache) > self._index_cache_size:
             self._index_cache.popitem(last=False)

@@ -85,8 +85,8 @@ class DuplicateDetector:
         keep_evidence: keep per-attribute evidence on every scored pair.
         blocking: candidate-pair blocking strategy — a
             :class:`~repro.dedup.blocking.BlockingStrategy` instance, a name
-            (``"allpairs"``, ``"snm"``, ``"token"``) or ``None`` for the
-            exact all-pairs baseline.
+            (``"allpairs"``, ``"snm"``, ``"token"``, ``"union:snm+token"``,
+            ``"adaptive"``) or ``None`` for the exact all-pairs baseline.
         executor: pair-scoring executor — a
             :class:`~repro.dedup.executor.ScoringExecutor` instance, a name
             (``"serial"``, ``"multiprocess"``) or ``None`` for the in-process

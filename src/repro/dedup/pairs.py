@@ -55,8 +55,8 @@ class CandidatePairGenerator:
         keep_evidence: retain per-attribute evidence for each scored pair
             (needed by the demo's conflict preview, costs memory).
         blocking: a :class:`BlockingStrategy`, a strategy name
-            (``"allpairs"``, ``"snm"``, ``"token"``) or ``None`` for the
-            exact all-pairs baseline.
+            (``"allpairs"``, ``"snm"``, ``"token"``, ``"union:snm+token"``,
+            ``"adaptive"``) or ``None`` for the exact all-pairs baseline.
         executor: a :class:`~repro.dedup.executor.ScoringExecutor`, an
             executor name (``"serial"``, ``"multiprocess"``) or ``None`` for
             the in-process serial baseline.
@@ -109,11 +109,15 @@ class CandidatePairGenerator:
         size = len(relation)
         statistics = self.statistics
         statistics.total_pairs += size * (size - 1) // 2
+        attributes = self.blocking_attributes(relation)
+        plan = self.blocking.plan_report(relation, attributes)
+        if plan is not None:
+            statistics.blocking_plan = plan
         source_position: Optional[int] = None
         if self.cross_source_only and relation.schema.has_column(self.source_column):
             source_position = relation.schema.position(self.source_column)
         rows = relation.rows
-        for i, j in self.blocking.pairs(relation, self.blocking_attributes(relation)):
+        for i, j in self.blocking.pairs(relation, attributes):
             statistics.blocking_candidates += 1
             if source_position is not None:
                 left_source = rows[i][source_position]

@@ -381,6 +381,40 @@ class Relation:
         result._rows = self._rows
         return result
 
+    def content_key(self) -> Tuple[Any, ...]:
+        """Hashable, equality-comparable key over column names and row values.
+
+        Relations are *logically* immutable, so components may cache derived
+        structures (e.g. blocking indexes) per relation.  Keying such caches
+        on ``id(relation)`` breaks in two ways: a recycled object id can serve
+        a stale entry, and an equal-content clone misses the cache.  This key
+        captures what the relation *contains* instead — and because it is the
+        content itself (not just a hash of it), dict lookups verify equality,
+        so a hash collision can never serve another relation's cache entry.
+        It is rebuilt on every call (O(rows)) precisely so callers that mutate
+        row storage in place — against the immutability convention — still
+        get fresh cache entries rather than stale ones.  Cells are keyed as
+        ``(type, value)`` because Python's cross-type equality (``True == 1
+        == 1.0``) would otherwise conflate relations whose *textual* cell
+        forms — what tokenisation and the similarity measures see — differ.
+        Unhashable cell values fall back to the rows' ``repr``.
+        """
+        key = (
+            self._schema.names,
+            tuple(
+                tuple((type(value), value) for value in row) for row in self._rows
+            ),
+        )
+        try:
+            hash(key)
+        except TypeError:
+            return (self._schema.names, repr(self._rows))
+        return key
+
+    def content_hash(self) -> int:
+        """Order-sensitive hash of :meth:`content_key`."""
+        return hash(self.content_key())
+
     # -- statistics ---------------------------------------------------------------
 
     def null_count(self, name: str) -> int:

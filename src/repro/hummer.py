@@ -51,7 +51,8 @@ class HumMer:
             registry holding every built-in function.
         blocking: candidate-pair blocking strategy for duplicate detection —
             a strategy instance, a name (``"allpairs"``, ``"snm"``,
-            ``"token"``) or ``None`` for the exact all-pairs baseline.
+            ``"token"``, ``"union:snm+token"``, ``"adaptive"``) or ``None``
+            for the exact all-pairs baseline.
             Mutually exclusive with an explicit *detector* (configure
             ``DuplicateDetector(blocking=...)`` instead).
         executor: pair-scoring executor for duplicate detection — an

@@ -1,0 +1,344 @@
+"""Tests for the profiling-driven adaptive planner and union blocking."""
+
+import pytest
+
+from repro.core.pipeline import FusionPipeline
+from repro.dedup.blocking import (
+    AdaptiveBlocking,
+    AllPairsBlocking,
+    SortedNeighborhoodBlocking,
+    TokenBlocking,
+    UnionBlocking,
+    format_plan_report,
+    profile_relation,
+    resolve_blocking,
+)
+from repro.dedup.detector import DuplicateDetector
+from repro.engine.catalog import Catalog
+from repro.engine.relation import Relation
+
+
+@pytest.fixture
+def people():
+    return Relation.from_dicts(
+        [
+            {"name": "Anna Schmidt", "city": "Berlin"},
+            {"name": "Anna Schmitd", "city": "Berlin"},
+            {"name": "Ben Mueller", "city": "Hamburg"},
+            {"name": "Carla Weber", "city": "Munich"},
+            {"name": "Zoe Young", "city": "Dresden"},
+        ],
+        name="people",
+    )
+
+
+@pytest.fixture
+def duplicated_pairs_relation():
+    """24 tuples = 12 entities x 2 copies; every value pair shares rare tokens.
+
+    Token blocks all have size 2 (far below the cap), so the corruption
+    estimate is 0.0 and the planner stays on the sorted-neighborhood path.
+    """
+    rows = []
+    for i in range(12):
+        name = f"first{i:02d} last{i:02d}"
+        rows.append({"name": name})
+        rows.append({"name": name})
+    return Relation.from_dicts(rows, name="duplicated")
+
+
+@pytest.fixture
+def unique_tokens_relation():
+    """24 tuples whose values share no token at all → corruption estimate 1.0."""
+    rows = [{"name": f"zzqx{i:02d}vv"} for i in range(24)]
+    return Relation.from_dicts(rows, name="unique")
+
+
+class TestResolveSpellings:
+    def test_adaptive_resolves(self):
+        strategy = resolve_blocking("adaptive")
+        assert isinstance(strategy, AdaptiveBlocking)
+
+    def test_adaptive_options_forwarded(self):
+        strategy = resolve_blocking("adaptive", small_threshold=7, window_ladder=(2, 4))
+        assert strategy.small_threshold == 7
+        assert strategy.window_ladder == [2, 4]
+
+    def test_union_resolves_with_default_children(self):
+        strategy = resolve_blocking("union")
+        assert isinstance(strategy, UnionBlocking)
+        assert [child.name for child in strategy.children] == ["snm", "token"]
+
+    def test_union_composite_spelling(self):
+        strategy = resolve_blocking("union:snm+token")
+        assert isinstance(strategy, UnionBlocking)
+        assert [child.name for child in strategy.children] == ["snm", "token"]
+
+    def test_union_composite_single_child(self):
+        strategy = resolve_blocking("union:token")
+        assert [child.name for child in strategy.children] == ["token"]
+
+    def test_union_composite_empty_rejected(self):
+        with pytest.raises(ValueError, match="union blocking spec"):
+            resolve_blocking("union:")
+
+    def test_union_composite_unknown_child_rejected(self):
+        with pytest.raises(ValueError, match="unknown blocking strategy"):
+            resolve_blocking("union:snm+bogus")
+
+    def test_union_composite_with_options_rejected(self):
+        with pytest.raises(ValueError, match="composite union spec"):
+            resolve_blocking("union:snm+token", window=4)
+
+    def test_union_needs_a_child(self):
+        with pytest.raises(ValueError, match="at least one child"):
+            UnionBlocking([])
+
+
+class TestUnionBlocking:
+    def test_union_is_superset_of_children(self, people):
+        attributes = ["name", "city"]
+        snm = SortedNeighborhoodBlocking(window=2)
+        token = TokenBlocking()
+        union = UnionBlocking([snm, token])
+        union_pairs = set(union.pairs(people, attributes))
+        assert set(snm.pairs(people, attributes)) <= union_pairs
+        assert set(token.pairs(people, attributes)) <= union_pairs
+
+    def test_union_dedups_and_orders_pairs(self, people):
+        union = UnionBlocking(["snm", "token"])
+        pairs = list(union.pairs(people, ["name", "city"]))
+        assert len(pairs) == len(set(pairs))
+        assert all(i < j for i, j in pairs)
+
+    def test_union_plan_report(self, people):
+        union = UnionBlocking(["snm", "token"])
+        report = union.plan_report(people, ["name", "city"])
+        assert report == {"strategy": "union", "children": ["snm", "token"]}
+
+
+class TestAdaptiveValidation:
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveBlocking(small_threshold=-1)
+        with pytest.raises(ValueError):
+            AdaptiveBlocking(window_ladder=())
+        with pytest.raises(ValueError):
+            AdaptiveBlocking(window_ladder=(8, 4))
+        with pytest.raises(ValueError):
+            AdaptiveBlocking(window_ladder=(8, 8))
+        with pytest.raises(ValueError):
+            AdaptiveBlocking(plateau_ratio=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveBlocking(max_pair_fraction=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveBlocking(snm_options={"window": 5})
+
+
+class TestProfile:
+    def test_profile_counts_nulls_and_cardinality(self):
+        relation = Relation.from_dicts(
+            [
+                {"name": "Anna Schmidt", "city": "Berlin"},
+                {"name": "Anna Schmidt", "city": None},
+                {"name": "Ben Mueller", "city": None},
+                {"name": "Carla Weber", "city": "Berlin"},
+            ],
+            name="sparse",
+        )
+        profile = profile_relation(relation, ["name", "city"])
+        assert profile.tuple_count == 4
+        assert profile.total_pairs == 6
+        by_name = {attribute.attribute: attribute for attribute in profile.attributes}
+        assert by_name["city"].null_rate == pytest.approx(0.5)
+        assert by_name["city"].distinct_ratio == pytest.approx(0.5)  # 1 distinct / 2
+        assert by_name["name"].null_rate == 0.0
+        assert by_name["name"].distinct_ratio == pytest.approx(0.75)  # 3 distinct / 4
+        assert 0.0 <= profile.corruption_estimate <= 1.0
+        assert profile.token_count > 0
+
+    def test_profile_limits_attribute_count(self, people):
+        profile = profile_relation(people, ["name", "city"], max_attributes=1)
+        assert [attribute.attribute for attribute in profile.attributes] == ["name"]
+
+    def test_evidence_free_attribute_counts_as_corrupted(self):
+        relation = Relation.from_dicts(
+            [{"code": f"unique{i:02d}"} for i in range(6)], name="codes"
+        )
+        profile = profile_relation(relation, ["code"])
+        assert profile.attributes[0].corruption_estimate == pytest.approx(1.0)
+
+
+class TestPlanner:
+    def test_small_input_plans_allpairs(self, people):
+        strategy = AdaptiveBlocking()
+        plan = strategy.plan(people, ["name", "city"])
+        assert isinstance(plan.strategy, AllPairsBlocking)
+        assert plan.proposed_pairs == 10
+        assert any("small_threshold" in reason for reason in plan.reasons)
+        pairs = list(strategy.pairs(people, ["name", "city"]))
+        assert pairs == list(AllPairsBlocking().pairs(people, ["name", "city"]))
+
+    def test_window_escalates_to_ladder_maximum(self, duplicated_pairs_relation):
+        strategy = AdaptiveBlocking(
+            small_threshold=4,
+            window_ladder=(4, 8, 16),
+            plateau_ratio=0.25,
+            max_pair_fraction=1.0,
+        )
+        plan = strategy.plan(duplicated_pairs_relation, ["name"])
+        assert isinstance(plan.strategy, SortedNeighborhoodBlocking)
+        assert plan.options == {"window": 16}
+        assert any("ladder maximum" in reason for reason in plan.reasons)
+
+    def test_window_escalation_stops_at_plateau(self, duplicated_pairs_relation):
+        # n=24: window 16 proposes 240 pairs, window 32 all 276 — under a 25%
+        # growth threshold the escalation stops at 16.
+        strategy = AdaptiveBlocking(
+            small_threshold=4,
+            window_ladder=(16, 32, 64),
+            plateau_ratio=0.25,
+            max_pair_fraction=1.0,
+        )
+        plan = strategy.plan(duplicated_pairs_relation, ["name"])
+        assert plan.options == {"window": 16}
+        assert any("plateau" in reason for reason in plan.reasons)
+
+    def test_budget_steps_window_back_down(self, duplicated_pairs_relation):
+        # budget = 30% of 276 = 82 pairs; windows 16 (240) and 8 (140) are
+        # over, window 4 (66) fits.
+        strategy = AdaptiveBlocking(
+            small_threshold=4,
+            window_ladder=(4, 8, 16),
+            plateau_ratio=0.25,
+            max_pair_fraction=0.3,
+        )
+        plan = strategy.plan(duplicated_pairs_relation, ["name"])
+        assert plan.options == {"window": 4}
+        assert plan.proposed_pairs == 66
+        assert any("budget" in reason for reason in plan.reasons)
+
+    def test_budget_overrun_at_ladder_minimum_is_recorded(self, duplicated_pairs_relation):
+        # budget = 5% of 276 = 13 pairs; even the smallest window (66
+        # proposals) is over, and the plan must say so.
+        strategy = AdaptiveBlocking(
+            small_threshold=4,
+            window_ladder=(4, 8),
+            plateau_ratio=0.25,
+            max_pair_fraction=0.05,
+        )
+        plan = strategy.plan(duplicated_pairs_relation, ["name"])
+        assert plan.options == {"window": 4}
+        assert any("even at the ladder minimum" in reason for reason in plan.reasons)
+
+    def test_planned_proposals_are_replayed_not_reenumerated(
+        self, duplicated_pairs_relation, monkeypatch
+    ):
+        # Planning already enumerates the chosen strategy's pairs; pairs()
+        # must replay that list instead of running the strategy again.
+        strategy = AdaptiveBlocking(small_threshold=4, window_ladder=(4, 8))
+        plan = strategy.plan(duplicated_pairs_relation, ["name"])
+        assert plan.proposals is not None
+        assert plan.proposals == list(
+            plan.strategy.pairs(duplicated_pairs_relation, ["name"])
+        )
+
+        def exploding_pairs(self, relation, attributes):
+            raise AssertionError("chosen strategy re-enumerated after planning")
+
+        monkeypatch.setattr(SortedNeighborhoodBlocking, "pairs", exploding_pairs)
+        replayed = list(strategy.pairs(duplicated_pairs_relation, ["name"]))
+        assert replayed == plan.proposals
+
+    def test_only_newest_plan_keeps_proposals(self, duplicated_pairs_relation):
+        strategy = AdaptiveBlocking(small_threshold=4, window_ladder=(4, 8))
+        first = strategy.plan(duplicated_pairs_relation, ["name"])
+        assert first.proposals is not None
+        other = Relation.from_dicts(
+            [{"name": f"other{i:02d} row{i:02d}"} for i in range(12)], name="other"
+        )
+        second = strategy.plan(other, ["name"])
+        assert second.proposals is not None
+        assert first.proposals is None  # stripped; re-enumeration still works
+        assert list(strategy.pairs(duplicated_pairs_relation, ["name"]))
+
+    def test_high_corruption_escalates_to_union(self, unique_tokens_relation):
+        strategy = AdaptiveBlocking(small_threshold=4, window_ladder=(4, 8))
+        plan = strategy.plan(unique_tokens_relation, ["name"])
+        assert isinstance(plan.strategy, UnionBlocking)
+        assert plan.options["children"] == ["snm", "token"]
+        assert any("corruption estimate" in reason for reason in plan.reasons)
+        # the report is JSON-shaped and renders
+        report = plan.as_dict()
+        assert report["strategy"] == "union"
+        assert report["profile"]["corruption_estimate"] == pytest.approx(1.0)
+        lines = format_plan_report(report)
+        # rendered like a direct UnionBlocking report: children in the
+        # headline, not dumped as a raw options list
+        assert lines[0].startswith("blocking plan: union")
+        assert "over snm+token" in lines[0]
+        assert "children=" not in lines[0]
+
+    def test_plan_memoised_per_content(self, people):
+        strategy = AdaptiveBlocking()
+        first = strategy.plan(people, ["name", "city"])
+        second = strategy.plan(people, ["name", "city"])
+        assert second is first
+        assert strategy.last_plan is first
+
+    def test_plan_recomputed_after_content_mutation(self, people):
+        strategy = AdaptiveBlocking()
+        first = strategy.plan(people, ["name", "city"])
+        people._rows.append(("New Person", "Nowhere"))
+        second = strategy.plan(people, ["name", "city"])
+        assert second is not first
+        assert second.profile.tuple_count == 6
+
+
+class TestPlanThreading:
+    def test_detector_reports_plan_in_statistics(self, people):
+        result = DuplicateDetector(blocking="adaptive").detect(people)
+        plan = result.filter_statistics.blocking_plan
+        assert plan is not None
+        assert plan["strategy"] == "allpairs"
+        assert plan["profile"]["tuple_count"] == 5
+        assert "blocking_plan" in result.filter_statistics.as_dict()
+
+    def test_adaptive_small_input_matches_allpairs_exactly(self, people):
+        baseline = DuplicateDetector(blocking="allpairs").detect(people)
+        adaptive = DuplicateDetector(blocking="adaptive").detect(people)
+        assert [
+            (score.left_index, score.right_index, score.similarity)
+            for score in adaptive.scores
+        ] == [
+            (score.left_index, score.right_index, score.similarity)
+            for score in baseline.scores
+        ]
+        assert adaptive.cluster_assignment == baseline.cluster_assignment
+
+    def test_fixed_strategies_report_no_plan(self, people):
+        result = DuplicateDetector(blocking="token").detect(people)
+        assert result.filter_statistics.blocking_plan is None
+
+    def test_union_plan_reaches_statistics(self, people):
+        result = DuplicateDetector(blocking="union:snm+token").detect(people)
+        assert result.filter_statistics.blocking_plan == {
+            "strategy": "union",
+            "children": ["snm", "token"],
+        }
+
+    def test_pipeline_summary_names_the_plan(self, ee_students, cs_students):
+        catalog = Catalog()
+        catalog.register("EE_Students", ee_students)
+        catalog.register("CS_Students", cs_students)
+        result = FusionPipeline(catalog, blocking="adaptive").run(
+            ["EE_Students", "CS_Students"]
+        )
+        assert result.summary()["blocking_plan"] == "allpairs"
+
+    def test_summary_omits_plan_for_fixed_strategies(self, ee_students, cs_students):
+        catalog = Catalog()
+        catalog.register("EE_Students", ee_students)
+        catalog.register("CS_Students", cs_students)
+        result = FusionPipeline(catalog).run(["EE_Students", "CS_Students"])
+        assert "blocking_plan" not in result.summary()

@@ -196,18 +196,62 @@ class TestTokenBlocking:
         list(strategy.pairs(people, ["name"]))  # different attributes → rebuild
         assert len(builds) == 2
 
-    def test_index_cache_is_identity_checked(self, people):
+    def test_index_cache_shared_by_equal_content_clones(self, people, monkeypatch):
+        # The cache keys on row content, so an equal-content clone (e.g. the
+        # same source re-fetched from the catalog) hits instead of rebuilding.
         strategy = TokenBlocking()
+        builds = []
+        original = TokenBlocking.build_index
+
+        def counting_build(self, relation, attributes):
+            builds.append(attributes)
+            return original(self, relation, attributes)
+
+        monkeypatch.setattr(TokenBlocking, "build_index", counting_build)
         first = set(strategy.pairs(people, ["name", "city"]))
         clone = Relation.from_dicts(
             [dict(row.items()) for row in people], name="people"
         )
         assert set(strategy.pairs(clone, ["name", "city"])) == first
+        assert len(builds) == 1
+
+    def test_mutated_relation_is_not_served_stale_candidates(self, people):
+        # Relations are logically immutable, but a caller that mutates row
+        # storage in place must still get fresh candidates — the cache keys
+        # on content, not object identity.
+        strategy = TokenBlocking()
+        before = set(strategy.pairs(people, ["name", "city"]))
+        assert (0, 1) in before
+        people._rows[1] = ("Completely Different", "Elsewhere")
+        after = set(strategy.pairs(people, ["name", "city"]))
+        assert (0, 1) not in after  # row 1 no longer shares a token with row 0
+
+    def test_hash_colliding_content_is_not_conflated(self):
+        # hash(True) == hash(1) but str(True) != str(1): the cache must key
+        # on content equality, not just a content hash, or one relation's
+        # index could be served for the other.
+        strategy = TokenBlocking(min_token_length=1)
+        bools = Relation.from_dicts(
+            [{"flag": True, "name": "anna"}, {"flag": True, "name": "anna b"}],
+            name="bools",
+        )
+        ints = Relation.from_dicts(
+            [{"flag": 1, "name": "anna"}, {"flag": 1, "name": "anna b"}],
+            name="ints",
+        )
+        bool_index = strategy.indexed_blocks(bools, ["flag", "name"])
+        int_index = strategy.indexed_blocks(ints, ["flag", "name"])
+        assert "true" in bool_index and "true" not in int_index
+        assert "1" in int_index and "1" not in bool_index
 
     def test_index_cache_is_bounded(self, people):
         strategy = TokenBlocking()
         relations = [
-            Relation.from_dicts([dict(row.items()) for row in people], name=f"r{i}")
+            Relation.from_dicts(
+                [dict(row.items()) for row in people]
+                + [{"name": f"extra person {i}", "city": f"city{i}"}],
+                name=f"r{i}",
+            )
             for i in range(strategy._index_cache_size + 3)
         ]
         for relation in relations:

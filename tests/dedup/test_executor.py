@@ -181,6 +181,62 @@ class TestMultiprocessParity:
         self.parity_check(relation, blocking, workers=2, chunk_size=7)
 
 
+class TestAdaptiveExecutorParity:
+    """Adaptive blocking composes with the multiprocess executor (ISSUE 3).
+
+    On the parity fixture the planner falls back to all-pairs (the input is
+    far below ``small_threshold``), so adaptive + multiprocess must be
+    bit-identical to a serial all-pairs run — same ``PairScore`` list, same
+    clusters, same filter counters; only the plan report is extra.
+    """
+
+    def test_adaptive_multiprocess_matches_serial_allpairs(self, small_students_dataset):
+        from repro.dedup.blocking import AdaptiveBlocking
+
+        relation = combined_relation(small_students_dataset)
+        serial = DuplicateDetector(
+            blocking="allpairs", executor=SerialExecutor()
+        ).detect(relation)
+        adaptive = DuplicateDetector(
+            blocking="adaptive",
+            executor=MultiprocessExecutor(workers=2, min_parallel_pairs=0),
+        ).detect(relation)
+        assert score_key(adaptive.scores) == score_key(serial.scores)
+        assert adaptive.cluster_assignment == serial.cluster_assignment
+        serial_stats = serial.filter_statistics.as_dict()
+        adaptive_stats = adaptive.filter_statistics.as_dict()
+        plan = adaptive_stats.pop("blocking_plan")
+        serial_stats.pop("blocking_plan")
+        assert plan["strategy"] == "allpairs"
+        assert adaptive_stats == serial_stats
+        # sanity: the planner really did fall back because of input size
+        assert isinstance(
+            DuplicateDetector(blocking="adaptive").blocking, AdaptiveBlocking
+        )
+
+    def test_escalated_plan_is_executor_invariant(self, small_students_dataset):
+        # Force the escalated (non-allpairs) path with small_threshold=0 and
+        # check serial vs. multiprocess runs of the *same* plan agree exactly,
+        # plan report included.
+        from repro.dedup.blocking import AdaptiveBlocking
+
+        relation = combined_relation(small_students_dataset)
+        serial = DuplicateDetector(
+            blocking=AdaptiveBlocking(small_threshold=0),
+            executor=SerialExecutor(),
+        ).detect(relation)
+        parallel = DuplicateDetector(
+            blocking=AdaptiveBlocking(small_threshold=0),
+            executor=MultiprocessExecutor(workers=2, min_parallel_pairs=0),
+        ).detect(relation)
+        assert serial.filter_statistics.blocking_plan["strategy"] != "allpairs"
+        assert score_key(parallel.scores) == score_key(serial.scores)
+        assert parallel.cluster_assignment == serial.cluster_assignment
+        assert (
+            parallel.filter_statistics.as_dict() == serial.filter_statistics.as_dict()
+        )
+
+
 class TestEvidenceAndThreading:
     def test_keep_evidence_survives_the_pool(self, small_students_dataset):
         relation = combined_relation(small_students_dataset)

@@ -186,3 +186,28 @@ class TestRelationStatsAndDisplay:
     def test_to_text_limit(self, people_relation):
         text = people_relation.to_text(limit=2)
         assert "more rows" in text
+
+
+class TestContentKey:
+    def test_equal_content_clones_share_a_key(self, people_relation):
+        clone = Relation(
+            people_relation.schema, people_relation.rows, name="other_name"
+        )
+        assert clone.content_key() == people_relation.content_key()
+        assert clone.content_hash() == people_relation.content_hash()
+
+    def test_key_reflects_in_place_mutation(self, people_relation):
+        before = people_relation.content_key()
+        people_relation._rows[0] = ("Changed", 1, "Nowhere", 0.0)
+        assert people_relation.content_key() != before
+
+    def test_cross_type_equal_cells_get_distinct_keys(self):
+        # True == 1 in Python, but the two tokenise differently — the key
+        # must not conflate them.
+        bools = Relation(Schema(["flag"]), [(True,)])
+        ints = Relation(Schema(["flag"]), [(1,)])
+        assert bools.content_key() != ints.content_key()
+
+    def test_unhashable_cells_fall_back_to_repr(self):
+        relation = Relation(Schema(["data"]), [(["a", "list"],)])
+        assert isinstance(relation.content_hash(), int)

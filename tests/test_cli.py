@@ -82,6 +82,47 @@ class TestFuseCommand:
         assert "output_tuples" in output
 
 
+    def test_fuse_with_adaptive_blocking_prints_plan(self, csv_sources, capsys):
+        ee_path, cs_path = csv_sources
+        exit_code = main(
+            [
+                "fuse",
+                "--source", f"ee={ee_path}",
+                "--source", f"cs={cs_path}",
+                "--blocking", "adaptive",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "blocking_plan: allpairs" in output
+        assert "blocking plan: allpairs" in output
+        assert "small_threshold" in output  # the planner's reason trail
+
+    def test_fuse_with_union_blocking_spelling(self, csv_sources, capsys):
+        ee_path, cs_path = csv_sources
+        exit_code = main(
+            [
+                "fuse",
+                "--source", f"ee={ee_path}",
+                "--source", f"cs={cs_path}",
+                "--blocking", "union:snm+token",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "blocking plan: union over snm+token" in output
+
+    def test_unknown_blocking_is_reported_not_raised(self, csv_sources, capsys):
+        ee_path, cs_path = csv_sources
+        exit_code = main(
+            ["fuse", "--source", f"ee={ee_path}", "--source", f"cs={cs_path}",
+             "--blocking", "sorted"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "unknown blocking strategy" in captured.err
+
+
 class TestDemoCommand:
     def test_students_demo_runs(self, capsys):
         exit_code = main(["demo", "students", "--entities", "15", "--limit", "5"])
@@ -89,3 +130,12 @@ class TestDemoCommand:
         assert exit_code == 0
         assert "correspondences found" in output
         assert "distinct objects" in output
+
+    def test_students_demo_with_adaptive_blocking(self, capsys):
+        exit_code = main(
+            ["demo", "students", "--entities", "12", "--limit", "3",
+             "--blocking", "adaptive"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "blocking plan: allpairs" in output
