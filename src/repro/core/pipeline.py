@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.baselines.name_matcher import NameBasedMatcher
 from repro.core.conflicts import ConflictReport, find_conflicts
@@ -42,15 +42,25 @@ from repro.matching.correspondences import CorrespondenceSet
 from repro.matching.dumas import DumasMatcher
 from repro.matching.multi import MultiMatcher, MultiMatchingResult
 from repro.matching.transform import transform_sources
+from repro.prepare import PreparedQueryView, PreparedSources, SourcePreparer
+from repro.prepare.preparer import token_strategy_for
 
 __all__ = ["PipelineTimings", "PipelineResult", "FusionPipeline"]
 
 
 @dataclass
 class PipelineTimings:
-    """Wall-clock seconds spent in each phase (experiment E4)."""
+    """Wall-clock seconds spent in each phase (experiment E4).
+
+    ``prepare`` is the artifact build/validate pass of a prepared run (zero
+    for unprepared pipelines).  On a warm run over unchanged sources it
+    collapses to digest validation, and the matching / candidate-generation
+    shares of the later phases shrink because they merge prepared artifacts
+    instead of recomputing.
+    """
 
     fetch: float = 0.0
+    prepare: float = 0.0
     matching: float = 0.0
     duplicate_detection: float = 0.0
     fusion: float = 0.0
@@ -58,12 +68,19 @@ class PipelineTimings:
     @property
     def total(self) -> float:
         """Total time across all phases."""
-        return self.fetch + self.matching + self.duplicate_detection + self.fusion
+        return (
+            self.fetch
+            + self.prepare
+            + self.matching
+            + self.duplicate_detection
+            + self.fusion
+        )
 
     def as_dict(self) -> Dict[str, float]:
         """Phase → seconds mapping (plus the total)."""
         return {
             "fetch": self.fetch,
+            "prepare": self.prepare,
             "matching": self.matching,
             "duplicate_detection": self.duplicate_detection,
             "fusion": self.fusion,
@@ -83,6 +100,10 @@ class PipelineResult:
     conflicts: ConflictReport
     fusion: FusionResult
     timings: PipelineTimings
+    #: Prepared-artifact report of this run (``None`` for unprepared runs):
+    #: the participating aliases plus how many artifacts were reused vs
+    #: rebuilt, per kind — see :meth:`PreparedSources.report`.
+    prepared: Optional[Dict[str, Any]] = None
 
     @property
     def relation(self) -> Relation:
@@ -114,6 +135,9 @@ class PipelineResult:
         plan = self.detection.filter_statistics.blocking_plan
         if plan is not None:
             summary["blocking_plan"] = plan.get("strategy")
+        if self.prepared is not None:
+            summary["artifacts_reused"] = self.prepared.get("reused", 0)
+            summary["artifacts_rebuilt"] = self.prepared.get("rebuilt", 0)
         return summary
 
 
@@ -134,6 +158,14 @@ class FusionPipeline:
         executor: pair-scoring executor for duplicate detection — an
             executor instance, a name (``"serial"``, ``"multiprocess"``) or
             ``None`` to use the detector's own executor.
+        prepare: per-source artifact preparation (see :mod:`repro.prepare`) —
+            ``True`` builds a :class:`SourcePreparer` against the catalog's
+            artifact store (token parameters mirrored from the effective
+            blocking strategy, seeding sample limit from the matcher), a
+            ready :class:`SourcePreparer` is used as-is, ``None``/``False``
+            disables preparation (every run recomputes, the pre-PR-4
+            behaviour).  Prepared runs add a ``prepare`` timing phase and a
+            reuse/rebuild artifact report to the result.
         adjust_matching / adjust_selection / adjust_duplicates: optional hooks
             invoked between steps with the intermediate result; they may
             mutate it (the library counterpart of the demo's GUI wizard).
@@ -148,6 +180,7 @@ class FusionPipeline:
         use_name_fallback: bool = True,
         blocking: BlockingSpec = None,
         executor: ExecutorSpec = None,
+        prepare: Union[bool, SourcePreparer, None] = None,
         adjust_matching: Optional[Callable[[MultiMatchingResult], None]] = None,
         adjust_selection: Optional[Callable[[AttributeSelection], None]] = None,
         adjust_duplicates: Optional[Callable[[DuplicateDetectionResult], None]] = None,
@@ -159,9 +192,23 @@ class FusionPipeline:
         self.use_name_fallback = use_name_fallback
         self.blocking = resolve_blocking(blocking) if blocking is not None else None
         self.executor = resolve_executor(executor) if executor is not None else None
+        if isinstance(prepare, SourcePreparer):
+            self.preparer: Optional[SourcePreparer] = prepare
+        elif prepare:
+            self.preparer = SourcePreparer(
+                catalog,
+                token_strategy=token_strategy_for(self._effective_blocking()),
+                seed_sample_limit=self.matcher.seeder.max_tuples_per_relation,
+            )
+        else:
+            self.preparer = None
         self.adjust_matching = adjust_matching
         self.adjust_selection = adjust_selection
         self.adjust_duplicates = adjust_duplicates
+
+    def _effective_blocking(self):
+        """The blocking strategy detection will actually use."""
+        return self.blocking if self.blocking is not None else self.detector.blocking
 
     # -- individual steps ---------------------------------------------------------
 
@@ -171,13 +218,32 @@ class FusionPipeline:
             raise HummerError("a fusion query needs at least one source alias")
         return self.catalog.fetch_many(aliases)
 
-    def step_schema_matching(self, sources: List[Relation]) -> Optional[MultiMatchingResult]:
-        """Step 2: instance-based schema matching over all sources."""
+    def step_prepare(self, aliases: Sequence[str]) -> Optional[PreparedSources]:
+        """Step 1b: build/validate the per-source artifacts (prepared runs only)."""
+        if self.preparer is None:
+            return None
+        return self.preparer.prepare(aliases)
+
+    def step_schema_matching(
+        self,
+        sources: List[Relation],
+        prepared: Optional[PreparedSources] = None,
+    ) -> Optional[MultiMatchingResult]:
+        """Step 2: instance-based schema matching over all sources.
+
+        With *prepared* artifacts, seed discovery reads each source's stored
+        TF-IDF statistics and only the cross-source IDF merge and pair
+        scoring run per query.
+        """
         if len(sources) < 2:
             return None
         fallback = NameBasedMatcher() if self.use_name_fallback else None
         multi = MultiMatcher(self.matcher, fallback=fallback)
-        result = multi.match(sources)
+        if prepared is not None:
+            with prepared.seeding(self.matcher.seeder):
+                result = multi.match(sources)
+        else:
+            result = multi.match(sources)
         if self.adjust_matching is not None:
             self.adjust_matching(result)
         return result
@@ -197,9 +263,19 @@ class FusionPipeline:
         return selection
 
     def step_duplicate_detection(
-        self, transformed: Relation, selection: AttributeSelection
+        self,
+        transformed: Relation,
+        selection: AttributeSelection,
+        prepared_view: Optional[PreparedQueryView] = None,
     ) -> DuplicateDetectionResult:
-        """Steps 3+4: detect duplicates, then let the caller confirm unsure pairs."""
+        """Steps 3+4: detect duplicates, then let the caller confirm unsure pairs.
+
+        With a *prepared_view*, token indexes and planner profiles are merged
+        from the per-source artifacts instead of being rebuilt from cell
+        values (providers are installed on the blocking strategy only for
+        the duration of this step).
+        """
+        blocking = self._effective_blocking()
         detector = DuplicateDetector(
             threshold=self.detector.threshold,
             uncertainty_band=self.detector.uncertainty_band,
@@ -208,10 +284,14 @@ class FusionPipeline:
             selection=selection,
             accept_unsure=self.detector.accept_unsure,
             keep_evidence=self.detector.keep_evidence,
-            blocking=self.blocking if self.blocking is not None else self.detector.blocking,
+            blocking=blocking,
             executor=self.executor if self.executor is not None else self.detector.executor,
         )
-        result = detector.detect(transformed)
+        if prepared_view is not None:
+            with prepared_view.blocking(detector.blocking):
+                result = detector.detect(transformed)
+        else:
+            result = detector.detect(transformed)
         if self.adjust_duplicates is not None:
             self.adjust_duplicates(result)
             result = detector.redetect_with_decisions(transformed, result)
@@ -253,13 +333,27 @@ class FusionPipeline:
         timings.fetch = time.perf_counter() - started
 
         started = time.perf_counter()
-        matching = self.step_schema_matching(sources)
+        prepared = self.step_prepare(aliases)
+        timings.prepare = (time.perf_counter() - started) if prepared is not None else 0.0
+
+        started = time.perf_counter()
+        matching = self.step_schema_matching(sources, prepared)
         transformed = self.step_transform(sources, matching)
         timings.matching = time.perf_counter() - started
 
+        prepared_view = None
+        if prepared is not None:
+            prepared_view = prepared.view(
+                transformed,
+                correspondences=matching.correspondences if matching else None,
+                preferred=matching.preferred if matching else None,
+            )
+
         started = time.perf_counter()
         selection = self.step_attribute_selection(transformed)
-        detection = self.step_duplicate_detection(transformed, selection)
+        detection = self.step_duplicate_detection(
+            transformed, selection, prepared_view=prepared_view
+        )
         timings.duplicate_detection = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -276,4 +370,5 @@ class FusionPipeline:
             conflicts=conflicts,
             fusion=fusion,
             timings=timings,
+            prepared=prepared.report() if prepared is not None else None,
         )

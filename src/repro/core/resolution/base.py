@@ -15,8 +15,7 @@ HumMer extensible ("new functions can be added").
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.engine.relation import Row
 from repro.engine.types import is_null
@@ -31,10 +30,16 @@ __all__ = [
 ]
 
 
-@dataclass
 class ResolutionContext:
     """Everything a resolution function may consult while resolving one column
     of one object cluster.
+
+    ``rows`` and ``sources`` may be passed as plain lists or as zero-argument
+    callables; a callable is invoked (once, then cached) on first access.
+    Most functions — Coalesce above all, the Fuse By default — only ever read
+    ``values``, so the fusion operator hands in factories and the wrapper
+    :class:`~repro.engine.relation.Row` objects (and per-source strings) are
+    simply never built for them.
 
     Attributes:
         column: name of the column being resolved.
@@ -47,13 +52,51 @@ class ResolutionContext:
         metadata: free-form extras (e.g. the attribute used for recency).
     """
 
-    column: str
-    values: List[Any]
-    rows: List[Row] = field(default_factory=list)
-    sources: List[Optional[str]] = field(default_factory=list)
-    object_id: Any = None
-    table_name: str = ""
-    metadata: Dict[str, Any] = field(default_factory=dict)
+    def __init__(
+        self,
+        column: str,
+        values: List[Any],
+        rows: Union[List[Row], Callable[[], List[Row]], None] = None,
+        sources: Union[List[Optional[str]], Callable[[], List[Optional[str]]], None] = None,
+        object_id: Any = None,
+        table_name: str = "",
+        metadata: Optional[Dict[str, Any]] = None,
+    ):
+        self.column = column
+        self.values = values
+        self._rows = rows if rows is not None else []
+        self._sources = sources if sources is not None else []
+        self.object_id = object_id
+        self.table_name = table_name
+        self.metadata = metadata if metadata is not None else {}
+
+    @property
+    def rows(self) -> List[Row]:
+        """The full tuples of the cluster (materialised on first access)."""
+        if callable(self._rows):
+            self._rows = self._rows()
+        return self._rows
+
+    @rows.setter
+    def rows(self, rows: Union[List[Row], Callable[[], List[Row]]]) -> None:
+        self._rows = rows
+
+    @property
+    def sources(self) -> List[Optional[str]]:
+        """Per-tuple source names (materialised on first access)."""
+        if callable(self._sources):
+            self._sources = self._sources()
+        return self._sources
+
+    @sources.setter
+    def sources(self, sources) -> None:
+        self._sources = sources
+
+    def __repr__(self) -> str:
+        return (
+            f"ResolutionContext(column={self.column!r}, values={self.values!r}, "
+            f"object_id={self.object_id!r})"
+        )
 
     @property
     def non_null_values(self) -> List[Any]:

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dedup.blocking.allpairs import AllPairsBlocking
 from repro.dedup.blocking.base import BlockingStrategy, attribute_positions
@@ -348,9 +348,21 @@ class AdaptiveBlocking(BlockingStrategy):
         self.max_profile_attributes = max_profile_attributes
         self.snm_options = dict(snm_options or {})
         self.token_options = dict(token_options or {})
-        # shared token strategy: its inverted-index cache is reused between
-        # profiling and (under the union escalation) candidate proposal
+        # shared token strategy, used for profiling and (under the union
+        # escalation) candidate proposal; the prepared-source layer installs
+        # its merged-index provider on it alongside the profile provider
         self._token = TokenBlocking(**self.token_options)
+        #: Optional hook consulted before profiling: given the relation, the
+        #: blocking attributes, the token strategy and the attribute cap,
+        #: return a ready :class:`RelationProfile` or ``None`` (→ profile
+        #: cold).  The prepared-source layer installs one that merges
+        #: per-source profile artifacts at query time.
+        self.profile_provider: Optional[
+            Callable[
+                [Relation, Sequence[str], TokenBlocking, int],
+                Optional[RelationProfile],
+            ]
+        ] = None
         #: the most recently computed plan, for tests and interactive callers
         self.last_plan: Optional[BlockingPlan] = None
         # (relation content key, attribute tuple) → plan; bounded LRU, same
@@ -384,12 +396,18 @@ class AdaptiveBlocking(BlockingStrategy):
         return plan
 
     def _build_plan(self, relation: Relation, attributes: Sequence[str]) -> BlockingPlan:
-        profile = profile_relation(
-            relation,
-            attributes,
-            token_strategy=self._token,
-            max_attributes=self.max_profile_attributes,
-        )
+        profile: Optional[RelationProfile] = None
+        if self.profile_provider is not None:
+            profile = self.profile_provider(
+                relation, attributes, self._token, self.max_profile_attributes
+            )
+        if profile is None:
+            profile = profile_relation(
+                relation,
+                attributes,
+                token_strategy=self._token,
+                max_attributes=self.max_profile_attributes,
+            )
         reasons: List[str] = []
         if profile.tuple_count <= self.small_threshold:
             reasons.append(

@@ -14,8 +14,7 @@ measure itself uses.
 from __future__ import annotations
 
 import math
-from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.dedup.blocking.base import BlockingStrategy
 from repro.engine.relation import Relation
@@ -64,14 +63,16 @@ class TokenBlocking(BlockingStrategy):
         self.max_block_size = max_block_size
         self.max_block_fraction = max_block_fraction
         self.min_token_length = min_token_length
-        # (relation content key, attribute tuple) → index.  Content keying
-        # (rather than id()) means an equal clone of a cached relation hits,
-        # a mutated-then-reused relation misses, and — because the key is the
-        # content itself, not a hash — a collision can never serve another
-        # relation's index.  Bounded LRU so a long-lived strategy on a slowly
-        # changing catalog cannot leak.
-        self._index_cache: "OrderedDict[Tuple, Dict[str, List[int]]]" = OrderedDict()
-        self._index_cache_size = 4
+        #: Optional hook consulted before tokenising: given the relation and
+        #: the attributes, return a ready inverted index or ``None`` (→ build
+        #: cold).  The prepared-source layer (:mod:`repro.prepare`) installs
+        #: one that unions per-source postings at query time — this replaces
+        #: the private per-strategy LRU earlier revisions kept, moving index
+        #: reuse to where invalidation is actually known: the catalog's
+        #: artifact store.
+        self.index_provider: Optional[
+            Callable[[Relation, Sequence[str]], Optional[Dict[str, List[int]]]]
+        ] = None
 
     def effective_cap(self, row_count: int) -> int:
         """The block-size cap for a relation of *row_count* tuples."""
@@ -117,28 +118,23 @@ class TokenBlocking(BlockingStrategy):
     def indexed_blocks(
         self, relation: Relation, attributes: Sequence[str]
     ) -> Dict[str, List[int]]:
-        """The inverted index for *relation*, memoised per (content, attributes).
+        """The inverted index for *relation* — prepared when available.
 
-        Relations are logically immutable, so the index of one relation never
-        changes; a detector run (and HumMer's repeated fusion over registered
-        sources) can therefore reuse it instead of re-tokenising every value
-        on each ``detect()`` call.  The key is the relation's *content key*
-        (:meth:`Relation.content_key`), so equal-content clones share an
-        entry and a relation whose row storage was mutated in place is never
-        served stale candidates.  This is the in-memory stepping stone to the
-        ROADMAP's persistent per-source block indexes.
+        When an :attr:`index_provider` is installed (the prepared-source
+        layer does this for the duration of a pipeline's detection step), it
+        is consulted first; a served index is the union of per-source
+        postings built once per registered source, shifted to the combined
+        relation's row offsets — member-identical to what :meth:`build_index`
+        would tokenise from scratch.  Without a provider (standalone use)
+        the index is always built cold: reuse lives in the catalog's
+        artifact store, which knows when a source's data changed, not in a
+        per-strategy cache that has to guess.
         """
-        key = (relation.content_key(), tuple(attributes))
-        cached = self._index_cache.get(key)
-        if cached is not None:
-            self._index_cache.move_to_end(key)
-            return cached
-        index = self.build_index(relation, attributes)
-        self._index_cache[key] = index
-        self._index_cache.move_to_end(key)
-        while len(self._index_cache) > self._index_cache_size:
-            self._index_cache.popitem(last=False)
-        return index
+        if self.index_provider is not None:
+            prepared = self.index_provider(relation, attributes)
+            if prepared is not None:
+                return prepared
+        return self.build_index(relation, attributes)
 
     def pairs(self, relation: Relation, attributes: Sequence[str]) -> Iterator[Tuple[int, int]]:
         index = self.indexed_blocks(relation, attributes)

@@ -49,11 +49,27 @@ class Catalog:
 
     Loaded relations are cached; :meth:`invalidate` drops the cache for
     sources whose backing data changed.
+
+    The catalog also owns the :class:`~repro.prepare.store.ArtifactStore`
+    holding each source's prepared artifacts (token postings, seeding
+    statistics, planner profiles — see :mod:`repro.prepare`).  Artifacts
+    share the sources' lifecycle: they are invalidated whenever the source
+    is replaced, unregistered or its load cache is dropped, and are rebuilt
+    incrementally (only the changed sources) on the next prepare pass.
+
+    Args:
+        artifact_dir: optional directory for on-disk artifact persistence,
+            so a freshly started process can serve its first query warm.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, artifact_dir: Optional[str] = None) -> None:
+        # deferred import: repro.prepare consumes matching/dedup modules,
+        # several of which import this module for type use
+        from repro.prepare.store import ArtifactStore
+
         self._entries: Dict[str, SourceEntry] = {}
         self._cache: Dict[str, Relation] = {}
+        self.artifacts = ArtifactStore(artifact_dir)
 
     # -- registration -----------------------------------------------------------
 
@@ -70,9 +86,17 @@ class Catalog:
         *source* may be a :class:`DataSource`, an already-built
         :class:`Relation`, or an iterable of dictionaries (convenience for
         tests and examples).
+
+        Re-registering with ``replace=True`` keeps the alias's original
+        position in :meth:`aliases` (dict insertion order preserves the old
+        slot): a replaced source is the *same* logical source with new data,
+        so queries that enumerate the catalog see a stable order.  The alias
+        spelling is updated to the new call's casing, and the load cache and
+        all prepared artifacts of the alias are invalidated.
         """
         key = alias.lower()
-        if key in self._entries and not replace:
+        replacing = key in self._entries
+        if replacing and not replace:
             raise CatalogError(f"alias {alias!r} is already registered")
         if isinstance(source, Relation):
             source = InlineSource(source)
@@ -81,6 +105,11 @@ class Catalog:
         entry = SourceEntry(alias, source, list(transformations or ()), description)
         self._entries[key] = entry
         self._cache.pop(key, None)
+        if replacing:
+            # only replacement signals "data changed" — a first registration
+            # (e.g. a fresh process bootstrapping the same catalog) keeps any
+            # persisted artifacts, which digest validation vets on lookup
+            self.artifacts.invalidate(key)
         return entry
 
     def unregister(self, alias: str) -> None:
@@ -90,11 +119,17 @@ class Catalog:
             raise CatalogError(f"alias {alias!r} is not registered")
         del self._entries[key]
         self._cache.pop(key, None)
+        self.artifacts.invalidate(key)
 
     # -- lookup -------------------------------------------------------------------
 
     def aliases(self) -> List[str]:
-        """All registered aliases, in registration order."""
+        """All registered aliases, in first-registration order.
+
+        The order is stable under ``register(replace=True)``: replacing a
+        source updates its entry in place (including the alias spelling) but
+        never moves it to the end — see :meth:`register`.
+        """
         return [entry.alias for entry in self._entries.values()]
 
     def has(self, alias: str) -> bool:
@@ -122,11 +157,19 @@ class Catalog:
         return [self.fetch(alias) for alias in aliases]
 
     def invalidate(self, alias: Optional[str] = None) -> None:
-        """Drop the load cache for one alias (or all of them)."""
+        """Drop the load cache and prepared artifacts for one alias (or all).
+
+        Call this when a source's backing data changed; the next
+        :meth:`fetch` reloads, and the next prepare pass rebuilds only the
+        invalidated artifacts (a reload that yields identical content would
+        still rebuild — invalidation is an explicit "data changed" signal).
+        """
         if alias is None:
             self._cache.clear()
+            self.artifacts.invalidate()
         else:
             self._cache.pop(alias.lower(), None)
+            self.artifacts.invalidate(alias)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -415,6 +415,28 @@ class Relation:
         """Order-sensitive hash of :meth:`content_key`."""
         return hash(self.content_key())
 
+    def content_digest(self) -> str:
+        """Stable hex digest of the relation's content.
+
+        Unlike :meth:`content_hash` (Python's salted ``hash``, which differs
+        between processes), this digest is reproducible across runs, so it can
+        key *persisted* derived structures — the prepared-source artifacts a
+        catalog stores on disk and validates against the current data on every
+        query.  Cells are folded as ``(type name, repr)``, matching the
+        cross-type separation of :meth:`content_key`.
+        """
+        import hashlib
+
+        hasher = hashlib.sha256()
+        hasher.update(repr(self._schema.names).encode("utf-8"))
+        for row in self._rows:
+            hasher.update(
+                repr(tuple((type(value).__name__, repr(value)) for value in row)).encode(
+                    "utf-8"
+                )
+            )
+        return hasher.hexdigest()
+
     # -- statistics ---------------------------------------------------------------
 
     def null_count(self, name: str) -> int:

@@ -60,12 +60,18 @@ class QueryExecutor:
         registry: Optional[ResolutionRegistry] = None,
         matcher: Optional[DumasMatcher] = None,
         detector: Optional[DuplicateDetector] = None,
+        preparer_factory=None,
     ):
         self.catalog = catalog
         self.registry = registry or default_registry()
         self.matcher = matcher or DumasMatcher()
         self.detector = detector or DuplicateDetector()
         self.planner = Planner(self.registry)
+        #: Zero-argument callable returning the current
+        #: :class:`~repro.prepare.SourcePreparer` (or ``None``) — a callable
+        #: rather than an instance so HumMer's preparation mode, which can be
+        #: switched on after construction, is observed per query.
+        self.preparer_factory = preparer_factory
 
     # -- public API ----------------------------------------------------------------
 
@@ -151,18 +157,32 @@ class QueryExecutor:
             matcher=self.matcher,
             detector=self.detector,
             registry=self.registry,
+            prepare=self.preparer_factory() if self.preparer_factory is not None else None,
         )
         sources = pipeline.step_choose_sources(plan.aliases)
-        matching = pipeline.step_schema_matching(sources)
+        prepared = pipeline.step_prepare(plan.aliases)
+        matching = pipeline.step_schema_matching(sources, prepared)
         combined = pipeline.step_transform(sources, matching)
 
         if query.where is not None:
             combined = Select(RelationSource(combined), query.where).execute()
 
+        # A WHERE filter changes the combined rows, in which case view()
+        # declines (row counts no longer line up) and detection runs cold.
+        prepared_view = None
+        if prepared is not None:
+            prepared_view = prepared.view(
+                combined,
+                correspondences=matching.correspondences if matching else None,
+                preferred=matching.preferred if matching else None,
+            )
+
         spec = plan.fusion_spec or FusionSpec()
         if plan.needs_duplicate_detection:
             selection = pipeline.step_attribute_selection(combined)
-            detection = pipeline.step_duplicate_detection(combined, selection)
+            detection = pipeline.step_duplicate_detection(
+                combined, selection, prepared_view=prepared_view
+            )
             fusable = detection.relation
             spec = FusionSpec(
                 key_columns=[OBJECT_ID_COLUMN],

@@ -35,6 +35,7 @@ from repro.dedup.executor import ExecutorSpec
 from repro.engine.catalog import Catalog
 from repro.engine.io.base import DataSource
 from repro.engine.relation import Relation
+from repro.prepare.preparer import SourcePreparer, token_strategy_for
 from repro.fuseby.executor import QueryExecutor
 from repro.matching.dumas import DumasMatcher
 
@@ -60,6 +61,17 @@ class HumMer:
             ``None`` for the in-process serial baseline.  Mutually exclusive
             with an explicit *detector* (configure
             ``DuplicateDetector(executor=...)`` instead).
+        prepare: default per-source preparation mode (see
+            :mod:`repro.prepare`): ``None`` disables artifacts, ``"lazy"``
+            builds them on the first fusion query that needs them,
+            ``"eager"`` builds them at registration time.  Individual
+            ``register(..., prepare=...)`` calls may override the mode per
+            source; calling :meth:`prepare` explicitly also switches an
+            unprepared instance to ``"lazy"`` so the built artifacts are
+            used.
+        artifact_dir: optional directory for on-disk artifact persistence —
+            a restarted process with the same directory serves its first
+            query warm.
     """
 
     def __init__(
@@ -70,6 +82,8 @@ class HumMer:
         registry: Optional[ResolutionRegistry] = None,
         blocking: BlockingSpec = None,
         executor: ExecutorSpec = None,
+        prepare: Optional[str] = None,
+        artifact_dir: Optional[str] = None,
     ):
         if detector is not None and blocking is not None:
             raise ValueError(
@@ -81,14 +95,23 @@ class HumMer:
                 "pass the executor via DuplicateDetector(executor=...) when an "
                 "explicit detector is given"
             )
-        self.catalog = Catalog()
+        if prepare not in (None, "lazy", "eager"):
+            raise ValueError('prepare must be None, "lazy" or "eager"')
+        self.catalog = Catalog(artifact_dir=artifact_dir)
         self.registry = registry or default_registry()
         self.matcher = matcher or DumasMatcher()
         self.detector = detector or DuplicateDetector(
             threshold=duplicate_threshold, blocking=blocking, executor=executor
         )
+        self._prepare_mode = prepare
         self._executor = QueryExecutor(
-            self.catalog, registry=self.registry, matcher=self.matcher, detector=self.detector
+            self.catalog,
+            registry=self.registry,
+            matcher=self.matcher,
+            detector=self.detector,
+            preparer_factory=lambda: (
+                self._preparer() if self._prepare_mode is not None else None
+            ),
         )
 
     # -- source management ---------------------------------------------------------
@@ -99,13 +122,50 @@ class HumMer:
         source: Union[DataSource, Relation, Iterable[dict]],
         description: str = "",
         replace: bool = False,
+        prepare: Optional[str] = None,
     ) -> None:
-        """Register a data source (relation, DataSource or iterable of dicts) under *alias*."""
+        """Register a data source (relation, DataSource or iterable of dicts) under *alias*.
+
+        *prepare* overrides the instance's preparation mode for this source:
+        ``"eager"`` builds the per-source artifacts immediately, ``"lazy"``
+        defers them to the first fusion query.  Passing either also enables
+        artifact use for subsequent queries when the instance was created
+        without a mode.  Replacing a source invalidates its artifacts; with
+        an eager mode they are rebuilt on the spot.
+        """
+        if prepare not in (None, "lazy", "eager"):
+            raise ValueError('prepare must be None, "lazy" or "eager"')
         self.catalog.register(alias, source, description=description, replace=replace)
+        mode = prepare or self._prepare_mode
+        if prepare is not None and self._prepare_mode is None:
+            self._prepare_mode = prepare
+        if mode == "eager":
+            self.prepare([alias])
 
     def unregister(self, alias: str) -> None:
-        """Remove a registered source."""
+        """Remove a registered source (and its prepared artifacts)."""
         self.catalog.unregister(alias)
+
+    def prepare(self, aliases: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+        """Build (or validate) per-source artifacts now; returns the report.
+
+        With no *aliases*, every registered source is prepared.  An instance
+        created without a preparation mode switches to ``"lazy"`` so the
+        artifacts built here are actually merged by subsequent queries.
+        """
+        if self._prepare_mode is None:
+            self._prepare_mode = "lazy"
+        prepared = self._preparer().prepare(
+            list(aliases) if aliases is not None else self.catalog.aliases()
+        )
+        return prepared.report()
+
+    def _preparer(self) -> SourcePreparer:
+        return SourcePreparer(
+            self.catalog,
+            token_strategy=token_strategy_for(self.detector.blocking),
+            seed_sample_limit=self.matcher.seeder.max_tuples_per_relation,
+        )
 
     def sources(self) -> List[str]:
         """Aliases of all registered sources."""
@@ -165,6 +225,7 @@ class HumMer:
             "matcher": self.matcher,
             "detector": self.detector,
             "registry": self.registry,
+            "prepare": self._preparer() if self._prepare_mode is not None else None,
         }
         options.update(overrides)
         return FusionPipeline(self.catalog, **options)

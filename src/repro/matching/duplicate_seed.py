@@ -9,19 +9,44 @@ fact duplicates." (paper §2.2)
 The goal is *not* to find all duplicates — only enough high-precision seeds
 for schema matching; exhaustive duplicate detection happens later in
 :mod:`repro.dedup`.
+
+Seeding is split into two halves so the prepared-source artifact layer
+(:mod:`repro.prepare`) can cache the expensive half per registered source:
+
+* :func:`compute_seed_statistics` tokenises the (sampled) tuples of **one**
+  relation into per-document term counts plus document frequencies — this is
+  the only part that touches cell values, and it depends on nothing but the
+  relation itself;
+* :meth:`DuplicateSeeder.find_seeds` combines the statistics of the two
+  relations into a **cross-source** TF-IDF model (document frequencies add,
+  the corpus size is the sum) and scores candidate pairs — cheap, and
+  necessarily per query because IDF is a property of the pair of sources.
+
+Both halves together reproduce the original single-pass computation bit for
+bit: fitting one vectorizer on ``left_strings + right_strings`` is exactly
+merging the two sides' document frequencies.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.relation import Relation
 from repro.engine.types import is_null
 from repro.similarity.tfidf import TfIdfVectorizer, cosine_similarity
+from repro.similarity.tokenize import tokenize
 
-__all__ = ["SeedPair", "DuplicateSeeder", "tuple_to_string"]
+__all__ = [
+    "SeedPair",
+    "SeedStatistics",
+    "DuplicateSeeder",
+    "tuple_to_string",
+    "compute_seed_statistics",
+    "sample_indices",
+]
 
 
 def tuple_to_string(values: Sequence, exclude_positions: Sequence[int] = ()) -> str:
@@ -47,6 +72,81 @@ class SeedPair:
         return self.similarity < other.similarity
 
 
+@dataclass
+class SeedStatistics:
+    """Whole-tuple TF-IDF statistics of one relation, sufficient for seeding.
+
+    This is the per-source artifact the prepared-source layer stores: given
+    the statistics of two relations, :meth:`DuplicateSeeder.find_seeds`
+    reconstructs the exact cross-source TF-IDF model the original
+    fit-on-both-corpora computation produced, without re-reading a single
+    cell value.
+
+    Attributes:
+        row_count: tuples in the relation the statistics describe.
+        sample_limit: the ``max_tuples_per_relation`` the sample was drawn
+            with (``None`` = no sampling) — statistics are only valid for a
+            seeder using the same limit.
+        indices: the sampled row indices (all rows when under the limit).
+        documents: per sampled row, term → raw count in first-occurrence
+            order (the order :func:`tokenize` produced, which downstream
+            float summation depends on).
+        document_frequency: term → number of sampled rows containing it.
+    """
+
+    row_count: int
+    sample_limit: Optional[int]
+    indices: List[int] = field(default_factory=list)
+    documents: List[Dict[str, int]] = field(default_factory=list)
+    document_frequency: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def document_count(self) -> int:
+        return len(self.documents)
+
+
+def sample_indices(size: int, limit: Optional[int]) -> List[int]:
+    """Every n-th row index so at most *limit* rows are kept (all when under)."""
+    if limit is None or size <= limit:
+        return list(range(size))
+    step = max(1, size // limit)
+    return list(range(0, size, step))[:limit]
+
+
+def compute_seed_statistics(
+    relation: Relation, sample_limit: Optional[int]
+) -> SeedStatistics:
+    """Tokenise the (sampled) tuples of *relation* into seeding statistics.
+
+    This is the expensive, per-source half of seed discovery; the result
+    depends only on the relation content and *sample_limit*, so it can be
+    built once per registered source and reused across queries.
+    """
+    indices = sample_indices(len(relation), sample_limit)
+    rows = relation.rows
+    documents: List[Dict[str, int]] = []
+    document_frequency: Dict[str, int] = {}
+    for index in indices:
+        counts: Dict[str, int] = {}
+        for token in tokenize(tuple_to_string(rows[index])):
+            counts[token] = counts.get(token, 0) + 1
+        documents.append(counts)
+        for term in counts:
+            document_frequency[term] = document_frequency.get(term, 0) + 1
+    return SeedStatistics(
+        row_count=len(relation),
+        sample_limit=sample_limit,
+        indices=indices,
+        documents=documents,
+        document_frequency=document_frequency,
+    )
+
+
+#: Resolver the prepared-source layer installs: given a relation and the
+#: seeder's sample limit, return prebuilt statistics or ``None`` (→ compute).
+SeedStatisticsProvider = Callable[[Relation, Optional[int]], Optional[SeedStatistics]]
+
+
 class DuplicateSeeder:
     """Finds the top-k most similar cross-table tuple pairs by whole-tuple TF-IDF.
 
@@ -57,6 +157,11 @@ class DuplicateSeeder:
         max_tuples_per_relation: optional cap; larger relations are sampled by
             taking every n-th tuple, keeping the seeding cost bounded
             (the efficiency point the DUMAS paper makes).
+
+    Returned seeds are ordered by the documented, stable sort
+    ``(similarity desc, left_index asc, right_index asc)``; ties at the
+    ``max_seeds`` boundary are broken the same way, so equal-similarity seeds
+    can never reorder (or swap in and out of the top-k) between runs.
     """
 
     def __init__(
@@ -70,18 +175,40 @@ class DuplicateSeeder:
         self.max_seeds = max_seeds
         self.min_similarity = min_similarity
         self.max_tuples_per_relation = max_tuples_per_relation
+        #: Optional hook consulted before tokenising a relation; the
+        #: prepared-source layer installs one that serves per-source
+        #: statistics built at registration time.
+        self.statistics_provider: Optional[SeedStatisticsProvider] = None
+
+    def statistics_for(self, relation: Relation) -> SeedStatistics:
+        """Seeding statistics for *relation* — prebuilt when available."""
+        if self.statistics_provider is not None:
+            prepared = self.statistics_provider(relation, self.max_tuples_per_relation)
+            if (
+                prepared is not None
+                and prepared.row_count == len(relation)
+                and prepared.sample_limit == self.max_tuples_per_relation
+            ):
+                return prepared
+        return compute_seed_statistics(relation, self.max_tuples_per_relation)
 
     def find_seeds(self, left: Relation, right: Relation) -> List[SeedPair]:
         """Return the top seed pairs between *left* and *right*, best first."""
-        left_indices = self._sample_indices(len(left))
-        right_indices = self._sample_indices(len(right))
-        left_strings = [tuple_to_string(left.rows[i]) for i in left_indices]
-        right_strings = [tuple_to_string(right.rows[i]) for i in right_indices]
+        left_stats = self.statistics_for(left)
+        right_stats = self.statistics_for(right)
 
-        vectorizer = TfIdfVectorizer()
-        vectorizer.fit(left_strings + right_strings)
-        left_vectors = [vectorizer.transform(text) for text in left_strings]
-        right_vectors = [vectorizer.transform(text) for text in right_strings]
+        # Cross-source IDF: fitting one vectorizer on both corpora is exactly
+        # adding the two document-frequency tables over the summed corpus size.
+        document_count = left_stats.document_count + right_stats.document_count
+        document_frequency: Dict[str, int] = dict(left_stats.document_frequency)
+        for term, frequency in right_stats.document_frequency.items():
+            document_frequency[term] = document_frequency.get(term, 0) + frequency
+        idf = {
+            term: TfIdfVectorizer.idf_weight(frequency, document_count)
+            for term, frequency in document_frequency.items()
+        }
+        left_vectors = [_vectorize(counts, idf) for counts in left_stats.documents]
+        right_vectors = [_vectorize(counts, idf) for counts in right_stats.documents]
 
         # Invert the right-hand vectors so only pairs sharing at least one
         # term are scored (sparse dot products), instead of all |L| x |R|.
@@ -90,6 +217,10 @@ class DuplicateSeeder:
             for term in vector:
                 postings.setdefault(term, set()).add(position)
 
+        # Min-heap of the current top-k under the key (similarity asc,
+        # left desc, right desc): the root is the *worst* entry — lowest
+        # similarity, and among equals the largest positions — so smaller
+        # indices win ties at the boundary, deterministically.
         heap: List[Tuple[float, int, int]] = []
         for left_position, left_vector in enumerate(left_vectors):
             candidates = set()
@@ -99,7 +230,7 @@ class DuplicateSeeder:
                 similarity = cosine_similarity(left_vector, right_vectors[right_position])
                 if similarity < self.min_similarity:
                     continue
-                entry = (similarity, left_position, right_position)
+                entry = (similarity, -left_position, -right_position)
                 if len(heap) < self.max_seeds:
                     heapq.heappush(heap, entry)
                 elif entry > heap[0]:
@@ -107,18 +238,33 @@ class DuplicateSeeder:
 
         pairs = [
             SeedPair(
-                left_index=left_indices[left_position],
-                right_index=right_indices[right_position],
+                left_index=left_stats.indices[-negated_left],
+                right_index=right_stats.indices[-negated_right],
                 similarity=similarity,
             )
-            for similarity, left_position, right_position in heap
+            for similarity, negated_left, negated_right in heap
         ]
-        pairs.sort(key=lambda pair: pair.similarity, reverse=True)
+        pairs.sort(key=lambda pair: (-pair.similarity, pair.left_index, pair.right_index))
         return pairs
 
     def _sample_indices(self, size: int) -> List[int]:
-        limit = self.max_tuples_per_relation
-        if limit is None or size <= limit:
-            return list(range(size))
-        step = max(1, size // limit)
-        return list(range(0, size, step))[:limit]
+        """Backwards-compatible alias of :func:`sample_indices`."""
+        return sample_indices(size, self.max_tuples_per_relation)
+
+
+def _vectorize(counts: Dict[str, int], idf: Dict[str, float]) -> Dict[str, float]:
+    """L2-normalised TF-IDF vector from raw term counts.
+
+    Mirrors :meth:`TfIdfVectorizer.transform` operation for operation
+    (including float summation order over the first-occurrence term order),
+    so prepared statistics score identically to the single-pass model.
+    """
+    if not counts:
+        return {}
+    vector = {
+        term: (1.0 + math.log(frequency)) * idf[term] for term, frequency in counts.items()
+    }
+    norm = math.sqrt(sum(weight * weight for weight in vector.values()))
+    if norm == 0.0:
+        return {}
+    return {term: weight / norm for term, weight in vector.items()}

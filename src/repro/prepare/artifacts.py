@@ -1,0 +1,155 @@
+"""The three per-source artifact kinds and their builders.
+
+An artifact captures the *per-source* half of a pipeline computation — the
+half that reads cell values and therefore dominates preparation-bound phase
+cost.  Each builder is a pure function of one relation plus the consumer's
+parameters; :mod:`repro.prepare.preparer` merges artifacts across sources at
+query time.
+
+Builders deliberately reuse the consumers' own primitives
+(:meth:`TokenBlocking.build_index`,
+:func:`~repro.matching.duplicate_seed.compute_seed_statistics`) instead of
+re-implementing tokenisation, so an artifact can never drift from what the
+cold code path would compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dedup.blocking.token import TokenBlocking
+from repro.engine.relation import Relation
+from repro.engine.types import is_null
+from repro.matching.duplicate_seed import SeedStatistics, compute_seed_statistics
+
+__all__ = [
+    "TOKEN_KIND",
+    "SEED_KIND",
+    "PROFILE_KIND",
+    "TokenPostingsArtifact",
+    "AttributeStatistics",
+    "SourceProfileArtifact",
+    "build_token_postings",
+    "build_seed_statistics",
+    "build_source_profile",
+    "token_params_key",
+    "seed_params_key",
+]
+
+#: Artifact kind names, used as store keys and counter labels.
+TOKEN_KIND = "token_index"
+SEED_KIND = "seed_statistics"
+PROFILE_KIND = "profile"
+
+
+def token_params_key(strategy: TokenBlocking) -> Tuple:
+    """The tokenisation knobs an index artifact depends on.
+
+    The block-size caps are applied at pair-enumeration time, not index
+    time, so they are deliberately *not* part of the key — one artifact
+    serves every cap setting.
+    """
+    return (strategy.qgram, strategy.min_token_length)
+
+
+def seed_params_key(sample_limit: Optional[int]) -> Tuple:
+    """The seeding knobs a statistics artifact depends on."""
+    return (sample_limit,)
+
+
+@dataclass
+class TokenPostingsArtifact:
+    """Per-attribute token inverted index of one relation.
+
+    ``postings[attribute]`` maps each token to the ascending row indices
+    whose value of *attribute* contains it — exactly what
+    :meth:`TokenBlocking.build_index` produces for that single attribute.
+    Keeping attributes separate (rather than the row-level union the
+    combined index needs) is what makes merging possible: at query time only
+    the attributes that survived schema matching and attribute selection are
+    unioned, per source, under the combined relation's row offsets.
+
+    Attributes:
+        row_count: tuples in the indexed relation.
+        params: the tokenisation knobs (see :func:`token_params_key`).
+        postings: lower-cased attribute name → token → ascending row indices.
+    """
+
+    row_count: int
+    params: Tuple
+    postings: Dict[str, Dict[str, List[int]]] = field(default_factory=dict)
+
+    def attribute_postings(self, attribute: str) -> Optional[Dict[str, List[int]]]:
+        """The token index of one attribute (``None`` when not indexed)."""
+        return self.postings.get(attribute.lower())
+
+
+@dataclass
+class AttributeStatistics:
+    """Value statistics of one attribute, mergeable across sources.
+
+    ``distinct`` stores the *string forms* of distinct non-null values —
+    the same ``str(value)`` folding the adaptive planner's profiling uses —
+    so merged distinct counts equal what profiling the combined relation
+    would count.
+    """
+
+    attribute: str
+    non_null: int
+    distinct: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class SourceProfileArtifact:
+    """Per-attribute value statistics of one relation for planner profiling.
+
+    Token-level profiling inputs (block coverage, token counts) come from
+    the :class:`TokenPostingsArtifact` instead of being duplicated here.
+    """
+
+    row_count: int
+    attributes: Dict[str, AttributeStatistics] = field(default_factory=dict)
+
+    def attribute_statistics(self, attribute: str) -> Optional[AttributeStatistics]:
+        return self.attributes.get(attribute.lower())
+
+
+def build_token_postings(
+    relation: Relation, strategy: TokenBlocking
+) -> TokenPostingsArtifact:
+    """Index every attribute of *relation* with *strategy*'s tokenisation."""
+    postings: Dict[str, Dict[str, List[int]]] = {}
+    for column in relation.schema:
+        postings[column.name.lower()] = strategy.build_index(relation, [column.name])
+    return TokenPostingsArtifact(
+        row_count=len(relation),
+        params=token_params_key(strategy),
+        postings=postings,
+    )
+
+
+def build_seed_statistics(
+    relation: Relation, sample_limit: Optional[int]
+) -> SeedStatistics:
+    """Whole-tuple TF-IDF statistics for DUMAS seeding (delegates to matching)."""
+    return compute_seed_statistics(relation, sample_limit)
+
+
+def build_source_profile(relation: Relation) -> SourceProfileArtifact:
+    """Per-attribute null counts and distinct string values of *relation*."""
+    artifact = SourceProfileArtifact(row_count=len(relation))
+    rows = relation.rows
+    for position, column in enumerate(relation.schema):
+        non_null = 0
+        distinct: Set[str] = set()
+        for values in rows:
+            value = values[position]
+            if is_null(value):
+                continue
+            non_null += 1
+            distinct.add(str(value))
+        artifact.attributes[column.name.lower()] = AttributeStatistics(
+            attribute=column.name, non_null=non_null, distinct=distinct
+        )
+    return artifact

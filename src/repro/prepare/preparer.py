@@ -1,0 +1,466 @@
+"""Building per-source artifacts and merging them at query time.
+
+:class:`SourcePreparer` drives the build side: for each alias it fetches the
+relation from the catalog and obtains the three artifact kinds from the
+catalog's :class:`~repro.prepare.store.ArtifactStore` (reusing valid entries,
+rebuilding stale ones).  The result is a :class:`PreparedSources` bundle.
+
+The merge side is :class:`PreparedQueryView`, created per query once the
+combined (outer-unioned) relation exists.  It knows the row offset of every
+source inside the union and the column mapping schema matching induced, and
+merges per-source artifacts into exactly the structures the cold code paths
+would compute over the combined relation:
+
+* the blocking token index — per-source per-attribute postings are unioned
+  under the combined attributes and shifted by the row offsets;
+* the planner's :class:`RelationProfile` — null counts add, distinct string
+  sets union, block coverage is recomputed from the merged postings.
+
+Merged structures are *member-identical* to their cold counterparts (same
+sets, same ascending orders, same float operands), so preparing can change
+runtimes but never results.  Cross-source seeding statistics merge inside
+:meth:`DuplicateSeeder.find_seeds` itself; the view only resolves the
+per-source halves.
+
+Providers are installed on the consumers (``TokenBlocking.index_provider``,
+``AdaptiveBlocking.profile_provider``,
+``DuplicateSeeder.statistics_provider``) for the duration of one pipeline
+step via context managers, so shared strategy instances are never left
+pointing at a finished query's view.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dedup.blocking.adaptive import (
+    AdaptiveBlocking,
+    AttributeProfile,
+    RelationProfile,
+)
+from repro.dedup.blocking.base import BlockingStrategy
+from repro.dedup.blocking.token import TokenBlocking
+from repro.dedup.blocking.union import UnionBlocking
+from repro.engine.relation import Relation
+from repro.matching.correspondences import CorrespondenceSet
+from repro.matching.duplicate_seed import DuplicateSeeder, SeedStatistics
+from repro.matching.transform import SOURCE_ID_COLUMN, apply_correspondences
+from repro.prepare.artifacts import (
+    PROFILE_KIND,
+    SEED_KIND,
+    TOKEN_KIND,
+    SourceProfileArtifact,
+    TokenPostingsArtifact,
+    build_seed_statistics,
+    build_source_profile,
+    build_token_postings,
+    seed_params_key,
+    token_params_key,
+)
+from repro.prepare.store import ArtifactCounters
+
+__all__ = [
+    "SourceArtifacts",
+    "SourcePreparer",
+    "PreparedSources",
+    "PreparedQueryView",
+    "token_strategy_for",
+]
+
+
+def token_strategy_for(strategy: Optional[BlockingStrategy]) -> TokenBlocking:
+    """The token strategy whose parameters artifact building should mirror.
+
+    Walks the blocking graph: a :class:`TokenBlocking` is taken directly, an
+    :class:`AdaptiveBlocking` contributes its internal token strategy, a
+    :class:`UnionBlocking` the first token child.  Any other (or no)
+    strategy yields a stock :class:`TokenBlocking` — artifacts are then
+    still useful for profiling and default token blocking.
+    """
+    if isinstance(strategy, TokenBlocking):
+        return strategy
+    if isinstance(strategy, AdaptiveBlocking):
+        return strategy._token
+    if isinstance(strategy, UnionBlocking):
+        for child in strategy.children:
+            if isinstance(child, (TokenBlocking, AdaptiveBlocking, UnionBlocking)):
+                return token_strategy_for(child)
+    return TokenBlocking()
+
+
+@dataclass
+class SourceArtifacts:
+    """The three prepared artifacts of one registered source."""
+
+    alias: str
+    relation: Relation
+    digest: str
+    token: TokenPostingsArtifact
+    seeds: SeedStatistics
+    profile: SourceProfileArtifact
+
+
+class SourcePreparer:
+    """Builds (or reuses) the artifacts of registered sources.
+
+    All three artifact kinds are built regardless of the strategy the
+    *current* query uses: artifacts are a per-source investment for an
+    online service, and the next query may block differently (``--blocking
+    adaptive`` after ``snm``) or match a different source pair — gating on
+    today's strategy would just turn those into cold starts.  Callers that
+    know better can prepare a store directly via
+    :meth:`ArtifactStore.get_or_build` with only the kinds they want.
+
+    Args:
+        catalog: the catalog whose :attr:`~repro.engine.catalog.Catalog.artifacts`
+            store holds the artifacts.
+        token_strategy: the :class:`TokenBlocking` whose tokenisation the
+            index artifacts must mirror (default: a stock instance — the
+            parameters every default pipeline uses).
+        seed_sample_limit: the seeder's ``max_tuples_per_relation`` the
+            seeding statistics are sampled with.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        token_strategy: Optional[TokenBlocking] = None,
+        seed_sample_limit: Optional[int] = 500,
+    ):
+        self.catalog = catalog
+        self.token_strategy = token_strategy or TokenBlocking()
+        self.seed_sample_limit = seed_sample_limit
+
+    def prepare(self, aliases: Sequence[str]) -> "PreparedSources":
+        """Ensure all three artifacts exist and are current for every alias."""
+        store = self.catalog.artifacts
+        before = store.counters.snapshot()
+        bundles: List[SourceArtifacts] = []
+        for alias in aliases:
+            relation = self.catalog.fetch(alias)
+            digest = relation.content_digest()
+            token = store.get_or_build(
+                alias,
+                TOKEN_KIND,
+                token_params_key(self.token_strategy),
+                relation,
+                lambda relation=relation: build_token_postings(relation, self.token_strategy),
+                digest=digest,
+            )
+            seeds = store.get_or_build(
+                alias,
+                SEED_KIND,
+                seed_params_key(self.seed_sample_limit),
+                relation,
+                lambda relation=relation: build_seed_statistics(
+                    relation, self.seed_sample_limit
+                ),
+                digest=digest,
+            )
+            profile = store.get_or_build(
+                alias,
+                PROFILE_KIND,
+                (),
+                relation,
+                lambda relation=relation: build_source_profile(relation),
+                digest=digest,
+            )
+            bundles.append(
+                SourceArtifacts(
+                    alias=alias,
+                    relation=relation,
+                    digest=digest,
+                    token=token,
+                    seeds=seeds,
+                    profile=profile,
+                )
+            )
+        return PreparedSources(
+            bundles=bundles,
+            counters=store.counters.diff(before),
+            token_params=token_params_key(self.token_strategy),
+        )
+
+
+@dataclass
+class PreparedSources:
+    """The artifacts of one query's sources, plus this prepare pass's counters."""
+
+    bundles: List[SourceArtifacts]
+    counters: ArtifactCounters
+    token_params: Tuple = ()
+    _by_relation_id: Dict[int, SourceArtifacts] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_relation_id = {id(bundle.relation): bundle for bundle in self.bundles}
+
+    def bundle_for(self, relation: Relation) -> Optional[SourceArtifacts]:
+        """The bundle whose source relation is *relation* (object identity)."""
+        return self._by_relation_id.get(id(relation))
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-serialisable summary for the pipeline result and the CLI."""
+        report = {"sources": [bundle.alias for bundle in self.bundles]}
+        report.update(self.counters.as_dict())
+        return report
+
+    # -- seeding ------------------------------------------------------------------
+
+    def seed_statistics(
+        self, relation: Relation, sample_limit: Optional[int]
+    ) -> Optional[SeedStatistics]:
+        """Prebuilt seeding statistics for *relation*, when valid for *sample_limit*."""
+        bundle = self.bundle_for(relation)
+        if bundle is None or bundle.seeds.sample_limit != sample_limit:
+            return None
+        return bundle.seeds
+
+    @contextmanager
+    def seeding(self, seeder: DuplicateSeeder):
+        """Serve this bundle's statistics from *seeder* for the duration."""
+        previous = seeder.statistics_provider
+        seeder.statistics_provider = self.seed_statistics
+        try:
+            yield
+        finally:
+            seeder.statistics_provider = previous
+
+    # -- the per-query merge view -------------------------------------------------
+
+    def view(
+        self,
+        combined: Relation,
+        correspondences: Optional[CorrespondenceSet] = None,
+        preferred: Optional[str] = None,
+    ) -> Optional["PreparedQueryView"]:
+        """A merge view over *combined*, or ``None`` when rows do not line up.
+
+        *combined* must be the outer union of the bundles' relations in
+        bundle order (what :func:`~repro.matching.transform.transform_sources`
+        produced for the same sources and *correspondences*).
+        """
+        if len(combined) != sum(len(bundle.relation) for bundle in self.bundles):
+            return None
+        return PreparedQueryView(
+            prepared=self,
+            combined=combined,
+            correspondences=correspondences or CorrespondenceSet(),
+            preferred=preferred
+            or (self.bundles[0].relation.name if self.bundles else ""),
+        )
+
+
+class PreparedQueryView:
+    """Merges per-source artifacts into combined-relation structures."""
+
+    def __init__(
+        self,
+        prepared: PreparedSources,
+        combined: Relation,
+        correspondences: CorrespondenceSet,
+        preferred: str,
+    ):
+        self.prepared = prepared
+        self.combined = combined
+        # row offset of each source inside the union, and the column mapping
+        # schema matching induced: combined attribute → source attribute
+        self._offsets: List[int] = []
+        self._mappings: List[Dict[str, str]] = []
+        offset = 0
+        for bundle in prepared.bundles:
+            self._offsets.append(offset)
+            offset += len(bundle.relation)
+            renamed = apply_correspondences(bundle.relation, correspondences, preferred)
+            mapping = {
+                renamed_name.lower(): original_name.lower()
+                for renamed_name, original_name in zip(
+                    renamed.schema.names, bundle.relation.schema.names
+                )
+            }
+            self._mappings.append(mapping)
+
+    # -- merged structures --------------------------------------------------------
+
+    def token_index(
+        self, relation: Relation, attributes: Sequence[str]
+    ) -> Optional[Dict[str, List[int]]]:
+        """The combined token inverted index, merged from per-source postings.
+
+        Returns ``None`` (→ the caller builds cold) when the request is not
+        for this view's combined relation, the artifacts were tokenised with
+        different parameters, or an attribute the artifacts cannot cover
+        (the synthetic ``sourceID``) is requested.
+        """
+        plan = self._merge_plan(relation, attributes)
+        if plan is None:
+            return None
+        merged: Dict[str, List[int]] = {}
+        for source_index, mapped_attributes in enumerate(plan):
+            bundle = self.prepared.bundles[source_index]
+            offset = self._offsets[source_index]
+            rows_by_token: Dict[str, Set[int]] = {}
+            for mapped in mapped_attributes:
+                if mapped is None:
+                    continue
+                postings = bundle.token.attribute_postings(mapped)
+                if not postings:
+                    continue
+                for token, members in postings.items():
+                    rows_by_token.setdefault(token, set()).update(members)
+            for token, members in rows_by_token.items():
+                merged.setdefault(token, []).extend(
+                    member + offset for member in sorted(members)
+                )
+        return merged
+
+    def merged_profile(
+        self,
+        relation: Relation,
+        attributes: Sequence[str],
+        token_strategy: TokenBlocking,
+        max_attributes: int,
+    ) -> Optional[RelationProfile]:
+        """The planner's :class:`RelationProfile`, merged from stored artifacts.
+
+        Mirrors :func:`repro.dedup.blocking.adaptive.profile_relation`
+        operation for operation (same float operands, same attribute order),
+        so a plan built from a merged profile equals the cold plan.
+        """
+        present = [
+            attribute
+            for attribute in attributes
+            if relation.schema.has_column(attribute)
+        ][:max_attributes]
+        plan = self._merge_plan(relation, present, token_strategy=token_strategy)
+        if plan is None:
+            return None
+        size = len(relation)
+        profile = RelationProfile(
+            tuple_count=size, total_pairs=size * (size - 1) // 2
+        )
+        cap = token_strategy.effective_cap(size)
+        merged_blocks: Dict[str, Set[int]] = {}
+        for position, attribute in enumerate(present):
+            index = self._merged_attribute_index(attribute, position, plan)
+            covered: Set[int] = set()
+            for token, members in index.items():
+                merged_blocks.setdefault(token, set()).update(members)
+                if 2 <= len(members) <= cap:
+                    covered.update(members)
+            non_null = 0
+            distinct: Set[str] = set()
+            for source_index, mapped_attributes in enumerate(plan):
+                mapped = mapped_attributes[position]
+                if mapped is None:
+                    continue
+                statistics = self.prepared.bundles[source_index].profile.attribute_statistics(
+                    mapped
+                )
+                if statistics is None:
+                    continue
+                non_null += statistics.non_null
+                distinct |= statistics.distinct
+            null_rate = 1.0 - (non_null / size) if size else 0.0
+            distinct_ratio = len(distinct) / non_null if non_null else 0.0
+            corruption = 1.0 - (len(covered) / non_null) if non_null >= 2 else 1.0
+            profile.attributes.append(
+                AttributeProfile(
+                    attribute=attribute,
+                    null_rate=null_rate,
+                    distinct_ratio=distinct_ratio,
+                    corruption_estimate=corruption,
+                )
+            )
+        profile.token_count = len(merged_blocks)
+        profile.dropped_block_count = sum(
+            1 for members in merged_blocks.values() if len(members) > cap
+        )
+        kept_sizes = [
+            len(members) for members in merged_blocks.values() if len(members) <= cap
+        ]
+        profile.mean_block_size = (
+            (sum(kept_sizes) / len(kept_sizes)) if kept_sizes else 0.0
+        )
+        return profile
+
+    def _merged_attribute_index(
+        self, attribute: str, position: int, plan: List[List[Optional[str]]]
+    ) -> Dict[str, List[int]]:
+        """Single-attribute combined index (profiling granularity)."""
+        merged: Dict[str, List[int]] = {}
+        for source_index, mapped_attributes in enumerate(plan):
+            mapped = mapped_attributes[position]
+            if mapped is None:
+                continue
+            postings = self.prepared.bundles[source_index].token.attribute_postings(mapped)
+            if not postings:
+                continue
+            offset = self._offsets[source_index]
+            for token, members in postings.items():
+                merged.setdefault(token, []).extend(
+                    member + offset for member in members
+                )
+        return merged
+
+    def _merge_plan(
+        self,
+        relation: Relation,
+        attributes: Sequence[str],
+        token_strategy: Optional[TokenBlocking] = None,
+    ) -> Optional[List[List[Optional[str]]]]:
+        """Per source, the mapped source attribute of every requested attribute.
+
+        ``None`` signals "serve nothing, build cold": foreign relation,
+        parameter mismatch, or an unservable attribute.
+        """
+        if relation is not self.combined:
+            return None
+        params = (
+            token_params_key(token_strategy)
+            if token_strategy is not None
+            else self.prepared.token_params
+        )
+        if params != self.prepared.token_params:
+            return None
+        requested = [attribute.lower() for attribute in attributes]
+        if SOURCE_ID_COLUMN.lower() in requested:
+            # sourceID is synthesised during transformation; the per-source
+            # artifacts have never seen it, so the merge cannot serve it.
+            return None
+        return [
+            [mapping.get(attribute) for attribute in requested]
+            for mapping in self._mappings
+        ]
+
+    # -- provider installation ----------------------------------------------------
+
+    @contextmanager
+    def blocking(self, strategy: BlockingStrategy):
+        """Serve merged indexes/profiles from *strategy* for the duration.
+
+        Walks the strategy graph: :class:`TokenBlocking` gets the merged
+        index provider, :class:`AdaptiveBlocking` gets the merged profile
+        provider (plus the index provider on its internal token strategy),
+        :class:`UnionBlocking` recurses into its children.
+        """
+        restore: List[Tuple[Any, str, Any]] = []
+        self._install(strategy, restore)
+        try:
+            yield
+        finally:
+            for target, attribute, previous in reversed(restore):
+                setattr(target, attribute, previous)
+
+    def _install(self, strategy: BlockingStrategy, restore: List[Tuple[Any, str, Any]]):
+        if isinstance(strategy, TokenBlocking):
+            restore.append((strategy, "index_provider", strategy.index_provider))
+            strategy.index_provider = self.token_index
+        elif isinstance(strategy, AdaptiveBlocking):
+            restore.append((strategy, "profile_provider", strategy.profile_provider))
+            strategy.profile_provider = self.merged_profile
+            self._install(strategy._token, restore)
+        elif isinstance(strategy, UnionBlocking):
+            for child in strategy.children:
+                self._install(child, restore)

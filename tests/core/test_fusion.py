@@ -165,3 +165,53 @@ class TestConflictReport:
         report = find_conflicts(relation)
         assert report.contradiction_count == 1
         assert report.conflicts[0].sources == [None, None]
+
+
+class TestLazyGroupMaterialisation:
+    """Row wrappers and source strings are built per group, only on demand."""
+
+    def test_coalesce_only_fusion_allocates_no_row_wrappers(self, clustered, monkeypatch):
+        import repro.core.fusion as fusion_module
+
+        allocations = []
+        original_row = fusion_module.Row
+
+        class CountingRow(original_row):
+            def __init__(self, schema, values):
+                allocations.append(1)
+                super().__init__(schema, values)
+
+        monkeypatch.setattr(fusion_module, "Row", CountingRow)
+        result = fuse(clustered, ["objectID"])  # every column uses Coalesce
+        assert len(result.relation) == 3
+        assert allocations == []  # nothing read context.rows
+
+    def test_row_reading_function_still_sees_wrapped_rows(self, clustered, monkeypatch):
+        import repro.core.fusion as fusion_module
+        from repro.core.resolution.base import ResolutionFunction
+
+        allocations = []
+        original_row = fusion_module.Row
+
+        class CountingRow(original_row):
+            def __init__(self, schema, values):
+                allocations.append(1)
+                super().__init__(schema, values)
+
+        class NameFromRows(ResolutionFunction):
+            name = "name_from_rows"
+
+            def resolve(self, context):
+                return max((row["name"] or "" for row in context.rows), default=None)
+
+        monkeypatch.setattr(fusion_module, "Row", CountingRow)
+        result = fuse(clustered, ["objectID"], resolutions={"name": NameFromRows()})
+        assert result.relation.column("name") == ["Anna Schmidt", "Ben Mueller", "Elena Wolf"]
+        # one wrapper per input tuple of each group, built exactly once
+        assert len(allocations) == 4
+
+    def test_lineage_still_records_sources(self, clustered):
+        result = fuse(clustered, ["objectID"])
+        lineage = result.lineage.lookup(0, "city")
+        assert lineage is not None
+        assert lineage.sources == frozenset({"ee"})

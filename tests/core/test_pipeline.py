@@ -82,7 +82,15 @@ class TestPipelineRun:
         result = FusionPipeline(catalog).run(["EE_Students", "CS_Students"])
         timings = result.timings.as_dict()
         assert timings["total"] > 0
-        assert set(timings) == {"fetch", "matching", "duplicate_detection", "fusion", "total"}
+        assert set(timings) == {
+            "fetch",
+            "prepare",
+            "matching",
+            "duplicate_detection",
+            "fusion",
+            "total",
+        }
+        assert timings["prepare"] == 0.0  # unprepared pipeline: no prepare phase work
 
     def test_summary_keys(self, catalog):
         summary = make_pipeline(catalog).run(["EE_Students", "CS_Students"]).summary()

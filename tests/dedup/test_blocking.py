@@ -179,46 +179,40 @@ class TestTokenBlocking:
         assert "de" not in TokenBlocking().tokens("ben m de mail")
         assert "mail" in TokenBlocking().tokens("ben m de mail")
 
-    def test_index_memoised_per_relation(self, people, monkeypatch):
+    def test_index_provider_serves_prepared_index(self, people, monkeypatch):
+        # The prepared-source layer installs an index_provider that merges
+        # per-source postings; when it serves, no tokenisation happens.
         strategy = TokenBlocking()
-        builds = []
-        original = TokenBlocking.build_index
+        prepared = TokenBlocking().build_index(people, ["name", "city"])
+        expected = set(strategy.pairs(people, ["name", "city"]))
 
-        def counting_build(self, relation, attributes):
-            builds.append(attributes)
-            return original(self, relation, attributes)
+        def fail_build(self, relation, attributes):  # pragma: no cover - guard
+            raise AssertionError("cold build must not run when the provider serves")
 
-        monkeypatch.setattr(TokenBlocking, "build_index", counting_build)
-        first = set(strategy.pairs(people, ["name", "city"]))
-        second = set(strategy.pairs(people, ["name", "city"]))
-        assert first == second
-        assert len(builds) == 1  # second call hits the cache
-        list(strategy.pairs(people, ["name"]))  # different attributes → rebuild
-        assert len(builds) == 2
+        strategy.index_provider = lambda relation, attributes: prepared
+        monkeypatch.setattr(TokenBlocking, "build_index", fail_build)
+        assert set(strategy.pairs(people, ["name", "city"])) == expected
 
-    def test_index_cache_shared_by_equal_content_clones(self, people, monkeypatch):
-        # The cache keys on row content, so an equal-content clone (e.g. the
-        # same source re-fetched from the catalog) hits instead of rebuilding.
+    def test_index_provider_declining_falls_back_to_cold_build(self, people):
+        # A provider returning None (foreign relation, parameter mismatch)
+        # means "build it yourself" — results are unchanged either way.
         strategy = TokenBlocking()
-        builds = []
-        original = TokenBlocking.build_index
+        baseline = set(TokenBlocking().pairs(people, ["name", "city"]))
+        calls = []
 
-        def counting_build(self, relation, attributes):
-            builds.append(attributes)
-            return original(self, relation, attributes)
+        def declining(relation, attributes):
+            calls.append(tuple(attributes))
+            return None
 
-        monkeypatch.setattr(TokenBlocking, "build_index", counting_build)
-        first = set(strategy.pairs(people, ["name", "city"]))
-        clone = Relation.from_dicts(
-            [dict(row.items()) for row in people], name="people"
-        )
-        assert set(strategy.pairs(clone, ["name", "city"])) == first
-        assert len(builds) == 1
+        strategy.index_provider = declining
+        assert set(strategy.pairs(people, ["name", "city"])) == baseline
+        assert calls == [("name", "city")]
 
     def test_mutated_relation_is_not_served_stale_candidates(self, people):
-        # Relations are logically immutable, but a caller that mutates row
-        # storage in place must still get fresh candidates — the cache keys
-        # on content, not object identity.
+        # Without an installed provider every pairs() call tokenises the
+        # relation as it currently is (index reuse lives in the catalog's
+        # artifact store, which validates content digests), so even a caller
+        # that mutates row storage in place gets fresh candidates.
         strategy = TokenBlocking()
         before = set(strategy.pairs(people, ["name", "city"]))
         assert (0, 1) in before
@@ -227,9 +221,8 @@ class TestTokenBlocking:
         assert (0, 1) not in after  # row 1 no longer shares a token with row 0
 
     def test_hash_colliding_content_is_not_conflated(self):
-        # hash(True) == hash(1) but str(True) != str(1): the cache must key
-        # on content equality, not just a content hash, or one relation's
-        # index could be served for the other.
+        # hash(True) == hash(1) but str(True) != str(1): indexes must keep
+        # the relations' textual cell forms apart.
         strategy = TokenBlocking(min_token_length=1)
         bools = Relation.from_dicts(
             [{"flag": True, "name": "anna"}, {"flag": True, "name": "anna b"}],
@@ -243,20 +236,6 @@ class TestTokenBlocking:
         int_index = strategy.indexed_blocks(ints, ["flag", "name"])
         assert "true" in bool_index and "true" not in int_index
         assert "1" in int_index and "1" not in bool_index
-
-    def test_index_cache_is_bounded(self, people):
-        strategy = TokenBlocking()
-        relations = [
-            Relation.from_dicts(
-                [dict(row.items()) for row in people]
-                + [{"name": f"extra person {i}", "city": f"city{i}"}],
-                name=f"r{i}",
-            )
-            for i in range(strategy._index_cache_size + 3)
-        ]
-        for relation in relations:
-            list(strategy.pairs(relation, ["name", "city"]))
-        assert len(strategy._index_cache) == strategy._index_cache_size
 
     def test_accents_normalised_like_the_measure(self):
         # Blocking shares the measure's accent-stripping normalisation, so

@@ -118,3 +118,36 @@ class TestFetch:
         assert "numbers" in catalog
         assert 5 not in catalog
         assert catalog.aliases() == ["numbers"]
+
+
+class TestReplaceOrdering:
+    """register(replace=True) keeps the alias's original registration slot."""
+
+    def test_replace_keeps_registration_order(self):
+        catalog = Catalog()
+        catalog.register("first", [{"x": 1}])
+        catalog.register("second", [{"x": 2}])
+        catalog.register("third", [{"x": 3}])
+        catalog.register("second", [{"x": 99}], replace=True)
+        # the replaced alias stays in its original slot, never moves to the end
+        assert catalog.aliases() == ["first", "second", "third"]
+        assert catalog.fetch("second").column("x") == [99]
+
+    def test_replace_updates_alias_spelling_in_place(self):
+        catalog = Catalog()
+        catalog.register("alpha", [{"x": 1}])
+        catalog.register("beta", [{"x": 2}])
+        catalog.register("ALPHA", [{"x": 3}], replace=True)
+        # same slot, new casing: replacement addresses the same logical source
+        assert catalog.aliases() == ["ALPHA", "beta"]
+        assert catalog.fetch("alpha").column("x") == [3]
+
+    def test_replace_invalidates_prepared_artifacts(self):
+        from repro.prepare import SourcePreparer
+
+        catalog = Catalog()
+        catalog.register("numbers", [{"x": 1}])
+        SourcePreparer(catalog).prepare(["numbers"])
+        assert len(catalog.artifacts) == 3
+        catalog.register("numbers", [{"x": 2}], replace=True)
+        assert len(catalog.artifacts) == 0

@@ -1,0 +1,189 @@
+"""Prepared pipelines: warm reuse, invalidation, and output parity end to end."""
+
+import pytest
+
+from repro.datagen.corruptor import CorruptionConfig
+from repro.datagen.scenarios import students_scenario
+from repro.hummer import HumMer
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return students_scenario(entity_count=60, corruption=CorruptionConfig.low(), seed=41)
+
+
+def build_hummer(dataset, **kwargs):
+    hummer = HumMer(**kwargs)
+    for alias, relation in dataset.sources.items():
+        hummer.register(alias, relation)
+    return hummer
+
+
+def fusion_fingerprint(result):
+    """Everything observable about a fusion run's output."""
+    return (
+        result.relation.schema.names,
+        result.relation.rows,
+        sorted(result.detection.duplicate_pairs),
+        result.detection.cluster_assignment,
+        [str(c) for c in result.correspondences],
+    )
+
+
+class TestWarmRuns:
+    def test_second_fuse_rebuilds_zero_artifacts(self, dataset):
+        hummer = build_hummer(dataset, prepare="lazy")
+        aliases = list(dataset.sources)
+        first = hummer.fuse(aliases)
+        second = hummer.fuse(aliases)
+        assert first.summary()["artifacts_rebuilt"] == 3 * len(aliases)
+        assert second.summary()["artifacts_rebuilt"] == 0
+        assert second.summary()["artifacts_reused"] == 3 * len(aliases)
+
+    def test_warm_output_is_bit_identical_to_cold(self, dataset):
+        hummer = build_hummer(dataset, prepare="lazy")
+        aliases = list(dataset.sources)
+        cold = hummer.fuse(aliases)
+        warm = hummer.fuse(aliases)
+        assert fusion_fingerprint(cold) == fusion_fingerprint(warm)
+        # scored similarities too, not just accepted pairs
+        assert [
+            (s.left_index, s.right_index, s.similarity) for s in cold.detection.scores
+        ] == [(s.left_index, s.right_index, s.similarity) for s in warm.detection.scores]
+
+    @pytest.mark.parametrize("blocking", ["token", "adaptive"])
+    def test_prepared_run_matches_unprepared_run(self, dataset, blocking):
+        aliases = list(dataset.sources)
+        unprepared = build_hummer(dataset, blocking=blocking).fuse(aliases)
+        prepared = build_hummer(dataset, blocking=blocking, prepare="eager").fuse(aliases)
+        assert fusion_fingerprint(unprepared) == fusion_fingerprint(prepared)
+
+    def test_eager_registration_prebuilds_artifacts(self, dataset):
+        hummer = build_hummer(dataset, prepare="eager")
+        aliases = list(dataset.sources)
+        # registration already built everything: the first fuse is warm
+        result = hummer.fuse(aliases)
+        assert result.summary()["artifacts_rebuilt"] == 0
+        assert result.summary()["artifacts_reused"] == 3 * len(aliases)
+
+    def test_explicit_prepare_call_enables_reuse(self, dataset):
+        hummer = build_hummer(dataset)  # no mode at construction
+        report = hummer.prepare()
+        assert report["rebuilt"] == 3 * len(dataset.sources)
+        result = hummer.fuse(list(dataset.sources))
+        assert result.summary()["artifacts_rebuilt"] == 0
+
+    def test_unprepared_instance_reports_no_artifacts(self, dataset):
+        result = build_hummer(dataset).fuse(list(dataset.sources))
+        assert result.prepared is None
+        assert "artifacts_rebuilt" not in result.summary()
+
+
+class TestInvalidation:
+    def test_replacing_a_source_rebuilds_its_artifacts_only(self, dataset):
+        hummer = build_hummer(dataset, prepare="lazy")
+        aliases = list(dataset.sources)
+        hummer.fuse(aliases)
+        replaced = aliases[0]
+        hummer.register(replaced, dataset.sources[replaced], replace=True)
+        result = hummer.fuse(aliases)
+        assert result.summary()["artifacts_rebuilt"] == 3
+        assert result.summary()["artifacts_reused"] == 3 * (len(aliases) - 1)
+
+    def test_replaced_data_is_never_served_stale(self, dataset):
+        """New rows must flow into candidates and IDF, not the old artifacts."""
+        aliases = list(dataset.sources)
+        hummer = build_hummer(dataset, prepare="lazy")
+        hummer.fuse(aliases)
+
+        # replace the first source with visibly different content
+        replaced = aliases[0]
+        original = dataset.sources[replaced]
+        mutated_rows = [dict(row) for row in original.to_dicts()]
+        for row in mutated_rows:
+            for key, value in row.items():
+                if isinstance(value, str):
+                    row[key] = f"changed {value}"
+        hummer.register(replaced, mutated_rows, replace=True)
+        warm_after_replace = hummer.fuse(aliases)
+
+        # a fresh, unprepared instance over the same new data is the truth
+        reference = HumMer()
+        reference.register(replaced, mutated_rows)
+        for alias in aliases[1:]:
+            reference.register(alias, dataset.sources[alias])
+        cold_reference = reference.fuse(aliases)
+
+        assert fusion_fingerprint(warm_after_replace) == fusion_fingerprint(cold_reference)
+
+    def test_invalidate_alias_forces_rebuild(self, dataset):
+        hummer = build_hummer(dataset, prepare="lazy")
+        aliases = list(dataset.sources)
+        hummer.fuse(aliases)
+        hummer.catalog.invalidate(aliases[0])
+        result = hummer.fuse(aliases)
+        assert result.summary()["artifacts_rebuilt"] == 3
+
+    def test_unregister_drops_artifacts(self, dataset):
+        hummer = build_hummer(dataset, prepare="lazy")
+        aliases = list(dataset.sources)
+        hummer.fuse(aliases)
+        before = len(hummer.catalog.artifacts)
+        hummer.unregister(aliases[0])
+        assert len(hummer.catalog.artifacts) == before - 3
+
+
+class TestPersistence:
+    def test_restarted_instance_starts_warm_from_artifact_dir(self, dataset, tmp_path):
+        aliases = list(dataset.sources)
+        first = build_hummer(dataset, prepare="lazy", artifact_dir=str(tmp_path))
+        cold = first.fuse(aliases)
+        assert cold.summary()["artifacts_rebuilt"] == 3 * len(aliases)
+
+        # a new process would construct a fresh HumMer over the same directory
+        second = build_hummer(dataset, prepare="lazy", artifact_dir=str(tmp_path))
+        warm = second.fuse(aliases)
+        assert warm.summary()["artifacts_rebuilt"] == 0
+        assert fusion_fingerprint(cold) == fusion_fingerprint(warm)
+
+
+class TestValidation:
+    def test_invalid_prepare_mode_rejected(self):
+        with pytest.raises(ValueError):
+            HumMer(prepare="sometimes")
+
+    def test_invalid_register_prepare_mode_rejected(self, dataset):
+        hummer = HumMer()
+        with pytest.raises(ValueError):
+            hummer.register("x", [{"a": 1}], prepare="always")
+
+
+class TestQueryPath:
+    """HumMer.query() fusion statements go through the prepared path too."""
+
+    def test_warm_query_rebuilds_zero_artifacts(self, dataset):
+        hummer = build_hummer(dataset, prepare="lazy")
+        aliases = list(dataset.sources)
+        statement = f"SELECT * FUSE FROM {', '.join(aliases)}"
+        cold = hummer.query(statement)
+        counters = hummer.catalog.artifacts.counters
+        assert counters.total_rebuilt == 3 * len(aliases)
+        snapshot = counters.snapshot()
+        warm = hummer.query(statement)
+        delta = counters.diff(snapshot)
+        assert delta.total_rebuilt == 0
+        assert delta.total_reused == 3 * len(aliases)
+        assert warm.rows == cold.rows
+
+    def test_filtered_query_matches_unprepared_result(self, dataset):
+        aliases = list(dataset.sources)
+        first_column = dataset.sources[aliases[0]].column_names[0]
+        statement = (
+            f"SELECT * FUSE FROM {', '.join(aliases)} "
+            f"WHERE {first_column} IS NOT NULL"
+        )
+        prepared_hummer = build_hummer(dataset, prepare="lazy")
+        unprepared_hummer = build_hummer(dataset)
+        # WHERE changes the combined rows, so the merge view declines and
+        # detection runs cold — results must be identical either way
+        assert prepared_hummer.query(statement).rows == unprepared_hummer.query(statement).rows

@@ -1,0 +1,152 @@
+"""ArtifactStore: digest validation, counters, persistence, invalidation."""
+
+from repro.engine.relation import Relation
+from repro.prepare.store import ArtifactStore
+
+
+def relation_of(rows, name="rel"):
+    return Relation.from_dicts(rows, name=name)
+
+
+class TestGetOrBuild:
+    def test_builds_once_then_reuses(self):
+        store = ArtifactStore()
+        relation = relation_of([{"a": 1}])
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return {"index": 1}
+
+        first = store.get_or_build("src", "token_index", (), relation, builder)
+        second = store.get_or_build("src", "token_index", (), relation, builder)
+        assert first is second
+        assert builds == [1]
+        assert store.counters.total_rebuilt == 1
+        assert store.counters.total_reused == 1
+
+    def test_changed_content_rebuilds(self):
+        store = ArtifactStore()
+        store.get_or_build("src", "token_index", (), relation_of([{"a": 1}]), lambda: "v1")
+        rebuilt = store.get_or_build(
+            "src", "token_index", (), relation_of([{"a": 2}]), lambda: "v2"
+        )
+        assert rebuilt == "v2"
+        assert store.counters.total_rebuilt == 2
+        assert store.counters.total_reused == 0
+
+    def test_params_key_entries_are_independent(self):
+        store = ArtifactStore()
+        relation = relation_of([{"a": 1}])
+        store.get_or_build("src", "token_index", (None, 3), relation, lambda: "words")
+        store.get_or_build("src", "token_index", (3, 3), relation, lambda: "qgrams")
+        assert store.peek("src", "token_index", (None, 3)) == "words"
+        assert store.peek("src", "token_index", (3, 3)) == "qgrams"
+        assert len(store) == 2
+
+    def test_alias_is_case_insensitive(self):
+        store = ArtifactStore()
+        relation = relation_of([{"a": 1}])
+        store.get_or_build("Src", "token_index", (), relation, lambda: "x")
+        store.get_or_build("SRC", "token_index", (), relation, lambda: "y")
+        assert store.counters.total_reused == 1
+
+    def test_counters_diff(self):
+        store = ArtifactStore()
+        relation = relation_of([{"a": 1}])
+        store.get_or_build("src", "k", (), relation, lambda: 1)
+        snapshot = store.counters.snapshot()
+        store.get_or_build("src", "k", (), relation, lambda: 1)
+        delta = store.counters.diff(snapshot)
+        assert delta.total_reused == 1
+        assert delta.total_rebuilt == 0
+
+
+class TestInvalidation:
+    def test_invalidate_single_alias(self):
+        store = ArtifactStore()
+        relation = relation_of([{"a": 1}])
+        store.get_or_build("one", "k", (), relation, lambda: 1)
+        store.get_or_build("two", "k", (), relation, lambda: 2)
+        store.invalidate("one")
+        assert store.peek("one", "k", ()) is None
+        assert store.peek("two", "k", ()) == 2
+
+    def test_invalidate_all(self):
+        store = ArtifactStore()
+        relation = relation_of([{"a": 1}])
+        store.get_or_build("one", "k", (), relation, lambda: 1)
+        store.invalidate()
+        assert len(store) == 0
+
+
+class TestPersistence:
+    def test_disk_roundtrip_across_store_instances(self, tmp_path):
+        relation = relation_of([{"a": 1}, {"a": 2}])
+        first = ArtifactStore(str(tmp_path))
+        first.get_or_build("src", "k", ("p",), relation, lambda: {"data": [1, 2]})
+        assert list(tmp_path.glob("*.pkl"))
+
+        second = ArtifactStore(str(tmp_path))
+        loaded = second.get_or_build(
+            "src", "k", ("p",), relation, lambda: (_ for _ in ()).throw(AssertionError)
+        )
+        assert loaded == {"data": [1, 2]}
+        assert second.counters.total_reused == 1
+        assert second.counters.total_rebuilt == 0
+
+    def test_disk_entry_with_stale_digest_is_rebuilt(self, tmp_path):
+        first = ArtifactStore(str(tmp_path))
+        first.get_or_build("src", "k", (), relation_of([{"a": 1}]), lambda: "old")
+        second = ArtifactStore(str(tmp_path))
+        rebuilt = second.get_or_build("src", "k", (), relation_of([{"a": 2}]), lambda: "new")
+        assert rebuilt == "new"
+        assert second.counters.total_rebuilt == 1
+
+    def test_corrupt_file_is_treated_as_miss(self, tmp_path):
+        relation = relation_of([{"a": 1}])
+        first = ArtifactStore(str(tmp_path))
+        first.get_or_build("src", "k", (), relation, lambda: "good")
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        second = ArtifactStore(str(tmp_path))
+        assert second.get_or_build("src", "k", (), relation, lambda: "rebuilt") == "rebuilt"
+
+    def test_invalidate_removes_persisted_files(self, tmp_path):
+        relation = relation_of([{"a": 1}])
+        store = ArtifactStore(str(tmp_path))
+        store.get_or_build("src", "k", (), relation, lambda: "x")
+        store.invalidate("src")
+        assert not list(tmp_path.glob("*.pkl"))
+
+
+class TestContentDigest:
+    def test_digest_is_stable_for_equal_content(self):
+        assert (
+            relation_of([{"a": 1}]).content_digest()
+            == relation_of([{"a": 1}]).content_digest()
+        )
+
+    def test_digest_separates_types_and_values(self):
+        assert (
+            relation_of([{"a": 1}]).content_digest()
+            != relation_of([{"a": "1"}]).content_digest()
+        )
+        assert (
+            relation_of([{"a": 1}]).content_digest()
+            != relation_of([{"a": 2}]).content_digest()
+        )
+
+    def test_fresh_process_invalidate_removes_other_processes_files(self, tmp_path):
+        # a store that never loaded the entries (fresh process) must still
+        # delete the persisted files of an invalidated alias
+        relation = relation_of([{"a": 1}])
+        first = ArtifactStore(str(tmp_path))
+        first.get_or_build("users", "k", (), relation, lambda: "x")
+        first.get_or_build("other", "k", (), relation, lambda: "y")
+
+        fresh = ArtifactStore(str(tmp_path))
+        fresh.invalidate("users")
+        remaining = [path.name for path in tmp_path.glob("*.pkl")]
+        assert len(remaining) == 1
+        assert remaining[0].startswith("other")
