@@ -7,10 +7,16 @@ consistent record per person; the ``most_recent`` resolution function uses
 the report date to prefer the freshest status, and ``max`` keeps the highest
 loss estimate for insurance purposes.
 
+The walkthrough uses a :class:`repro.FusionSession` — the six wizard steps
+of the demo as an explicit state machine: advance step by step, inspect the
+intermediate artefacts, adjust, continue.  A progress subscriber prints the
+per-step timings a GUI would render as a progress bar.
+
 Run with:  python examples/crisis_cleansing.py
 """
 
 from repro import HumMer
+from repro.core.fusion import FusionSpec, ResolutionSpec
 from repro.datagen.scenarios import crisis_scenario
 
 
@@ -22,42 +28,44 @@ def main() -> None:
         hummer.register(alias, relation)
         print(f"registered {alias}: {len(relation)} reports, schema {relation.column_names}")
 
-    # Use the interactive-style pipeline so the intermediate artefacts can be
-    # inspected before committing to a fused result.
-    pipeline = hummer.pipeline()
-    sources = pipeline.step_choose_sources(list(dataset.sources))
-    matching = pipeline.step_schema_matching(sources)
+    # The interactive wizard: one session, advanced step by step so every
+    # intermediate artefact can be inspected before committing to a result.
+    session = hummer.session(list(dataset.sources))
+    session.subscribe(
+        lambda event: print(f"  [{event.index}/{event.total}] {event.step}: {event.seconds:.3f}s")
+    )
+
+    print("\nAdvancing the wizard:")
+    session.advance_to(session.SCHEMA_MATCHING)
     print("\nProposed attribute correspondences (step 2 of the wizard):")
-    for correspondence in matching.correspondences:
+    for correspondence in session.matching.correspondences:
         print(f"  {correspondence}")
 
-    combined = pipeline.step_transform(sources, matching)
-    selection = pipeline.step_attribute_selection(combined)
+    session.advance_to(session.ATTRIBUTE_SELECTION)
     print("\nAttributes selected for duplicate detection (step 3):")
-    print(f"  kept:     {', '.join(selection.attributes)}")
-    for attribute, reason in selection.rejected.items():
+    print(f"  kept:     {', '.join(session.selection.attributes)}")
+    for attribute, reason in session.selection.rejected.items():
         print(f"  rejected: {attribute} ({reason})")
 
-    detection = pipeline.step_duplicate_detection(combined, selection)
-    counts = detection.classified.counts
+    session.advance_to(session.DUPLICATE_DETECTION)
+    counts = session.detection.classified.counts
     print(
         f"\nDuplicate detection (step 4): {counts['sure_duplicates']} sure, "
         f"{counts['unsure']} unsure, {counts['sure_non_duplicates']} non-duplicates "
-        f"-> {detection.cluster_count} distinct persons"
+        f"-> {session.detection.cluster_count} distinct persons"
     )
 
-    conflicts = pipeline.step_conflicts(detection)
+    session.advance_to(session.CONFLICT_RESOLUTION)
     print("\nSample conflicts shown to the relief worker (step 5):")
-    for conflict in conflicts.sample(5):
+    for conflict in session.conflicts.sample(5):
         print(f"  {conflict}")
 
     # Step 5/6: resolve conflicts — freshest status wins, loss estimates are
     # kept at their maximum, names take the longest (most complete) variant,
     # everything else falls back to Coalesce.  The spec is built against the
     # *preferred* schema (the first source registered is the field hospital,
-    # so the person column is called "patient" after transformation).
-    from repro.core.fusion import FusionSpec, ResolutionSpec
-
+    # so the person column is called "patient" after transformation) and set
+    # on the session before the fusion step runs — adjust, then continue.
     preferences = {
         "patient": "longest",
         "origin": "vote",
@@ -66,13 +74,15 @@ def main() -> None:
         "loss_usd": "max",
         "claim_amount": "max",
     }
-    resolutions = [
-        ResolutionSpec(column.name, preferences.get(column.name.lower()))
-        for column in detection.relation.schema
-        if column.name.lower() not in ("objectid", "sourceid")
-    ]
-    spec = FusionSpec(resolutions=resolutions)
-    fusion = pipeline.step_fusion(detection, spec=spec)
+    session.spec = FusionSpec(
+        resolutions=[
+            ResolutionSpec(column.name, preferences.get(column.name.lower()))
+            for column in session.detection.relation.schema
+            if column.name.lower() not in ("objectid", "sourceid")
+        ]
+    )
+    result = session.run()
+    fusion = result.fusion
     print(f"\nClean person registry ({len(fusion.relation)} persons), first 12 rows:")
     print(fusion.relation.head(12).to_text(limit=12))
 

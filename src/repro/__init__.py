@@ -12,22 +12,34 @@ multiple tables, the library performs three fully automated steps:
    clusters into single consistent tuples using declarative resolution
    functions.
 
-The :class:`HumMer` facade ties everything together; the ``repro.fuseby``
-package parses and executes the Fuse By SQL extension; ``repro.engine`` is the
-underlying relational engine (the XXL substitute); ``repro.datagen``,
-``repro.baselines`` and ``repro.evaluation`` support the experiments.
+The :class:`HumMer` facade ties everything together, configured by the
+declarative :class:`FusionConfig` tree (``repro.config``) and driven either
+automatically or step by step through a :class:`FusionSession`
+(``repro.core.session``); the ``repro.fuseby`` package parses and executes
+the Fuse By SQL extension; ``repro.engine`` is the underlying relational
+engine (the XXL substitute); ``repro.datagen``, ``repro.baselines`` and
+``repro.evaluation`` support the experiments.
 """
 
 from repro.hummer import HumMer
+from repro.config import (
+    DedupConfig,
+    FusionConfig,
+    MatchingConfig,
+    PrepareConfig,
+    ResolutionConfig,
+)
 from repro.engine import Catalog, Column, DataType, Relation, Schema
 from repro.core import (
     FusionPipeline,
     FusionResult,
+    FusionSession,
     FusionSpec,
     PipelineResult,
     ResolutionContext,
     ResolutionFunction,
     ResolutionSpec,
+    StageEvent,
     default_registry,
     fuse,
 )
@@ -35,10 +47,17 @@ from repro.matching import DumasMatcher, transform_sources
 from repro.dedup import DuplicateDetector
 from repro.fuseby import parse_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HumMer",
+    "FusionConfig",
+    "MatchingConfig",
+    "DedupConfig",
+    "PrepareConfig",
+    "ResolutionConfig",
+    "FusionSession",
+    "StageEvent",
     "Catalog",
     "Column",
     "DataType",

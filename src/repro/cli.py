@@ -8,6 +8,12 @@ Three sub-commands mirror the demo's workflow:
   with a summary of every phase.
 * ``hummer demo [cds|students|crisis]`` — run one of the paper's scenarios on
   generated data and print the intermediate artefacts.
+
+Every sub-command accepts ``--config fusion.json`` — a JSON document in the
+shape of :meth:`repro.config.FusionConfig.to_dict` — and the individual
+flags (``--blocking``, ``--workers``, ``--prepare``, …) are mapped over it
+through :meth:`FusionConfig.from_cli_args`, so a config file and ad-hoc
+flags compose: flags the user sets win, everything else comes from the file.
 """
 
 from __future__ import annotations
@@ -16,14 +22,18 @@ import argparse
 import sys
 from typing import List, Optional, Tuple
 
+from repro.config import FusionConfig, load_config_data
 from repro.datagen.scenarios import cd_stores_scenario, crisis_scenario, students_scenario
-from repro.dedup.blocking import BLOCKING_STRATEGIES, format_plan_report, resolve_blocking
-from repro.dedup.executor import executor_for_workers
+from repro.dedup.blocking import BLOCKING_STRATEGIES, format_plan_report
 from repro.engine.io.csv_source import CsvSource, write_csv
 from repro.engine.io.json_source import JsonSource
 from repro.hummer import HumMer
 
 __all__ = ["main", "build_parser"]
+
+#: The ``fuse`` sub-command's historical default duplicate threshold, applied
+#: when neither ``--threshold`` nor a config file sets one.
+FUSE_DEFAULT_THRESHOLD = 0.75
 
 
 def _parse_source(argument: str) -> Tuple[str, str]:
@@ -35,16 +45,28 @@ def _parse_source(argument: str) -> Tuple[str, str]:
     return alias.strip(), path.strip()
 
 
+def _add_config_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="JSON fusion config file (the FusionConfig tree: matching / "
+        "dedup / prepare / resolution sections); individual flags override "
+        "the file's fields",
+    )
+
+
 def _add_blocking_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--blocking",
-        default="allpairs",
+        default=None,
         metavar="STRATEGY",
         help="candidate-pair blocking strategy: one of "
         f"{', '.join(sorted(BLOCKING_STRATEGIES))}, or a composite "
-        "'union:a+b' spelling (e.g. union:snm+token).  allpairs is exact; "
-        "snm and token trade a little candidate recall for near-linear "
-        "scaling; adaptive profiles the input and picks a plan itself",
+        "'union:a+b' spelling (e.g. union:snm+token).  allpairs (the "
+        "default) is exact; snm and token trade a little candidate recall "
+        "for near-linear scaling; adaptive profiles the input and picks a "
+        "plan itself",
     )
     parser.add_argument(
         "--snm-window",
@@ -79,23 +101,6 @@ def _add_prepare_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _prepare_mode(args):
-    # lazy: the pipeline's prepare phase builds on first use, so the
-    # summary's reuse/rebuild counters tell the whole story of a run
-    return "lazy" if (args.prepare or args.artifact_dir) else None
-
-
-def _print_prepare_report(result) -> None:
-    """Print the artifact reuse/rebuild counters of a prepared run."""
-    if result.prepared is None:
-        return
-    print(
-        f"artifacts: {result.prepared.get('reused', 0)} reused, "
-        f"{result.prepared.get('rebuilt', 0)} rebuilt "
-        f"(prepare phase {result.timings.prepare:.3f}s)"
-    )
-
-
 def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -113,23 +118,32 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_executor(args):
-    if args.chunk_size is not None and (args.workers is None or args.workers <= 1):
-        raise ValueError("--chunk-size only applies with --workers greater than 1")
-    return executor_for_workers(args.workers, chunk_size=args.chunk_size)
+def _build_config(args, default_threshold: Optional[float] = None) -> FusionConfig:
+    """The effective :class:`FusionConfig`: file (if any), then flags on top."""
+    config_path = getattr(args, "config", None)
+    data = load_config_data(config_path) if config_path else {}
+    base = FusionConfig.from_dict(data)
+    file_sets_threshold = (
+        isinstance(data.get("dedup"), dict) and "threshold" in data["dedup"]
+    )
+    if (
+        default_threshold is not None
+        and getattr(args, "threshold", None) is None
+        and not file_sets_threshold
+    ):
+        base = base.merged({"dedup": {"threshold": default_threshold}})
+    return FusionConfig.from_cli_args(args, base=base)
 
 
-def _build_blocking(args):
-    if args.snm_window is not None and args.blocking != "snm":
-        raise ValueError("--snm-window only applies with --blocking snm")
-    if args.token_max_block is not None and args.blocking != "token":
-        raise ValueError("--token-max-block only applies with --blocking token")
-    options = {}
-    if args.blocking == "snm" and args.snm_window is not None:
-        options["window"] = args.snm_window
-    if args.blocking == "token" and args.token_max_block is not None:
-        options["max_block_size"] = args.token_max_block
-    return resolve_blocking(args.blocking, **options)
+def _print_prepare_report(result) -> None:
+    """Print the artifact reuse/rebuild counters of a prepared run."""
+    if result.prepared is None:
+        return
+    print(
+        f"artifacts: {result.prepared.get('reused', 0)} reused, "
+        f"{result.prepared.get('rebuilt', 0)} rebuilt "
+        f"(prepare phase {result.timings.prepare:.3f}s)"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--output", help="write the result to this CSV file")
     query.add_argument("--limit", type=int, default=25, help="rows to print")
+    _add_config_argument(query)
 
     fuse = subparsers.add_parser("fuse", help="run the automatic fusion pipeline")
     fuse.add_argument(
@@ -161,9 +176,15 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         help="register a source as alias=path (.csv or .json); repeatable",
     )
-    fuse.add_argument("--threshold", type=float, default=0.75, help="duplicate threshold")
+    fuse.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=f"duplicate threshold (default {FUSE_DEFAULT_THRESHOLD})",
+    )
     fuse.add_argument("--output", help="write the fused result to this CSV file")
     fuse.add_argument("--limit", type=int, default=25, help="rows to print")
+    _add_config_argument(fuse)
     _add_blocking_arguments(fuse)
     _add_executor_arguments(fuse)
     _add_prepare_arguments(fuse)
@@ -176,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument("--entities", type=int, default=60, help="entities to generate")
     demo.add_argument("--limit", type=int, default=15, help="rows to print")
+    _add_config_argument(demo)
     _add_blocking_arguments(demo)
     _add_executor_arguments(demo)
     _add_prepare_arguments(demo)
@@ -191,7 +213,7 @@ def _register_sources(hummer: HumMer, sources: List[Tuple[str, str]]) -> None:
 
 
 def _command_query(args) -> int:
-    hummer = HumMer()
+    hummer = HumMer(config=_build_config(args))
     _register_sources(hummer, args.source)
     result = hummer.query(args.statement)
     print(result.to_text(limit=args.limit))
@@ -210,13 +232,8 @@ def _print_blocking_plan(statistics) -> None:
 
 
 def _command_fuse(args) -> int:
-    hummer = HumMer(
-        duplicate_threshold=args.threshold,
-        blocking=_build_blocking(args),
-        executor=_build_executor(args),
-        prepare=_prepare_mode(args),
-        artifact_dir=args.artifact_dir,
-    )
+    config = _build_config(args, default_threshold=FUSE_DEFAULT_THRESHOLD)
+    hummer = HumMer(config=config)
     _register_sources(hummer, args.source)
     aliases = [alias for alias, _ in args.source]
     result = hummer.fuse(aliases)
@@ -242,12 +259,8 @@ def _command_demo(args) -> int:
         "crisis": crisis_scenario,
     }
     dataset = builders[args.scenario](entity_count=args.entities)
-    hummer = HumMer(
-        blocking=_build_blocking(args),
-        executor=_build_executor(args),
-        prepare=_prepare_mode(args),
-        artifact_dir=args.artifact_dir,
-    )
+    config = _build_config(args)
+    hummer = HumMer(config=config)
     for name, relation in dataset.sources.items():
         hummer.register(name, relation)
     print(f"scenario {args.scenario!r}: sources {', '.join(dataset.sources)}")
@@ -259,7 +272,8 @@ def _command_demo(args) -> int:
     counts = result.detection.classified.counts
     statistics = result.detection.filter_statistics
     print(
-        f"blocking ({args.blocking}): {statistics.blocking_candidates} of "
+        f"blocking ({config.dedup.blocking or 'allpairs'}): "
+        f"{statistics.blocking_candidates} of "
         f"{statistics.total_pairs} possible pairs proposed, "
         f"{statistics.compared} compared in full "
         f"(scoring: {hummer.detector.executor.name})"

@@ -11,6 +11,7 @@ from repro.core.fusion import FusionOperator, FusionResult, FusionSpec, Resoluti
 from repro.core.lineage import CellLineage, LineageMap, trace_cell_lineage
 from repro.core.rendering import annotate_with_lineage, render_with_lineage
 from repro.core.pipeline import FusionPipeline, PipelineResult, PipelineTimings
+from repro.core.session import SESSION_STEPS, FusionSession, StageEvent
 from repro.core.resolution import (
     ResolutionContext,
     ResolutionFunction,
@@ -36,6 +37,9 @@ __all__ = [
     "FusionPipeline",
     "PipelineResult",
     "PipelineTimings",
+    "FusionSession",
+    "StageEvent",
+    "SESSION_STEPS",
     "ResolutionContext",
     "ResolutionFunction",
     "ResolutionRegistry",

@@ -16,15 +16,20 @@ The six wizard steps are modelled as an explicit, inspectable pipeline:
 6. *Browse result set* — the clean, consistent result with value lineage.
 
 :class:`FusionPipeline.run` executes all steps automatically (the "usual
-case" of the paper); the ``step_*`` methods expose each stage for the
-interactive flow, and the hooks allow programmatic adjustment, which is the
-library equivalent of the GUI interventions.
+case" of the paper) by advancing one
+:class:`~repro.core.session.FusionSession` to completion; the session is
+also the interactive flow — advance step by step, adjust the intermediate
+artefacts in place, continue (see :mod:`repro.core.session`).  The
+``step_*`` methods remain the underlying per-step primitives, and the
+legacy ``adjust_*`` mutation hooks keep working for one release under a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.baselines.name_matcher import NameBasedMatcher
@@ -37,7 +42,7 @@ from repro.dedup.executor import ExecutorSpec, resolve_executor
 from repro.dedup.detector import DuplicateDetectionResult, DuplicateDetector, OBJECT_ID_COLUMN
 from repro.engine.catalog import Catalog
 from repro.engine.relation import Relation
-from repro.exceptions import HummerError
+from repro.exceptions import ConfigError, HummerError
 from repro.matching.correspondences import CorrespondenceSet
 from repro.matching.dumas import DumasMatcher
 from repro.matching.multi import MultiMatcher, MultiMatchingResult
@@ -90,14 +95,19 @@ class PipelineTimings:
 
 @dataclass
 class PipelineResult:
-    """Everything a full pipeline run produces (the demo's intermediate artefacts)."""
+    """Everything a full pipeline run produces (the demo's intermediate artefacts).
+
+    ``attribute_selection`` / ``detection`` / ``conflicts`` are ``None``
+    only for runs that fused directly on natural keys (``FUSE BY (key)``)
+    and therefore skipped duplicate detection.
+    """
 
     sources: List[Relation]
     matching: Optional[MultiMatchingResult]
     transformed: Relation
-    attribute_selection: AttributeSelection
-    detection: DuplicateDetectionResult
-    conflicts: ConflictReport
+    attribute_selection: Optional[AttributeSelection]
+    detection: Optional[DuplicateDetectionResult]
+    conflicts: Optional[ConflictReport]
     fusion: FusionResult
     timings: PipelineTimings
     #: Prepared-artifact report of this run (``None`` for unprepared runs):
@@ -123,52 +133,77 @@ class PipelineResult:
             "sources": len(self.sources),
             "input_tuples": sum(len(source) for source in self.sources),
             "correspondences": len(self.correspondences),
-            "clusters": self.detection.cluster_count,
-            "duplicate_pairs": len(self.detection.duplicate_pairs),
-            "candidate_pairs": self.detection.filter_statistics.blocking_candidates,
-            "compared_pairs": self.detection.filter_statistics.compared,
-            "contradictions": self.conflicts.contradiction_count,
-            "uncertainties": self.conflicts.uncertainty_count,
             "output_tuples": len(self.fusion.relation),
             "seconds": self.timings.total,
         }
-        plan = self.detection.filter_statistics.blocking_plan
-        if plan is not None:
-            summary["blocking_plan"] = plan.get("strategy")
+        if self.detection is not None:
+            summary["clusters"] = self.detection.cluster_count
+            summary["duplicate_pairs"] = len(self.detection.duplicate_pairs)
+            summary["candidate_pairs"] = self.detection.filter_statistics.blocking_candidates
+            summary["compared_pairs"] = self.detection.filter_statistics.compared
+            plan = self.detection.filter_statistics.blocking_plan
+            if plan is not None:
+                summary["blocking_plan"] = plan.get("strategy")
+        if self.conflicts is not None:
+            summary["contradictions"] = self.conflicts.contradiction_count
+            summary["uncertainties"] = self.conflicts.uncertainty_count
         if self.prepared is not None:
             summary["artifacts_reused"] = self.prepared.get("reused", 0)
             summary["artifacts_rebuilt"] = self.prepared.get("rebuilt", 0)
         return summary
 
 
+def _warn_deprecated(parameter: str, replacement: str) -> None:
+    warnings.warn(
+        f"FusionPipeline({parameter}=...) is deprecated and will be removed "
+        f"in the next release; {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class FusionPipeline:
     """Automatic (and optionally interactive) data-fusion pipeline.
 
+    The pipeline is now a thin layer over one
+    :class:`~repro.core.session.FusionSession` per run: :meth:`run` builds a
+    session and advances it to completion, :meth:`session` hands the session
+    out for step-by-step (adjust-then-continue) use, and the ``step_*``
+    methods remain the underlying per-step primitives.
+
     Args:
         catalog: metadata repository holding the registered sources.
-        matcher: pairwise schema matcher (default: DUMAS with default knobs).
-        detector: duplicate detector (default threshold 0.75).
+        config: a :class:`repro.config.FusionConfig` describing matcher,
+            detector and preparation declaratively.  Explicit *matcher* /
+            *detector* / *prepare* objects override the corresponding
+            config sections (object injection for advanced use).
+        matcher: pairwise schema matcher (default: from config / DUMAS).
+        detector: duplicate detector (default: from config).
         registry: resolution-function registry (default: all built-ins).
         use_name_fallback: when instance-based matching finds nothing for a
-            relation, fall back to label-based matching instead of failing.
-        blocking: candidate-pair blocking strategy for duplicate detection —
-            a strategy instance, a name (``"allpairs"``, ``"snm"``,
-            ``"token"``, ``"union:snm+token"``, ``"adaptive"``) or ``None``
-            to use the detector's own strategy.
-        executor: pair-scoring executor for duplicate detection — an
-            executor instance, a name (``"serial"``, ``"multiprocess"``) or
-            ``None`` to use the detector's own executor.
+            relation, fall back to label-based matching instead of failing
+            (``None`` → from config, default ``True``).
+        blocking: **deprecated** — configure
+            ``config.dedup.blocking`` (or ``DuplicateDetector(blocking=...)``)
+            instead.  Still honoured for one release: a strategy instance,
+            a name or ``None`` to use the detector's own strategy.
+        executor: **deprecated** — configure ``config.dedup.executor`` /
+            ``workers`` (or ``DuplicateDetector(executor=...)``) instead.
+            Still honoured for one release.
         prepare: per-source artifact preparation (see :mod:`repro.prepare`) —
             ``True`` builds a :class:`SourcePreparer` against the catalog's
             artifact store (token parameters mirrored from the effective
             blocking strategy, seeding sample limit from the matcher), a
             ready :class:`SourcePreparer` is used as-is, ``None``/``False``
-            disables preparation (every run recomputes, the pre-PR-4
-            behaviour).  Prepared runs add a ``prepare`` timing phase and a
-            reuse/rebuild artifact report to the result.
-        adjust_matching / adjust_selection / adjust_duplicates: optional hooks
-            invoked between steps with the intermediate result; they may
-            mutate it (the library counterpart of the demo's GUI wizard).
+            disables preparation.  ``None`` with a config whose
+            ``prepare.mode`` is set builds a preparer from the config.
+        adjust_matching / adjust_selection / adjust_duplicates:
+            **deprecated** mutation hooks invoked between steps — use the
+            session's adjust-then-continue flow instead
+            (:meth:`session`, then mutate ``session.matching`` /
+            ``session.selection`` / ``session.detection`` between
+            :meth:`~repro.core.session.FusionSession.advance` calls).
+            Still honoured for one release.
     """
 
     def __init__(
@@ -177,19 +212,64 @@ class FusionPipeline:
         matcher: Optional[DumasMatcher] = None,
         detector: Optional[DuplicateDetector] = None,
         registry: Optional[ResolutionRegistry] = None,
-        use_name_fallback: bool = True,
+        use_name_fallback: Optional[bool] = None,
         blocking: BlockingSpec = None,
         executor: ExecutorSpec = None,
         prepare: Union[bool, SourcePreparer, None] = None,
         adjust_matching: Optional[Callable[[MultiMatchingResult], None]] = None,
         adjust_selection: Optional[Callable[[AttributeSelection], None]] = None,
         adjust_duplicates: Optional[Callable[[DuplicateDetectionResult], None]] = None,
+        config=None,
     ):
+        if blocking is not None:
+            _warn_deprecated(
+                "blocking",
+                "set FusionConfig.dedup.blocking or construct "
+                "DuplicateDetector(blocking=...)",
+            )
+        if executor is not None:
+            _warn_deprecated(
+                "executor",
+                "set FusionConfig.dedup.executor / workers or construct "
+                "DuplicateDetector(executor=...)",
+            )
+        for hook_name, hook in (
+            ("adjust_matching", adjust_matching),
+            ("adjust_selection", adjust_selection),
+            ("adjust_duplicates", adjust_duplicates),
+        ):
+            if hook is not None:
+                _warn_deprecated(
+                    hook_name,
+                    "use FusionPipeline.session() and adjust the step "
+                    "artefacts between advance() calls",
+                )
         self.catalog = catalog
+        self.config = config
+        if config is not None:
+            matcher = matcher or config.matching.build_matcher()
+            detector = detector or config.dedup.build_detector()
+            if use_name_fallback is None:
+                use_name_fallback = config.matching.use_name_fallback
+            if prepare is None and config.prepare.mode is not None:
+                prepare = True
+            # The artifact store lives on the caller-supplied catalog, so a
+            # config artifact_dir the catalog does not match would be
+            # silently ignored — fail loudly instead of dropping the field.
+            if config.prepare.artifact_dir is not None:
+                if catalog.artifacts.directory != Path(config.prepare.artifact_dir):
+                    raise ConfigError(
+                        "config.prepare.artifact_dir "
+                        f"({config.prepare.artifact_dir!r}) does not match the "
+                        "catalog's artifact directory "
+                        f"({str(catalog.artifacts.directory)!r}); construct the "
+                        "catalog with Catalog(artifact_dir=...) — "
+                        "HumMer(config=...) does this automatically"
+                    )
         self.matcher = matcher or DumasMatcher()
         self.detector = detector or DuplicateDetector()
         self.registry = registry or default_registry()
-        self.use_name_fallback = use_name_fallback
+        self.use_name_fallback = True if use_name_fallback is None else use_name_fallback
         self.blocking = resolve_blocking(blocking) if blocking is not None else None
         self.executor = resolve_executor(executor) if executor is not None else None
         if isinstance(prepare, SourcePreparer):
@@ -275,16 +355,11 @@ class FusionPipeline:
         values (providers are installed on the blocking strategy only for
         the duration of this step).
         """
-        blocking = self._effective_blocking()
-        detector = DuplicateDetector(
-            threshold=self.detector.threshold,
-            uncertainty_band=self.detector.uncertainty_band,
-            use_filter=self.detector.use_filter,
-            cross_source_only=self.detector.cross_source_only,
+        # with_overrides carries every detector field over automatically, so
+        # a newly added knob can no longer be silently dropped here.
+        detector = self.detector.with_overrides(
             selection=selection,
-            accept_unsure=self.detector.accept_unsure,
-            keep_evidence=self.detector.keep_evidence,
-            blocking=blocking,
+            blocking=self._effective_blocking(),
             executor=self.executor if self.executor is not None else self.detector.executor,
         )
         if prepared_view is not None:
@@ -319,56 +394,44 @@ class FusionPipeline:
 
     # -- the automatic end-to-end run -----------------------------------------------
 
+    def session(
+        self,
+        aliases: Sequence[str],
+        spec: Optional[FusionSpec] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        skip_detection: bool = False,
+        skip_conflicts: bool = False,
+        transform_filter=None,
+    ):
+        """A single-use :class:`~repro.core.session.FusionSession` over *aliases*.
+
+        The session exposes the wizard steps one
+        :meth:`~repro.core.session.FusionSession.advance` at a time, with
+        adjust-then-continue in between and subscribe-able
+        :class:`~repro.core.session.StageEvent` progress.
+        """
+        from repro.core.session import FusionSession
+
+        return FusionSession(
+            self,
+            aliases,
+            spec=spec,
+            metadata=metadata,
+            skip_detection=skip_detection,
+            skip_conflicts=skip_conflicts,
+            transform_filter=transform_filter,
+        )
+
     def run(
         self,
         aliases: Sequence[str],
         spec: Optional[FusionSpec] = None,
         metadata: Optional[Dict[str, Any]] = None,
     ) -> PipelineResult:
-        """Run all six steps automatically and return every intermediate artefact."""
-        timings = PipelineTimings()
+        """Run all six steps automatically and return every intermediate artefact.
 
-        started = time.perf_counter()
-        sources = self.step_choose_sources(aliases)
-        timings.fetch = time.perf_counter() - started
-
-        started = time.perf_counter()
-        prepared = self.step_prepare(aliases)
-        timings.prepare = (time.perf_counter() - started) if prepared is not None else 0.0
-
-        started = time.perf_counter()
-        matching = self.step_schema_matching(sources, prepared)
-        transformed = self.step_transform(sources, matching)
-        timings.matching = time.perf_counter() - started
-
-        prepared_view = None
-        if prepared is not None:
-            prepared_view = prepared.view(
-                transformed,
-                correspondences=matching.correspondences if matching else None,
-                preferred=matching.preferred if matching else None,
-            )
-
-        started = time.perf_counter()
-        selection = self.step_attribute_selection(transformed)
-        detection = self.step_duplicate_detection(
-            transformed, selection, prepared_view=prepared_view
-        )
-        timings.duplicate_detection = time.perf_counter() - started
-
-        started = time.perf_counter()
-        conflicts = self.step_conflicts(detection)
-        fusion = self.step_fusion(detection, spec=spec, metadata=metadata)
-        timings.fusion = time.perf_counter() - started
-
-        return PipelineResult(
-            sources=sources,
-            matching=matching,
-            transformed=transformed,
-            attribute_selection=selection,
-            detection=detection,
-            conflicts=conflicts,
-            fusion=fusion,
-            timings=timings,
-            prepared=prepared.report() if prepared is not None else None,
-        )
+        Equivalent to advancing a fresh :meth:`session` to completion — the
+        two spellings execute the same code path and produce bit-identical
+        results.
+        """
+        return self.session(aliases, spec=spec, metadata=metadata).run()

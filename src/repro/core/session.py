@@ -1,0 +1,381 @@
+"""``repro.core.session`` — the HumMer wizard as an explicit state machine.
+
+The paper's demo (Fig. 2) is a six-step *wizard*: the user inspects and
+adjusts intermediate state between steps.  The library equivalent used to be
+three mutation callbacks (``adjust_matching`` / ``adjust_selection`` /
+``adjust_duplicates``) threaded through the pipeline constructor;
+:class:`FusionSession` replaces them with *adjust-then-continue*: each
+:meth:`~FusionSession.advance` call executes exactly one step, leaves its
+artefact on the session (``session.matching``, ``session.selection``,
+``session.detection``, …), and the caller mutates the artefact directly
+before advancing again::
+
+    session = hummer.session(["EE_Students", "CS_Students"])
+    session.advance_to(FusionSession.SCHEMA_MATCHING)
+    session.matching.correspondences.remove("Age", "Years")   # wizard step 2
+    session.advance_to(FusionSession.DUPLICATE_DETECTION)
+    session.detection.classified.confirm_all(True)            # wizard step 4
+    session.apply_duplicate_decisions()
+    result = session.run()                                    # steps 5 + 6
+
+Progress on long runs is observable through subscribe-able
+:class:`StageEvent`\\ s carrying per-step wall-clock seconds and payloads
+(artifact reuse counters, the blocking plan report, classification counts).
+
+A session run and :meth:`FusionPipeline.run` are the *same* code path —
+``run()`` is now a thin loop over one session — so stepping manually and
+running automatically produce bit-identical :class:`PipelineResult`\\ s.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.fusion import FusionOperator, FusionSpec
+from repro.core.pipeline import PipelineResult, PipelineTimings
+from repro.dedup.detector import OBJECT_ID_COLUMN
+from repro.engine.relation import Relation
+from repro.exceptions import HummerError
+
+__all__ = ["SESSION_STEPS", "StageEvent", "FusionSession"]
+
+#: The wizard steps, in execution order.  ``prepare`` is the paper's step 1b
+#: (a no-op for unprepared sessions); ``schema_matching`` covers steps 2+2b
+#: once the transform runs at the start of ``attribute_selection``.
+SESSION_STEPS = (
+    "choose_sources",
+    "prepare",
+    "schema_matching",
+    "attribute_selection",
+    "duplicate_detection",
+    "conflict_resolution",
+    "fusion",
+)
+
+#: Terminal pseudo-step reported by :attr:`FusionSession.current_step`.
+DONE = "done"
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One completed wizard step, for progress observation on long runs.
+
+    Attributes:
+        step: the completed step (one of :data:`SESSION_STEPS`).
+        index: 1-based position of the step in the run.
+        total: total number of steps in the run.
+        seconds: wall-clock seconds the step took.
+        payload: step-specific report — artifact reuse counters for
+            ``prepare``, correspondence counts for ``schema_matching``, the
+            blocking plan and classification counts for
+            ``duplicate_detection``, output size for ``fusion``, …
+    """
+
+    step: str
+    index: int
+    total: int
+    seconds: float
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class FusionSession:
+    """Stateful, event-emitting execution of the six-step fusion wizard.
+
+    Sessions are single-use: construct one per fusion run (via
+    :meth:`HumMer.session` or :meth:`FusionPipeline.session`), advance it to
+    completion, read :attr:`result`.
+
+    Args:
+        pipeline: the :class:`~repro.core.pipeline.FusionPipeline` providing
+            the per-step primitives (matcher, detector, registry, preparer).
+        aliases: catalog aliases of the sources to fuse (wizard step 1).
+        spec: fusion spec for step 5; ``None`` means fuse on ``objectID``
+            with Coalesce everywhere.
+        metadata: column metadata handed to metadata-based resolution
+            functions.
+        skip_detection: fuse directly on the transformed union without
+            duplicate detection (the ``FUSE BY (key)`` query shape) — the
+            selection / detection / conflict steps become no-ops.
+        skip_conflicts: skip the conflict-sampling report (step 5a) — the
+            SQL query path only needs the fused relation, and never paid
+            for the report before the session existed.
+        transform_filter: optional callable applied to the combined relation
+            right after transformation (the query executor's WHERE push-in).
+    """
+
+    #: Step-name constants (mirrors :data:`SESSION_STEPS`).
+    CHOOSE_SOURCES, PREPARE, SCHEMA_MATCHING, ATTRIBUTE_SELECTION, \
+        DUPLICATE_DETECTION, CONFLICT_RESOLUTION, FUSION = SESSION_STEPS
+    DONE = DONE
+
+    def __init__(
+        self,
+        pipeline,
+        aliases: Sequence[str],
+        spec: Optional[FusionSpec] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        skip_detection: bool = False,
+        skip_conflicts: bool = False,
+        transform_filter: Optional[Callable[[Relation], Relation]] = None,
+    ):
+        self.pipeline = pipeline
+        self.aliases = list(aliases)
+        self.spec = spec
+        self.metadata = metadata
+        self.skip_detection = skip_detection
+        self.skip_conflicts = skip_conflicts
+        self.transform_filter = transform_filter
+
+        # per-step artefacts (the wizard's intermediate state)
+        self.sources: Optional[List[Relation]] = None
+        self.prepared = None
+        self.matching = None
+        self.transformed: Optional[Relation] = None
+        self.prepared_view = None
+        self.selection = None
+        self.detection = None
+        self.conflicts = None
+        self.fusion = None
+        self.result: Optional[PipelineResult] = None
+
+        self.timings = PipelineTimings()
+        self._cursor = 0
+        self._listeners: List[Callable[[StageEvent], None]] = []
+        self._runners = {
+            self.CHOOSE_SOURCES: self._run_choose_sources,
+            self.PREPARE: self._run_prepare,
+            self.SCHEMA_MATCHING: self._run_schema_matching,
+            self.ATTRIBUTE_SELECTION: self._run_attribute_selection,
+            self.DUPLICATE_DETECTION: self._run_duplicate_detection,
+            self.CONFLICT_RESOLUTION: self._run_conflict_resolution,
+            self.FUSION: self._run_fusion,
+        }
+
+    # -- state inspection ----------------------------------------------------------
+
+    @property
+    def current_step(self) -> str:
+        """The next step :meth:`advance` will execute (or :data:`DONE`)."""
+        if self._cursor >= len(SESSION_STEPS):
+            return DONE
+        return SESSION_STEPS[self._cursor]
+
+    @property
+    def completed_steps(self) -> Sequence[str]:
+        """The steps executed so far, in order."""
+        return SESSION_STEPS[: self._cursor]
+
+    @property
+    def is_done(self) -> bool:
+        """Whether every step has executed and :attr:`result` is available."""
+        return self._cursor >= len(SESSION_STEPS)
+
+    # -- observation ---------------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[StageEvent], None]) -> Callable[[], None]:
+        """Receive a :class:`StageEvent` after each completed step.
+
+        Returns an unsubscribe callable.  Listener exceptions propagate to
+        the advancing caller — observers are part of the run, not detached
+        best-effort logging.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    # -- advancing -----------------------------------------------------------------
+
+    def advance(self):
+        """Execute the current step and return its artefact.
+
+        Between calls the caller may adjust the produced artefacts in place
+        (remove correspondences, change the attribute selection, decide
+        unsure pairs + :meth:`apply_duplicate_decisions`) — the library
+        counterpart of the demo's GUI interventions.
+        """
+        if self.is_done:
+            raise HummerError("the session is complete; construct a new one to re-run")
+        step = SESSION_STEPS[self._cursor]
+        started = time.perf_counter()
+        artefact, payload = self._runners[step]()
+        seconds = time.perf_counter() - started
+        self._cursor += 1
+        event = StageEvent(
+            step=step,
+            index=self._cursor,
+            total=len(SESSION_STEPS),
+            seconds=seconds,
+            payload=payload,
+        )
+        for listener in list(self._listeners):
+            listener(event)
+        return artefact
+
+    def advance_to(self, step: str):
+        """Advance until *step* (inclusive) has executed; return its artefact."""
+        if step not in SESSION_STEPS:
+            raise HummerError(
+                f"unknown session step {step!r} (steps: {', '.join(SESSION_STEPS)})"
+            )
+        if step in self.completed_steps:
+            raise HummerError(f"session step {step!r} has already executed")
+        artefact = None
+        while step not in self.completed_steps:
+            artefact = self.advance()
+        return artefact
+
+    def run(self) -> PipelineResult:
+        """Advance through every remaining step and return the result."""
+        while not self.is_done:
+            self.advance()
+        return self.result
+
+    # -- mid-session adjustment ----------------------------------------------------
+
+    def apply_duplicate_decisions(self):
+        """Re-cluster after deciding unsure pairs (wizard step 4 confirmation).
+
+        Call after mutating ``session.detection.classified`` (e.g.
+        ``confirm_all`` or per-pair decisions) and before advancing past
+        duplicate detection's successor steps.  Comparison scores are
+        reused; only the transitive closure and the objectID column are
+        recomputed.
+        """
+        if self.detection is None:
+            raise HummerError(
+                "no duplicate detection to re-cluster; advance the session "
+                "through duplicate_detection first"
+            )
+        if self.conflicts is not None or self.fusion is not None:
+            raise HummerError(
+                "duplicate decisions must be applied before conflict "
+                "resolution and fusion run"
+            )
+        self.detection = self.pipeline.detector.redetect_with_decisions(
+            self.transformed, self.detection
+        )
+        return self.detection
+
+    # -- step implementations ------------------------------------------------------
+    #
+    # Each runner returns (artefact, event payload).  Timing attribution
+    # into PipelineTimings keeps the pre-session phase semantics: transform
+    # counts as matching, selection as duplicate detection, conflicts as
+    # fusion.
+
+    def _run_choose_sources(self):
+        started = time.perf_counter()
+        self.sources = self.pipeline.step_choose_sources(self.aliases)
+        self.timings.fetch += time.perf_counter() - started
+        payload = {
+            "aliases": list(self.aliases),
+            "tuples": sum(len(source) for source in self.sources),
+        }
+        return self.sources, payload
+
+    def _run_prepare(self):
+        started = time.perf_counter()
+        self.prepared = self.pipeline.step_prepare(self.aliases)
+        if self.prepared is not None:
+            self.timings.prepare += time.perf_counter() - started
+        return self.prepared, (
+            dict(self.prepared.report()) if self.prepared is not None else {}
+        )
+
+    def _run_schema_matching(self):
+        started = time.perf_counter()
+        self.matching = self.pipeline.step_schema_matching(self.sources, self.prepared)
+        self.timings.matching += time.perf_counter() - started
+        payload = {
+            "correspondences": (
+                len(self.matching.correspondences) if self.matching is not None else 0
+            ),
+        }
+        return self.matching, payload
+
+    def _run_attribute_selection(self):
+        started = time.perf_counter()
+        transformed = self.pipeline.step_transform(self.sources, self.matching)
+        if self.transform_filter is not None:
+            transformed = self.transform_filter(transformed)
+        self.transformed = transformed
+        self.timings.matching += time.perf_counter() - started
+        if self.prepared is not None:
+            self.prepared_view = self.prepared.view(
+                transformed,
+                correspondences=self.matching.correspondences if self.matching else None,
+                preferred=self.matching.preferred if self.matching else None,
+            )
+        if self.skip_detection:
+            return None, {"skipped": True}
+        started = time.perf_counter()
+        self.selection = self.pipeline.step_attribute_selection(transformed)
+        self.timings.duplicate_detection += time.perf_counter() - started
+        return self.selection, {"attributes": list(self.selection.attributes)}
+
+    def _run_duplicate_detection(self):
+        if self.skip_detection:
+            return None, {"skipped": True}
+        started = time.perf_counter()
+        self.detection = self.pipeline.step_duplicate_detection(
+            self.transformed, self.selection, prepared_view=self.prepared_view
+        )
+        self.timings.duplicate_detection += time.perf_counter() - started
+        statistics = self.detection.filter_statistics
+        payload = {
+            "clusters": self.detection.cluster_count,
+            "counts": dict(self.detection.classified.counts),
+            "candidate_pairs": statistics.blocking_candidates,
+            "compared_pairs": statistics.compared,
+        }
+        if statistics.blocking_plan is not None:
+            payload["blocking_plan"] = statistics.blocking_plan
+        return self.detection, payload
+
+    def _run_conflict_resolution(self):
+        if self.skip_detection or self.skip_conflicts:
+            return None, {"skipped": True}
+        started = time.perf_counter()
+        self.conflicts = self.pipeline.step_conflicts(self.detection)
+        self.timings.fusion += time.perf_counter() - started
+        payload = {
+            "contradictions": self.conflicts.contradiction_count,
+            "uncertainties": self.conflicts.uncertainty_count,
+        }
+        return self.conflicts, payload
+
+    def _run_fusion(self):
+        started = time.perf_counter()
+        if self.detection is not None:
+            self.fusion = self.pipeline.step_fusion(
+                self.detection, spec=self.spec, metadata=self.metadata
+            )
+        else:
+            # skip_detection: fuse the transformed union directly (the
+            # FUSE BY key shape step_fusion cannot express)
+            operator = FusionOperator(
+                self.spec or FusionSpec(key_columns=[OBJECT_ID_COLUMN]),
+                registry=self.pipeline.registry,
+                table_name="fused",
+                metadata=self.metadata,
+            )
+            self.fusion = operator.fuse(self.transformed)
+        self.timings.fusion += time.perf_counter() - started
+        self.result = PipelineResult(
+            sources=self.sources,
+            matching=self.matching,
+            transformed=self.transformed,
+            attribute_selection=self.selection,
+            detection=self.detection,
+            conflicts=self.conflicts,
+            fusion=self.fusion,
+            timings=self.timings,
+            prepared=self.prepared.report() if self.prepared is not None else None,
+        )
+        return self.fusion, {"output_tuples": len(self.fusion.relation)}

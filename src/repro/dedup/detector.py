@@ -6,6 +6,7 @@ the input relation, but enriched by an objectID column for identification."
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -116,6 +117,36 @@ class DuplicateDetector:
         self.keep_evidence = keep_evidence
         self.blocking = resolve_blocking(blocking)
         self.executor = resolve_executor(executor)
+
+    def with_overrides(self, **overrides) -> "DuplicateDetector":
+        """A copy of this detector with the given constructor fields replaced.
+
+        The copy carries *every* constructor field over (the field set is
+        read from the constructor signature, not spelled out by hand), so a
+        newly added detector knob can never be silently dropped by a caller
+        that rebuilds the detector field by field — the historical source of
+        latent configuration drift in ``step_duplicate_detection``.
+
+        Raises:
+            TypeError: on an override that is not a constructor field.
+            AttributeError: if a constructor field is not stored under its
+                own name — a loud signal to fix the new field rather than
+                lose it.
+        """
+        parameters = [
+            name
+            for name in inspect.signature(type(self).__init__).parameters
+            if name != "self"
+        ]
+        unknown = sorted(set(overrides) - set(parameters))
+        if unknown:
+            raise TypeError(
+                f"unknown detector field(s) {', '.join(map(repr, unknown))} "
+                f"(known: {', '.join(parameters)})"
+            )
+        settings = {name: getattr(self, name) for name in parameters}
+        settings.update(overrides)
+        return type(self)(**settings)
 
     def detect(self, relation: Relation) -> DuplicateDetectionResult:
         """Run duplicate detection on *relation* and append the objectID column."""

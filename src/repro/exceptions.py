@@ -13,6 +13,15 @@ class HummerError(Exception):
     """Base class for every error raised by the library."""
 
 
+class ConfigError(HummerError, ValueError):
+    """A :class:`repro.config.FusionConfig` (or one of its sections) is invalid.
+
+    Subclasses :class:`ValueError` so call sites that predate the typed
+    config tree — where the same mistakes surfaced as scattered
+    ``ValueError``\\ s — keep working unchanged.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Relational engine
 # ---------------------------------------------------------------------------

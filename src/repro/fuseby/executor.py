@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.fusion import FusionOperator, FusionResult, FusionSpec
+from repro.core.fusion import FusionResult, FusionSpec
 from repro.core.pipeline import FusionPipeline
 from repro.core.resolution.base import ResolutionRegistry, default_registry
 from repro.dedup.detector import DuplicateDetector, OBJECT_ID_COLUMN
@@ -159,41 +159,34 @@ class QueryExecutor:
             registry=self.registry,
             prepare=self.preparer_factory() if self.preparer_factory is not None else None,
         )
-        sources = pipeline.step_choose_sources(plan.aliases)
-        prepared = pipeline.step_prepare(plan.aliases)
-        matching = pipeline.step_schema_matching(sources, prepared)
-        combined = pipeline.step_transform(sources, matching)
 
+        # The WHERE clause is pushed into the session as a transform filter.
+        # A filter that changes the combined rows makes the prepared view
+        # decline (row counts no longer line up) and detection runs cold.
+        transform_filter = None
         if query.where is not None:
-            combined = Select(RelationSource(combined), query.where).execute()
-
-        # A WHERE filter changes the combined rows, in which case view()
-        # declines (row counts no longer line up) and detection runs cold.
-        prepared_view = None
-        if prepared is not None:
-            prepared_view = prepared.view(
-                combined,
-                correspondences=matching.correspondences if matching else None,
-                preferred=matching.preferred if matching else None,
-            )
+            transform_filter = lambda combined: Select(  # noqa: E731
+                RelationSource(combined), query.where
+            ).execute()
 
         spec = plan.fusion_spec or FusionSpec()
         if plan.needs_duplicate_detection:
-            selection = pipeline.step_attribute_selection(combined)
-            detection = pipeline.step_duplicate_detection(
-                combined, selection, prepared_view=prepared_view
-            )
-            fusable = detection.relation
             spec = FusionSpec(
                 key_columns=[OBJECT_ID_COLUMN],
                 resolutions=spec.resolutions,
                 keep_source_column=spec.keep_source_column,
             )
-        else:
-            fusable = combined
 
-        operator = FusionOperator(spec, registry=self.registry, table_name="fused")
-        fusion: FusionResult = operator.fuse(fusable)
+        # skip_conflicts: the SQL interface returns only the fused relation,
+        # so the wizard's conflict-sampling report (step 5a) is not computed.
+        session = pipeline.session(
+            plan.aliases,
+            spec=spec,
+            skip_detection=not plan.needs_duplicate_detection,
+            skip_conflicts=True,
+            transform_filter=transform_filter,
+        )
+        fusion: FusionResult = session.run().fusion
         result = fusion.relation
 
         if plan.needs_duplicate_detection and result.schema.has_column(OBJECT_ID_COLUMN):

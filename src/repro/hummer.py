@@ -2,13 +2,18 @@
 
 This is the public one-stop API mirroring the two querying modes of the demo
 (paper §3): the SQL interface (:meth:`HumMer.query`) and the step-by-step
-pipeline (:meth:`HumMer.fuse` / :meth:`HumMer.pipeline`).
+pipeline (:meth:`HumMer.fuse` / :meth:`HumMer.session` /
+:meth:`HumMer.pipeline`).
 
-Example::
+Configuration is one declarative tree (:class:`repro.config.FusionConfig`)
+instead of the historical pile of keyword arguments::
 
-    from repro import HumMer
+    from repro import DedupConfig, FusionConfig, HumMer, PrepareConfig
 
-    hummer = HumMer()
+    hummer = HumMer(config=FusionConfig(
+        dedup=DedupConfig(threshold=0.8, blocking="adaptive", workers=4),
+        prepare=PrepareConfig(mode="lazy"),
+    ))
     hummer.register("EE_Students", ee_rows)
     hummer.register("CS_Students", cs_rows)
     result = hummer.query(
@@ -16,12 +21,19 @@ Example::
         "FUSE FROM EE_Students, CS_Students FUSE BY (Name)"
     )
     print(result.to_text())
+
+The pre-config keyword spellings (``duplicate_threshold=``, ``blocking=``,
+``executor=``, ``prepare=``, ``artifact_dir=``) keep working for one release
+and emit a :class:`DeprecationWarning`; see ``docs/api.md`` for the
+migration table.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.config import FusionConfig
 from repro.core.fusion import FusionSpec, ResolutionSpec
 from repro.core.pipeline import FusionPipeline, PipelineResult
 from repro.core.resolution.base import (
@@ -29,12 +41,14 @@ from repro.core.resolution.base import (
     ResolutionRegistry,
     default_registry,
 )
+from repro.core.session import FusionSession
 from repro.dedup.blocking import BlockingSpec
 from repro.dedup.detector import DuplicateDetector
 from repro.dedup.executor import ExecutorSpec
 from repro.engine.catalog import Catalog
 from repro.engine.io.base import DataSource
 from repro.engine.relation import Relation
+from repro.exceptions import ConfigError
 from repro.prepare.preparer import SourcePreparer, token_strategy_for
 from repro.fuseby.executor import QueryExecutor
 from repro.matching.dumas import DumasMatcher
@@ -42,41 +56,48 @@ from repro.matching.dumas import DumasMatcher
 __all__ = ["HumMer"]
 
 
+def _warn_deprecated_kwarg(parameter: str, replacement: str) -> None:
+    warnings.warn(
+        f"HumMer({parameter}=...) is deprecated and will be removed in the "
+        f"next release; {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class HumMer:
     """Ad-hoc, declarative data fusion over registered sources.
 
     Args:
-        duplicate_threshold: similarity at or above which tuples are duplicates.
-        matcher: schema matcher to use (default DUMAS).
+        config: the declarative configuration tree
+            (:class:`repro.config.FusionConfig`) — matching knobs, dedup
+            threshold / blocking / executor, preparation mode and artifact
+            directory, default resolutions.  Defaults to a stock tree.
+        matcher: schema-matcher *instance* override (object injection; wins
+            over ``config.matching``).
+        detector: duplicate-detector *instance* override (object injection;
+            wins over ``config.dedup``).  Mutually exclusive with the
+            deprecated *blocking* / *executor* kwargs.
         registry: resolution-function registry; defaults to a process-wide
             registry holding every built-in function.
-        blocking: candidate-pair blocking strategy for duplicate detection —
-            a strategy instance, a name (``"allpairs"``, ``"snm"``,
-            ``"token"``, ``"union:snm+token"``, ``"adaptive"``) or ``None``
-            for the exact all-pairs baseline.
-            Mutually exclusive with an explicit *detector* (configure
-            ``DuplicateDetector(blocking=...)`` instead).
-        executor: pair-scoring executor for duplicate detection — an
-            executor instance, a name (``"serial"``, ``"multiprocess"``) or
-            ``None`` for the in-process serial baseline.  Mutually exclusive
-            with an explicit *detector* (configure
-            ``DuplicateDetector(executor=...)`` instead).
-        prepare: default per-source preparation mode (see
-            :mod:`repro.prepare`): ``None`` disables artifacts, ``"lazy"``
-            builds them on the first fusion query that needs them,
-            ``"eager"`` builds them at registration time.  Individual
-            ``register(..., prepare=...)`` calls may override the mode per
-            source; calling :meth:`prepare` explicitly also switches an
-            unprepared instance to ``"lazy"`` so the built artifacts are
-            used.
-        artifact_dir: optional directory for on-disk artifact persistence —
-            a restarted process with the same directory serves its first
-            query warm.
+        duplicate_threshold: **deprecated** — set
+            ``config.dedup.threshold``.  Still honoured for one release.
+        blocking: **deprecated** — set ``config.dedup.blocking`` (a name)
+            or inject ``DuplicateDetector(blocking=...)``.  Still honoured
+            for one release, including strategy instances.
+        executor: **deprecated** — set ``config.dedup.executor`` /
+            ``config.dedup.workers`` or inject
+            ``DuplicateDetector(executor=...)``.  Still honoured for one
+            release, including executor instances.
+        prepare: **deprecated** — set ``config.prepare.mode``.  Still
+            honoured for one release.
+        artifact_dir: **deprecated** — set ``config.prepare.artifact_dir``.
+            Still honoured for one release.
     """
 
     def __init__(
         self,
-        duplicate_threshold: float = 0.7,
+        duplicate_threshold: Optional[float] = None,
         matcher: Optional[DumasMatcher] = None,
         detector: Optional[DuplicateDetector] = None,
         registry: Optional[ResolutionRegistry] = None,
@@ -84,6 +105,7 @@ class HumMer:
         executor: ExecutorSpec = None,
         prepare: Optional[str] = None,
         artifact_dir: Optional[str] = None,
+        config: Optional[FusionConfig] = None,
     ):
         if detector is not None and blocking is not None:
             raise ValueError(
@@ -95,24 +117,77 @@ class HumMer:
                 "pass the executor via DuplicateDetector(executor=...) when an "
                 "explicit detector is given"
             )
-        if prepare not in (None, "lazy", "eager"):
-            raise ValueError('prepare must be None, "lazy" or "eager"')
-        self.catalog = Catalog(artifact_dir=artifact_dir)
+        config = config if config is not None else FusionConfig()
+        blocking_instance = None
+        executor_instance = None
+        if duplicate_threshold is not None:
+            _warn_deprecated_kwarg(
+                "duplicate_threshold", "set FusionConfig.dedup.threshold"
+            )
+            config = config.merged({"dedup": {"threshold": duplicate_threshold}})
+        if blocking is not None:
+            _warn_deprecated_kwarg(
+                "blocking",
+                "set FusionConfig.dedup.blocking or inject "
+                "DuplicateDetector(blocking=...)",
+            )
+            if isinstance(blocking, str):
+                config = config.merged({"dedup": {"blocking": blocking}})
+            else:
+                blocking_instance = blocking
+        if executor is not None:
+            _warn_deprecated_kwarg(
+                "executor",
+                "set FusionConfig.dedup.executor / workers or inject "
+                "DuplicateDetector(executor=...)",
+            )
+            if isinstance(executor, str):
+                config = config.merged({"dedup": {"executor": executor}})
+            else:
+                executor_instance = executor
+        if prepare is not None:
+            _warn_deprecated_kwarg("prepare", "set FusionConfig.prepare.mode")
+            config = config.merged({"prepare": {"mode": prepare}})
+        if artifact_dir is not None:
+            _warn_deprecated_kwarg(
+                "artifact_dir", "set FusionConfig.prepare.artifact_dir"
+            )
+            config = config.merged({"prepare": {"artifact_dir": artifact_dir}})
+        self.config = config
+        self.catalog = Catalog(artifact_dir=config.prepare.artifact_dir)
         self.registry = registry or default_registry()
-        self.matcher = matcher or DumasMatcher()
-        self.detector = detector or DuplicateDetector(
-            threshold=duplicate_threshold, blocking=blocking, executor=executor
+        self.matcher = matcher or config.matching.build_matcher()
+        self.detector = detector or config.dedup.build_detector(
+            blocking=blocking_instance, executor=executor_instance
         )
-        self._prepare_mode = prepare
         self._executor = QueryExecutor(
             self.catalog,
             registry=self.registry,
             matcher=self.matcher,
             detector=self.detector,
             preparer_factory=lambda: (
-                self._preparer() if self._prepare_mode is not None else None
+                self._preparer() if self.prepare_mode is not None else None
             ),
         )
+
+    # -- configuration -------------------------------------------------------------
+
+    @property
+    def prepare_mode(self) -> Optional[str]:
+        """The instance-wide preparation mode (``config.prepare.mode``)."""
+        return self.config.prepare.mode
+
+    def enable_prepare(self, mode: str = "lazy") -> None:
+        """Explicitly switch on per-source artifact preparation.
+
+        This is the blessed spelling of what ``register(prepare=...)`` and
+        :meth:`prepare` used to do implicitly (and now do under a
+        :class:`DeprecationWarning`): subsequent queries build, reuse and
+        merge per-source artifacts in *mode* (``"lazy"`` or ``"eager"``).
+        """
+        if mode is None:
+            raise ConfigError('enable_prepare needs "lazy" or "eager"')
+        self.config = self.config.merged({"prepare": {"mode": mode}})
 
     # -- source management ---------------------------------------------------------
 
@@ -128,19 +203,33 @@ class HumMer:
 
         *prepare* overrides the instance's preparation mode for this source:
         ``"eager"`` builds the per-source artifacts immediately, ``"lazy"``
-        defers them to the first fusion query.  Passing either also enables
-        artifact use for subsequent queries when the instance was created
-        without a mode.  Replacing a source invalidates its artifacts; with
-        an eager mode they are rebuilt on the spot.
+        defers them to the first fusion query.  Replacing a source
+        invalidates its artifacts; with an eager mode they are rebuilt on
+        the spot.
+
+        .. deprecated::
+            On an instance whose config has no preparation mode, passing
+            *prepare* also flips the instance-wide mode as a side effect —
+            that implicit promotion now emits a :class:`DeprecationWarning`.
+            Configure ``PrepareConfig(mode=...)`` or call
+            :meth:`enable_prepare` explicitly instead.
         """
         if prepare not in (None, "lazy", "eager"):
-            raise ValueError('prepare must be None, "lazy" or "eager"')
+            raise ConfigError('prepare must be None, "lazy" or "eager"')
         self.catalog.register(alias, source, description=description, replace=replace)
-        mode = prepare or self._prepare_mode
-        if prepare is not None and self._prepare_mode is None:
-            self._prepare_mode = prepare
+        mode = prepare or self.prepare_mode
+        if prepare is not None and self.prepare_mode is None:
+            warnings.warn(
+                f"register(prepare={prepare!r}) on an instance configured "
+                "without a preparation mode implicitly enables instance-wide "
+                "artifact use; this side effect is deprecated — configure "
+                "PrepareConfig(mode=...) or call enable_prepare() explicitly",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.config = self.config.merged({"prepare": {"mode": prepare}})
         if mode == "eager":
-            self.prepare([alias])
+            self._prepare_now([alias])
 
     def unregister(self, alias: str) -> None:
         """Remove a registered source (and its prepared artifacts)."""
@@ -149,12 +238,29 @@ class HumMer:
     def prepare(self, aliases: Optional[Sequence[str]] = None) -> Dict[str, Any]:
         """Build (or validate) per-source artifacts now; returns the report.
 
-        With no *aliases*, every registered source is prepared.  An instance
-        created without a preparation mode switches to ``"lazy"`` so the
-        artifacts built here are actually merged by subsequent queries.
+        With no *aliases*, every registered source is prepared.
+
+        .. deprecated::
+            On an instance configured without a preparation mode this call
+            implicitly switches the instance to ``"lazy"`` so the built
+            artifacts are actually merged by subsequent queries; that side
+            effect now emits a :class:`DeprecationWarning` — call
+            :meth:`enable_prepare` first (or configure
+            ``PrepareConfig(mode=...)``) to be explicit.
         """
-        if self._prepare_mode is None:
-            self._prepare_mode = "lazy"
+        if self.prepare_mode is None:
+            warnings.warn(
+                "prepare() on an instance configured without a preparation "
+                "mode implicitly switches it to \"lazy\"; this side effect "
+                "is deprecated — configure PrepareConfig(mode=...) or call "
+                "enable_prepare() explicitly",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.enable_prepare("lazy")
+        return self._prepare_now(aliases)
+
+    def _prepare_now(self, aliases: Optional[Sequence[str]]) -> Dict[str, Any]:
         prepared = self._preparer().prepare(
             list(aliases) if aliases is not None else self.catalog.aliases()
         )
@@ -206,26 +312,55 @@ class HumMer:
         """Run the fully automatic pipeline over *aliases* and return all artefacts.
 
         ``resolutions`` maps column names (of the preferred schema) to
-        resolution functions; unmentioned columns use Coalesce.
+        resolution functions; unmentioned columns use Coalesce.  Without
+        *resolutions*, the config's ``resolution`` section (if any) applies.
         """
-        specs = [
-            ResolutionSpec(column, function)
-            for column, function in (resolutions or {}).items()
-        ]
-        spec = FusionSpec(resolutions=specs) if specs else None
-        return self.pipeline().run(aliases, spec=spec, metadata=metadata)
+        return self.pipeline().run(
+            aliases, spec=self._fusion_spec(resolutions), metadata=metadata
+        )
+
+    def session(
+        self,
+        aliases: Sequence[str],
+        resolutions: Optional[
+            Dict[str, Union[str, Tuple[str, Sequence[Any]], ResolutionFunction]]
+        ] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> FusionSession:
+        """A step-by-step :class:`~repro.core.session.FusionSession` over *aliases*.
+
+        The session walks the paper's six wizard steps one
+        :meth:`~repro.core.session.FusionSession.advance` at a time; adjust
+        the intermediate artefacts between calls and subscribe to
+        :class:`~repro.core.session.StageEvent` progress.  Advancing it to
+        completion is bit-identical to :meth:`fuse`.
+        """
+        return self.pipeline().session(
+            aliases, spec=self._fusion_spec(resolutions), metadata=metadata
+        )
+
+    def _fusion_spec(self, resolutions) -> Optional[FusionSpec]:
+        if resolutions:
+            specs = [
+                ResolutionSpec(column, function)
+                for column, function in resolutions.items()
+            ]
+            return FusionSpec(resolutions=specs)
+        return self.config.resolution.build_spec()
 
     def pipeline(self, **overrides) -> FusionPipeline:
         """A :class:`FusionPipeline` bound to this instance's catalog and settings.
 
-        Keyword overrides are passed through to the pipeline constructor
-        (e.g. ``adjust_matching=...`` hooks for the interactive flow).
+        Keyword overrides are passed through to the pipeline constructor;
+        the ``adjust_*`` mutation hooks keep working for one release under a
+        :class:`DeprecationWarning` (use :meth:`session` instead).
         """
         options = {
             "matcher": self.matcher,
             "detector": self.detector,
             "registry": self.registry,
-            "prepare": self._preparer() if self._prepare_mode is not None else None,
+            "use_name_fallback": self.config.matching.use_name_fallback,
+            "prepare": self._preparer() if self.prepare_mode is not None else None,
         }
         options.update(overrides)
         return FusionPipeline(self.catalog, **options)

@@ -1,0 +1,267 @@
+"""Public-API snapshot tests (ISSUE 5 satellite).
+
+Asserts the exported names of ``repro``, ``repro.config`` and
+``repro.core.session`` plus the parameter lists of the load-bearing
+callables, so an accidental surface break (renamed kwarg, dropped export,
+reordered required parameter) fails fast in CI rather than surfacing in a
+downstream consumer.  Asserts too that the one-release deprecation shims
+actually warn — a shim that silently stops warning (or stops working) is
+itself a surface break.
+
+When a surface change is *intentional*, update the snapshots here in the
+same commit and call the change out in the PR.
+"""
+
+import inspect
+import warnings
+
+import pytest
+
+import repro
+import repro.config
+import repro.core.session
+from repro.config import DedupConfig, FusionConfig
+from repro.core.pipeline import FusionPipeline
+from repro.core.session import FusionSession
+from repro.dedup.detector import DuplicateDetector
+from repro.hummer import HumMer
+
+# --------------------------------------------------------------------------
+# exported names
+# --------------------------------------------------------------------------
+
+REPRO_EXPORTS = sorted(
+    [
+        "HumMer",
+        "FusionConfig",
+        "MatchingConfig",
+        "DedupConfig",
+        "PrepareConfig",
+        "ResolutionConfig",
+        "FusionSession",
+        "StageEvent",
+        "Catalog",
+        "Column",
+        "DataType",
+        "Relation",
+        "Schema",
+        "FusionPipeline",
+        "FusionResult",
+        "FusionSpec",
+        "PipelineResult",
+        "ResolutionContext",
+        "ResolutionFunction",
+        "ResolutionSpec",
+        "default_registry",
+        "fuse",
+        "DumasMatcher",
+        "transform_sources",
+        "DuplicateDetector",
+        "parse_query",
+        "__version__",
+    ]
+)
+
+CONFIG_EXPORTS = sorted(
+    [
+        "PREPARE_MODES",
+        "MatchingConfig",
+        "DedupConfig",
+        "PrepareConfig",
+        "ResolutionConfig",
+        "FusionConfig",
+        "load_config_data",
+    ]
+)
+
+SESSION_EXPORTS = sorted(["SESSION_STEPS", "StageEvent", "FusionSession"])
+
+
+def parameters(callable_object):
+    """Ordered parameter names of *callable_object* (self included)."""
+    return list(inspect.signature(callable_object).parameters)
+
+
+# Parameter-name snapshots of the API's load-bearing callables.  Names and
+# order are the contract (keyword call sites and positional call sites both
+# break when these drift); defaults and annotations are free to evolve.
+SIGNATURES = {
+    "HumMer.__init__": [
+        "self", "duplicate_threshold", "matcher", "detector", "registry",
+        "blocking", "executor", "prepare", "artifact_dir", "config",
+    ],
+    "HumMer.register": ["self", "alias", "source", "description", "replace", "prepare"],
+    "HumMer.fuse": ["self", "aliases", "resolutions", "metadata"],
+    "HumMer.session": ["self", "aliases", "resolutions", "metadata"],
+    "HumMer.enable_prepare": ["self", "mode"],
+    "FusionPipeline.__init__": [
+        "self", "catalog", "matcher", "detector", "registry",
+        "use_name_fallback", "blocking", "executor", "prepare",
+        "adjust_matching", "adjust_selection", "adjust_duplicates", "config",
+    ],
+    "FusionPipeline.run": ["self", "aliases", "spec", "metadata"],
+    "FusionPipeline.session": [
+        "self", "aliases", "spec", "metadata", "skip_detection",
+        "skip_conflicts", "transform_filter",
+    ],
+    "FusionSession.__init__": [
+        "self", "pipeline", "aliases", "spec", "metadata",
+        "skip_detection", "skip_conflicts", "transform_filter",
+    ],
+    "FusionSession.advance": ["self"],
+    "FusionSession.advance_to": ["self", "step"],
+    "FusionSession.run": ["self"],
+    "FusionSession.subscribe": ["self", "listener"],
+    "FusionSession.apply_duplicate_decisions": ["self"],
+    "FusionConfig.from_dict": ["data"],
+    "FusionConfig.from_json": ["text"],
+    "FusionConfig.from_file": ["path"],
+    "FusionConfig.from_cli_args": ["args", "base"],
+    "FusionConfig.merged": ["self", "overrides"],
+    "FusionConfig.to_dict": ["self"],
+    "FusionConfig.to_json": ["self", "indent"],
+    "DuplicateDetector.__init__": [
+        "self", "threshold", "uncertainty_band", "use_filter",
+        "cross_source_only", "selection", "accept_unsure", "keep_evidence",
+        "blocking", "executor",
+    ],
+    "DuplicateDetector.with_overrides": ["self", "overrides"],
+}
+
+OWNERS = {
+    "HumMer": HumMer,
+    "FusionPipeline": FusionPipeline,
+    "FusionSession": FusionSession,
+    "FusionConfig": FusionConfig,
+    "DuplicateDetector": DuplicateDetector,
+}
+
+
+class TestExportedNames:
+    def test_repro_all(self):
+        assert sorted(repro.__all__) == REPRO_EXPORTS
+
+    def test_repro_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_config_all(self):
+        assert sorted(repro.config.__all__) == CONFIG_EXPORTS
+
+    def test_session_all(self):
+        assert sorted(repro.core.session.__all__) == SESSION_EXPORTS
+
+    def test_session_steps_are_stable(self):
+        assert repro.core.session.SESSION_STEPS == (
+            "choose_sources",
+            "prepare",
+            "schema_matching",
+            "attribute_selection",
+            "duplicate_detection",
+            "conflict_resolution",
+            "fusion",
+        )
+
+
+class TestSignatures:
+    @pytest.mark.parametrize("qualified_name", sorted(SIGNATURES))
+    def test_parameter_names(self, qualified_name):
+        owner_name, _, attribute = qualified_name.partition(".")
+        target = getattr(OWNERS[owner_name], attribute)
+        assert parameters(target) == SIGNATURES[qualified_name], (
+            f"{qualified_name} drifted; if intentional, update the snapshot"
+        )
+
+
+class TestDeprecationShims:
+    """Every pre-config kwarg spelling still works — and warns."""
+
+    def _fresh(self, catalog):
+        hummer = HumMer()
+        hummer.register("EE_Students", catalog.fetch("EE_Students"))
+        return hummer
+
+    def test_hummer_duplicate_threshold(self):
+        with pytest.warns(DeprecationWarning, match="duplicate_threshold"):
+            hummer = HumMer(duplicate_threshold=0.8)
+        assert hummer.detector.threshold == 0.8
+
+    def test_hummer_blocking_name(self):
+        with pytest.warns(DeprecationWarning, match="blocking"):
+            hummer = HumMer(blocking="snm")
+        assert hummer.detector.blocking.name == "snm"
+        assert hummer.config.dedup.blocking == "snm"
+
+    def test_hummer_blocking_instance(self):
+        from repro.dedup.blocking import TokenBlocking
+
+        strategy = TokenBlocking(max_block_size=10)
+        with pytest.warns(DeprecationWarning, match="blocking"):
+            hummer = HumMer(blocking=strategy)
+        assert hummer.detector.blocking is strategy
+
+    def test_hummer_executor(self):
+        with pytest.warns(DeprecationWarning, match="executor"):
+            hummer = HumMer(executor="multiprocess")
+        assert hummer.detector.executor.name == "multiprocess"
+
+    def test_hummer_prepare_and_artifact_dir(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="prepare"):
+            hummer = HumMer(prepare="lazy")
+        assert hummer.prepare_mode == "lazy"
+        with pytest.warns(DeprecationWarning, match="artifact_dir"):
+            hummer = HumMer(artifact_dir=str(tmp_path))
+        assert hummer.config.prepare.artifact_dir == str(tmp_path)
+
+    def test_pipeline_adjust_hooks(self, catalog):
+        with pytest.warns(DeprecationWarning, match="adjust_selection"):
+            pipeline = FusionPipeline(catalog, adjust_selection=lambda s: None)
+        assert pipeline.adjust_selection is not None
+
+    def test_pipeline_blocking_and_executor(self, catalog):
+        with pytest.warns(DeprecationWarning, match="blocking"):
+            FusionPipeline(catalog, blocking="snm")
+        with pytest.warns(DeprecationWarning, match="executor"):
+            FusionPipeline(catalog, executor="serial")
+
+    def test_hummer_pipeline_hook_override(self, catalog):
+        hummer = self._fresh(catalog)
+        with pytest.warns(DeprecationWarning, match="adjust_matching"):
+            hummer.pipeline(adjust_matching=lambda m: None)
+
+    def test_implicit_register_prepare_promotion(self, catalog):
+        hummer = self._fresh(catalog)
+        with pytest.warns(DeprecationWarning, match="implicitly enables"):
+            hummer.register(
+                "CS_Students", catalog.fetch("CS_Students"), prepare="lazy"
+            )
+        assert hummer.prepare_mode == "lazy"
+
+    def test_implicit_prepare_call_promotion(self, catalog):
+        hummer = self._fresh(catalog)
+        with pytest.warns(DeprecationWarning, match="implicitly switches"):
+            hummer.prepare()
+        assert hummer.prepare_mode == "lazy"
+
+    def test_explicit_enable_prepare_does_not_warn(self, catalog):
+        hummer = self._fresh(catalog)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            hummer.enable_prepare("lazy")
+            hummer.register(
+                "CS_Students", catalog.fetch("CS_Students"), prepare="lazy"
+            )
+        assert hummer.prepare_mode == "lazy"
+
+    def test_config_construction_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            HumMer(config=FusionConfig(dedup=DedupConfig(blocking="snm", workers=2)))
+
+    def test_deprecated_kwargs_still_produce_working_instances(self, catalog):
+        with pytest.warns(DeprecationWarning):
+            hummer = HumMer(blocking="snm", executor="serial", duplicate_threshold=0.7)
+        hummer.register("EE_Students", catalog.fetch("EE_Students"))
+        hummer.register("CS_Students", catalog.fetch("CS_Students"))
+        result = hummer.fuse(["EE_Students", "CS_Students"])
+        assert result.detection.cluster_count == 5

@@ -1,9 +1,21 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.config import FusionConfig
 from repro.engine.io.csv_source import write_csv
+
+
+def stable_lines(output: str) -> list:
+    """CLI output minus the wall-clock lines (everything else is deterministic)."""
+    return [
+        line
+        for line in output.splitlines()
+        if "seconds" not in line and "prepare phase" not in line
+    ]
 
 
 @pytest.fixture
@@ -121,6 +133,131 @@ class TestFuseCommand:
         captured = capsys.readouterr()
         assert exit_code == 1
         assert "unknown blocking strategy" in captured.err
+
+
+class TestConfigFile:
+    """CLI-flag ↔ config-file parity (ISSUE 5 satellite)."""
+
+    def test_fuse_flags_and_config_file_are_equivalent(
+        self, csv_sources, tmp_path, capsys
+    ):
+        ee_path, cs_path = csv_sources
+        sources = ["--source", f"ee={ee_path}", "--source", f"cs={cs_path}"]
+
+        assert main(
+            ["fuse", *sources, "--threshold", "0.8",
+             "--blocking", "snm", "--snm-window", "6"]
+        ) == 0
+        from_flags = capsys.readouterr().out
+
+        config_path = tmp_path / "fusion.json"
+        config_path.write_text(json.dumps({
+            "dedup": {
+                "threshold": 0.8,
+                "blocking": "snm",
+                "blocking_options": {"window": 6},
+            }
+        }))
+        assert main(["fuse", *sources, "--config", str(config_path)]) == 0
+        from_file = capsys.readouterr().out
+
+        assert stable_lines(from_flags) == stable_lines(from_file)
+
+    def test_demo_flags_and_config_file_are_equivalent(self, tmp_path, capsys):
+        base = ["demo", "students", "--entities", "12", "--limit", "3"]
+
+        assert main([*base, "--blocking", "adaptive"]) == 0
+        from_flags = capsys.readouterr().out
+
+        config_path = tmp_path / "fusion.json"
+        config_path.write_text(json.dumps({"dedup": {"blocking": "adaptive"}}))
+        assert main([*base, "--config", str(config_path)]) == 0
+        from_file = capsys.readouterr().out
+
+        assert stable_lines(from_flags) == stable_lines(from_file)
+
+    def test_flags_override_the_config_file(self, csv_sources, tmp_path, capsys):
+        ee_path, cs_path = csv_sources
+        config_path = tmp_path / "fusion.json"
+        config_path.write_text(json.dumps({"dedup": {"blocking": "snm"}}))
+        exit_code = main(
+            ["fuse", "--source", f"ee={ee_path}", "--source", f"cs={cs_path}",
+             "--config", str(config_path), "--blocking", "adaptive"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "blocking plan" in output  # adaptive (the flag) won
+
+    def test_config_file_round_trips_through_to_json(self, csv_sources, tmp_path, capsys):
+        ee_path, cs_path = csv_sources
+        config_path = tmp_path / "fusion.json"
+        config_path.write_text(
+            FusionConfig.from_dict({"dedup": {"threshold": 0.8}}).to_json()
+        )
+        exit_code = main(
+            ["fuse", "--source", f"ee={ee_path}", "--source", f"cs={cs_path}",
+             "--config", str(config_path)]
+        )
+        assert exit_code == 0
+        assert "pipeline summary" in capsys.readouterr().out
+
+    def test_invalid_config_file_is_reported_not_raised(
+        self, csv_sources, tmp_path, capsys
+    ):
+        ee_path, cs_path = csv_sources
+        config_path = tmp_path / "fusion.json"
+        config_path.write_text(json.dumps({"dedup": {"blocking": "sorted"}}))
+        exit_code = main(
+            ["fuse", "--source", f"ee={ee_path}", "--source", f"cs={cs_path}",
+             "--config", str(config_path)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "unknown blocking strategy" in captured.err
+
+    def test_config_file_without_threshold_keeps_the_fuse_default(self, tmp_path):
+        from repro.cli import FUSE_DEFAULT_THRESHOLD, _build_config, build_parser
+
+        config_path = tmp_path / "fusion.json"
+        config_path.write_text(json.dumps({"prepare": {"mode": "lazy"}}))
+        args = build_parser().parse_args(
+            ["fuse", "--source", "a=a.csv", "--config", str(config_path)]
+        )
+        config = _build_config(args, default_threshold=FUSE_DEFAULT_THRESHOLD)
+        assert config.dedup.threshold == FUSE_DEFAULT_THRESHOLD
+
+    def test_config_file_threshold_wins_over_the_fuse_default(self, tmp_path):
+        from repro.cli import FUSE_DEFAULT_THRESHOLD, _build_config, build_parser
+
+        config_path = tmp_path / "fusion.json"
+        config_path.write_text(json.dumps({"dedup": {"threshold": 0.6}}))
+        args = build_parser().parse_args(
+            ["fuse", "--source", "a=a.csv", "--config", str(config_path)]
+        )
+        config = _build_config(args, default_threshold=FUSE_DEFAULT_THRESHOLD)
+        assert config.dedup.threshold == 0.6
+
+    def test_dependent_flag_composes_with_config_file(self, csv_sources, tmp_path, capsys):
+        """`--snm-window` is valid when the *file* sets blocking snm."""
+        ee_path, cs_path = csv_sources
+        config_path = tmp_path / "fusion.json"
+        config_path.write_text(json.dumps({"dedup": {"blocking": "snm"}}))
+        exit_code = main(
+            ["fuse", "--source", f"ee={ee_path}", "--source", f"cs={cs_path}",
+             "--config", str(config_path), "--snm-window", "6"]
+        )
+        assert exit_code == 0
+        assert "pipeline summary" in capsys.readouterr().out
+
+    def test_missing_config_file_is_reported(self, csv_sources, capsys):
+        ee_path, cs_path = csv_sources
+        exit_code = main(
+            ["fuse", "--source", f"ee={ee_path}", "--source", f"cs={cs_path}",
+             "--config", "/nonexistent/fusion.json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "cannot read config file" in captured.err
 
 
 class TestDemoCommand:

@@ -1,0 +1,299 @@
+"""Tests for the declarative config tree (``repro.config``).
+
+Covers the ISSUE 5 satellite: lossless round-tripping
+(``FusionConfig.from_dict(cfg.to_dict()) == cfg``), CLI-flag ↔ config-file
+parity on ``fuse``/``demo`` (see ``tests/test_cli.py``), and the
+construction-time validation that replaced the scattered ``ValueError``\\ s.
+"""
+
+import json
+
+import pytest
+
+from repro.config import (
+    DedupConfig,
+    FusionConfig,
+    MatchingConfig,
+    PrepareConfig,
+    ResolutionConfig,
+)
+from repro.dedup.blocking import SortedNeighborhoodBlocking, UnionBlocking
+from repro.dedup.executor import MultiprocessExecutor, SerialExecutor
+from repro.exceptions import ConfigError, HummerError
+
+
+def full_config() -> FusionConfig:
+    """A tree with every section away from its defaults."""
+    return FusionConfig(
+        matching=MatchingConfig(
+            max_seeds=7,
+            min_seed_similarity=0.3,
+            correspondence_threshold=0.4,
+            use_name_fallback=False,
+        ),
+        dedup=DedupConfig(
+            threshold=0.8,
+            uncertainty_band=0.05,
+            cross_source_only=True,
+            keep_evidence=True,
+            blocking="snm",
+            blocking_options={"window": 6},
+            workers=2,
+            chunk_size=64,
+        ),
+        prepare=PrepareConfig(mode="lazy", artifact_dir="/tmp/artifacts"),
+        resolution=ResolutionConfig(
+            resolutions={"Age": "max", "Label": ("choose", ("shop",))},
+            key_columns=("Name",),
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_default_tree_round_trips(self):
+        config = FusionConfig()
+        assert FusionConfig.from_dict(config.to_dict()) == config
+
+    def test_full_tree_round_trips(self):
+        config = full_config()
+        assert FusionConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip(self):
+        config = full_config()
+        assert FusionConfig.from_json(config.to_json()) == config
+
+    def test_to_dict_is_json_serialisable(self):
+        json.dumps(full_config().to_dict())
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "fusion.json"
+        path.write_text(full_config().to_json())
+        assert FusionConfig.from_file(path) == full_config()
+
+    def test_sections_may_be_omitted(self):
+        config = FusionConfig.from_dict({"dedup": {"threshold": 0.9}})
+        assert config.dedup.threshold == 0.9
+        assert config.matching == MatchingConfig()
+
+
+class TestMerged:
+    def test_merged_changes_only_mentioned_fields(self):
+        config = full_config()
+        derived = config.merged({"dedup": {"threshold": 0.6}})
+        assert derived.dedup.threshold == 0.6
+        assert derived.dedup.blocking == "snm"
+        assert derived.matching == config.matching
+
+    def test_merged_does_not_mutate_the_original(self):
+        config = full_config()
+        config.merged({"prepare": {"mode": "eager"}})
+        assert config.prepare.mode == "lazy"
+
+    def test_merged_validates(self):
+        with pytest.raises(ConfigError):
+            full_config().merged({"dedup": {"threshold": 1.5}})
+
+    def test_merged_rejects_unknown_section(self):
+        with pytest.raises(ConfigError, match="unknown config section"):
+            full_config().merged({"dedupe": {}})
+
+
+class TestValidation:
+    def test_config_error_is_a_value_error_and_hummer_error(self):
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(ConfigError, HummerError)
+
+    def test_bad_blocking_name(self):
+        with pytest.raises(ConfigError, match="unknown blocking strategy"):
+            DedupConfig(blocking="sorted")
+
+    def test_bad_blocking_option(self):
+        with pytest.raises(ConfigError):
+            DedupConfig(blocking="snm", blocking_options={"windowsill": 4})
+
+    def test_blocking_options_need_a_strategy(self):
+        with pytest.raises(ConfigError, match="blocking_options"):
+            DedupConfig(blocking_options={"window": 4})
+
+    def test_bad_executor_name(self):
+        with pytest.raises(ConfigError, match="unknown scoring executor"):
+            DedupConfig(executor="threads")
+
+    def test_negative_workers(self):
+        with pytest.raises(ConfigError, match="workers must be at least 1"):
+            DedupConfig(workers=-2)
+
+    def test_chunk_size_needs_parallel_workers(self):
+        with pytest.raises(ConfigError, match="chunk_size"):
+            DedupConfig(chunk_size=32)
+        with pytest.raises(ConfigError, match="chunk_size"):
+            DedupConfig(workers=1, chunk_size=32)
+
+    def test_workers_exclusive_with_executor_name(self):
+        with pytest.raises(ConfigError, match="workers cannot be combined"):
+            DedupConfig(executor="serial", workers=4)
+
+    def test_threshold_range(self):
+        with pytest.raises(ConfigError, match=r"threshold must lie in \[0, 1\]"):
+            DedupConfig(threshold=1.2)
+
+    def test_unknown_prepare_mode(self):
+        with pytest.raises(ConfigError, match="unknown prepare mode"):
+            PrepareConfig(mode="sometimes")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown DedupConfig field"):
+            FusionConfig.from_dict({"dedup": {"treshold": 0.8}})
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigError, match="unknown config section"):
+            FusionConfig.from_dict({"blocking": "snm"})
+
+    def test_matching_ranges(self):
+        with pytest.raises(ConfigError):
+            MatchingConfig(max_seeds=0)
+        with pytest.raises(ConfigError):
+            MatchingConfig(min_seed_similarity=-0.1)
+
+    def test_instances_are_rejected_in_the_tree(self):
+        with pytest.raises(ConfigError, match="strategy name"):
+            DedupConfig(blocking=SortedNeighborhoodBlocking())
+
+    def test_bad_resolution_shape(self):
+        with pytest.raises(ConfigError, match="resolution for column"):
+            ResolutionConfig(resolutions={"Age": 3})
+
+
+class TestBuilders:
+    def test_build_blocking(self):
+        strategy = DedupConfig(blocking="snm", blocking_options={"window": 6}).build_blocking()
+        assert isinstance(strategy, SortedNeighborhoodBlocking)
+        assert strategy.window == 6
+
+    def test_build_union_blocking(self):
+        strategy = DedupConfig(blocking="union:snm+token").build_blocking()
+        assert isinstance(strategy, UnionBlocking)
+
+    def test_build_executor_from_workers(self):
+        assert isinstance(DedupConfig().build_executor(), SerialExecutor)
+        executor = DedupConfig(workers=3, chunk_size=16).build_executor()
+        assert isinstance(executor, MultiprocessExecutor)
+        assert executor.workers == 3
+        assert executor.chunk_size == 16
+
+    def test_build_executor_from_name(self):
+        assert isinstance(
+            DedupConfig(executor="multiprocess").build_executor(),
+            MultiprocessExecutor,
+        )
+
+    def test_build_detector_carries_every_field(self):
+        config = full_config().dedup
+        detector = config.build_detector()
+        assert detector.threshold == 0.8
+        assert detector.uncertainty_band == 0.05
+        assert detector.cross_source_only is True
+        assert detector.keep_evidence is True
+        assert isinstance(detector.blocking, SortedNeighborhoodBlocking)
+        assert isinstance(detector.executor, MultiprocessExecutor)
+
+    def test_build_matcher(self):
+        matcher = full_config().matching.build_matcher()
+        assert matcher.max_seeds == 7
+        assert matcher.seeder.min_similarity == 0.3
+
+    def test_resolution_build_spec(self):
+        spec = full_config().resolution.build_spec()
+        assert spec.key_columns == ["Name"]
+        functions = {r.column: r.function for r in spec.resolutions}
+        assert functions["Age"] == "max"
+        assert functions["Label"] == ("choose", ("shop",))
+
+    def test_empty_resolution_builds_no_spec(self):
+        assert ResolutionConfig().build_spec() is None
+
+
+class TestFromCliArgs:
+    def _args(self, **kwargs):
+        import argparse
+
+        return argparse.Namespace(**kwargs)
+
+    def test_unset_flags_leave_the_base_alone(self):
+        base = full_config()
+        config = FusionConfig.from_cli_args(self._args(), base=base)
+        assert config == base
+
+    def test_flags_override_the_base(self):
+        base = full_config()
+        args = self._args(
+            threshold=0.65,
+            blocking="token",
+            token_max_block=20,
+            snm_window=None,
+            workers=None,
+            chunk_size=None,
+            prepare=False,
+            artifact_dir=None,
+        )
+        config = FusionConfig.from_cli_args(args, base=base)
+        assert config.dedup.threshold == 0.65
+        assert config.dedup.blocking == "token"
+        assert config.dedup.blocking_options == {"max_block_size": 20}
+        assert config.prepare == base.prepare
+
+    def test_workers_flag_replaces_config_file_executor(self):
+        base = FusionConfig(dedup=DedupConfig(executor="multiprocess"))
+        config = FusionConfig.from_cli_args(self._args(workers=2), base=base)
+        assert config.dedup.executor is None
+        assert config.dedup.workers == 2
+
+    def test_option_flags_require_their_strategy(self):
+        with pytest.raises(ConfigError, match="--snm-window"):
+            FusionConfig.from_cli_args(self._args(blocking="token", snm_window=4))
+        with pytest.raises(ConfigError, match="--token-max-block"):
+            FusionConfig.from_cli_args(self._args(blocking="snm", token_max_block=4))
+        with pytest.raises(ConfigError, match="--chunk-size"):
+            FusionConfig.from_cli_args(self._args(chunk_size=4))
+
+    def test_artifact_dir_implies_lazy_prepare(self):
+        config = FusionConfig.from_cli_args(self._args(artifact_dir="/tmp/x"))
+        assert config.prepare.mode == "lazy"
+        assert config.prepare.artifact_dir == "/tmp/x"
+
+    def test_option_flags_compose_with_a_base_strategy(self):
+        """`--snm-window 6` works when the config *file* set blocking snm."""
+        base = FusionConfig(dedup=DedupConfig(blocking="snm"))
+        config = FusionConfig.from_cli_args(self._args(snm_window=6), base=base)
+        assert config.dedup.blocking == "snm"
+        assert config.dedup.blocking_options == {"window": 6}
+
+    def test_option_flags_overlay_base_options_for_the_same_strategy(self):
+        base = FusionConfig(
+            dedup=DedupConfig(blocking="snm", blocking_options={"window": 4})
+        )
+        same = FusionConfig.from_cli_args(self._args(blocking="snm", snm_window=8), base=base)
+        assert same.dedup.blocking_options == {"window": 8}
+        # a strategy *change* drops the stale options instead of passing
+        # snm's window to token blocking
+        changed = FusionConfig.from_cli_args(self._args(blocking="token"), base=base)
+        assert changed.dedup.blocking == "token"
+        assert changed.dedup.blocking_options == {}
+
+    def test_chunk_size_flag_composes_with_base_workers(self):
+        base = FusionConfig(dedup=DedupConfig(workers=4))
+        config = FusionConfig.from_cli_args(self._args(chunk_size=500), base=base)
+        assert config.dedup.workers == 4
+        assert config.dedup.chunk_size == 500
+
+    def test_workers_flag_keeps_the_base_chunk_size(self):
+        base = FusionConfig(dedup=DedupConfig(workers=4, chunk_size=500))
+        config = FusionConfig.from_cli_args(self._args(workers=8), base=base)
+        assert config.dedup.workers == 8
+        assert config.dedup.chunk_size == 500
+
+    def test_serial_workers_flag_drops_the_base_chunk_size(self):
+        base = FusionConfig(dedup=DedupConfig(workers=4, chunk_size=500))
+        config = FusionConfig.from_cli_args(self._args(workers=1), base=base)
+        assert config.dedup.workers == 1
+        assert config.dedup.chunk_size is None
