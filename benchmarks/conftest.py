@@ -49,6 +49,20 @@ def pytest_addoption(parser):
         help="comma-separated entity counts for the E4 warm-vs-cold series "
         "(overrides the built-in sizes for CI smoke runs)",
     )
+    group.addoption(
+        "--e4-match-entities",
+        action="store",
+        default=None,
+        help="comma-separated entity counts for the E4 matching-scale series "
+        "(overrides the built-in 1k/5k/10k sizes for CI smoke runs)",
+    )
+    group.addoption(
+        "--e4-match-json",
+        action="store",
+        default=None,
+        help="write the E4 matching-scale timings and seed-scoring counters "
+        "to this JSON file (uploaded as a CI artifact)",
+    )
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

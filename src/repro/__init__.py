@@ -36,6 +36,7 @@ from repro.core import (
     FusionSession,
     FusionSpec,
     PipelineResult,
+    ProgressEvent,
     ResolutionContext,
     ResolutionFunction,
     ResolutionSpec,
@@ -58,6 +59,7 @@ __all__ = [
     "ResolutionConfig",
     "FusionSession",
     "StageEvent",
+    "ProgressEvent",
     "Catalog",
     "Column",
     "DataType",

@@ -87,9 +87,9 @@ def _add_prepare_arguments(parser: argparse.ArgumentParser) -> None:
         "--prepare",
         action="store_true",
         help="build per-source artifacts (token index, TF-IDF seeding "
-        "statistics, planner profile) at registration and merge them at "
-        "query time; repeated runs over unchanged sources skip the "
-        "preparation-bound work entirely",
+        "statistics, planner profile, SoftTFIDF field corpus) at "
+        "registration and merge them at query time; repeated runs over "
+        "unchanged sources skip the preparation-bound work entirely",
     )
     parser.add_argument(
         "--artifact-dir",
@@ -143,6 +143,12 @@ def _print_prepare_report(result) -> None:
         f"artifacts: {result.prepared.get('reused', 0)} reused, "
         f"{result.prepared.get('rebuilt', 0)} rebuilt "
         f"(prepare phase {result.timings.prepare:.3f}s)"
+    )
+    summary = result.summary()
+    print(
+        f"  match artifacts: {summary.get('match_artifacts_reused', 0)} reused, "
+        f"{summary.get('match_artifacts_rebuilt', 0)} rebuilt "
+        "(seeding statistics + field corpora)"
     )
 
 

@@ -11,7 +11,7 @@ from repro.core.fusion import FusionOperator, FusionResult, FusionSpec, Resoluti
 from repro.core.lineage import CellLineage, LineageMap, trace_cell_lineage
 from repro.core.rendering import annotate_with_lineage, render_with_lineage
 from repro.core.pipeline import FusionPipeline, PipelineResult, PipelineTimings
-from repro.core.session import SESSION_STEPS, FusionSession, StageEvent
+from repro.core.session import SESSION_STEPS, FusionSession, ProgressEvent, StageEvent
 from repro.core.resolution import (
     ResolutionContext,
     ResolutionFunction,
@@ -39,6 +39,7 @@ __all__ = [
     "PipelineTimings",
     "FusionSession",
     "StageEvent",
+    "ProgressEvent",
     "SESSION_STEPS",
     "ResolutionContext",
     "ResolutionFunction",

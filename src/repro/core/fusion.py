@@ -13,9 +13,9 @@ value-level lineage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.core.lineage import LineageMap, trace_cell_lineage
+from repro.core.lineage import CellLineage, LineageMap, trace_cell_lineage
 from repro.core.resolution.base import (
     ResolutionContext,
     ResolutionFunction,
@@ -30,7 +30,14 @@ from repro.engine.types import infer_column_type
 from repro.exceptions import FusionError
 from repro.matching.transform import SOURCE_ID_COLUMN
 
-__all__ = ["ResolutionSpec", "FusionSpec", "FusionResult", "FusionOperator", "fuse"]
+__all__ = [
+    "ResolutionSpec",
+    "FusionSpec",
+    "FusedGroup",
+    "FusionResult",
+    "FusionOperator",
+    "fuse",
+]
 
 
 def _once(factory):
@@ -116,6 +123,25 @@ class FusionSpec:
 
 
 @dataclass
+class FusedGroup:
+    """One object cluster after conflict resolution, as yielded by the stream.
+
+    Attributes:
+        object_id: the group's object identifier (scalar for a single key
+            column, tuple otherwise).
+        row: the fused output tuple (key cells first, resolved cells after).
+        resolved_conflicts: columns of this group whose values actually
+            conflicted and were resolved.
+        lineage: per output column, the value-level lineage record.
+    """
+
+    object_id: Any
+    row: tuple
+    resolved_conflicts: int
+    lineage: List[CellLineage] = field(default_factory=list)
+
+
+@dataclass
 class FusionResult:
     """The fused relation plus lineage and statistics."""
 
@@ -147,9 +173,14 @@ class FusionOperator:
         self.registry = registry or default_registry()
         self.table_name = table_name
         self.metadata = dict(metadata or {})
+        #: Optional intra-fusion progress hook ``(phase, done, total)``;
+        #: called with phase ``"groups_resolved"`` after each object cluster
+        #: is fused.  The session layer forwards these as
+        #: :class:`~repro.core.session.ProgressEvent`\\ s.
+        self.progress_callback: Optional[Callable[[str, int, int], None]] = None
 
-    def fuse(self, relation: Relation) -> FusionResult:
-        """Produce one clean tuple per object cluster."""
+    def _plan(self, relation: Relation):
+        """Validate the spec against *relation*; resolve columns and functions."""
         for key in self.spec.key_columns:
             if not relation.schema.has_column(key):
                 raise FusionError(
@@ -166,17 +197,37 @@ class FusionOperator:
                     f"available: {', '.join(relation.schema.names)}"
                 )
             input_positions.append(relation.schema.position(spec.column))
+        return output_specs, functions, input_positions
 
+    def fuse_stream(self, relation: Relation) -> Iterator[FusedGroup]:
+        """Stream object clusters through conflict resolution one at a time.
+
+        Validation happens up front (a spec error raises here, not at first
+        ``next()``); the returned iterator then yields one
+        :class:`FusedGroup` per cluster.  Only the grouping index — lists of
+        references to *input* rows — is held; output rows, lineage records
+        and the lazy per-group structures exist one group at a time, so a
+        consumer that does not retain the yields runs in input-bounded
+        memory no matter how large the materialised result would be.
+        :meth:`fuse` is exactly this stream, collected.
+        """
+        output_specs, functions, input_positions = self._plan(relation)
+        return self._resolve_groups(relation, output_specs, functions, input_positions)
+
+    def _resolve_groups(
+        self,
+        relation: Relation,
+        output_specs: List[ResolutionSpec],
+        functions: List[ResolutionFunction],
+        input_positions: List[int],
+    ) -> Iterator[FusedGroup]:
         source_position = (
             relation.schema.position(SOURCE_ID_COLUMN)
             if relation.schema.has_column(SOURCE_ID_COLUMN)
             else None
         )
-        lineage = LineageMap()
         groups = group_rows(relation, self.spec.key_columns)
-        rows: List[tuple] = []
-        resolved_conflicts = 0
-        for key_values, group in groups:
+        for done, (key_values, group) in enumerate(groups, start=1):
             object_id = key_values[0] if len(key_values) == 1 else tuple(key_values)
             # Row wrappers and per-source strings are built at most once per
             # group, and only if something actually reads them: resolution
@@ -194,6 +245,8 @@ class FusionOperator:
                 ]
             )
             cells = list(key_values)
+            resolved_conflicts = 0
+            lineage: List[CellLineage] = []
             for spec, function, position in zip(output_specs, functions, input_positions):
                 values = [group_values[position] for group_values in group]
                 context = ResolutionContext(
@@ -209,12 +262,38 @@ class FusionOperator:
                 if context.has_conflict:
                     resolved_conflicts += 1
                 cells.append(resolved)
-                lineage.record(
+                lineage.append(
                     trace_cell_lineage(
                         spec.output_name, object_id, resolved, values, context.sources
                     )
                 )
-            rows.append(tuple(cells))
+            yield FusedGroup(
+                object_id=object_id,
+                row=tuple(cells),
+                resolved_conflicts=resolved_conflicts,
+                lineage=lineage,
+            )
+            if self.progress_callback is not None:
+                self.progress_callback("groups_resolved", done, len(groups))
+
+    def fuse(self, relation: Relation) -> FusionResult:
+        """Produce one clean tuple per object cluster.
+
+        Consumes :meth:`fuse_stream` — the streamed and the collected
+        spelling resolve groups through the same code path and produce
+        bit-identical rows, lineage and counters.
+        """
+        output_specs, functions, input_positions = self._plan(relation)
+        lineage = LineageMap()
+        rows: List[tuple] = []
+        resolved_conflicts = 0
+        for fused_group in self._resolve_groups(
+            relation, output_specs, functions, input_positions
+        ):
+            rows.append(fused_group.row)
+            resolved_conflicts += fused_group.resolved_conflicts
+            for record in fused_group.lineage:
+                lineage.record(record)
 
         key_schema_columns = [relation.schema.column(name) for name in self.spec.key_columns]
         value_columns = []

@@ -47,10 +47,15 @@ from repro.matching.correspondences import CorrespondenceSet
 from repro.matching.dumas import DumasMatcher
 from repro.matching.multi import MultiMatcher, MultiMatchingResult
 from repro.matching.transform import transform_sources
-from repro.prepare import PreparedQueryView, PreparedSources, SourcePreparer
+from repro.prepare import FIELD_KIND, PreparedQueryView, PreparedSources, SourcePreparer
+from repro.prepare.artifacts import SEED_KIND
 from repro.prepare.preparer import token_strategy_for
 
 __all__ = ["PipelineTimings", "PipelineResult", "FusionPipeline"]
+
+#: The artifact kinds the matching phase consumes — the ``match`` slice of
+#: the reuse/rebuild counters in :meth:`PipelineResult.summary`.
+MATCH_ARTIFACT_KINDS = (SEED_KIND, FIELD_KIND)
 
 
 @dataclass
@@ -150,6 +155,16 @@ class PipelineResult:
         if self.prepared is not None:
             summary["artifacts_reused"] = self.prepared.get("reused", 0)
             summary["artifacts_rebuilt"] = self.prepared.get("rebuilt", 0)
+            # Matching-phase artifacts broken out, so warm matching is as
+            # observable as warm dedup: seeding statistics + field corpora.
+            reused_by_kind = self.prepared.get("reused_by_kind", {})
+            rebuilt_by_kind = self.prepared.get("rebuilt_by_kind", {})
+            summary["match_artifacts_reused"] = sum(
+                reused_by_kind.get(kind, 0) for kind in MATCH_ARTIFACT_KINDS
+            )
+            summary["match_artifacts_rebuilt"] = sum(
+                rebuilt_by_kind.get(kind, 0) for kind in MATCH_ARTIFACT_KINDS
+            )
         return summary
 
 
@@ -312,15 +327,16 @@ class FusionPipeline:
         """Step 2: instance-based schema matching over all sources.
 
         With *prepared* artifacts, seed discovery reads each source's stored
-        TF-IDF statistics and only the cross-source IDF merge and pair
-        scoring run per query.
+        TF-IDF statistics, the SoftTFIDF field corpus is merged from stored
+        per-source document frequencies, and only the cross-source merges
+        and pair scoring run per query.
         """
         if len(sources) < 2:
             return None
         fallback = NameBasedMatcher() if self.use_name_fallback else None
         multi = MultiMatcher(self.matcher, fallback=fallback)
         if prepared is not None:
-            with prepared.seeding(self.matcher.seeder):
+            with prepared.seeding(self.matcher.seeder), prepared.matching(self.matcher):
                 result = multi.match(sources)
         else:
             result = multi.match(sources)
@@ -381,8 +397,13 @@ class FusionPipeline:
         detection: DuplicateDetectionResult,
         spec: Optional[FusionSpec] = None,
         metadata: Optional[Dict[str, Any]] = None,
+        progress_callback: Optional[Callable[[str, int, int], None]] = None,
     ) -> FusionResult:
-        """Steps 5b+6: fuse each cluster into one tuple under the given spec."""
+        """Steps 5b+6: fuse each cluster into one tuple under the given spec.
+
+        *progress_callback* is forwarded to the operator's group-at-a-time
+        stream (``("groups_resolved", done, total)`` per fused cluster).
+        """
         fusion_spec = spec or FusionSpec(key_columns=[OBJECT_ID_COLUMN])
         operator = FusionOperator(
             fusion_spec,
@@ -390,6 +411,7 @@ class FusionPipeline:
             table_name="fused",
             metadata=metadata,
         )
+        operator.progress_callback = progress_callback
         return operator.fuse(detection.relation)
 
     # -- the automatic end-to-end run -----------------------------------------------

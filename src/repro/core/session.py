@@ -39,7 +39,7 @@ from repro.dedup.detector import OBJECT_ID_COLUMN
 from repro.engine.relation import Relation
 from repro.exceptions import HummerError
 
-__all__ = ["SESSION_STEPS", "StageEvent", "FusionSession"]
+__all__ = ["SESSION_STEPS", "StageEvent", "ProgressEvent", "FusionSession"]
 
 #: The wizard steps, in execution order.  ``prepare`` is the paper's step 1b
 #: (a no-op for unprepared sessions); ``schema_matching`` covers steps 2+2b
@@ -78,6 +78,31 @@ class StageEvent:
     total: int
     seconds: float
     payload: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Intra-step progress on long runs, for streamed UIs.
+
+    Where :class:`StageEvent` reports a *completed* step, progress events
+    stream out while a step is still running: seeds scored and field
+    matrices built during ``schema_matching``, groups resolved during
+    ``fusion``.  Counters are cumulative over the step (across source
+    pairs); ``total`` is the work-item count of the current unit of work
+    (one source pair's tuples, one fusion input's groups).
+
+    Attributes:
+        step: the running step (one of :data:`SESSION_STEPS`).
+        phase: what is being counted (``"seeds_scored"``,
+            ``"field_matrices"``, ``"groups_resolved"``).
+        done: cumulative completed work items of this phase within the step.
+        total: work items of the current unit of work.
+    """
+
+    step: str
+    phase: str
+    done: int
+    total: int
 
 
 class FusionSession:
@@ -143,6 +168,7 @@ class FusionSession:
         self.timings = PipelineTimings()
         self._cursor = 0
         self._listeners: List[Callable[[StageEvent], None]] = []
+        self._progress_listeners: List[Callable[[ProgressEvent], None]] = []
         self._runners = {
             self.CHOOSE_SOURCES: self._run_choose_sources,
             self.PREPARE: self._run_prepare,
@@ -188,6 +214,29 @@ class FusionSession:
                 self._listeners.remove(listener)
 
         return unsubscribe
+
+    def subscribe_progress(
+        self, listener: Callable[[ProgressEvent], None]
+    ) -> Callable[[], None]:
+        """Receive :class:`ProgressEvent`\\ s *while* long steps are running.
+
+        Returns an unsubscribe callable.  Like :meth:`subscribe`, listener
+        exceptions propagate to the advancing caller.
+        """
+        self._progress_listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._progress_listeners:
+                self._progress_listeners.remove(listener)
+
+        return unsubscribe
+
+    def _emit_progress(self, step: str, phase: str, done: int, total: int) -> None:
+        if not self._progress_listeners:
+            return
+        event = ProgressEvent(step=step, phase=phase, done=done, total=total)
+        for listener in list(self._progress_listeners):
+            listener(event)
 
     # -- advancing -----------------------------------------------------------------
 
@@ -289,14 +338,49 @@ class FusionSession:
         )
 
     def _run_schema_matching(self):
+        matcher = self.pipeline.matcher
+        seeder = getattr(matcher, "seeder", None)
+        counters: Dict[str, int] = {"seeds_scored": 0, "field_matrices": 0}
+        scoring: Dict[str, int] = {"seed_candidates": 0, "seed_cosines": 0}
+
+        # Counters accumulate across source pairs (MultiMatcher matches
+        # every non-preferred source against the preferred one), so `done`
+        # is cumulative over the whole step.
+        def forward(phase: str, done: int, total: int) -> None:
+            counters[phase] = counters.get(phase, 0) + 1
+            self._emit_progress(self.SCHEMA_MATCHING, phase, counters[phase], total)
+
+        def record_scoring(statistics) -> None:
+            scoring["seed_candidates"] += statistics.candidate_count
+            scoring["seed_cosines"] += statistics.scored_count
+
+        restore = []
+        if hasattr(matcher, "progress_callback"):
+            restore.append((matcher, "progress_callback", matcher.progress_callback))
+            matcher.progress_callback = forward
+        if seeder is not None and hasattr(seeder, "progress_callback"):
+            restore.append((seeder, "progress_callback", seeder.progress_callback))
+            seeder.progress_callback = forward
+        if seeder is not None and hasattr(seeder, "scoring_listener"):
+            restore.append((seeder, "scoring_listener", seeder.scoring_listener))
+            seeder.scoring_listener = record_scoring
         started = time.perf_counter()
-        self.matching = self.pipeline.step_schema_matching(self.sources, self.prepared)
+        try:
+            self.matching = self.pipeline.step_schema_matching(
+                self.sources, self.prepared
+            )
+        finally:
+            for target, attribute, previous in reversed(restore):
+                setattr(target, attribute, previous)
         self.timings.matching += time.perf_counter() - started
         payload = {
             "correspondences": (
                 len(self.matching.correspondences) if self.matching is not None else 0
             ),
+            "seeds_scored": counters["seeds_scored"],
+            "field_matrices": counters["field_matrices"],
         }
+        payload.update(scoring)
         return self.matching, payload
 
     def _run_attribute_selection(self):
@@ -351,10 +435,19 @@ class FusionSession:
         return self.conflicts, payload
 
     def _run_fusion(self):
+        counters: Dict[str, int] = {"groups_resolved": 0}
+
+        def forward(phase: str, done: int, total: int) -> None:
+            counters[phase] = counters.get(phase, 0) + 1
+            self._emit_progress(self.FUSION, phase, done, total)
+
         started = time.perf_counter()
         if self.detection is not None:
             self.fusion = self.pipeline.step_fusion(
-                self.detection, spec=self.spec, metadata=self.metadata
+                self.detection,
+                spec=self.spec,
+                metadata=self.metadata,
+                progress_callback=forward,
             )
         else:
             # skip_detection: fuse the transformed union directly (the
@@ -365,6 +458,7 @@ class FusionSession:
                 table_name="fused",
                 metadata=self.metadata,
             )
+            operator.progress_callback = forward
             self.fusion = operator.fuse(self.transformed)
         self.timings.fusion += time.perf_counter() - started
         self.result = PipelineResult(
@@ -378,4 +472,7 @@ class FusionSession:
             timings=self.timings,
             prepared=self.prepared.report() if self.prepared is not None else None,
         )
-        return self.fusion, {"output_tuples": len(self.fusion.relation)}
+        return self.fusion, {
+            "output_tuples": len(self.fusion.relation),
+            "groups_resolved": counters["groups_resolved"],
+        }

@@ -72,6 +72,11 @@ class QueryExecutor:
         #: rather than an instance so HumMer's preparation mode, which can be
         #: switched on after construction, is observed per query.
         self.preparer_factory = preparer_factory
+        #: Optional :class:`~repro.core.session.ProgressEvent` listener
+        #: subscribed to every fusion query's session, so SQL-driven runs
+        #: stream the same intra-step progress (seeds scored, field matrices
+        #: built, groups resolved) the wizard does.
+        self.progress_listener = None
 
     # -- public API ----------------------------------------------------------------
 
@@ -186,6 +191,8 @@ class QueryExecutor:
             skip_conflicts=True,
             transform_filter=transform_filter,
         )
+        if self.progress_listener is not None:
+            session.subscribe_progress(self.progress_listener)
         fusion: FusionResult = session.run().fusion
         result = fusion.relation
 

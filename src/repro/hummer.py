@@ -184,6 +184,12 @@ class HumMer:
         :meth:`prepare` used to do implicitly (and now do under a
         :class:`DeprecationWarning`): subsequent queries build, reuse and
         merge per-source artifacts in *mode* (``"lazy"`` or ``"eager"``).
+
+        Four artifact kinds are prepared per source — the blocking token
+        index, the TF-IDF seeding statistics, the planner profile and the
+        SoftTFIDF field corpus — so on a warm run both duplicate detection
+        *and* schema matching skip their per-source tokenisation entirely
+        (see ``docs/matching.md`` for the matching half).
         """
         if mode is None:
             raise ConfigError('enable_prepare needs "lazy" or "eager"')

@@ -7,7 +7,7 @@ in the HumMer paper §2.2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine.relation import Relation
 from repro.engine.types import is_null
@@ -22,7 +22,15 @@ from repro.matching.field_matrix import (
 )
 from repro.similarity.soft_tfidf import SoftTfIdfSimilarity
 
-__all__ = ["MatchingResult", "DumasMatcher"]
+__all__ = ["MatchingResult", "DumasMatcher", "FieldCorpusProvider"]
+
+#: Resolver the prepared-source layer installs: given the two relations being
+#: matched, return the merged field-corpus statistics — ``(document_frequency,
+#: document_count)`` over every non-null cell string of both relations — or
+#: ``None`` (→ the matcher builds the corpus cold from cell values).
+FieldCorpusProvider = Callable[
+    ["Relation", "Relation"], Optional[Tuple[Dict[str, int], int]]
+]
 
 
 @dataclass
@@ -75,6 +83,16 @@ class DumasMatcher:
         self.seeder = DuplicateSeeder(
             max_seeds=max_seeds, min_similarity=min_seed_similarity
         )
+        #: Optional hook consulted before re-tokenising both relations for
+        #: the default SoftTFIDF field corpus; the prepared-source layer
+        #: installs one that merges per-source counts built at registration
+        #: time (see :class:`~repro.prepare.artifacts.FieldCorpusArtifact`).
+        self.field_corpus_provider: Optional[FieldCorpusProvider] = None
+        #: Optional intra-match progress hook ``(phase, done, total)``;
+        #: called with phase ``"field_matrices"`` after each seed's field
+        #: similarity matrix is built.  The session layer forwards these as
+        #: :class:`~repro.core.session.ProgressEvent`\\ s.
+        self.progress_callback: Optional[Callable[[str, int, int], None]] = None
 
     def match(self, left: Relation, right: Relation) -> MatchingResult:
         """Derive attribute correspondences between *left* (preferred) and *right*.
@@ -91,7 +109,11 @@ class DumasMatcher:
                 f"{right.name or 'right'!r}; instance-based matching needs shared objects"
             )
         measure = self.field_measure or self._default_measure(left, right)
-        matrices = [build_field_matrix(left, right, seed, measure=measure) for seed in seeds]
+        matrices = []
+        for built, seed in enumerate(seeds, start=1):
+            matrices.append(build_field_matrix(left, right, seed, measure=measure))
+            if self.progress_callback is not None:
+                self.progress_callback("field_matrices", built, len(seeds))
         averaged = average_matrices(matrices)
         triples = maximum_weight_matching(
             averaged.scores, min_weight=self.correspondence_threshold
@@ -109,8 +131,24 @@ class DumasMatcher:
         )
         return MatchingResult(correspondences=correspondences, seeds=seeds, matrix=averaged)
 
-    @staticmethod
-    def _default_measure(left: Relation, right: Relation) -> Callable[[str, str], float]:
+    def _default_measure(
+        self, left: Relation, right: Relation
+    ) -> Callable[[str, str], float]:
+        """SoftTFIDF fitted on both relations' non-null cell strings.
+
+        With a :attr:`field_corpus_provider` the IDF model is reconstructed
+        from merged per-source document frequencies (bit-identical to the
+        fresh fit — counts add and per-term IDF is a pure function of them)
+        instead of re-tokenising every cell of both relations per source
+        pair.
+        """
+        if self.field_corpus_provider is not None:
+            merged = self.field_corpus_provider(left, right)
+            if merged is not None:
+                document_frequency, document_count = merged
+                return SoftTfIdfSimilarity().fit_counts(
+                    document_frequency, document_count
+                ).compare
         corpus: List[str] = []
         for relation in (left, right):
             for values in relation.rows:

@@ -42,6 +42,7 @@ from repro.similarity.tokenize import tokenize
 __all__ = [
     "SeedPair",
     "SeedStatistics",
+    "SeedScoringStatistics",
     "DuplicateSeeder",
     "tuple_to_string",
     "compute_seed_statistics",
@@ -146,6 +147,47 @@ def compute_seed_statistics(
 #: seeder's sample limit, return prebuilt statistics or ``None`` (→ compute).
 SeedStatisticsProvider = Callable[[Relation, Optional[int]], Optional[SeedStatistics]]
 
+#: Relative slack on the pruning upper bound.  The bound and the cosine are
+#: summed in different term orders and the cosine divides by norms that are
+#: only ≈ 1.0, so the two can disagree by a few ulps (~1e-14 relative);
+#: 1e-9 keeps the bound strictly conservative with five orders of magnitude
+#: of margin while pruning essentially nothing less.
+_BOUND_SLACK = 1e-9
+
+
+@dataclass
+class SeedScoringStatistics:
+    """Observability counters of one :meth:`DuplicateSeeder.find_seeds` call.
+
+    ``candidate_count`` counts the posting-sharing pairs (pairs with at least
+    one common term — the pairs the full scan would score); ``scored_count``
+    counts the cosines actually computed.  With pruning enabled the gap is
+    the work the upper-bound filter saved; without it the two are equal.
+    """
+
+    candidate_count: int = 0
+    scored_count: int = 0
+
+    @property
+    def pruned_count(self) -> int:
+        """Candidates skipped because their upper bound was below the floor."""
+        return self.candidate_count - self.scored_count
+
+    @property
+    def scored_fraction(self) -> float:
+        """Fraction of posting-sharing candidates whose cosine was computed."""
+        if self.candidate_count == 0:
+            return 1.0
+        return self.scored_count / self.candidate_count
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "seed_candidates": self.candidate_count,
+            "seed_cosines": self.scored_count,
+            "seed_pruned": self.pruned_count,
+            "seed_scored_fraction": self.scored_fraction,
+        }
+
 
 class DuplicateSeeder:
     """Finds the top-k most similar cross-table tuple pairs by whole-tuple TF-IDF.
@@ -157,6 +199,11 @@ class DuplicateSeeder:
         max_tuples_per_relation: optional cap; larger relations are sampled by
             taking every n-th tuple, keeping the seeding cost bounded
             (the efficiency point the DUMAS paper makes).
+        prune: skip cosines for candidates whose per-term max-weight upper
+            bound is provably below the current top-k floor (and below
+            *min_similarity*).  Exact — the returned seeds are identical to
+            the full scan (see ``docs/matching.md`` for the bound); disable
+            only to measure, or to reproduce, the unpruned scan.
 
     Returned seeds are ordered by the documented, stable sort
     ``(similarity desc, left_index asc, right_index asc)``; ties at the
@@ -169,16 +216,27 @@ class DuplicateSeeder:
         max_seeds: int = 10,
         min_similarity: float = 0.25,
         max_tuples_per_relation: Optional[int] = 500,
+        prune: bool = True,
     ):
         if max_seeds < 1:
             raise ValueError("max_seeds must be at least 1")
         self.max_seeds = max_seeds
         self.min_similarity = min_similarity
         self.max_tuples_per_relation = max_tuples_per_relation
+        self.prune = prune
         #: Optional hook consulted before tokenising a relation; the
         #: prepared-source layer installs one that serves per-source
         #: statistics built at registration time.
         self.statistics_provider: Optional[SeedStatisticsProvider] = None
+        #: Counters of the most recent :meth:`find_seeds` call.
+        self.last_scoring: Optional[SeedScoringStatistics] = None
+        #: Optional listener invoked with the counters after each call
+        #: (the session layer accumulates these across source pairs).
+        self.scoring_listener: Optional[Callable[[SeedScoringStatistics], None]] = None
+        #: Optional intra-scoring progress hook ``(phase, done, total)``;
+        #: called with phase ``"seeds_scored"`` after each left tuple's
+        #: candidates are processed.
+        self.progress_callback: Optional[Callable[[str, int, int], None]] = None
 
     def statistics_for(self, relation: Relation) -> SeedStatistics:
         """Seeding statistics for *relation* — prebuilt when available."""
@@ -212,29 +270,50 @@ class DuplicateSeeder:
 
         # Invert the right-hand vectors so only pairs sharing at least one
         # term are scored (sparse dot products), instead of all |L| x |R|.
+        # The per-term maximum weight over the right vectors feeds the
+        # pruning upper bound.
         postings: dict = {}
+        max_weight: Dict[str, float] = {}
         for position, vector in enumerate(right_vectors):
-            for term in vector:
+            for term, weight in vector.items():
                 postings.setdefault(term, set()).add(position)
+                if weight > max_weight.get(term, 0.0):
+                    max_weight[term] = weight
+
+        scoring = SeedScoringStatistics()
+        self.last_scoring = scoring
 
         # Min-heap of the current top-k under the key (similarity asc,
         # left desc, right desc): the root is the *worst* entry — lowest
         # similarity, and among equals the largest positions — so smaller
         # indices win ties at the boundary, deterministically.
         heap: List[Tuple[float, int, int]] = []
+        total_left = len(left_vectors)
         for left_position, left_vector in enumerate(left_vectors):
-            candidates = set()
-            for term in left_vector:
-                candidates.update(postings.get(term, ()))
-            for right_position in candidates:
-                similarity = cosine_similarity(left_vector, right_vectors[right_position])
-                if similarity < self.min_similarity:
-                    continue
-                entry = (similarity, -left_position, -right_position)
-                if len(heap) < self.max_seeds:
-                    heapq.heappush(heap, entry)
-                elif entry > heap[0]:
-                    heapq.heapreplace(heap, entry)
+            if self.prune:
+                self._score_pruned(left_position, left_vector, right_vectors,
+                                   postings, max_weight, heap, scoring)
+            else:
+                candidates = set()
+                for term in left_vector:
+                    candidates.update(postings.get(term, ()))
+                scoring.candidate_count += len(candidates)
+                scoring.scored_count += len(candidates)
+                for right_position in candidates:
+                    similarity = cosine_similarity(
+                        left_vector, right_vectors[right_position]
+                    )
+                    if similarity < self.min_similarity:
+                        continue
+                    entry = (similarity, -left_position, -right_position)
+                    if len(heap) < self.max_seeds:
+                        heapq.heappush(heap, entry)
+                    elif entry > heap[0]:
+                        heapq.heapreplace(heap, entry)
+            if self.progress_callback is not None:
+                self.progress_callback("seeds_scored", left_position + 1, total_left)
+        if self.scoring_listener is not None:
+            self.scoring_listener(scoring)
 
         pairs = [
             SeedPair(
@@ -246,6 +325,66 @@ class DuplicateSeeder:
         ]
         pairs.sort(key=lambda pair: (-pair.similarity, pair.left_index, pair.right_index))
         return pairs
+
+    def _score_pruned(
+        self,
+        left_position: int,
+        left_vector: Dict[str, float],
+        right_vectors: List[Dict[str, float]],
+        postings: Dict[str, set],
+        max_weight: Dict[str, float],
+        heap: List[Tuple[float, int, int]],
+        scoring: SeedScoringStatistics,
+    ) -> None:
+        """Score one left tuple's candidates under max-weight upper bounds.
+
+        For every candidate ``r`` sharing at least one term with the left
+        vector, accumulate ``bound(r) = Σ_t L[t] · max_weight[t]`` over the
+        left vector's terms whose postings contain ``r``.  Both vectors are
+        L2-normalised, so ``cos(L, R) = Σ_{t ∈ L∩R} L[t]·R[t] ≤ bound(r)``.
+        Candidates are then scored best-bound-first — the heap floor rises
+        as early as possible — and once a bound falls strictly below the
+        floor, every remaining candidate is provably outside the top-k and
+        below ``min_similarity``, so the scan stops.
+
+        Strict ``<`` against the floor is load-bearing twice: a candidate
+        whose similarity *equals* the heap root's can still enter on the
+        index tiebreak, and a similarity equal to ``min_similarity`` is kept
+        by the full scan (which only skips ``< min_similarity``).  The full
+        scan and this path therefore select the same top-k — the top-k under
+        the total order ``(similarity, -left, -right)`` is independent of
+        processing order.
+        """
+        bounds: Dict[int, float] = {}
+        for term, weight in left_vector.items():
+            term_max = max_weight.get(term)
+            if term_max is None:
+                continue
+            contribution = weight * term_max
+            for right_position in postings[term]:
+                bounds[right_position] = bounds.get(right_position, 0.0) + contribution
+        scoring.candidate_count += len(bounds)
+        for right_position, bound in sorted(
+            bounds.items(), key=lambda item: (-item[1], item[0])
+        ):
+            floor = (
+                self.min_similarity
+                if len(heap) < self.max_seeds
+                else max(self.min_similarity, heap[0][0])
+            )
+            if bound * (1.0 + _BOUND_SLACK) < floor:
+                # Bounds are descending and the floor only rises: every
+                # remaining candidate is below it too.
+                break
+            scoring.scored_count += 1
+            similarity = cosine_similarity(left_vector, right_vectors[right_position])
+            if similarity < self.min_similarity:
+                continue
+            entry = (similarity, -left_position, -right_position)
+            if len(heap) < self.max_seeds:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
 
     def _sample_indices(self, size: int) -> List[int]:
         """Backwards-compatible alias of :func:`sample_indices`."""

@@ -9,7 +9,7 @@ data does not.
 
 This package is the preparation layer between the
 :class:`~repro.engine.catalog.Catalog` and the pipeline.  Per registered
-relation it builds three **artifacts**, each keyed on the relation's stable
+relation it builds four **artifacts**, each keyed on the relation's stable
 content digest:
 
 * :class:`TokenPostingsArtifact` — the per-attribute token inverted index
@@ -18,7 +18,10 @@ content digest:
 * :class:`~repro.matching.duplicate_seed.SeedStatistics` — whole-tuple
   TF-IDF term statistics for DUMAS seed discovery;
 * :class:`SourceProfileArtifact` — per-attribute null counts and distinct
-  values feeding the adaptive planner's :class:`RelationProfile`.
+  values feeding the adaptive planner's :class:`RelationProfile`;
+* :class:`FieldCorpusArtifact` — term/document frequencies over every
+  non-null cell string, the corpus DUMAS's SoftTFIDF field measure is
+  otherwise refitted on per source pair.
 
 At query time the artifacts of the participating sources are **merged** —
 postings are unioned with row offsets, document frequencies add into a
@@ -33,12 +36,15 @@ fuse flow.
 """
 
 from repro.prepare.artifacts import (
+    FIELD_KIND,
     PROFILE_KIND,
     SEED_KIND,
     TOKEN_KIND,
     AttributeStatistics,
+    FieldCorpusArtifact,
     SourceProfileArtifact,
     TokenPostingsArtifact,
+    build_field_corpus,
     build_seed_statistics,
     build_source_profile,
     build_token_postings,
@@ -55,12 +61,15 @@ __all__ = [
     "TOKEN_KIND",
     "SEED_KIND",
     "PROFILE_KIND",
+    "FIELD_KIND",
     "TokenPostingsArtifact",
     "SourceProfileArtifact",
     "AttributeStatistics",
+    "FieldCorpusArtifact",
     "build_token_postings",
     "build_seed_statistics",
     "build_source_profile",
+    "build_field_corpus",
     "ArtifactStore",
     "ArtifactCounters",
     "SourcePreparer",

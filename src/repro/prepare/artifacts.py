@@ -1,4 +1,4 @@
-"""The three per-source artifact kinds and their builders.
+"""The four per-source artifact kinds and their builders.
 
 An artifact captures the *per-source* half of a pipeline computation — the
 half that reads cell values and therefore dominates preparation-bound phase
@@ -22,25 +22,31 @@ from repro.dedup.blocking.token import TokenBlocking
 from repro.engine.relation import Relation
 from repro.engine.types import is_null
 from repro.matching.duplicate_seed import SeedStatistics, compute_seed_statistics
+from repro.similarity.tokenize import tokenize
 
 __all__ = [
     "TOKEN_KIND",
     "SEED_KIND",
     "PROFILE_KIND",
+    "FIELD_KIND",
     "TokenPostingsArtifact",
     "AttributeStatistics",
     "SourceProfileArtifact",
+    "FieldCorpusArtifact",
     "build_token_postings",
     "build_seed_statistics",
     "build_source_profile",
+    "build_field_corpus",
     "token_params_key",
     "seed_params_key",
+    "field_params_key",
 ]
 
 #: Artifact kind names, used as store keys and counter labels.
 TOKEN_KIND = "token_index"
 SEED_KIND = "seed_statistics"
 PROFILE_KIND = "profile"
+FIELD_KIND = "field_corpus"
 
 
 def token_params_key(strategy: TokenBlocking) -> Tuple:
@@ -56,6 +62,16 @@ def token_params_key(strategy: TokenBlocking) -> Tuple:
 def seed_params_key(sample_limit: Optional[int]) -> Tuple:
     """The seeding knobs a statistics artifact depends on."""
     return (sample_limit,)
+
+
+def field_params_key() -> Tuple:
+    """The knobs a field-corpus artifact depends on.
+
+    The corpus is tokenised with the stock :func:`tokenize` —
+    the only tokenizer :class:`~repro.similarity.soft_tfidf.SoftTfIdfSimilarity`
+    constructs in the DUMAS default measure — so there is nothing to key on.
+    """
+    return ()
 
 
 @dataclass
@@ -113,6 +129,50 @@ class SourceProfileArtifact:
 
     def attribute_statistics(self, attribute: str) -> Optional[AttributeStatistics]:
         return self.attributes.get(attribute.lower())
+
+
+@dataclass
+class FieldCorpusArtifact:
+    """Term/document frequencies of one relation's non-null cell strings.
+
+    This is the per-source half of the field corpus
+    :meth:`DumasMatcher._default_measure` fits SoftTFIDF on: every non-null
+    cell value, rendered with ``str``, is one document.  The artifact stores
+    the reduction :meth:`TfIdfVectorizer.fit` performs over that corpus —
+    per-term document frequency plus the document count — so match time only
+    has to *add* the two sides' counts (frequencies add, corpus sizes add)
+    and feed them to :meth:`TfIdfVectorizer.fit_counts`, which is
+    bit-identical to fitting on the concatenated corpora.
+
+    Attributes:
+        document_count: non-null cells in the relation.
+        document_frequency: term → number of cells whose string contains it.
+    """
+
+    document_count: int
+    document_frequency: Dict[str, int] = field(default_factory=dict)
+
+
+def build_field_corpus(relation: Relation) -> FieldCorpusArtifact:
+    """Reduce *relation*'s non-null cell strings to field-corpus statistics.
+
+    Mirrors the corpus construction of ``DumasMatcher._default_measure``
+    (every non-null cell, in row-major order, via ``str``) composed with the
+    reduction inside :meth:`TfIdfVectorizer.fit` (one count per document,
+    document frequency over the *set* of its tokens).
+    """
+    document_frequency: Dict[str, int] = {}
+    count = 0
+    for values in relation.rows:
+        for value in values:
+            if is_null(value):
+                continue
+            count += 1
+            for term in set(tokenize(str(value))):
+                document_frequency[term] = document_frequency.get(term, 0) + 1
+    return FieldCorpusArtifact(
+        document_count=count, document_frequency=document_frequency
+    )
 
 
 def build_token_postings(

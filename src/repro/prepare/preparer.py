@@ -48,14 +48,18 @@ from repro.matching.correspondences import CorrespondenceSet
 from repro.matching.duplicate_seed import DuplicateSeeder, SeedStatistics
 from repro.matching.transform import SOURCE_ID_COLUMN, apply_correspondences
 from repro.prepare.artifacts import (
+    FIELD_KIND,
     PROFILE_KIND,
     SEED_KIND,
     TOKEN_KIND,
+    FieldCorpusArtifact,
     SourceProfileArtifact,
     TokenPostingsArtifact,
+    build_field_corpus,
     build_seed_statistics,
     build_source_profile,
     build_token_postings,
+    field_params_key,
     seed_params_key,
     token_params_key,
 )
@@ -92,7 +96,7 @@ def token_strategy_for(strategy: Optional[BlockingStrategy]) -> TokenBlocking:
 
 @dataclass
 class SourceArtifacts:
-    """The three prepared artifacts of one registered source."""
+    """The four prepared artifacts of one registered source."""
 
     alias: str
     relation: Relation
@@ -100,12 +104,13 @@ class SourceArtifacts:
     token: TokenPostingsArtifact
     seeds: SeedStatistics
     profile: SourceProfileArtifact
+    field_corpus: FieldCorpusArtifact
 
 
 class SourcePreparer:
     """Builds (or reuses) the artifacts of registered sources.
 
-    All three artifact kinds are built regardless of the strategy the
+    All four artifact kinds are built regardless of the strategy the
     *current* query uses: artifacts are a per-source investment for an
     online service, and the next query may block differently (``--blocking
     adaptive`` after ``snm``) or match a different source pair — gating on
@@ -134,7 +139,7 @@ class SourcePreparer:
         self.seed_sample_limit = seed_sample_limit
 
     def prepare(self, aliases: Sequence[str]) -> "PreparedSources":
-        """Ensure all three artifacts exist and are current for every alias."""
+        """Ensure all four artifacts exist and are current for every alias."""
         store = self.catalog.artifacts
         before = store.counters.snapshot()
         bundles: List[SourceArtifacts] = []
@@ -167,6 +172,14 @@ class SourcePreparer:
                 lambda relation=relation: build_source_profile(relation),
                 digest=digest,
             )
+            field_corpus = store.get_or_build(
+                alias,
+                FIELD_KIND,
+                field_params_key(),
+                relation,
+                lambda relation=relation: build_field_corpus(relation),
+                digest=digest,
+            )
             bundles.append(
                 SourceArtifacts(
                     alias=alias,
@@ -175,6 +188,7 @@ class SourcePreparer:
                     token=token,
                     seeds=seeds,
                     profile=profile,
+                    field_corpus=field_corpus,
                 )
             )
         return PreparedSources(
@@ -226,6 +240,49 @@ class PreparedSources:
             yield
         finally:
             seeder.statistics_provider = previous
+
+    # -- field matching -----------------------------------------------------------
+
+    def field_corpus(
+        self, left: Relation, right: Relation
+    ) -> Optional[Tuple[Dict[str, int], int]]:
+        """Merged field-corpus statistics for a (*left*, *right*) match pair.
+
+        Document frequencies add and corpus sizes add, so feeding the merge
+        to :meth:`TfIdfVectorizer.fit_counts` reproduces bit for bit the
+        model a fresh fit over both relations' concatenated cell strings
+        would learn.  Returns ``None`` (→ the matcher builds cold) when
+        either relation is not a prepared source of this bundle.
+        """
+        left_bundle = self.bundle_for(left)
+        right_bundle = self.bundle_for(right)
+        if left_bundle is None or right_bundle is None:
+            return None
+        document_frequency = dict(left_bundle.field_corpus.document_frequency)
+        for term, frequency in right_bundle.field_corpus.document_frequency.items():
+            document_frequency[term] = document_frequency.get(term, 0) + frequency
+        document_count = (
+            left_bundle.field_corpus.document_count
+            + right_bundle.field_corpus.document_count
+        )
+        return document_frequency, document_count
+
+    @contextmanager
+    def matching(self, matcher):
+        """Serve merged field corpora from *matcher* for the duration.
+
+        Matchers without a ``field_corpus_provider`` hook (custom
+        non-DUMAS implementations) are left untouched.
+        """
+        if not hasattr(matcher, "field_corpus_provider"):
+            yield
+            return
+        previous = matcher.field_corpus_provider
+        matcher.field_corpus_provider = self.field_corpus
+        try:
+            yield
+        finally:
+            matcher.field_corpus_provider = previous
 
     # -- the per-query merge view -------------------------------------------------
 

@@ -11,11 +11,17 @@ where ``V(w, S)`` is the normalised TF-IDF weight of ``w`` in ``S`` and
 ``N(w, T)`` is the most similar token of ``T``.  HumMer compares the fields
 of seed duplicates with SoftTFIDF to build the attribute-correspondence
 similarity matrix (paper §2.2).
+
+The secondary measure dominates the cost of a comparison: ``_directed`` makes
+O(|S|·|T|) Jaro-Winkler calls per field pair, and DUMAS compares the same
+attribute values across every seed's field matrix.  A bounded token-pair
+cache memoises those calls — the secondary measure is a pure function of the
+two tokens, so caching can change runtimes but never scores.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.similarity.base import SimilarityMeasure
 from repro.similarity.jaro import jaro_winkler_similarity
@@ -23,16 +29,24 @@ from repro.similarity.tfidf import TfIdfVectorizer
 
 __all__ = ["SoftTfIdfSimilarity"]
 
+#: Default bound on the memoised (token, token) secondary-similarity pairs.
+DEFAULT_SECONDARY_CACHE_SIZE = 65536
+
 
 class SoftTfIdfSimilarity(SimilarityMeasure):
     """SoftTFIDF with a pluggable secondary measure.
 
     Args:
         corpus: documents used to fit IDF weights.  When omitted, weights are
-            fitted lazily on each compared pair (TF-only behaviour).
+            fitted lazily on each compared pair (TF-only behaviour) using a
+            local throwaway vectorizer, so a shared unfitted instance is safe
+            to reuse (and parallelise) — ``compare`` never mutates ``self``.
         secondary: character-level similarity for near-matching tokens.
         threshold: minimum secondary similarity for a token pair to count as
             "close" (0.9 in the original paper).
+        secondary_cache_size: bound on the number of memoised token pairs for
+            the secondary measure (0 disables caching).  Eviction is FIFO;
+            the cache is transparent — it never changes a score.
     """
 
     def __init__(
@@ -40,10 +54,13 @@ class SoftTfIdfSimilarity(SimilarityMeasure):
         corpus: Optional[Iterable[str]] = None,
         secondary: Callable[[str, str], float] = jaro_winkler_similarity,
         threshold: float = 0.9,
+        secondary_cache_size: int = DEFAULT_SECONDARY_CACHE_SIZE,
     ):
         self.vectorizer = TfIdfVectorizer()
         self.secondary = secondary
         self.threshold = threshold
+        self.secondary_cache_size = secondary_cache_size
+        self._secondary_cache: Dict[Tuple[str, str], float] = {}
         self._fitted = False
         if corpus is not None:
             self.fit(corpus)
@@ -54,11 +71,29 @@ class SoftTfIdfSimilarity(SimilarityMeasure):
         self._fitted = True
         return self
 
+    def fit_counts(
+        self, document_frequency: Mapping[str, int], document_count: int
+    ) -> "SoftTfIdfSimilarity":
+        """Fit IDF weights from precomputed document-frequency statistics.
+
+        Bit-identical to :meth:`fit` on the corpus the counts describe (see
+        :meth:`TfIdfVectorizer.fit_counts`); this is how the prepared-source
+        layer reconstructs the cross-relation field corpus without re-reading
+        a single cell value.
+        """
+        self.vectorizer.fit_counts(document_frequency, document_count)
+        self._fitted = True
+        return self
+
     def compare(self, left: str, right: str) -> float:
+        vectorizer = self.vectorizer
         if not self._fitted:
-            self.vectorizer.fit([left, right])
-        left_vector = self.vectorizer.transform(left)
-        right_vector = self.vectorizer.transform(right)
+            # Local throwaway fit: refitting the shared vectorizer per pair
+            # would leave a reused instance dependent on comparison order.
+            vectorizer = TfIdfVectorizer(tokenizer=self.vectorizer.tokenizer)
+            vectorizer.fit([left, right])
+        left_vector = vectorizer.transform(left)
+        right_vector = vectorizer.transform(right)
         if not left_vector or not right_vector:
             return 1.0 if not left_vector and not right_vector else 0.0
 
@@ -66,6 +101,22 @@ class SoftTfIdfSimilarity(SimilarityMeasure):
         # SoftTFIDF is asymmetric in CLOSE(); use the max of both directions so
         # compare(a, b) == compare(b, a), which the matching matrix relies on.
         return min(1.0, max(score, self._directed(right_vector, left_vector)))
+
+    def _secondary_similarity(self, left_token: str, right_token: str) -> float:
+        """The secondary measure, memoised under the bounded FIFO cache."""
+        if self.secondary_cache_size <= 0:
+            return self.secondary(left_token, right_token)
+        key = (left_token, right_token)
+        cache = self._secondary_cache
+        cached = cache.get(key)
+        if cached is None:
+            cached = self.secondary(left_token, right_token)
+            if len(cache) >= self.secondary_cache_size:
+                # FIFO eviction: dicts iterate in insertion order, so the
+                # first key is the oldest entry.
+                cache.pop(next(iter(cache)))
+            cache[key] = cached
+        return cached
 
     def _directed(self, source: Dict[str, float], target: Dict[str, float]) -> float:
         total = 0.0
@@ -75,7 +126,7 @@ class SoftTfIdfSimilarity(SimilarityMeasure):
             else:
                 best_token, best_similarity = None, 0.0
                 for candidate in target:
-                    similarity = self.secondary(token, candidate)
+                    similarity = self._secondary_similarity(token, candidate)
                     if similarity > best_similarity:
                         best_token, best_similarity = candidate, similarity
             if best_token is not None and best_similarity > self.threshold:

@@ -61,10 +61,27 @@ class TfIdfVectorizer:
         for document in documents:
             count += 1
             document_frequency.update(set(self.tokenizer(document)))
-        self._document_count = count
+        return self.fit_counts(document_frequency, count)
+
+    def fit_counts(
+        self, document_frequency: Mapping[str, int], document_count: int
+    ) -> "TfIdfVectorizer":
+        """Learn IDF weights from precomputed document-frequency statistics.
+
+        *document_frequency* maps each term to the number of documents
+        containing it, over a corpus of *document_count* documents.  Fitting
+        from counts is **bit-identical** to :meth:`fit` on the corpus the
+        counts describe: :meth:`fit` itself reduces the corpus to exactly
+        these statistics before weighting, and per-term IDF is a pure
+        function of ``(frequency, document_count)``.  This is what lets the
+        prepared-source layer store per-source counts and merge them (counts
+        add, corpus sizes add) into the exact cross-source model a fresh fit
+        over the concatenated corpora would produce.
+        """
+        self._document_count = document_count
         self._idf = {}
         for term, frequency in document_frequency.items():
-            self._idf[term] = self.idf_weight(frequency, count, self.smooth)
+            self._idf[term] = self.idf_weight(frequency, document_count, self.smooth)
         self._fitted = True
         return self
 
@@ -123,6 +140,10 @@ class TfIdfSimilarity(SimilarityMeasure):
             self._fitted = False
 
     def compare(self, left: str, right: str) -> float:
+        vectorizer = self.vectorizer
         if not self._fitted:
-            self.vectorizer.fit([left, right])
-        return self.vectorizer.similarity(left, right)
+            # A local throwaway fit: mutating the shared vectorizer here would
+            # make a reused (or concurrently used) instance order-dependent.
+            vectorizer = TfIdfVectorizer(tokenizer=self.vectorizer.tokenizer)
+            vectorizer.fit([left, right])
+        return vectorizer.similarity(left, right)

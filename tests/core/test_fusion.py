@@ -215,3 +215,87 @@ class TestLazyGroupMaterialisation:
         lineage = result.lineage.lookup(0, "city")
         assert lineage is not None
         assert lineage.sources == frozenset({"ee"})
+
+
+class TestStreamingFusion:
+    """fuse_stream(): group-at-a-time conflict resolution (ISSUE 6 tentpole)."""
+
+    def test_stream_equals_collected_fuse(self, clustered):
+        operator = FusionOperator(FusionSpec(key_columns=["objectID"]))
+        groups = list(operator.fuse_stream(clustered))
+        result = operator.fuse(clustered)
+        assert [group.row for group in groups] == result.relation.rows
+        assert [group.object_id for group in groups] == [0, 1, 2]
+        assert sum(group.resolved_conflicts for group in groups) == (
+            result.resolved_conflict_count
+        )
+        # per-group lineage records are exactly the collected map's cells
+        for group in groups:
+            for record in group.lineage:
+                looked_up = result.lineage.lookup(group.object_id, record.column)
+                assert looked_up.sources == record.sources
+                assert looked_up.merged == record.merged
+
+    def test_validation_raises_before_iteration(self, clustered):
+        operator = FusionOperator(FusionSpec(key_columns=["ghost"]))
+        with pytest.raises(FusionError):
+            operator.fuse_stream(clustered)  # not: next(...)
+
+        bad_resolution = FusionOperator(
+            FusionSpec(key_columns=["objectID"], resolutions=[ResolutionSpec("ghost")])
+        )
+        with pytest.raises(FusionError):
+            bad_resolution.fuse_stream(clustered)
+
+    def test_groups_are_resolved_one_at_a_time(self, clustered, monkeypatch):
+        """Pulling k groups resolves exactly k groups' columns — no read-ahead."""
+        import repro.core.fusion as fusion_module
+
+        instances = []
+        original_context = fusion_module.ResolutionContext
+
+        class CountingContext(original_context):
+            def __init__(self, *args, **kwargs):
+                instances.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(fusion_module, "ResolutionContext", CountingContext)
+        operator = FusionOperator(FusionSpec(key_columns=["objectID"]))
+        stream = operator.fuse_stream(clustered)
+        assert instances == []  # planning resolves nothing
+
+        value_columns = 3  # name, age, city
+        consumed = []
+        for expected_groups in (1, 2, 3):
+            consumed.append(next(stream))
+            assert len(instances) == expected_groups * value_columns
+        with pytest.raises(StopIteration):
+            next(stream)
+        assert len(instances) == 3 * value_columns
+
+    def test_progress_callback_counts_groups(self, clustered):
+        events = []
+        operator = FusionOperator(FusionSpec(key_columns=["objectID"]))
+        operator.progress_callback = lambda phase, done, total: events.append(
+            (phase, done, total)
+        )
+        operator.fuse(clustered)
+        assert events == [
+            ("groups_resolved", 1, 3),
+            ("groups_resolved", 2, 3),
+            ("groups_resolved", 3, 3),
+        ]
+
+    def test_fused_group_shape(self, clustered):
+        operator = FusionOperator(FusionSpec(key_columns=["objectID"]))
+        group = next(operator.fuse_stream(clustered))
+        assert group.object_id == 0
+        assert isinstance(group.row, tuple)
+        assert len(group.row) == 4  # objectID + name, age, city
+        assert len(group.lineage) == 3
+        assert group.resolved_conflicts == 1  # Anna's age (22 vs 23)
+
+    def test_stream_on_empty_relation(self):
+        relation = Relation.from_dicts([], name="empty").with_column("objectID", [])
+        operator = FusionOperator(FusionSpec(key_columns=["objectID"]))
+        assert list(operator.fuse_stream(relation)) == []

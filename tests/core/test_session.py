@@ -142,6 +142,95 @@ class TestEvents:
         assert len(events) == 1
 
 
+class TestProgressEvents:
+    """ISSUE 6 satellite: intra-step progress streams out of long steps."""
+
+    def test_progress_streams_during_matching_and_fusion(self, catalog):
+        from repro.core.session import ProgressEvent
+
+        session = FusionPipeline(catalog).session(["EE_Students", "CS_Students"])
+        events = []
+        session.subscribe_progress(events.append)
+        session.run()
+
+        assert events
+        assert all(isinstance(event, ProgressEvent) for event in events)
+        phases = {event.phase for event in events}
+        assert {"seeds_scored", "field_matrices", "groups_resolved"} <= phases
+        by_phase = {}
+        for event in events:
+            by_phase.setdefault(event.phase, []).append(event)
+        # cumulative counters: strictly increasing within each phase
+        for phase_events in by_phase.values():
+            dones = [event.done for event in phase_events]
+            assert dones == sorted(dones)
+            assert dones[0] >= 1
+        # phases are attributed to their steps
+        assert all(
+            event.step == FusionSession.SCHEMA_MATCHING
+            for event in by_phase["seeds_scored"] + by_phase["field_matrices"]
+        )
+        assert all(
+            event.step == FusionSession.FUSION
+            for event in by_phase["groups_resolved"]
+        )
+        # one group event per output tuple (5 clusters)
+        assert by_phase["groups_resolved"][-1].done == 5
+
+    def test_stage_payloads_carry_intra_step_counters(self, catalog):
+        session = FusionPipeline(catalog).session(["EE_Students", "CS_Students"])
+        by_step = {}
+        session.subscribe(lambda event: by_step.__setitem__(event.step, event))
+        session.run()
+        matching = by_step["schema_matching"].payload
+        assert matching["seeds_scored"] >= 1
+        assert matching["field_matrices"] >= 1
+        assert matching["seed_candidates"] >= matching["seed_cosines"] >= 1
+        assert by_step["fusion"].payload["groups_resolved"] == 5
+
+    def test_unsubscribe_progress(self, catalog):
+        session = FusionPipeline(catalog).session(["EE_Students", "CS_Students"])
+        events = []
+        unsubscribe = session.subscribe_progress(events.append)
+        session.advance_to(FusionSession.SCHEMA_MATCHING)
+        count_after_matching = len(events)
+        assert count_after_matching > 0
+        unsubscribe()
+        session.run()
+        assert len(events) == count_after_matching
+
+    def test_callbacks_restored_after_matching_step(self, catalog):
+        pipeline = FusionPipeline(catalog)
+        session = pipeline.session(["EE_Students", "CS_Students"])
+        session.subscribe_progress(lambda event: None)
+        session.advance_to(FusionSession.SCHEMA_MATCHING)
+        assert pipeline.matcher.progress_callback is None
+        assert pipeline.matcher.seeder.progress_callback is None
+        assert pipeline.matcher.seeder.scoring_listener is None
+
+    def test_skip_detection_fusion_still_reports_groups(self, catalog):
+        session = FusionPipeline(catalog).session(
+            ["EE_Students"], skip_detection=True, skip_conflicts=True
+        )
+        from repro.core.fusion import FusionSpec
+
+        session.spec = FusionSpec(key_columns=["Name"])
+        by_step = {}
+        session.subscribe(lambda event: by_step.__setitem__(event.step, event))
+        session.run()
+        assert by_step["fusion"].payload["groups_resolved"] == 4
+
+    def test_query_executor_forwards_progress(self, hummer):
+        from repro.core.session import ProgressEvent
+
+        events = []
+        hummer._executor.progress_listener = events.append
+        hummer.query("SELECT * FUSE FROM EE_Students, CS_Students")
+        assert events
+        assert all(isinstance(event, ProgressEvent) for event in events)
+        assert {"seeds_scored", "groups_resolved"} <= {e.phase for e in events}
+
+
 class TestAdjustThenContinue:
     def test_adjust_matching_between_advances(self, catalog):
         """The session replaces the adjust_matching mutation callback."""

@@ -148,6 +148,6 @@ class TestReplaceOrdering:
         catalog = Catalog()
         catalog.register("numbers", [{"x": 1}])
         SourcePreparer(catalog).prepare(["numbers"])
-        assert len(catalog.artifacts) == 3
+        assert len(catalog.artifacts) == 4
         catalog.register("numbers", [{"x": 2}], replace=True)
         assert len(catalog.artifacts) == 0

@@ -36,9 +36,21 @@ class TestWarmRuns:
         aliases = list(dataset.sources)
         first = hummer.fuse(aliases)
         second = hummer.fuse(aliases)
-        assert first.summary()["artifacts_rebuilt"] == 3 * len(aliases)
+        assert first.summary()["artifacts_rebuilt"] == 4 * len(aliases)
         assert second.summary()["artifacts_rebuilt"] == 0
-        assert second.summary()["artifacts_reused"] == 3 * len(aliases)
+        assert second.summary()["artifacts_reused"] == 4 * len(aliases)
+
+    def test_summary_reports_match_artifact_reuse(self, dataset):
+        """ISSUE 6: the summary breaks out the matching-specific artifacts."""
+        hummer = build_hummer(dataset, prepare="lazy")
+        aliases = list(dataset.sources)
+        cold = hummer.fuse(aliases)
+        warm = hummer.fuse(aliases)
+        # seeding statistics + field corpus, one of each per source
+        assert cold.summary()["match_artifacts_rebuilt"] == 2 * len(aliases)
+        assert cold.summary()["match_artifacts_reused"] == 0
+        assert warm.summary()["match_artifacts_rebuilt"] == 0
+        assert warm.summary()["match_artifacts_reused"] == 2 * len(aliases)
 
     def test_warm_output_is_bit_identical_to_cold(self, dataset):
         hummer = build_hummer(dataset, prepare="lazy")
@@ -64,12 +76,12 @@ class TestWarmRuns:
         # registration already built everything: the first fuse is warm
         result = hummer.fuse(aliases)
         assert result.summary()["artifacts_rebuilt"] == 0
-        assert result.summary()["artifacts_reused"] == 3 * len(aliases)
+        assert result.summary()["artifacts_reused"] == 4 * len(aliases)
 
     def test_explicit_prepare_call_enables_reuse(self, dataset):
         hummer = build_hummer(dataset)  # no mode at construction
         report = hummer.prepare()
-        assert report["rebuilt"] == 3 * len(dataset.sources)
+        assert report["rebuilt"] == 4 * len(dataset.sources)
         result = hummer.fuse(list(dataset.sources))
         assert result.summary()["artifacts_rebuilt"] == 0
 
@@ -87,8 +99,8 @@ class TestInvalidation:
         replaced = aliases[0]
         hummer.register(replaced, dataset.sources[replaced], replace=True)
         result = hummer.fuse(aliases)
-        assert result.summary()["artifacts_rebuilt"] == 3
-        assert result.summary()["artifacts_reused"] == 3 * (len(aliases) - 1)
+        assert result.summary()["artifacts_rebuilt"] == 4
+        assert result.summary()["artifacts_reused"] == 4 * (len(aliases) - 1)
 
     def test_replaced_data_is_never_served_stale(self, dataset):
         """New rows must flow into candidates and IDF, not the old artifacts."""
@@ -122,7 +134,7 @@ class TestInvalidation:
         hummer.fuse(aliases)
         hummer.catalog.invalidate(aliases[0])
         result = hummer.fuse(aliases)
-        assert result.summary()["artifacts_rebuilt"] == 3
+        assert result.summary()["artifacts_rebuilt"] == 4
 
     def test_unregister_drops_artifacts(self, dataset):
         hummer = build_hummer(dataset, prepare="lazy")
@@ -130,7 +142,7 @@ class TestInvalidation:
         hummer.fuse(aliases)
         before = len(hummer.catalog.artifacts)
         hummer.unregister(aliases[0])
-        assert len(hummer.catalog.artifacts) == before - 3
+        assert len(hummer.catalog.artifacts) == before - 4
 
 
 class TestPersistence:
@@ -138,7 +150,7 @@ class TestPersistence:
         aliases = list(dataset.sources)
         first = build_hummer(dataset, prepare="lazy", artifact_dir=str(tmp_path))
         cold = first.fuse(aliases)
-        assert cold.summary()["artifacts_rebuilt"] == 3 * len(aliases)
+        assert cold.summary()["artifacts_rebuilt"] == 4 * len(aliases)
 
         # a new process would construct a fresh HumMer over the same directory
         second = build_hummer(dataset, prepare="lazy", artifact_dir=str(tmp_path))
@@ -167,12 +179,12 @@ class TestQueryPath:
         statement = f"SELECT * FUSE FROM {', '.join(aliases)}"
         cold = hummer.query(statement)
         counters = hummer.catalog.artifacts.counters
-        assert counters.total_rebuilt == 3 * len(aliases)
+        assert counters.total_rebuilt == 4 * len(aliases)
         snapshot = counters.snapshot()
         warm = hummer.query(statement)
         delta = counters.diff(snapshot)
         assert delta.total_rebuilt == 0
-        assert delta.total_reused == 3 * len(aliases)
+        assert delta.total_reused == 4 * len(aliases)
         assert warm.rows == cold.rows
 
     def test_filtered_query_matches_unprepared_result(self, dataset):

@@ -40,6 +40,7 @@ REPRO_EXPORTS = sorted(
         "ResolutionConfig",
         "FusionSession",
         "StageEvent",
+        "ProgressEvent",
         "Catalog",
         "Column",
         "DataType",
@@ -74,7 +75,9 @@ CONFIG_EXPORTS = sorted(
     ]
 )
 
-SESSION_EXPORTS = sorted(["SESSION_STEPS", "StageEvent", "FusionSession"])
+SESSION_EXPORTS = sorted(
+    ["SESSION_STEPS", "StageEvent", "ProgressEvent", "FusionSession"]
+)
 
 
 def parameters(callable_object):
@@ -112,6 +115,7 @@ SIGNATURES = {
     "FusionSession.advance_to": ["self", "step"],
     "FusionSession.run": ["self"],
     "FusionSession.subscribe": ["self", "listener"],
+    "FusionSession.subscribe_progress": ["self", "listener"],
     "FusionSession.apply_duplicate_decisions": ["self"],
     "FusionConfig.from_dict": ["data"],
     "FusionConfig.from_json": ["text"],
