@@ -410,6 +410,7 @@ def test_e4_warm_vs_cold(benchmark, request):
     (informational; scoring dominates and is warm/cold-invariant).
     """
     import repro.matching.duplicate_seed as seed_module
+    from repro.config import DedupConfig, FusionConfig, PrepareConfig
     from repro.dedup.blocking import TokenBlocking
     from repro.engine.catalog import Catalog as PrepCatalog
     from repro.hummer import HumMer
@@ -431,7 +432,9 @@ def test_e4_warm_vs_cold(benchmark, request):
         dataset = students_scenario(
             entity_count=entities, corruption=CorruptionConfig.low(), seed=43
         )
-        hummer = HumMer(blocking="token", prepare="lazy")
+        hummer = HumMer(config=FusionConfig(
+            dedup=DedupConfig(blocking="token"), prepare=PrepareConfig(mode="lazy")
+        ))
         for alias, relation in dataset.sources.items():
             hummer.register(alias, relation)
         aliases = list(dataset.sources)
@@ -573,7 +576,7 @@ def test_e4_warm_vs_cold(benchmark, request):
             json.dump({"benchmark": "e4_warm_vs_cold", "rows": records}, handle, indent=2)
 
     benchmark.pedantic(
-        lambda: HumMer(blocking="token"),
+        lambda: HumMer(config=FusionConfig(dedup=DedupConfig(blocking="token"))),
         rounds=1,
         iterations=1,
     )
@@ -603,6 +606,7 @@ def test_e4_matching_scale(benchmark, request):
       interactively (< 60 s — the "past the dedup wall" headline number
       when run at the full 10k default).
     """
+    from repro.config import DedupConfig, FusionConfig, PrepareConfig
     from repro.engine.catalog import Catalog as MatchCatalog
     from repro.hummer import HumMer
     from repro.prepare import FIELD_KIND, SourcePreparer
@@ -703,7 +707,9 @@ def test_e4_matching_scale(benchmark, request):
     dataset = students_scenario(
         entity_count=entities, corruption=CorruptionConfig.low(), seed=47
     )
-    hummer = HumMer(blocking="token", prepare="lazy")
+    hummer = HumMer(config=FusionConfig(
+        dedup=DedupConfig(blocking="token"), prepare=PrepareConfig(mode="lazy")
+    ))
     for alias, relation in dataset.sources.items():
         hummer.register(alias, relation)
     started = time.perf_counter()

@@ -1,62 +1,90 @@
-"""Online data-cleansing service over flat files.
+"""Online data-cleansing service over HTTP.
 
 The paper's second application (§1): "Users of such a service simply submit
 sets of heterogeneous and dirty data and receive a consistent and clean data
-set in response."  This example plays that service: it takes CSV files
-(written to a temporary directory to stay self-contained), registers them
-with HumMer, fuses them fully automatically and writes the clean CSV back.
+set in response."  This example plays both sides of that service over a real
+socket: it boots the multi-tenant fusion service in-process, then acts as a
+remote client — create a tenant, upload two dirty CSV exports of the same
+student body, step a fusion session while streaming its wizard events, and
+download the clean CSV.
 
 Run with:  python examples/online_cleansing_service.py
 """
 
-import tempfile
-from pathlib import Path
+import threading
 
-from repro import HumMer
 from repro.datagen.corruptor import CorruptionConfig
 from repro.datagen.scenarios import students_scenario
-from repro.engine.io.csv_source import CsvSource, write_csv
+from repro.engine.io.csv_source import relation_to_csv_text
+from repro.service import ServiceClient, ServiceServer
 
 
-def submit_dirty_files(directory: Path) -> list:
-    """Simulate a user uploading two dirty CSV exports of the same student body."""
+def dirty_csv_uploads() -> dict:
+    """Two dirty CSV exports of the same student body, as raw file text."""
     dataset = students_scenario(
         entity_count=80, overlap=0.4, corruption=CorruptionConfig.medium(), seed=99
     )
-    paths = []
-    for alias, relation in dataset.sources.items():
-        path = directory / f"{alias}.csv"
-        write_csv(relation, path)
-        paths.append(path)
-    return paths
+    return {
+        alias: relation_to_csv_text(relation)
+        for alias, relation in dataset.sources.items()
+    }
 
 
 def main() -> None:
-    with tempfile.TemporaryDirectory() as workdir:
-        directory = Path(workdir)
-        uploads = submit_dirty_files(directory)
-        print("Uploaded files:")
-        for path in uploads:
-            print(f"  {path.name} ({path.stat().st_size} bytes)")
+    with ServiceServer() as server:
+        print(f"service up at {server.base_url}")
+        client = ServiceClient(server.base_url)
+        client.create_tenant("cleansing-demo")
 
-        # The cleansing service: register every upload and fuse.
-        hummer = HumMer()
-        for path in uploads:
-            hummer.register(path.stem, CsvSource(path, name=path.stem))
+        uploads = dirty_csv_uploads()
+        print("Uploading dirty files:")
+        for alias, text in uploads.items():
+            report = client.upload_csv(alias, text)
+            print(f"  {alias}: {report['rows']} rows, {len(text)} bytes")
 
-        result = hummer.fuse([path.stem for path in uploads])
-        summary = result.summary()
+        session = client.create_session(list(uploads))["session"]
+
+        # Follow the wizard's progress from a second connection while the
+        # session advances — exactly what a browser UI would do.
+        events = []
+        streamer = threading.Thread(
+            target=lambda: events.extend(client.stream_events(session)),
+            daemon=True,
+        )
+        streamer.start()
+        client.run_to_completion(session)
+        streamer.join(timeout=30)
+
+        print("\nWizard progress (streamed):")
+        progress_counts = {}
+        for event in events:
+            if event["event"] == "progress":
+                progress_counts[(event["step"], event["phase"])] = (
+                    progress_counts.get((event["step"], event["phase"]), 0) + 1
+                )
+        for event in events:
+            if event["event"] != "stage":
+                continue
+            print(f"  step {event['index']}/{event['total']} "
+                  f"{event['step']} ({event['seconds']:.3f}s)")
+            for (step, phase), count in progress_counts.items():
+                if step == event["step"]:
+                    print(f"    … {count} {phase} progress events")
+
+        status = client.session_status(session)
+        reports = status["step_reports"]
+        detection = reports["duplicate_detection"]["payload"]
+        fusion = reports["fusion"]["payload"]
         print("\nCleansing report:")
-        print(f"  input records:        {summary['input_tuples']}")
-        print(f"  schema correspondences: {summary['correspondences']}")
-        print(f"  distinct entities:    {summary['clusters']}")
-        print(f"  value contradictions: {summary['contradictions']}")
-        print(f"  clean records:        {summary['output_tuples']}")
+        print(f"  pairs scored:      {detection['pairs_scored']}")
+        print(f"  distinct entities: {detection['clusters']}")
+        print(f"  clean records:     {fusion['output_tuples']}")
 
-        clean_path = directory / "clean_students.csv"
-        write_csv(result.relation, clean_path)
-        print(f"\nClean file written to {clean_path.name}; first rows:")
-        print(result.relation.head(8).to_text(limit=8))
+        clean_csv = client.result_csv(session)
+        lines = clean_csv.splitlines()
+        print(f"\nClean CSV downloaded ({len(lines) - 1} records); first rows:")
+        for line in lines[:6]:
+            print(f"  {line}")
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three sub-commands mirror the demo's workflow:
+Four sub-commands mirror the demo's workflow:
 
 * ``hummer query --source alias=file.csv ... "SELECT ... FUSE FROM ..."`` —
   the basic SQL interface.
@@ -8,6 +8,9 @@ Three sub-commands mirror the demo's workflow:
   with a summary of every phase.
 * ``hummer demo [cds|students|crisis]`` — run one of the paper's scenarios on
   generated data and print the intermediate artefacts.
+* ``hummer serve [--host H] [--port P]`` — the multi-tenant HTTP fusion
+  service (``--port 0`` binds an ephemeral port; the bound address is
+  printed as ``listening on http://H:P``).
 
 Every sub-command accepts ``--config fusion.json`` — a JSON document in the
 shape of :meth:`repro.config.FusionConfig.to_dict` — and the individual
@@ -207,6 +210,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_blocking_arguments(demo)
     _add_executor_arguments(demo)
     _add_prepare_arguments(demo)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the multi-tenant HTTP fusion service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--step-timeout",
+        type=float,
+        default=300.0,
+        help="per-request ceiling in seconds on blocking pipeline work "
+        "(exceeding it returns 504 for that request)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker threads shared by all tenants for pipeline steps",
+    )
     return parser
 
 
@@ -300,11 +324,36 @@ def _command_demo(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import serve
+    from repro.service.state import ServiceState
+
+    state = ServiceState(step_timeout=args.step_timeout, max_workers=args.workers)
+
+    def announce(line: str) -> None:
+        # wrappers (the CI smoke job, the example client) parse this line
+        # to discover an ephemeral port, so it must flush immediately
+        print(line, flush=True)
+
+    try:
+        asyncio.run(serve(args.host, args.port, state=state, announce=announce))
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {"query": _command_query, "fuse": _command_fuse, "demo": _command_demo}
+    handlers = {
+        "query": _command_query,
+        "fuse": _command_fuse,
+        "demo": _command_demo,
+        "serve": _command_serve,
+    }
     try:
         return handlers[args.command](args)
     except Exception as exc:  # surface library errors as plain messages

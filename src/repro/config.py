@@ -266,8 +266,9 @@ class DedupConfig(_Section):
     ) -> DuplicateDetector:
         """The configured :class:`DuplicateDetector`.
 
-        *blocking* / *executor* instance overrides exist for the deprecated
-        instance-passing facade kwargs; they win over the config names.
+        *blocking* / *executor* accept already-constructed instances (object
+        injection for callers that build their own strategies); they win
+        over the config names.
         """
         return DuplicateDetector(
             threshold=self.threshold,

@@ -20,14 +20,11 @@ case" of the paper) by advancing one
 :class:`~repro.core.session.FusionSession` to completion; the session is
 also the interactive flow — advance step by step, adjust the intermediate
 artefacts in place, continue (see :mod:`repro.core.session`).  The
-``step_*`` methods remain the underlying per-step primitives, and the
-legacy ``adjust_*`` mutation hooks keep working for one release under a
-:class:`DeprecationWarning`.
+``step_*`` methods remain the underlying per-step primitives.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
@@ -36,9 +33,7 @@ from repro.baselines.name_matcher import NameBasedMatcher
 from repro.core.conflicts import ConflictReport, find_conflicts
 from repro.core.fusion import FusionOperator, FusionResult, FusionSpec
 from repro.core.resolution.base import ResolutionRegistry, default_registry
-from repro.dedup.blocking import BlockingSpec, resolve_blocking
 from repro.dedup.descriptions import AttributeSelection, select_interesting_attributes
-from repro.dedup.executor import ExecutorSpec, resolve_executor
 from repro.dedup.detector import DuplicateDetectionResult, DuplicateDetector, OBJECT_ID_COLUMN
 from repro.engine.catalog import Catalog
 from repro.engine.relation import Relation
@@ -168,15 +163,6 @@ class PipelineResult:
         return summary
 
 
-def _warn_deprecated(parameter: str, replacement: str) -> None:
-    warnings.warn(
-        f"FusionPipeline({parameter}=...) is deprecated and will be removed "
-        f"in the next release; {replacement}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
 class FusionPipeline:
     """Automatic (and optionally interactive) data-fusion pipeline.
 
@@ -198,27 +184,18 @@ class FusionPipeline:
         use_name_fallback: when instance-based matching finds nothing for a
             relation, fall back to label-based matching instead of failing
             (``None`` → from config, default ``True``).
-        blocking: **deprecated** — configure
-            ``config.dedup.blocking`` (or ``DuplicateDetector(blocking=...)``)
-            instead.  Still honoured for one release: a strategy instance,
-            a name or ``None`` to use the detector's own strategy.
-        executor: **deprecated** — configure ``config.dedup.executor`` /
-            ``workers`` (or ``DuplicateDetector(executor=...)``) instead.
-            Still honoured for one release.
         prepare: per-source artifact preparation (see :mod:`repro.prepare`) —
             ``True`` builds a :class:`SourcePreparer` against the catalog's
-            artifact store (token parameters mirrored from the effective
+            artifact store (token parameters mirrored from the detector's
             blocking strategy, seeding sample limit from the matcher), a
             ready :class:`SourcePreparer` is used as-is, ``None``/``False``
             disables preparation.  ``None`` with a config whose
             ``prepare.mode`` is set builds a preparer from the config.
-        adjust_matching / adjust_selection / adjust_duplicates:
-            **deprecated** mutation hooks invoked between steps — use the
-            session's adjust-then-continue flow instead
-            (:meth:`session`, then mutate ``session.matching`` /
-            ``session.selection`` / ``session.detection`` between
-            :meth:`~repro.core.session.FusionSession.advance` calls).
-            Still honoured for one release.
+
+    Mid-run adjustment lives on the session (adjust-then-continue):
+    :meth:`session`, then mutate ``session.matching`` / ``session.selection``
+    / ``session.detection`` between
+    :meth:`~repro.core.session.FusionSession.advance` calls.
     """
 
     def __init__(
@@ -228,37 +205,9 @@ class FusionPipeline:
         detector: Optional[DuplicateDetector] = None,
         registry: Optional[ResolutionRegistry] = None,
         use_name_fallback: Optional[bool] = None,
-        blocking: BlockingSpec = None,
-        executor: ExecutorSpec = None,
         prepare: Union[bool, SourcePreparer, None] = None,
-        adjust_matching: Optional[Callable[[MultiMatchingResult], None]] = None,
-        adjust_selection: Optional[Callable[[AttributeSelection], None]] = None,
-        adjust_duplicates: Optional[Callable[[DuplicateDetectionResult], None]] = None,
         config=None,
     ):
-        if blocking is not None:
-            _warn_deprecated(
-                "blocking",
-                "set FusionConfig.dedup.blocking or construct "
-                "DuplicateDetector(blocking=...)",
-            )
-        if executor is not None:
-            _warn_deprecated(
-                "executor",
-                "set FusionConfig.dedup.executor / workers or construct "
-                "DuplicateDetector(executor=...)",
-            )
-        for hook_name, hook in (
-            ("adjust_matching", adjust_matching),
-            ("adjust_selection", adjust_selection),
-            ("adjust_duplicates", adjust_duplicates),
-        ):
-            if hook is not None:
-                _warn_deprecated(
-                    hook_name,
-                    "use FusionPipeline.session() and adjust the step "
-                    "artefacts between advance() calls",
-                )
         self.catalog = catalog
         self.config = config
         if config is not None:
@@ -285,25 +234,16 @@ class FusionPipeline:
         self.detector = detector or DuplicateDetector()
         self.registry = registry or default_registry()
         self.use_name_fallback = True if use_name_fallback is None else use_name_fallback
-        self.blocking = resolve_blocking(blocking) if blocking is not None else None
-        self.executor = resolve_executor(executor) if executor is not None else None
         if isinstance(prepare, SourcePreparer):
             self.preparer: Optional[SourcePreparer] = prepare
         elif prepare:
             self.preparer = SourcePreparer(
                 catalog,
-                token_strategy=token_strategy_for(self._effective_blocking()),
+                token_strategy=token_strategy_for(self.detector.blocking),
                 seed_sample_limit=self.matcher.seeder.max_tuples_per_relation,
             )
         else:
             self.preparer = None
-        self.adjust_matching = adjust_matching
-        self.adjust_selection = adjust_selection
-        self.adjust_duplicates = adjust_duplicates
-
-    def _effective_blocking(self):
-        """The blocking strategy detection will actually use."""
-        return self.blocking if self.blocking is not None else self.detector.blocking
 
     # -- individual steps ---------------------------------------------------------
 
@@ -340,8 +280,6 @@ class FusionPipeline:
                 result = multi.match(sources)
         else:
             result = multi.match(sources)
-        if self.adjust_matching is not None:
-            self.adjust_matching(result)
         return result
 
     def step_transform(
@@ -353,16 +291,14 @@ class FusionPipeline:
 
     def step_attribute_selection(self, transformed: Relation) -> AttributeSelection:
         """Step 3: heuristics select the attributes for duplicate detection."""
-        selection = select_interesting_attributes(transformed)
-        if self.adjust_selection is not None:
-            self.adjust_selection(selection)
-        return selection
+        return select_interesting_attributes(transformed)
 
     def step_duplicate_detection(
         self,
         transformed: Relation,
         selection: AttributeSelection,
         prepared_view: Optional[PreparedQueryView] = None,
+        progress_callback: Optional[Callable[[str, int, int], None]] = None,
     ) -> DuplicateDetectionResult:
         """Steps 3+4: detect duplicates, then let the caller confirm unsure pairs.
 
@@ -370,22 +306,20 @@ class FusionPipeline:
         from the per-source artifacts instead of being rebuilt from cell
         values (providers are installed on the blocking strategy only for
         the duration of this step).
+
+        *progress_callback* is invoked by the scoring executor as candidate
+        batches complete — ``("pairs_scored", done, total)``, cumulative over
+        the run — mirroring the fusion operator's group-at-a-time stream.
         """
         # with_overrides carries every detector field over automatically, so
         # a newly added knob can no longer be silently dropped here.
-        detector = self.detector.with_overrides(
-            selection=selection,
-            blocking=self._effective_blocking(),
-            executor=self.executor if self.executor is not None else self.detector.executor,
-        )
+        detector = self.detector.with_overrides(selection=selection)
+        detector.progress_callback = progress_callback
         if prepared_view is not None:
             with prepared_view.blocking(detector.blocking):
                 result = detector.detect(transformed)
         else:
             result = detector.detect(transformed)
-        if self.adjust_duplicates is not None:
-            self.adjust_duplicates(result)
-            result = detector.redetect_with_decisions(transformed, result)
         return result
 
     def step_conflicts(self, detection: DuplicateDetectionResult) -> ConflictReport:

@@ -25,6 +25,13 @@ Progress on long runs is observable through subscribe-able
 A session run and :meth:`FusionPipeline.run` are the *same* code path —
 ``run()`` is now a thin loop over one session — so stepping manually and
 running automatically produce bit-identical :class:`PipelineResult`\\ s.
+
+Sessions survive process restarts: :meth:`FusionSession.to_dict` captures a
+JSON-able snapshot (aliases, step cursor, per-step reports, duplicate
+decisions, source content digests) and :meth:`FusionSession.from_dict`
+rebuilds the session against a fresh pipeline by *replaying* the completed
+steps — the pipeline is deterministic, so a resumed run is bit-identical to
+an uninterrupted one (asserted in ``tests/core/test_session_snapshot.py``).
 """
 
 from __future__ import annotations
@@ -33,13 +40,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.core.fusion import FusionOperator, FusionSpec
+from repro.core.fusion import FusionOperator, FusionSpec, ResolutionSpec
 from repro.core.pipeline import PipelineResult, PipelineTimings
+from repro.core.resolution.base import ResolutionFunction
 from repro.dedup.detector import OBJECT_ID_COLUMN
 from repro.engine.relation import Relation
 from repro.exceptions import HummerError
 
-__all__ = ["SESSION_STEPS", "StageEvent", "ProgressEvent", "FusionSession"]
+__all__ = ["SESSION_STEPS", "SNAPSHOT_VERSION", "StageEvent", "ProgressEvent", "FusionSession"]
+
+#: Version tag written into (and required from) session snapshots.
+SNAPSHOT_VERSION = 1
 
 #: The wizard steps, in execution order.  ``prepare`` is the paper's step 1b
 #: (a no-op for unprepared sessions); ``schema_matching`` covers steps 2+2b
@@ -86,15 +97,17 @@ class ProgressEvent:
 
     Where :class:`StageEvent` reports a *completed* step, progress events
     stream out while a step is still running: seeds scored and field
-    matrices built during ``schema_matching``, groups resolved during
-    ``fusion``.  Counters are cumulative over the step (across source
-    pairs); ``total`` is the work-item count of the current unit of work
-    (one source pair's tuples, one fusion input's groups).
+    matrices built during ``schema_matching``, candidate-pair batches scored
+    during ``duplicate_detection``, groups resolved during ``fusion``.
+    Counters are cumulative over the step (across source pairs / scoring
+    batches); ``total`` is the work-item count of the current unit of work
+    (one source pair's tuples, the run's candidate pairs, one fusion input's
+    groups).
 
     Attributes:
         step: the running step (one of :data:`SESSION_STEPS`).
         phase: what is being counted (``"seeds_scored"``,
-            ``"field_matrices"``, ``"groups_resolved"``).
+            ``"field_matrices"``, ``"pairs_scored"``, ``"groups_resolved"``).
         done: cumulative completed work items of this phase within the step.
         total: work items of the current unit of work.
     """
@@ -103,6 +116,55 @@ class ProgressEvent:
     phase: str
     done: int
     total: int
+
+
+def _spec_to_dict(spec: Optional[FusionSpec]) -> Optional[Dict[str, Any]]:
+    """JSON-able form of a name-based :class:`FusionSpec` (``None`` passthrough).
+
+    Raises :class:`HummerError` on resolutions carrying live
+    :class:`ResolutionFunction` instances — a snapshot must be rebuildable in
+    a process that never saw the instance.
+    """
+    if spec is None:
+        return None
+    resolutions = []
+    for item in spec.resolutions:
+        function = item.function
+        if isinstance(function, ResolutionFunction):
+            raise HummerError(
+                f"the resolution for column {item.column!r} is a "
+                "ResolutionFunction instance; session snapshots need "
+                "name-based resolutions (a registry name or [name, args])"
+            )
+        if isinstance(function, tuple):
+            function = [function[0], list(function[1])]
+        resolutions.append(
+            {"column": item.column, "function": function, "alias": item.alias}
+        )
+    return {
+        "key_columns": list(spec.key_columns),
+        "resolutions": resolutions,
+        "keep_source_column": spec.keep_source_column,
+    }
+
+
+def _spec_from_dict(data: Optional[Dict[str, Any]]) -> Optional[FusionSpec]:
+    """Inverse of :func:`_spec_to_dict`."""
+    if data is None:
+        return None
+    resolutions = []
+    for item in data.get("resolutions", ()):
+        function = item.get("function")
+        if isinstance(function, list):
+            function = (function[0], list(function[1]))
+        resolutions.append(
+            ResolutionSpec(item["column"], function, alias=item.get("alias"))
+        )
+    return FusionSpec(
+        key_columns=list(data.get("key_columns", (OBJECT_ID_COLUMN,))),
+        resolutions=resolutions,
+        keep_source_column=bool(data.get("keep_source_column", False)),
+    )
 
 
 class FusionSession:
@@ -165,8 +227,14 @@ class FusionSession:
         self.fusion = None
         self.result: Optional[PipelineResult] = None
 
+        #: Per-step reports recorded as steps complete — the
+        #: :class:`StageEvent` payload plus wall-clock seconds, keyed by step
+        #: name.  Carried into snapshots as the per-step artefact summaries.
+        self.step_reports: Dict[str, Dict[str, Any]] = {}
+
         self.timings = PipelineTimings()
         self._cursor = 0
+        self._decisions_applied = False
         self._listeners: List[Callable[[StageEvent], None]] = []
         self._progress_listeners: List[Callable[[ProgressEvent], None]] = []
         self._runners = {
@@ -255,6 +323,7 @@ class FusionSession:
         artefact, payload = self._runners[step]()
         seconds = time.perf_counter() - started
         self._cursor += 1
+        self.step_reports[step] = {"seconds": seconds, "payload": dict(payload)}
         event = StageEvent(
             step=step,
             index=self._cursor,
@@ -309,7 +378,151 @@ class FusionSession:
         self.detection = self.pipeline.detector.redetect_with_decisions(
             self.transformed, self.detection
         )
+        self._decisions_applied = True
         return self.detection
+
+    # -- snapshot / restore --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able snapshot of this session's progress.
+
+        The snapshot captures everything needed to resume in another process
+        (:meth:`from_dict`): aliases, the step cursor, per-step reports,
+        user decisions on unsure pairs, the fusion spec (name-based only)
+        and a content digest per source so a resume against changed data
+        fails loudly instead of silently diverging.
+
+        Raises:
+            HummerError: for sessions that cannot be snapshotted — a
+                ``transform_filter`` (an arbitrary callable) or a spec
+                holding live :class:`ResolutionFunction` instances.
+        """
+        if self.transform_filter is not None:
+            raise HummerError(
+                "sessions with a transform_filter cannot be snapshotted "
+                "(the filter is an arbitrary callable)"
+            )
+        decisions = []
+        segments = None
+        if self.detection is not None:
+            classified = self.detection.classified
+            decisions = [
+                [int(left), int(right), bool(accept)]
+                for (left, right), accept in sorted(classified.decisions.items())
+            ]
+            # Segment membership is snapshotted too: the wizard lets users
+            # *move* pairs between segments (demote a sure duplicate to
+            # unsure), and accepted_pairs() starts from sure_duplicates —
+            # decisions alone would not reproduce such demotions on resume.
+            segments = {
+                name: [list(score.as_tuple()) for score in getattr(classified, name)]
+                for name in ("sure_duplicates", "unsure", "sure_non_duplicates")
+            }
+        digests = None
+        if self.sources is not None:
+            digests = [
+                [alias, source.content_digest()]
+                for alias, source in zip(self.aliases, self.sources)
+            ]
+        return {
+            "version": SNAPSHOT_VERSION,
+            "aliases": list(self.aliases),
+            "completed_steps": list(self.completed_steps),
+            "skip_detection": self.skip_detection,
+            "skip_conflicts": self.skip_conflicts,
+            "spec": _spec_to_dict(self.spec),
+            "metadata": self.metadata,
+            "decisions": decisions,
+            "classified_segments": segments,
+            "decisions_applied": self._decisions_applied,
+            "step_reports": {
+                step: dict(report) for step, report in self.step_reports.items()
+            },
+            "source_digests": digests,
+        }
+
+    @classmethod
+    def from_dict(cls, pipeline, data: Dict[str, Any]) -> "FusionSession":
+        """Rebuild a session from :meth:`to_dict` against a fresh *pipeline*.
+
+        Completed steps are *replayed* — the pipeline is deterministic, so
+        the replay reproduces the snapshotted artefacts bit-identically;
+        recorded duplicate decisions are restored (and re-applied when they
+        had been applied) at the point in the replay where they originally
+        happened.  Source content digests are verified right after
+        ``choose_sources``: resuming over changed data raises
+        :class:`HummerError`.
+        """
+        version = data.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise HummerError(
+                f"unsupported session snapshot version {version!r} "
+                f"(expected {SNAPSHOT_VERSION})"
+            )
+        completed = [str(step) for step in data.get("completed_steps", ())]
+        if tuple(completed) != SESSION_STEPS[: len(completed)]:
+            raise HummerError(
+                "snapshot completed_steps "
+                f"{completed!r} is not a prefix of the wizard steps"
+            )
+        session = cls(
+            pipeline,
+            data.get("aliases", ()),
+            spec=_spec_from_dict(data.get("spec")),
+            metadata=data.get("metadata"),
+            skip_detection=bool(data.get("skip_detection", False)),
+            skip_conflicts=bool(data.get("skip_conflicts", False)),
+        )
+        decisions = data.get("decisions") or []
+        decisions_applied = bool(data.get("decisions_applied", False))
+        for step in completed:
+            session.advance()
+            if step == cls.CHOOSE_SOURCES:
+                session._verify_source_digests(data.get("source_digests"))
+            if step == cls.DUPLICATE_DETECTION and session.detection is not None:
+                classified = session.detection.classified
+                segments = data.get("classified_segments")
+                if segments:
+                    by_pair = {
+                        score.as_tuple(): score
+                        for name in (
+                            "sure_duplicates", "unsure", "sure_non_duplicates"
+                        )
+                        for score in getattr(classified, name)
+                    }
+                    for name in (
+                        "sure_duplicates", "unsure", "sure_non_duplicates"
+                    ):
+                        restored = []
+                        for left, right in segments.get(name, ()):
+                            score = by_pair.get((int(left), int(right)))
+                            if score is not None:
+                                restored.append(score)
+                        setattr(classified, name, restored)
+                if decisions:
+                    classified.decisions = {
+                        (int(left), int(right)): bool(accept)
+                        for left, right, accept in decisions
+                    }
+                if decisions_applied:
+                    session.apply_duplicate_decisions()
+        return session
+
+    def _verify_source_digests(self, digests) -> None:
+        """Raise if any snapshotted source digest differs from the live one."""
+        if not digests or self.sources is None:
+            return
+        current = {
+            alias: source.content_digest()
+            for alias, source in zip(self.aliases, self.sources)
+        }
+        for alias, digest in digests:
+            if current.get(alias) != digest:
+                raise HummerError(
+                    f"source {alias!r} changed since the session was "
+                    "snapshotted (content digest mismatch); re-run the "
+                    "fusion instead of resuming"
+                )
 
     # -- step implementations ------------------------------------------------------
     #
@@ -406,9 +619,21 @@ class FusionSession:
     def _run_duplicate_detection(self):
         if self.skip_detection:
             return None, {"skipped": True}
+        counters: Dict[str, int] = {"pairs_scored": 0, "score_batches": 0}
+
+        # The executor reports cumulative pairs per completed batch (one
+        # batch for the serial path, one per merged chunk for the pool).
+        def forward(phase: str, done: int, total: int) -> None:
+            counters["score_batches"] += 1
+            counters["pairs_scored"] = done
+            self._emit_progress(self.DUPLICATE_DETECTION, phase, done, total)
+
         started = time.perf_counter()
         self.detection = self.pipeline.step_duplicate_detection(
-            self.transformed, self.selection, prepared_view=self.prepared_view
+            self.transformed,
+            self.selection,
+            prepared_view=self.prepared_view,
+            progress_callback=forward,
         )
         self.timings.duplicate_detection += time.perf_counter() - started
         statistics = self.detection.filter_statistics
@@ -417,6 +642,8 @@ class FusionSession:
             "counts": dict(self.detection.classified.counts),
             "candidate_pairs": statistics.blocking_candidates,
             "compared_pairs": statistics.compared,
+            "pairs_scored": counters["pairs_scored"],
+            "score_batches": counters["score_batches"],
         }
         if statistics.blocking_plan is not None:
             payload["blocking_plan"] = statistics.blocking_plan

@@ -92,7 +92,15 @@ class DuplicateDetector:
             :class:`~repro.dedup.executor.ScoringExecutor` instance, a name
             (``"serial"``, ``"multiprocess"``) or ``None`` for the in-process
             serial baseline.
+
+    The plain :attr:`progress_callback` attribute (not a constructor field,
+    so :meth:`with_overrides` copies stay clean) is handed to the candidate
+    generator: executors invoke it as scoring batches complete —
+    ``("pairs_scored", cumulative_pairs, total_candidates)``.
     """
+
+    #: Optional ``(phase, done, total)`` scoring-progress callable.
+    progress_callback = None
 
     def __init__(
         self,
@@ -160,6 +168,7 @@ class DuplicateDetector:
             keep_evidence=self.keep_evidence,
             blocking=self.blocking,
             executor=self.executor,
+            progress_callback=self.progress_callback,
         )
         scores = generator.score_pairs(relation)
         classified = classify_pairs(scores, self.threshold, self.uncertainty_band)

@@ -116,7 +116,9 @@ def score_with_filter(
     The serial executor and the multiprocess executor's small-input fallback
     run the same :func:`score_batch` loop the pool workers do — against the
     generator's live measure, with the filter counters folded into the shared
-    :class:`FilterStatistics` afterwards.
+    :class:`FilterStatistics` afterwards.  The generator's optional
+    ``progress_callback`` fires once for the whole (single-batch) run:
+    ``("pairs_scored", considered, considered)``.
     """
     result = score_batch(
         ScoringBatch(
@@ -131,6 +133,9 @@ def score_with_filter(
     statistics = generator.statistics
     statistics.considered += result.considered
     statistics.pruned += result.pruned
+    callback = getattr(generator, "progress_callback", None)
+    if callback is not None:
+        callback("pairs_scored", result.considered, result.considered)
     return result.scores
 
 

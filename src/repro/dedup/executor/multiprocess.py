@@ -123,20 +123,26 @@ class MultiprocessExecutor(ScoringExecutor):
         chunks = [pairs[start : start + chunk] for start in range(0, len(pairs), chunk)]
         pool_size = min(self.workers, len(chunks))
         batch = self.snapshot(generator, rows)
+        statistics = generator.statistics
+        callback = getattr(generator, "progress_callback", None)
+        scored: List["PairScore"] = []
+        done = 0
+        # Merge inside the pool context and in batch order (``Executor.map``
+        # preserves it), emitting cumulative progress per merged batch:
+        # ``("pairs_scored", pairs_done_so_far, total_candidates)``.
         with ProcessPoolExecutor(
             max_workers=pool_size,
             mp_context=self.mp_context,
             initializer=_initialise_worker,
             initargs=(batch,),
         ) as pool:
-            results = list(pool.map(_score_chunk, chunks))
-
-        statistics = generator.statistics
-        scored: List["PairScore"] = []
-        for result in results:
-            statistics.considered += result.considered
-            statistics.pruned += result.pruned
-            scored.extend(result.scores)
+            for result in pool.map(_score_chunk, chunks):
+                statistics.considered += result.considered
+                statistics.pruned += result.pruned
+                scored.extend(result.scores)
+                done += result.considered
+                if callback is not None:
+                    callback("pairs_scored", done, len(pairs))
         return scored
 
     def __repr__(self) -> str:

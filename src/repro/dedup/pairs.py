@@ -14,7 +14,7 @@ process pool.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Tuple
 
 from repro.dedup.blocking import BlockingSpec, BlockingStrategy, resolve_blocking
 
@@ -60,6 +60,11 @@ class CandidatePairGenerator:
         executor: a :class:`~repro.dedup.executor.ScoringExecutor`, an
             executor name (``"serial"``, ``"multiprocess"``) or ``None`` for
             the in-process serial baseline.
+        progress_callback: optional ``(phase, done, total)`` callable the
+            executor invokes as scoring batches complete
+            (``("pairs_scored", cumulative_pairs, total_candidates)``) — the
+            dedup counterpart of the matcher's and fusion operator's
+            intra-step progress streams.
     """
 
     def __init__(
@@ -72,6 +77,7 @@ class CandidatePairGenerator:
         keep_evidence: bool = False,
         blocking: BlockingSpec = None,
         executor: "ExecutorSpec" = None,
+        progress_callback: Optional[Callable[[str, int, int], None]] = None,
     ):
         # imported here because the executor package imports PairScore
         from repro.dedup.executor import resolve_executor
@@ -83,6 +89,7 @@ class CandidatePairGenerator:
         self.keep_evidence = keep_evidence
         self.blocking: BlockingStrategy = resolve_blocking(blocking)
         self.executor = resolve_executor(executor)
+        self.progress_callback = progress_callback
 
     @property
     def statistics(self):

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import csv
+import io
 import os
 from typing import Optional, Sequence, Union
 
@@ -11,7 +12,7 @@ from repro.engine.relation import Relation
 from repro.engine.schema import Schema
 from repro.exceptions import SourceError
 
-__all__ = ["CsvSource", "write_csv"]
+__all__ = ["CsvSource", "relation_from_csv_text", "relation_to_csv_text", "write_csv"]
 
 
 class CsvSource(DataSource):
@@ -90,10 +91,39 @@ def _rows_to_relation(
     return relation
 
 
+def relation_from_csv_text(
+    text: str,
+    name: str = "",
+    delimiter: str = ",",
+    quotechar: str = '"',
+    has_header: bool = True,
+    column_names: Optional[Sequence[str]] = None,
+    infer_types: bool = True,
+) -> Relation:
+    """Parse CSV *text* (already in memory) into a relation.
+
+    The in-memory twin of :class:`CsvSource` — the service layer accepts
+    inline CSV uploads and never touches the filesystem.
+    """
+    try:
+        reader = csv.reader(io.StringIO(text), delimiter=delimiter, quotechar=quotechar)
+        rows = list(reader)
+    except csv.Error as exc:
+        raise SourceError(f"cannot parse CSV text: {exc}") from exc
+    return _rows_to_relation(rows, has_header, column_names, infer_types, name)
+
+
+def relation_to_csv_text(relation: Relation, delimiter: str = ",") -> str:
+    """Render a relation as CSV text (header row first, NULL as empty)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(relation.schema.names)
+    for values in relation.rows:
+        writer.writerow(["" if value is None else value for value in values])
+    return buffer.getvalue()
+
+
 def write_csv(relation: Relation, path: Union[str, os.PathLike], delimiter: str = ",") -> None:
     """Write a relation to a CSV file (used by examples and the CLI)."""
     with open(os.fspath(path), "w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle, delimiter=delimiter)
-        writer.writerow(relation.schema.names)
-        for values in relation.rows:
-            writer.writerow(["" if value is None else value for value in values])
+        handle.write(relation_to_csv_text(relation, delimiter=delimiter))

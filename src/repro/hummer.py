@@ -22,15 +22,14 @@ instead of the historical pile of keyword arguments::
     )
     print(result.to_text())
 
-The pre-config keyword spellings (``duplicate_threshold=``, ``blocking=``,
-``executor=``, ``prepare=``, ``artifact_dir=``) keep working for one release
-and emit a :class:`DeprecationWarning`; see ``docs/api.md`` for the
-migration table.
+Object injection (``matcher=`` / ``detector=``) remains the escape hatch for
+already-constructed strategy instances; every other knob lives on the config
+tree.  See ``docs/api.md`` for the full surface and ``docs/service.md`` for
+the HTTP service built on top of it.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.config import FusionConfig
@@ -42,9 +41,7 @@ from repro.core.resolution.base import (
     default_registry,
 )
 from repro.core.session import FusionSession
-from repro.dedup.blocking import BlockingSpec
 from repro.dedup.detector import DuplicateDetector
-from repro.dedup.executor import ExecutorSpec
 from repro.engine.catalog import Catalog
 from repro.engine.io.base import DataSource
 from repro.engine.relation import Relation
@@ -54,15 +51,6 @@ from repro.fuseby.executor import QueryExecutor
 from repro.matching.dumas import DumasMatcher
 
 __all__ = ["HumMer"]
-
-
-def _warn_deprecated_kwarg(parameter: str, replacement: str) -> None:
-    warnings.warn(
-        f"HumMer({parameter}=...) is deprecated and will be removed in the "
-        f"next release; {replacement}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 class HumMer:
@@ -76,90 +64,24 @@ class HumMer:
         matcher: schema-matcher *instance* override (object injection; wins
             over ``config.matching``).
         detector: duplicate-detector *instance* override (object injection;
-            wins over ``config.dedup``).  Mutually exclusive with the
-            deprecated *blocking* / *executor* kwargs.
+            wins over ``config.dedup``).
         registry: resolution-function registry; defaults to a process-wide
             registry holding every built-in function.
-        duplicate_threshold: **deprecated** — set
-            ``config.dedup.threshold``.  Still honoured for one release.
-        blocking: **deprecated** — set ``config.dedup.blocking`` (a name)
-            or inject ``DuplicateDetector(blocking=...)``.  Still honoured
-            for one release, including strategy instances.
-        executor: **deprecated** — set ``config.dedup.executor`` /
-            ``config.dedup.workers`` or inject
-            ``DuplicateDetector(executor=...)``.  Still honoured for one
-            release, including executor instances.
-        prepare: **deprecated** — set ``config.prepare.mode``.  Still
-            honoured for one release.
-        artifact_dir: **deprecated** — set ``config.prepare.artifact_dir``.
-            Still honoured for one release.
     """
 
     def __init__(
         self,
-        duplicate_threshold: Optional[float] = None,
         matcher: Optional[DumasMatcher] = None,
         detector: Optional[DuplicateDetector] = None,
         registry: Optional[ResolutionRegistry] = None,
-        blocking: BlockingSpec = None,
-        executor: ExecutorSpec = None,
-        prepare: Optional[str] = None,
-        artifact_dir: Optional[str] = None,
         config: Optional[FusionConfig] = None,
     ):
-        if detector is not None and blocking is not None:
-            raise ValueError(
-                "pass blocking via DuplicateDetector(blocking=...) when an "
-                "explicit detector is given"
-            )
-        if detector is not None and executor is not None:
-            raise ValueError(
-                "pass the executor via DuplicateDetector(executor=...) when an "
-                "explicit detector is given"
-            )
         config = config if config is not None else FusionConfig()
-        blocking_instance = None
-        executor_instance = None
-        if duplicate_threshold is not None:
-            _warn_deprecated_kwarg(
-                "duplicate_threshold", "set FusionConfig.dedup.threshold"
-            )
-            config = config.merged({"dedup": {"threshold": duplicate_threshold}})
-        if blocking is not None:
-            _warn_deprecated_kwarg(
-                "blocking",
-                "set FusionConfig.dedup.blocking or inject "
-                "DuplicateDetector(blocking=...)",
-            )
-            if isinstance(blocking, str):
-                config = config.merged({"dedup": {"blocking": blocking}})
-            else:
-                blocking_instance = blocking
-        if executor is not None:
-            _warn_deprecated_kwarg(
-                "executor",
-                "set FusionConfig.dedup.executor / workers or inject "
-                "DuplicateDetector(executor=...)",
-            )
-            if isinstance(executor, str):
-                config = config.merged({"dedup": {"executor": executor}})
-            else:
-                executor_instance = executor
-        if prepare is not None:
-            _warn_deprecated_kwarg("prepare", "set FusionConfig.prepare.mode")
-            config = config.merged({"prepare": {"mode": prepare}})
-        if artifact_dir is not None:
-            _warn_deprecated_kwarg(
-                "artifact_dir", "set FusionConfig.prepare.artifact_dir"
-            )
-            config = config.merged({"prepare": {"artifact_dir": artifact_dir}})
         self.config = config
         self.catalog = Catalog(artifact_dir=config.prepare.artifact_dir)
         self.registry = registry or default_registry()
         self.matcher = matcher or config.matching.build_matcher()
-        self.detector = detector or config.dedup.build_detector(
-            blocking=blocking_instance, executor=executor_instance
-        )
+        self.detector = detector or config.dedup.build_detector()
         self._executor = QueryExecutor(
             self.catalog,
             registry=self.registry,
@@ -180,9 +102,9 @@ class HumMer:
     def enable_prepare(self, mode: str = "lazy") -> None:
         """Explicitly switch on per-source artifact preparation.
 
-        This is the blessed spelling of what ``register(prepare=...)`` and
-        :meth:`prepare` used to do implicitly (and now do under a
-        :class:`DeprecationWarning`): subsequent queries build, reuse and
+        This is the one spelling that flips the instance-wide mode (the
+        historical implicit promotions through ``register(prepare=...)`` and
+        :meth:`prepare` are gone): subsequent queries build, reuse and
         merge per-source artifacts in *mode* (``"lazy"`` or ``"eager"``).
 
         Four artifact kinds are prepared per source — the blocking token
@@ -213,27 +135,23 @@ class HumMer:
         invalidates its artifacts; with an eager mode they are rebuilt on
         the spot.
 
-        .. deprecated::
-            On an instance whose config has no preparation mode, passing
-            *prepare* also flips the instance-wide mode as a side effect —
-            that implicit promotion now emits a :class:`DeprecationWarning`.
-            Configure ``PrepareConfig(mode=...)`` or call
-            :meth:`enable_prepare` explicitly instead.
+        The override never flips the instance-wide mode: on an instance
+        configured without one (``config.prepare.mode is None``) a
+        *prepare* override would build artifacts no query merges, so it
+        raises :class:`ConfigError` — configure ``PrepareConfig(mode=...)``
+        or call :meth:`enable_prepare` first.
         """
         if prepare not in (None, "lazy", "eager"):
             raise ConfigError('prepare must be None, "lazy" or "eager"')
+        if prepare is not None and self.prepare_mode is None:
+            raise ConfigError(
+                f"register(prepare={prepare!r}) needs an instance-wide "
+                "preparation mode (the per-source override refines it, it "
+                "does not enable it); configure PrepareConfig(mode=...) or "
+                "call enable_prepare() first"
+            )
         self.catalog.register(alias, source, description=description, replace=replace)
         mode = prepare or self.prepare_mode
-        if prepare is not None and self.prepare_mode is None:
-            warnings.warn(
-                f"register(prepare={prepare!r}) on an instance configured "
-                "without a preparation mode implicitly enables instance-wide "
-                "artifact use; this side effect is deprecated — configure "
-                "PrepareConfig(mode=...) or call enable_prepare() explicitly",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            self.config = self.config.merged({"prepare": {"mode": prepare}})
         if mode == "eager":
             self._prepare_now([alias])
 
@@ -244,26 +162,18 @@ class HumMer:
     def prepare(self, aliases: Optional[Sequence[str]] = None) -> Dict[str, Any]:
         """Build (or validate) per-source artifacts now; returns the report.
 
-        With no *aliases*, every registered source is prepared.
-
-        .. deprecated::
-            On an instance configured without a preparation mode this call
-            implicitly switches the instance to ``"lazy"`` so the built
-            artifacts are actually merged by subsequent queries; that side
-            effect now emits a :class:`DeprecationWarning` — call
-            :meth:`enable_prepare` first (or configure
-            ``PrepareConfig(mode=...)``) to be explicit.
+        With no *aliases*, every registered source is prepared.  Requires an
+        instance-wide preparation mode (otherwise the built artifacts would
+        never be merged by queries): configure ``PrepareConfig(mode=...)``
+        or call :meth:`enable_prepare` first — the historical implicit
+        switch to ``"lazy"`` is gone.
         """
         if self.prepare_mode is None:
-            warnings.warn(
-                "prepare() on an instance configured without a preparation "
-                "mode implicitly switches it to \"lazy\"; this side effect "
-                "is deprecated — configure PrepareConfig(mode=...) or call "
-                "enable_prepare() explicitly",
-                DeprecationWarning,
-                stacklevel=2,
+            raise ConfigError(
+                "prepare() needs an instance-wide preparation mode so the "
+                "built artifacts are actually merged by queries; configure "
+                "PrepareConfig(mode=...) or call enable_prepare() first"
             )
-            self.enable_prepare("lazy")
         return self._prepare_now(aliases)
 
     def _prepare_now(self, aliases: Optional[Sequence[str]]) -> Dict[str, Any]:
@@ -345,6 +255,18 @@ class HumMer:
             aliases, spec=self._fusion_spec(resolutions), metadata=metadata
         )
 
+    def restore_session(self, snapshot: Dict[str, Any]) -> FusionSession:
+        """Rebuild a session from a :meth:`FusionSession.to_dict` snapshot.
+
+        The snapshot's completed steps are replayed against this instance's
+        catalog and settings (deterministically, so a resumed run is
+        bit-identical to an uninterrupted one); recorded duplicate decisions
+        are restored along the way.  The snapshotted sources must be
+        registered with unchanged content — a digest mismatch raises
+        :class:`~repro.exceptions.HummerError`.
+        """
+        return FusionSession.from_dict(self.pipeline(), snapshot)
+
     def _fusion_spec(self, resolutions) -> Optional[FusionSpec]:
         if resolutions:
             specs = [
@@ -357,9 +279,9 @@ class HumMer:
     def pipeline(self, **overrides) -> FusionPipeline:
         """A :class:`FusionPipeline` bound to this instance's catalog and settings.
 
-        Keyword overrides are passed through to the pipeline constructor;
-        the ``adjust_*`` mutation hooks keep working for one release under a
-        :class:`DeprecationWarning` (use :meth:`session` instead).
+        Keyword overrides are passed through to the pipeline constructor
+        (mid-run adjustment lives on :meth:`session`, not on constructor
+        hooks).
         """
         options = {
             "matcher": self.matcher,

@@ -1,0 +1,35 @@
+"""HTTP service facade over the HumMer fusion library (ISSUE 7 tentpole).
+
+A dependency-light async service: stdlib ``asyncio.start_server`` speaking
+enough HTTP/1.1 for JSON request/response bodies and an SSE-style progress
+stream, wrapping a multi-tenant registry of :class:`~repro.hummer.HumMer`
+instances.  One tenant's requests serialize behind a per-tenant lock while
+other tenants proceed concurrently; blocking pipeline steps run in a worker
+thread pool with per-request timeouts.
+
+Entry points:
+
+* :func:`repro.service.server.serve` — run the service in the current
+  event loop (the ``hummer serve`` CLI subcommand).
+* :class:`repro.service.server.ServiceServer` — in-process server on a
+  background thread, for tests and examples.
+* :class:`repro.service.client.ServiceClient` — minimal stdlib HTTP
+  client speaking the service's JSON protocol.
+"""
+
+from repro.service.app import ServiceApp
+from repro.service.client import ServiceClient
+from repro.service.errors import ApiError, status_for_exception
+from repro.service.server import ServiceServer, serve
+from repro.service.state import ServiceState, Tenant
+
+__all__ = [
+    "ApiError",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceServer",
+    "ServiceState",
+    "Tenant",
+    "serve",
+    "status_for_exception",
+]

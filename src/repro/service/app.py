@@ -1,0 +1,356 @@
+"""Route dispatch and request handlers for the fusion service.
+
+The handler surface mirrors the wizard: register sources, open a session,
+advance it step by step (or to completion), decide unsure pairs, download
+the fused result — plus snapshot/restore so a session survives a service
+restart, and an SSE-style stream of the session's stage/progress events.
+
+URL space (all bodies JSON)::
+
+    GET    /health
+    GET    /tenants                          POST   /tenants
+    DELETE /tenants/{t}
+    GET    /tenants/{t}/sources              POST   /tenants/{t}/sources
+    DELETE /tenants/{t}/sources/{alias}
+    POST   /tenants/{t}/prepare
+    POST   /tenants/{t}/query
+    GET    /tenants/{t}/sessions             POST   /tenants/{t}/sessions
+    GET    /tenants/{t}/sessions/{s}
+    POST   /tenants/{t}/sessions/{s}/advance
+    POST   /tenants/{t}/sessions/{s}/decisions
+    GET    /tenants/{t}/sessions/{s}/snapshot
+    GET    /tenants/{t}/sessions/{s}/result
+    GET    /tenants/{t}/sessions/{s}/events      (text/event-stream)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+from repro import __version__
+from repro.core.session import DONE, SESSION_STEPS
+from repro.engine.io.csv_source import relation_from_csv_text, relation_to_csv_text
+from repro.engine.relation import Relation
+from repro.service.errors import ApiError, error_payload, status_for_exception
+from repro.service.http import (
+    Request,
+    read_request,
+    start_stream,
+    write_response,
+    write_stream_event,
+)
+from repro.service.state import ServiceState, SessionHandle, Tenant
+
+__all__ = ["ServiceApp"]
+
+
+def _relation_payload(relation: Relation) -> Dict[str, Any]:
+    return {
+        "columns": list(relation.column_names),
+        "rows": [list(values) for values in relation.rows],
+        "row_count": len(relation),
+    }
+
+
+def _require(body: Dict[str, Any], key: str) -> Any:
+    value = body.get(key)
+    if value is None:
+        raise ApiError(400, f"missing required field {key!r}", "MissingField")
+    return value
+
+
+class ServiceApp:
+    """Connection handler: parse, route, respond, always close."""
+
+    def __init__(self, state: Optional[ServiceState] = None):
+        self.state = state if state is not None else ServiceState()
+
+    # -- connection lifecycle ------------------------------------------------------
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                await self.dispatch(request, writer)
+            except Exception as exc:  # uniform error payload, never a traceback
+                if not writer.is_closing():
+                    await write_response(
+                        writer, status_for_exception(exc), error_payload(exc)
+                    )
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # server shutdown cancels in-flight handlers mid-close
+                pass
+
+    # -- routing -------------------------------------------------------------------
+
+    async def dispatch(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        method, parts = request.method, request.parts
+
+        if parts == ("health",) and method == "GET":
+            return await write_response(
+                writer, 200, {"status": "ok", "version": __version__}
+            )
+        if parts == ("tenants",):
+            if method == "GET":
+                return await write_response(
+                    writer, 200, {"tenants": sorted(self.state.tenants)}
+                )
+            if method == "POST":
+                tenant = self.state.create_tenant(request.json().get("tenant"))
+                return await write_response(writer, 201, {"tenant": tenant.id})
+            raise ApiError(405, f"{method} not allowed on /tenants")
+
+        if len(parts) >= 2 and parts[0] == "tenants":
+            tenant = self.state.get_tenant(parts[1])
+            tail = parts[2:]
+            # The event stream follows a session while *other* requests of
+            # the same tenant advance it — it must not hold the tenant lock.
+            if len(tail) == 3 and tail[0] == "sessions" and tail[2] == "events":
+                if method != "GET":
+                    raise ApiError(405, "events is a GET stream")
+                handle = tenant.get_session(tail[1])
+                return await self._stream_events(writer, handle)
+            async with tenant.lock:
+                status, payload = await self._tenant_route(
+                    method, tail, request, tenant
+                )
+            if isinstance(payload, dict) and "__raw__" in payload:
+                body, content_type = payload["__raw__"]
+                return await write_response(
+                    writer, status, body, content_type=content_type
+                )
+            return await write_response(writer, status, payload)
+
+        raise ApiError(404, f"no route for {request.path!r}", "UnknownRoute")
+
+    async def _tenant_route(
+        self, method: str, tail: Tuple[str, ...], request: Request, tenant: Tenant
+    ) -> Tuple[int, Any]:
+        if tail == ():
+            if method == "DELETE":
+                self.state.drop_tenant(tenant.id)
+                return 200, {"tenant": tenant.id, "deleted": True}
+            if method == "GET":
+                return 200, {
+                    "tenant": tenant.id,
+                    "sources": tenant.hummer.sources(),
+                    "sessions": sorted(tenant.sessions),
+                }
+        if tail == ("sources",):
+            if method == "GET":
+                return 200, {"sources": tenant.hummer.sources()}
+            if method == "POST":
+                return await self._register_source(request, tenant)
+        if len(tail) == 2 and tail[0] == "sources" and method == "DELETE":
+            tenant.hummer.unregister(tail[1])
+            return 200, {"alias": tail[1], "deleted": True}
+        if tail == ("prepare",) and method == "POST":
+            return await self._prepare(request, tenant)
+        if tail == ("query",) and method == "POST":
+            return await self._query(request, tenant)
+        if tail == ("sessions",):
+            if method == "GET":
+                return 200, {
+                    "sessions": [
+                        handle.status() for _, handle in sorted(tenant.sessions.items())
+                    ]
+                }
+            if method == "POST":
+                return await self._create_session(request, tenant)
+        if len(tail) >= 2 and tail[0] == "sessions":
+            handle = tenant.get_session(tail[1])
+            action = tail[2] if len(tail) == 3 else None
+            if action is None and method == "GET":
+                return 200, handle.status()
+            if action == "advance" and method == "POST":
+                return await self._advance(request, tenant, handle)
+            if action == "decisions" and method == "POST":
+                return await self._decisions(request, tenant, handle)
+            if action == "snapshot" and method == "GET":
+                return 200, {"snapshot": handle.session.to_dict()}
+            if action == "result" and method == "GET":
+                return self._result(request, handle)
+        raise ApiError(
+            404, f"no route for {method} /tenants/{tenant.id}/{'/'.join(tail)}",
+            "UnknownRoute",
+        )
+
+    # -- handlers ------------------------------------------------------------------
+
+    async def _register_source(
+        self, request: Request, tenant: Tenant
+    ) -> Tuple[int, Any]:
+        body = request.json()
+        alias = _require(body, "alias")
+        data = _require(body, "data")
+        fmt = body.get("format", "json")
+        if fmt == "csv":
+            if not isinstance(data, str):
+                raise ApiError(400, "csv uploads send the file text in 'data'")
+            relation = relation_from_csv_text(
+                data,
+                name=alias,
+                delimiter=body.get("delimiter", ","),
+                has_header=bool(body.get("has_header", True)),
+                column_names=body.get("column_names"),
+            )
+        elif fmt == "json":
+            if not isinstance(data, list):
+                raise ApiError(400, "json uploads send a list of row objects in 'data'")
+            relation = Relation.from_dicts(data, name=alias)
+        else:
+            raise ApiError(400, f"unknown source format {fmt!r} (csv or json)")
+        await self.state.run_blocking(
+            tenant,
+            lambda: tenant.hummer.register(
+                alias,
+                relation,
+                description=body.get("description", ""),
+                replace=bool(body.get("replace", False)),
+                prepare=body.get("prepare"),
+            ),
+        )
+        return 201, {
+            "alias": alias,
+            "rows": len(relation),
+            "columns": list(relation.column_names),
+        }
+
+    async def _prepare(self, request: Request, tenant: Tenant) -> Tuple[int, Any]:
+        body = request.json()
+        mode = body.get("mode")
+        if mode is not None:
+            tenant.hummer.enable_prepare(mode)
+        report = await self.state.run_blocking(
+            tenant, lambda: tenant.hummer.prepare(body.get("aliases"))
+        )
+        return 200, {"report": report}
+
+    async def _query(self, request: Request, tenant: Tenant) -> Tuple[int, Any]:
+        statement = _require(request.json(), "statement")
+        relation = await self.state.run_blocking(
+            tenant, lambda: tenant.hummer.query(statement)
+        )
+        return 200, _relation_payload(relation)
+
+    async def _create_session(
+        self, request: Request, tenant: Tenant
+    ) -> Tuple[int, Any]:
+        body = request.json()
+        snapshot = body.get("snapshot")
+        if snapshot is not None:
+            # Restore replays completed steps — blocking pipeline work.
+            session = await self.state.run_blocking(
+                tenant, lambda: tenant.hummer.restore_session(snapshot)
+            )
+            handle = tenant.add_session(session)
+            return 201, handle.status()
+        aliases = _require(body, "aliases")
+        session = tenant.hummer.session(
+            aliases,
+            resolutions=body.get("resolutions"),
+            metadata=body.get("metadata"),
+        )
+        handle = tenant.add_session(session)
+        return 201, handle.status()
+
+    async def _advance(
+        self, request: Request, tenant: Tenant, handle: SessionHandle
+    ) -> Tuple[int, Any]:
+        body = request.json()
+        target = body.get("to")
+        session = handle.session
+
+        def run() -> None:
+            if target is None:
+                session.advance()
+            elif target == DONE:
+                session.run()
+            elif target in SESSION_STEPS:
+                session.advance_to(target)
+            else:
+                raise ApiError(
+                    400, f"unknown step {target!r} (steps: {', '.join(SESSION_STEPS)})"
+                )
+
+        try:
+            await self.state.run_blocking(tenant, run)
+        finally:
+            if session.is_done:
+                handle.notify()
+        return 200, handle.status()
+
+    async def _decisions(
+        self, request: Request, tenant: Tenant, handle: SessionHandle
+    ) -> Tuple[int, Any]:
+        body = request.json()
+        decisions = _require(body, "decisions")
+        session = handle.session
+        if session.detection is None:
+            raise ApiError(
+                409, "advance the session through duplicate_detection first",
+                "SessionNotAtStep",
+            )
+        classified = session.detection.classified
+        for item in decisions:
+            left, right, accept = item
+            classified.confirm((int(left), int(right)), bool(accept))
+        if body.get("apply", True):
+            await self.state.run_blocking(tenant, session.apply_duplicate_decisions)
+        return 200, {
+            "decisions": len(classified.decisions),
+            "clusters": session.detection.cluster_count,
+        }
+
+    def _result(self, request: Request, handle: SessionHandle) -> Tuple[int, Any]:
+        session = handle.session
+        if not session.is_done or session.result is None:
+            raise ApiError(
+                409,
+                f"session {handle.id!r} is not complete "
+                f"(current step: {session.current_step})",
+                "SessionNotDone",
+            )
+        relation = session.result.relation
+        if request.query.get("format") == "csv":
+            body = relation_to_csv_text(relation).encode("utf-8")
+            return 200, {"__raw__": (body, "text/csv; charset=utf-8")}
+        payload = _relation_payload(relation)
+        payload["summary"] = session.result.summary()
+        return 200, payload
+
+    # -- event streaming -----------------------------------------------------------
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, handle: SessionHandle
+    ) -> None:
+        """Replay buffered events, then follow live ones until the session
+        completes.  The stream is EOF-delimited (Connection: close)."""
+        await start_stream(writer)
+        cursor = 0
+        while True:
+            while cursor < len(handle.events):
+                await write_stream_event(writer, handle.events[cursor])
+                cursor += 1
+            if handle.session.is_done:
+                break
+            handle.changed.clear()
+            # Re-check before sleeping: an event appended between the drain
+            # loop and clear() would otherwise be missed until the next one.
+            if cursor < len(handle.events) or handle.session.is_done:
+                continue
+            await handle.changed.wait()
+        await write_stream_event(
+            writer, {"event": "end", "session": handle.id, "is_done": True}
+        )

@@ -1,0 +1,205 @@
+"""Minimal stdlib client for the fusion service.
+
+One ``http.client`` connection per request (the service closes every
+connection), JSON in/out, and a generator over the SSE-style event stream.
+The example client and the service tests both drive the service through
+this class, so it doubles as living documentation of the wire protocol.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+from urllib.parse import urlsplit
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx response, carrying the service's structured error."""
+
+    def __init__(self, status: int, error_type: str, message: str):
+        super().__init__(f"{status} {error_type}: {message}")
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+
+
+class ServiceClient:
+    """Synchronous client bound to one service base URL (and optionally
+    one tenant — pass ``tenant`` to skip repeating it per call)."""
+
+    def __init__(self, base_url: str, tenant: Optional[str] = None,
+                 timeout: float = 60.0):
+        split = urlsplit(base_url)
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Any:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if response.status >= 400:
+                self._raise(response.status, raw)
+            if content_type.startswith("application/json"):
+                return json.loads(raw) if raw else None
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _raise(status: int, raw: bytes) -> None:
+        try:
+            error = json.loads(raw)["error"]
+            raise ServiceError(status, error["type"], error["message"])
+        except (json.JSONDecodeError, KeyError):
+            raise ServiceError(status, "Unknown", raw.decode("utf-8", "replace"))
+
+    def _tenant_path(self, suffix: str = "", tenant: Optional[str] = None) -> str:
+        tenant_id = tenant or self.tenant
+        if tenant_id is None:
+            raise ValueError("no tenant bound; pass tenant= or set client.tenant")
+        return f"/tenants/{tenant_id}{suffix}"
+
+    # -- tenant lifecycle ----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def create_tenant(self, tenant: Optional[str] = None) -> str:
+        body = {"tenant": tenant} if tenant else {}
+        created = self._request("POST", "/tenants", body)["tenant"]
+        if self.tenant is None:
+            self.tenant = created
+        return created
+
+    def tenants(self) -> List[str]:
+        return self._request("GET", "/tenants")["tenants"]
+
+    def delete_tenant(self, tenant: Optional[str] = None) -> None:
+        self._request("DELETE", self._tenant_path(tenant=tenant))
+
+    # -- sources -------------------------------------------------------------------
+
+    def upload_csv(self, alias: str, text: str, replace: bool = False,
+                   **options: Any) -> Dict[str, Any]:
+        body = {"alias": alias, "format": "csv", "data": text,
+                "replace": replace, **options}
+        return self._request("POST", self._tenant_path("/sources"), body)
+
+    def upload_rows(self, alias: str, rows: Sequence[Dict[str, Any]],
+                    replace: bool = False, **options: Any) -> Dict[str, Any]:
+        body = {"alias": alias, "format": "json", "data": list(rows),
+                "replace": replace, **options}
+        return self._request("POST", self._tenant_path("/sources"), body)
+
+    def sources(self) -> List[str]:
+        return self._request("GET", self._tenant_path("/sources"))["sources"]
+
+    def prepare(self, mode: Optional[str] = None,
+                aliases: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+        body: Dict[str, Any] = {}
+        if mode is not None:
+            body["mode"] = mode
+        if aliases is not None:
+            body["aliases"] = list(aliases)
+        return self._request("POST", self._tenant_path("/prepare"), body)["report"]
+
+    # -- sessions ------------------------------------------------------------------
+
+    def create_session(self, aliases: Sequence[str],
+                       resolutions: Optional[Dict[str, Any]] = None,
+                       metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"aliases": list(aliases)}
+        if resolutions is not None:
+            body["resolutions"] = resolutions
+        if metadata is not None:
+            body["metadata"] = metadata
+        return self._request("POST", self._tenant_path("/sessions"), body)
+
+    def restore_session(self, snapshot: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request(
+            "POST", self._tenant_path("/sessions"), {"snapshot": snapshot}
+        )
+
+    def session_status(self, session: str) -> Dict[str, Any]:
+        return self._request("GET", self._tenant_path(f"/sessions/{session}"))
+
+    def advance(self, session: str, to: Optional[str] = None) -> Dict[str, Any]:
+        body = {"to": to} if to is not None else {}
+        return self._request(
+            "POST", self._tenant_path(f"/sessions/{session}/advance"), body
+        )
+
+    def run_to_completion(self, session: str) -> Dict[str, Any]:
+        return self.advance(session, to="done")
+
+    def apply_decisions(self, session: str,
+                        decisions: Sequence[Sequence[Any]],
+                        apply: bool = True) -> Dict[str, Any]:
+        return self._request(
+            "POST",
+            self._tenant_path(f"/sessions/{session}/decisions"),
+            {"decisions": [list(item) for item in decisions], "apply": apply},
+        )
+
+    def snapshot(self, session: str) -> Dict[str, Any]:
+        return self._request(
+            "GET", self._tenant_path(f"/sessions/{session}/snapshot")
+        )["snapshot"]
+
+    def result(self, session: str) -> Dict[str, Any]:
+        return self._request("GET", self._tenant_path(f"/sessions/{session}/result"))
+
+    def result_csv(self, session: str) -> str:
+        return self._request(
+            "GET", self._tenant_path(f"/sessions/{session}/result?format=csv")
+        )
+
+    def query(self, statement: str) -> Dict[str, Any]:
+        return self._request(
+            "POST", self._tenant_path("/query"), {"statement": statement}
+        )
+
+    # -- event streaming -----------------------------------------------------------
+
+    def stream_events(self, session: str,
+                      timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """Yield the session's events as dicts; ends on the ``end`` event.
+
+        The stream replays already-buffered events first, so it is safe to
+        subscribe after (or while) the session runs.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            connection.request(
+                "GET", self._tenant_path(f"/sessions/{session}/events")
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                self._raise(response.status, response.read())
+            for line in response:
+                line = line.strip()
+                if not line.startswith(b"data: "):
+                    continue
+                event = json.loads(line[len(b"data: "):])
+                yield event
+                if event.get("event") == "end":
+                    break
+        finally:
+            connection.close()

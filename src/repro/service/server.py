@@ -1,0 +1,133 @@
+"""Server entry points: event-loop `serve()` and a threaded in-process runner.
+
+``serve`` is what the ``hummer serve`` CLI subcommand runs; it prints the
+bound address (port 0 picks an ephemeral port, and callers — the CI smoke
+job, the example client — parse the printed line to find it).
+
+:class:`ServiceServer` runs the same app with the event loop on a daemon
+thread, so synchronous tests and examples can drive the service over real
+sockets without managing a subprocess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.service.app import ServiceApp
+from repro.service.state import ServiceState
+
+__all__ = ["ServiceServer", "serve"]
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    state: Optional[ServiceState] = None,
+    announce=print,
+) -> None:
+    """Run the fusion service until cancelled.
+
+    Args:
+        host: interface to bind.
+        port: TCP port; ``0`` binds an ephemeral port.
+        state: pre-populated service state (defaults to an empty registry).
+        announce: called once with the human-readable "listening" line —
+            the CLI prints it (flushed) so wrappers can parse the port.
+    """
+    app = ServiceApp(state)
+    server = await asyncio.start_server(app.handle_connection, host, port)
+    bound_port = server.sockets[0].getsockname()[1]
+    announce(f"listening on http://{host}:{bound_port}")
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        app.state.close()
+
+
+class ServiceServer:
+    """The service on a background thread, for tests and examples.
+
+    Usage::
+
+        with ServiceServer() as server:
+            client = ServiceClient(server.base_url)
+            ...
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 state: Optional[ServiceState] = None):
+        self.host = host
+        self.port = port
+        self.app = ServiceApp(state)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def state(self) -> ServiceState:
+        return self.app.state
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="hummer-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("service failed to start within 10s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def bootstrap():
+            server = await asyncio.start_server(
+                self.app.handle_connection, self.host, self.port
+            )
+            self._server = server
+            self.port = server.sockets[0].getsockname()[1]
+            self._started.set()
+            await server.serve_forever()
+
+        try:
+            loop.run_until_complete(bootstrap())
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def stop(self) -> None:
+        loop, server = self._loop, self._server
+        if loop is None or self._thread is None:
+            return
+
+        def shutdown():
+            if server is not None:
+                server.close()
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+
+        loop.call_soon_threadsafe(shutdown)
+        self._thread.join(timeout=10)
+        self.state.close()
+        self._thread = None
+        self._loop = None
+        self._server = None
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,162 @@
+"""Multi-tenant service state: tenants, their sessions, and event buffers.
+
+Each tenant owns one :class:`~repro.hummer.HumMer` instance and an
+``asyncio.Lock`` — requests against the same tenant serialize, requests
+against different tenants interleave freely.  Blocking pipeline work runs
+on a shared thread pool; event callbacks fired from those worker threads
+are forwarded onto the event loop with ``call_soon_threadsafe`` so stream
+handlers can wait on plain ``asyncio.Event`` objects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.config import FusionConfig
+from repro.core.session import FusionSession
+from repro.hummer import HumMer
+from repro.service.errors import ApiError
+
+__all__ = ["SessionHandle", "ServiceState", "Tenant"]
+
+
+class SessionHandle:
+    """A tenant's fusion session plus its buffered wizard events.
+
+    Events (both :class:`StageEvent` and :class:`ProgressEvent`) are
+    appended as JSON-able dicts in arrival order; ``changed`` wakes any
+    stream handler waiting for news.  Buffers are append-only so a late
+    subscriber replays the full history before following live events.
+    """
+
+    def __init__(self, session_id: str, session: FusionSession, loop: asyncio.AbstractEventLoop):
+        self.id = session_id
+        self.session = session
+        self.events: List[Dict[str, Any]] = []
+        self.changed = asyncio.Event()
+        self._loop = loop
+        session.subscribe(lambda event: self._record("stage", event))
+        session.subscribe_progress(lambda event: self._record("progress", event))
+
+    def _record(self, kind: str, event) -> None:
+        payload = dataclasses.asdict(event)
+        payload["event"] = kind
+        # Steps run on worker threads; the buffer append is thread-safe in
+        # itself, but waking waiters must happen on the loop thread.
+        self.events.append(payload)
+        self._loop.call_soon_threadsafe(self.changed.set)
+
+    def notify(self) -> None:
+        """Wake stream handlers from the loop thread (e.g. on completion)."""
+        self.changed.set()
+
+    def status(self) -> Dict[str, Any]:
+        session = self.session
+        return {
+            "session": self.id,
+            "current_step": session.current_step,
+            "completed_steps": list(session.completed_steps),
+            "is_done": session.is_done,
+            "events_buffered": len(self.events),
+            "step_reports": {
+                step: dict(report)
+                for step, report in session.step_reports.items()
+            },
+        }
+
+
+class Tenant:
+    """One tenant: an isolated HumMer instance, sessions, and a lock."""
+
+    def __init__(self, tenant_id: str, loop: asyncio.AbstractEventLoop,
+                 config: Optional[FusionConfig] = None):
+        self.id = tenant_id
+        self.hummer = HumMer(config=config)
+        self.lock = asyncio.Lock()
+        self.sessions: Dict[str, SessionHandle] = {}
+        self._loop = loop
+        self._session_ids = itertools.count(1)
+
+    def add_session(self, session: FusionSession) -> SessionHandle:
+        session_id = f"s{next(self._session_ids)}"
+        handle = SessionHandle(session_id, session, self._loop)
+        self.sessions[session_id] = handle
+        return handle
+
+    def get_session(self, session_id: str) -> SessionHandle:
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            raise ApiError(
+                404, f"unknown session {session_id!r} for tenant {self.id!r}",
+                "UnknownSession",
+            ) from None
+
+
+class ServiceState:
+    """The registry of tenants plus the shared worker pool.
+
+    Args:
+        step_timeout: per-request ceiling (seconds) on blocking pipeline
+            work; a step that exceeds it yields a 504 without killing the
+            tenant.
+        max_workers: worker threads shared by all tenants.
+    """
+
+    def __init__(self, step_timeout: float = 300.0, max_workers: int = 4):
+        self.tenants: Dict[str, Tenant] = {}
+        self.step_timeout = step_timeout
+        self.executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="hummer-service"
+        )
+        self._tenant_ids = itertools.count(1)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        return self._loop
+
+    def create_tenant(self, tenant_id: Optional[str] = None,
+                      config: Optional[FusionConfig] = None) -> Tenant:
+        if tenant_id is None:
+            tenant_id = f"t{next(self._tenant_ids)}"
+            while tenant_id in self.tenants:
+                tenant_id = f"t{next(self._tenant_ids)}"
+        if tenant_id in self.tenants:
+            raise ApiError(409, f"tenant {tenant_id!r} already exists", "TenantExists")
+        tenant = Tenant(tenant_id, self.loop, config=config)
+        self.tenants[tenant_id] = tenant
+        return tenant
+
+    def get_tenant(self, tenant_id: str) -> Tenant:
+        try:
+            return self.tenants[tenant_id]
+        except KeyError:
+            raise ApiError(
+                404, f"unknown tenant {tenant_id!r}", "UnknownTenant"
+            ) from None
+
+    def drop_tenant(self, tenant_id: str) -> None:
+        self.get_tenant(tenant_id)
+        del self.tenants[tenant_id]
+
+    async def run_blocking(self, tenant: Tenant, call: Callable[[], Any]) -> Any:
+        """Run *call* on the worker pool with the per-request timeout.
+
+        Raises:
+            TimeoutError: when the step exceeds ``step_timeout`` (mapped to
+                504 by the error layer).  The worker thread itself is not
+                interruptible — it finishes in the background — but the
+                request returns.
+        """
+        future = self.loop.run_in_executor(self.executor, call)
+        return await asyncio.wait_for(future, timeout=self.step_timeout)
+
+    def close(self) -> None:
+        self.executor.shutdown(wait=False)

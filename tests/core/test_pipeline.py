@@ -104,40 +104,33 @@ class TestPipelineRun:
         assert result.conflicts.contradiction_count >= 1
 
 
-class TestPipelineHooks:
-    def test_adjust_matching_hook_can_remove_correspondences(self, catalog):
-        removed = {}
+class TestSessionAdjustment:
+    """Mid-run adjustment is the session's adjust-then-continue flow."""
 
-        def drop_age(matching):
-            removed["before"] = len(matching.correspondences)
-            matching.correspondences.remove("Age", "Years")
-
-        pipeline = make_pipeline(catalog, adjust_matching=drop_age)
-        result = pipeline.run(["EE_Students", "CS_Students"])
-        assert removed["before"] >= 2
+    def test_session_can_remove_correspondences(self, catalog):
+        session = make_pipeline(catalog).session(["EE_Students", "CS_Students"])
+        session.advance_to(session.SCHEMA_MATCHING)
+        assert len(session.matching.correspondences) >= 2
+        session.matching.correspondences.remove("Age", "Years")
+        result = session.run()
         # Years stays a separate column because its correspondence was removed
         assert "Years" in result.transformed.schema
 
-    def test_adjust_selection_hook(self, catalog):
-        captured = {}
+    def test_session_exposes_the_attribute_selection(self, catalog):
+        session = make_pipeline(catalog).session(["EE_Students", "CS_Students"])
+        session.advance_to(session.ATTRIBUTE_SELECTION)
+        assert "Name" in list(session.selection.attributes)
 
-        def record_selection(selection):
-            captured["attributes"] = list(selection.attributes)
-
-        make_pipeline(catalog, adjust_selection=record_selection).run(
-            ["EE_Students", "CS_Students"]
-        )
-        assert "Name" in captured["attributes"]
-
-    def test_adjust_duplicates_hook_can_reject_pairs(self, catalog):
-        def reject_everything(detection):
-            detection.classified.confirm_all(False)
-            for pair in list(detection.classified.sure_duplicates):
-                detection.classified.sure_duplicates.remove(pair)
-                detection.classified.unsure.append(pair)
-            detection.classified.confirm_all(False)
-
-        pipeline = make_pipeline(catalog, adjust_duplicates=reject_everything)
-        result = pipeline.run(["EE_Students", "CS_Students"])
+    def test_session_can_reject_every_pair(self, catalog):
+        session = make_pipeline(catalog).session(["EE_Students", "CS_Students"])
+        session.advance_to(session.DUPLICATE_DETECTION)
+        classified = session.detection.classified
+        classified.confirm_all(False)
+        for pair in list(classified.sure_duplicates):
+            classified.sure_duplicates.remove(pair)
+            classified.unsure.append(pair)
+        classified.confirm_all(False)
+        session.apply_duplicate_decisions()
+        result = session.run()
         # with every pair rejected, nothing is merged
         assert len(result.relation) == 7

@@ -331,9 +331,9 @@ class TestPlanThreading:
         catalog = Catalog()
         catalog.register("EE_Students", ee_students)
         catalog.register("CS_Students", cs_students)
-        result = FusionPipeline(catalog, blocking="adaptive").run(
-            ["EE_Students", "CS_Students"]
-        )
+        result = FusionPipeline(
+            catalog, detector=DuplicateDetector(blocking="adaptive")
+        ).run(["EE_Students", "CS_Students"])
         assert result.summary()["blocking_plan"] == "allpairs"
 
     def test_summary_omits_plan_for_fixed_strategies(self, ee_students, cs_students):

@@ -278,14 +278,12 @@ class TestDetectorIntegration:
             "compared",
         }
 
-    def test_hummer_rejects_detector_plus_blocking(self):
+    def test_hummer_configured_blocking_reaches_detector(self):
+        from repro.config import DedupConfig, FusionConfig
         from repro.hummer import HumMer
 
-        with pytest.raises(ValueError, match="explicit detector"):
-            HumMer(detector=DuplicateDetector(), blocking="token")
-        assert isinstance(
-            HumMer(blocking="token").detector.blocking, TokenBlocking
-        )
+        hummer = HumMer(config=FusionConfig(dedup=DedupConfig(blocking="token")))
+        assert isinstance(hummer.detector.blocking, TokenBlocking)
 
     def test_allpairs_statistics_unchanged(self, people):
         stats = DuplicateDetector(blocking="allpairs").detect(people).filter_statistics

@@ -254,18 +254,23 @@ class TestEvidenceAndThreading:
             assert left.evidence.per_attribute == right.evidence.per_attribute
 
     def test_hummer_threads_executor_into_detector(self):
+        from repro.config import DedupConfig, FusionConfig
         from repro.hummer import HumMer
 
-        hummer = HumMer(executor="multiprocess")
+        hummer = HumMer(config=FusionConfig(dedup=DedupConfig(executor="multiprocess")))
         assert isinstance(hummer.detector.executor, MultiprocessExecutor)
 
-    def test_hummer_rejects_executor_with_explicit_detector(self):
+    def test_injected_detector_executor_wins(self):
         from repro.hummer import HumMer
 
-        with pytest.raises(ValueError):
-            HumMer(detector=DuplicateDetector(), executor="multiprocess")
+        detector = DuplicateDetector(
+            executor=MultiprocessExecutor(workers=2, min_parallel_pairs=0)
+        )
+        hummer = HumMer(detector=detector)
+        assert hummer.detector.executor is detector.executor
 
-    def test_pipeline_override_beats_detector_executor(self, small_students_dataset):
+    def test_configured_pipeline_executor(self, small_students_dataset):
+        from repro.config import DedupConfig, FusionConfig
         from repro.core.pipeline import FusionPipeline
         from repro.engine.catalog import Catalog
 
@@ -273,8 +278,10 @@ class TestEvidenceAndThreading:
         catalog = Catalog()
         for alias, relation in dataset.sources.items():
             catalog.register(alias, relation)
-        pipeline = FusionPipeline(catalog, executor="multiprocess")
-        assert isinstance(pipeline.executor, MultiprocessExecutor)
+        pipeline = FusionPipeline(
+            catalog, config=FusionConfig(dedup=DedupConfig(executor="multiprocess"))
+        )
+        assert isinstance(pipeline.detector.executor, MultiprocessExecutor)
         result = pipeline.run(list(dataset.sources))
         serial_result = FusionPipeline(catalog).run(list(dataset.sources))
         assert result.detection.cluster_assignment == (

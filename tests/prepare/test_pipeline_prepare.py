@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro.config import DedupConfig, FusionConfig, PrepareConfig
 from repro.datagen.corruptor import CorruptionConfig
 from repro.datagen.scenarios import students_scenario
+from repro.exceptions import ConfigError
 from repro.hummer import HumMer
 
 
@@ -12,8 +14,12 @@ def dataset():
     return students_scenario(entity_count=60, corruption=CorruptionConfig.low(), seed=41)
 
 
-def build_hummer(dataset, **kwargs):
-    hummer = HumMer(**kwargs)
+def build_hummer(dataset, prepare=None, blocking=None, artifact_dir=None):
+    config = FusionConfig(
+        dedup=DedupConfig(blocking=blocking),
+        prepare=PrepareConfig(mode=prepare, artifact_dir=artifact_dir),
+    )
+    hummer = HumMer(config=config)
     for alias, relation in dataset.sources.items():
         hummer.register(alias, relation)
     return hummer
@@ -78,12 +84,18 @@ class TestWarmRuns:
         assert result.summary()["artifacts_rebuilt"] == 0
         assert result.summary()["artifacts_reused"] == 4 * len(aliases)
 
-    def test_explicit_prepare_call_enables_reuse(self, dataset):
+    def test_enable_prepare_then_prepare_call_enables_reuse(self, dataset):
         hummer = build_hummer(dataset)  # no mode at construction
+        hummer.enable_prepare("lazy")
         report = hummer.prepare()
         assert report["rebuilt"] == 4 * len(dataset.sources)
         result = hummer.fuse(list(dataset.sources))
         assert result.summary()["artifacts_rebuilt"] == 0
+
+    def test_prepare_without_mode_is_rejected(self, dataset):
+        hummer = build_hummer(dataset)
+        with pytest.raises(ConfigError, match="enable_prepare"):
+            hummer.prepare()
 
     def test_unprepared_instance_reports_no_artifacts(self, dataset):
         result = build_hummer(dataset).fuse(list(dataset.sources))
@@ -162,12 +174,19 @@ class TestPersistence:
 class TestValidation:
     def test_invalid_prepare_mode_rejected(self):
         with pytest.raises(ValueError):
-            HumMer(prepare="sometimes")
+            HumMer(config=FusionConfig(prepare=PrepareConfig(mode="sometimes")))
 
     def test_invalid_register_prepare_mode_rejected(self, dataset):
         hummer = HumMer()
         with pytest.raises(ValueError):
             hummer.register("x", [{"a": 1}], prepare="always")
+
+    def test_register_prepare_without_instance_mode_rejected(self, dataset):
+        """The historical implicit instance-wide promotion is gone."""
+        hummer = HumMer()
+        with pytest.raises(ConfigError, match="enable_prepare"):
+            hummer.register("x", [{"a": 1}], prepare="eager")
+        assert hummer.prepare_mode is None
 
 
 class TestQueryPath:

@@ -1,0 +1,42 @@
+"""Shared fixtures for the service tests: one in-process server per module."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient, ServiceServer
+
+GOLDEN_DIR = Path(__file__).parent.parent / "fixtures" / "golden"
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServiceServer() as running:
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    """A fresh tenant per test, torn down afterwards."""
+    client = ServiceClient(server.base_url)
+    client.create_tenant()
+    yield client
+    try:
+        client.delete_tenant()
+    except Exception:
+        pass
+
+
+@pytest.fixture(scope="session")
+def golden_csv():
+    """The golden CRM/shop fixtures as raw CSV text, keyed by alias."""
+    return {
+        "crm": (GOLDEN_DIR / "crm_customers.csv").read_text(),
+        "shop": (GOLDEN_DIR / "shop_clients.csv").read_text(),
+    }
+
+
+def upload_golden(client: ServiceClient, golden_csv) -> list:
+    for alias, text in golden_csv.items():
+        client.upload_csv(alias, text)
+    return list(golden_csv)

@@ -1,0 +1,69 @@
+"""`hummer serve` subprocess smoke test: boot on an ephemeral port, drive a
+fusion end to end through the HTTP client, shut down cleanly."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient
+
+from tests.service.conftest import GOLDEN_DIR
+
+SRC_DIR = str(Path(__file__).parent.parent.parent / "src")
+
+
+@pytest.fixture
+def served_port():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        line = process.stdout.readline()
+        assert "listening on http://" in line, f"unexpected banner: {line!r}"
+        yield int(line.rsplit(":", 1)[1])
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+def test_serve_subprocess_end_to_end(served_port):
+    client = ServiceClient(f"http://127.0.0.1:{served_port}")
+    deadline = time.monotonic() + 10
+    while True:
+        try:
+            assert client.health()["status"] == "ok"
+            break
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.1)
+
+    client.create_tenant("smoke")
+    client.upload_csv("crm", (GOLDEN_DIR / "crm_customers.csv").read_text())
+    client.upload_csv("shop", (GOLDEN_DIR / "shop_clients.csv").read_text())
+    session = client.create_session(["crm", "shop"])["session"]
+    status = client.run_to_completion(session)
+    assert status["is_done"]
+
+    result = client.result(session)
+    assert result["row_count"] == 8  # 11 input tuples, 3 duplicate pairs
+
+    events = list(client.stream_events(session))
+    stage_steps = [e["step"] for e in events if e["event"] == "stage"]
+    assert len(stage_steps) == 7
+    assert events[-1]["event"] == "end"

@@ -1,0 +1,149 @@
+"""End-to-end service tests (ISSUE 7 acceptance).
+
+* Two tenants drive stepped fusion runs concurrently — each streams its
+  own progress and neither sees the other's state.
+* A service that is killed mid-session resumes from a client-held snapshot
+  on a freshly booted instance, bit-identically.
+"""
+
+import threading
+
+from repro.service import ServiceClient, ServiceServer
+
+from tests.service.conftest import GOLDEN_DIR
+
+CRM = (GOLDEN_DIR / "crm_customers.csv").read_text()
+SHOP = (GOLDEN_DIR / "shop_clients.csv").read_text()
+
+STEPS = [
+    "choose_sources", "prepare", "schema_matching", "attribute_selection",
+    "duplicate_detection", "conflict_resolution", "fusion",
+]
+
+
+def drive_tenant(base_url: str, tenant: str, outcome: dict) -> None:
+    """One tenant's full workflow: upload, fuse with streaming, download."""
+    try:
+        client = ServiceClient(base_url)
+        client.create_tenant(tenant)
+        client.upload_csv("crm", CRM)
+        client.upload_csv("shop", SHOP)
+        session = client.create_session(["crm", "shop"])["session"]
+
+        events = []
+        streamer = threading.Thread(
+            target=lambda: events.extend(client.stream_events(session)),
+            daemon=True,
+        )
+        streamer.start()
+        for step in STEPS:
+            client.advance(session, to=step)
+        streamer.join(timeout=30)
+
+        outcome["events"] = events
+        outcome["result"] = client.result(session)
+        outcome["sources"] = client.sources()
+    except Exception as exc:  # surfaced by the main thread's assertions
+        outcome["error"] = exc
+
+
+class TestConcurrentTenants:
+    def test_two_tenants_interleave_without_crosstalk(self, server):
+        outcomes = {"one": {}, "two": {}}
+        threads = [
+            threading.Thread(
+                target=drive_tenant,
+                args=(server.base_url, f"team-{name}", outcome),
+            )
+            for name, outcome in outcomes.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+
+        results = []
+        for name, outcome in outcomes.items():
+            assert "error" not in outcome, f"tenant {name}: {outcome.get('error')}"
+            assert outcome["sources"] == ["crm", "shop"]
+            stage_steps = [
+                e["step"] for e in outcome["events"] if e["event"] == "stage"
+            ]
+            assert stage_steps == STEPS, f"tenant {name} missed stage events"
+            # at least one intra-step progress event per progress-emitting step
+            progress_steps = {
+                e["step"] for e in outcome["events"] if e["event"] == "progress"
+            }
+            assert {"schema_matching", "duplicate_detection", "fusion"} <= progress_steps
+            assert outcome["events"][-1]["event"] == "end"
+            results.append(outcome["result"])
+
+        # identical inputs, isolated tenants: identical outputs
+        assert results[0]["rows"] == results[1]["rows"]
+        assert results[0]["columns"] == results[1]["columns"]
+
+
+class TestRestartResume:
+    def test_killed_service_resumes_snapshot_bit_identically(self):
+        # first service instance: step to duplicate detection, decide an
+        # unsure pair, snapshot, and (for the reference) run to completion
+        with ServiceServer() as first:
+            client = ServiceClient(first.base_url)
+            client.create_tenant("resilient")
+            client.upload_csv("crm", CRM)
+            client.upload_csv("shop", SHOP)
+            session = client.create_session(["crm", "shop"])["session"]
+            client.advance(session, to="duplicate_detection")
+            detection = client.session_status(session)["step_reports"][
+                "duplicate_detection"
+            ]["payload"]
+            snapshot = client.snapshot(session)
+            reference = None
+            client.run_to_completion(session)
+            reference = client.result(session)
+        # `with` exit killed the first service; its in-memory sessions died
+
+        with ServiceServer() as second:
+            client = ServiceClient(second.base_url)
+            client.create_tenant("resilient")
+            assert client.tenants() == ["resilient"]  # fresh registry
+            client.upload_csv("crm", CRM)
+            client.upload_csv("shop", SHOP)
+            restored = client.restore_session(snapshot)
+            assert restored["completed_steps"] == snapshot["completed_steps"]
+            replayed = client.session_status(restored["session"])["step_reports"][
+                "duplicate_detection"
+            ]["payload"]
+            assert replayed["clusters"] == detection["clusters"]
+            client.run_to_completion(restored["session"])
+            resumed = client.result(restored["session"])
+
+        assert resumed["columns"] == reference["columns"]
+        assert resumed["rows"] == reference["rows"]
+        # summaries match modulo wall-clock timing
+        def strip(summary):
+            return {k: v for k, v in summary.items() if k != "seconds"}
+
+        assert strip(resumed["summary"]) == strip(reference["summary"])
+
+    def test_restore_against_changed_data_fails_loudly(self):
+        with ServiceServer() as first:
+            client = ServiceClient(first.base_url)
+            client.create_tenant("strict")
+            client.upload_csv("crm", CRM)
+            client.upload_csv("shop", SHOP)
+            session = client.create_session(["crm", "shop"])["session"]
+            client.advance(session, to="prepare")
+            snapshot = client.snapshot(session)
+
+        with ServiceServer() as second:
+            client = ServiceClient(second.base_url)
+            client.create_tenant("strict")
+            client.upload_csv("crm", CRM + "Zoe Zimmer,99,Nowhere,zoe@example.com\n")
+            client.upload_csv("shop", SHOP)
+            try:
+                client.restore_session(snapshot)
+            except Exception as exc:
+                assert "digest" in str(exc)
+            else:
+                raise AssertionError("restore over changed data must fail")

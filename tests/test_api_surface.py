@@ -4,26 +4,26 @@ Asserts the exported names of ``repro``, ``repro.config`` and
 ``repro.core.session`` plus the parameter lists of the load-bearing
 callables, so an accidental surface break (renamed kwarg, dropped export,
 reordered required parameter) fails fast in CI rather than surfacing in a
-downstream consumer.  Asserts too that the one-release deprecation shims
-actually warn — a shim that silently stops warning (or stops working) is
-itself a surface break.
+downstream consumer.  The surface is config-only: ISSUE 7 retired the
+one-release deprecation shims of ISSUE 5, and this suite pins that the
+legacy kwarg spellings are *gone* (``TypeError``), not silently accepted.
 
 When a surface change is *intentional*, update the snapshots here in the
 same commit and call the change out in the PR.
 """
 
 import inspect
-import warnings
 
 import pytest
 
 import repro
 import repro.config
 import repro.core.session
-from repro.config import DedupConfig, FusionConfig
+from repro.config import DedupConfig, FusionConfig, PrepareConfig
 from repro.core.pipeline import FusionPipeline
 from repro.core.session import FusionSession
 from repro.dedup.detector import DuplicateDetector
+from repro.exceptions import ConfigError
 from repro.hummer import HumMer
 
 # --------------------------------------------------------------------------
@@ -76,7 +76,7 @@ CONFIG_EXPORTS = sorted(
 )
 
 SESSION_EXPORTS = sorted(
-    ["SESSION_STEPS", "StageEvent", "ProgressEvent", "FusionSession"]
+    ["SESSION_STEPS", "SNAPSHOT_VERSION", "StageEvent", "ProgressEvent", "FusionSession"]
 )
 
 
@@ -89,18 +89,15 @@ def parameters(callable_object):
 # order are the contract (keyword call sites and positional call sites both
 # break when these drift); defaults and annotations are free to evolve.
 SIGNATURES = {
-    "HumMer.__init__": [
-        "self", "duplicate_threshold", "matcher", "detector", "registry",
-        "blocking", "executor", "prepare", "artifact_dir", "config",
-    ],
+    "HumMer.__init__": ["self", "matcher", "detector", "registry", "config"],
     "HumMer.register": ["self", "alias", "source", "description", "replace", "prepare"],
     "HumMer.fuse": ["self", "aliases", "resolutions", "metadata"],
     "HumMer.session": ["self", "aliases", "resolutions", "metadata"],
     "HumMer.enable_prepare": ["self", "mode"],
+    "HumMer.restore_session": ["self", "snapshot"],
     "FusionPipeline.__init__": [
         "self", "catalog", "matcher", "detector", "registry",
-        "use_name_fallback", "blocking", "executor", "prepare",
-        "adjust_matching", "adjust_selection", "adjust_duplicates", "config",
+        "use_name_fallback", "prepare", "config",
     ],
     "FusionPipeline.run": ["self", "aliases", "spec", "metadata"],
     "FusionPipeline.session": [
@@ -117,6 +114,8 @@ SIGNATURES = {
     "FusionSession.subscribe": ["self", "listener"],
     "FusionSession.subscribe_progress": ["self", "listener"],
     "FusionSession.apply_duplicate_decisions": ["self"],
+    "FusionSession.to_dict": ["self"],
+    "FusionSession.from_dict": ["pipeline", "data"],
     "FusionConfig.from_dict": ["data"],
     "FusionConfig.from_json": ["text"],
     "FusionConfig.from_file": ["path"],
@@ -177,94 +176,66 @@ class TestSignatures:
         )
 
 
-class TestDeprecationShims:
-    """Every pre-config kwarg spelling still works — and warns."""
+class TestRetiredShims:
+    """The pre-config kwarg spellings of ISSUE 5 are gone, not tolerated.
 
-    def _fresh(self, catalog):
+    A shim that quietly comes back (e.g. via a rebased branch restoring
+    ``**kwargs`` absorption) would re-open the dual surface this redesign
+    closed, so each legacy spelling is pinned to ``TypeError``.
+    """
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duplicate_threshold": 0.8},
+            {"blocking": "snm"},
+            {"executor": "multiprocess"},
+            {"prepare": "lazy"},
+            {"artifact_dir": "/tmp/nowhere"},
+        ],
+        ids=lambda kwargs: next(iter(kwargs)),
+    )
+    def test_hummer_legacy_kwargs_rejected(self, kwargs):
+        with pytest.raises(TypeError):
+            HumMer(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"blocking": "snm"},
+            {"executor": "serial"},
+            {"adjust_matching": lambda m: None},
+            {"adjust_selection": lambda s: None},
+            {"adjust_duplicates": lambda d: None},
+        ],
+        ids=lambda kwargs: next(iter(kwargs)),
+    )
+    def test_pipeline_legacy_kwargs_rejected(self, catalog, kwargs):
+        with pytest.raises(TypeError):
+            FusionPipeline(catalog, **kwargs)
+
+    def test_register_prepare_no_longer_promotes(self, catalog):
+        """``register(prepare=...)`` without an instance mode is an error."""
+        hummer = HumMer()
+        with pytest.raises(ConfigError, match="enable_prepare"):
+            hummer.register(
+                "EE_Students", catalog.fetch("EE_Students"), prepare="lazy"
+            )
+        assert hummer.prepare_mode is None
+
+    def test_prepare_call_no_longer_promotes(self, catalog):
         hummer = HumMer()
         hummer.register("EE_Students", catalog.fetch("EE_Students"))
-        return hummer
-
-    def test_hummer_duplicate_threshold(self):
-        with pytest.warns(DeprecationWarning, match="duplicate_threshold"):
-            hummer = HumMer(duplicate_threshold=0.8)
-        assert hummer.detector.threshold == 0.8
-
-    def test_hummer_blocking_name(self):
-        with pytest.warns(DeprecationWarning, match="blocking"):
-            hummer = HumMer(blocking="snm")
-        assert hummer.detector.blocking.name == "snm"
-        assert hummer.config.dedup.blocking == "snm"
-
-    def test_hummer_blocking_instance(self):
-        from repro.dedup.blocking import TokenBlocking
-
-        strategy = TokenBlocking(max_block_size=10)
-        with pytest.warns(DeprecationWarning, match="blocking"):
-            hummer = HumMer(blocking=strategy)
-        assert hummer.detector.blocking is strategy
-
-    def test_hummer_executor(self):
-        with pytest.warns(DeprecationWarning, match="executor"):
-            hummer = HumMer(executor="multiprocess")
-        assert hummer.detector.executor.name == "multiprocess"
-
-    def test_hummer_prepare_and_artifact_dir(self, tmp_path):
-        with pytest.warns(DeprecationWarning, match="prepare"):
-            hummer = HumMer(prepare="lazy")
-        assert hummer.prepare_mode == "lazy"
-        with pytest.warns(DeprecationWarning, match="artifact_dir"):
-            hummer = HumMer(artifact_dir=str(tmp_path))
-        assert hummer.config.prepare.artifact_dir == str(tmp_path)
-
-    def test_pipeline_adjust_hooks(self, catalog):
-        with pytest.warns(DeprecationWarning, match="adjust_selection"):
-            pipeline = FusionPipeline(catalog, adjust_selection=lambda s: None)
-        assert pipeline.adjust_selection is not None
-
-    def test_pipeline_blocking_and_executor(self, catalog):
-        with pytest.warns(DeprecationWarning, match="blocking"):
-            FusionPipeline(catalog, blocking="snm")
-        with pytest.warns(DeprecationWarning, match="executor"):
-            FusionPipeline(catalog, executor="serial")
-
-    def test_hummer_pipeline_hook_override(self, catalog):
-        hummer = self._fresh(catalog)
-        with pytest.warns(DeprecationWarning, match="adjust_matching"):
-            hummer.pipeline(adjust_matching=lambda m: None)
-
-    def test_implicit_register_prepare_promotion(self, catalog):
-        hummer = self._fresh(catalog)
-        with pytest.warns(DeprecationWarning, match="implicitly enables"):
-            hummer.register(
-                "CS_Students", catalog.fetch("CS_Students"), prepare="lazy"
-            )
-        assert hummer.prepare_mode == "lazy"
-
-    def test_implicit_prepare_call_promotion(self, catalog):
-        hummer = self._fresh(catalog)
-        with pytest.warns(DeprecationWarning, match="implicitly switches"):
+        with pytest.raises(ConfigError, match="enable_prepare"):
             hummer.prepare()
-        assert hummer.prepare_mode == "lazy"
+        assert hummer.prepare_mode is None
 
-    def test_explicit_enable_prepare_does_not_warn(self, catalog):
-        hummer = self._fresh(catalog)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            hummer.enable_prepare("lazy")
-            hummer.register(
-                "CS_Students", catalog.fetch("CS_Students"), prepare="lazy"
-            )
-        assert hummer.prepare_mode == "lazy"
-
-    def test_config_construction_does_not_warn(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            HumMer(config=FusionConfig(dedup=DedupConfig(blocking="snm", workers=2)))
-
-    def test_deprecated_kwargs_still_produce_working_instances(self, catalog):
-        with pytest.warns(DeprecationWarning):
-            hummer = HumMer(blocking="snm", executor="serial", duplicate_threshold=0.7)
+    def test_config_spelling_still_works(self, catalog):
+        config = FusionConfig(
+            dedup=DedupConfig(blocking="snm", threshold=0.7),
+            prepare=PrepareConfig(mode="lazy"),
+        )
+        hummer = HumMer(config=config)
         hummer.register("EE_Students", catalog.fetch("EE_Students"))
         hummer.register("CS_Students", catalog.fetch("CS_Students"))
         result = hummer.fuse(["EE_Students", "CS_Students"])

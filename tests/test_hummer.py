@@ -91,11 +91,11 @@ class TestFuse:
         by_person = {row["person"]: row["status"] for row in result}
         assert by_person["Anna Schmidt"] == "safe"
 
-    def test_pipeline_override_hooks(self, hummer):
-        captured = {}
-        pipeline = hummer.pipeline(adjust_selection=lambda sel: captured.update(n=len(sel)))
-        pipeline.run(["EE_Students", "CS_Students"])
-        assert captured["n"] > 0
+    def test_session_exposes_selection_mid_run(self, hummer):
+        session = hummer.session(["EE_Students", "CS_Students"])
+        session.advance_to(session.ATTRIBUTE_SELECTION)
+        assert len(session.selection) > 0
+        session.run()
 
 
 class TestExtensibility:
