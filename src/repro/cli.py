@@ -231,6 +231,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="worker threads shared by all tenants for pipeline steps",
     )
+    serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=4,
+        help="per-tenant bound on requests queued behind the tenant lock "
+        "(exceeding it returns 429 TenantBusy)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="directory for durable state: per-tenant artifact caches and "
+        "journals; a restarted service pointed at the same directory "
+        "recovers every tenant and session",
+    )
     return parser
 
 
@@ -330,7 +344,12 @@ def _command_serve(args) -> int:
     from repro.service.server import serve
     from repro.service.state import ServiceState
 
-    state = ServiceState(step_timeout=args.step_timeout, max_workers=args.workers)
+    state = ServiceState(
+        step_timeout=args.step_timeout,
+        max_workers=args.workers,
+        max_queued=args.max_queued,
+        data_dir=args.data_dir,
+    )
 
     def announce(line: str) -> None:
         # wrappers (the CI smoke job, the example client) parse this line

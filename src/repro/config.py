@@ -292,7 +292,9 @@ class PrepareConfig(_Section):
             first fusion query that needs them, ``"eager"`` at registration.
         artifact_dir: optional directory for on-disk persistence — a
             restarted process with the same directory serves its first
-            query warm.
+            query warm.  The fusion service sets this per tenant when run
+            with a data dir (see :mod:`repro.service.journal`), so each
+            tenant's artifact cache survives restarts in isolation.
     """
 
     mode: Optional[str] = None

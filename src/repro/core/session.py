@@ -383,6 +383,23 @@ class FusionSession:
 
     # -- snapshot / restore --------------------------------------------------------
 
+    @property
+    def can_snapshot(self) -> bool:
+        """Whether :meth:`to_dict` can succeed for this session.
+
+        False for sessions holding process-local state a snapshot cannot
+        carry: a ``transform_filter`` callable, or a spec with live
+        :class:`ResolutionFunction` instances.  Durable services use this
+        to skip journaling such sessions instead of failing their steps.
+        """
+        if self.transform_filter is not None:
+            return False
+        if self.spec is not None:
+            for item in self.spec.resolutions:
+                if isinstance(item.function, ResolutionFunction):
+                    return False
+        return True
+
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-able snapshot of this session's progress.
 

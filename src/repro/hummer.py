@@ -264,6 +264,10 @@ class HumMer:
         are restored along the way.  The snapshotted sources must be
         registered with unchanged content — a digest mismatch raises
         :class:`~repro.exceptions.HummerError`.
+
+        Both restore paths build on this: client-held snapshots posted to
+        the service, and server-side recovery of journaled sessions from a
+        durable service's data dir (:meth:`ServiceState.recover`).
         """
         return FusionSession.from_dict(self.pipeline(), snapshot)
 

@@ -3,9 +3,15 @@
 A dependency-light async service: stdlib ``asyncio.start_server`` speaking
 enough HTTP/1.1 for JSON request/response bodies and an SSE-style progress
 stream, wrapping a multi-tenant registry of :class:`~repro.hummer.HumMer`
-instances.  One tenant's requests serialize behind a per-tenant lock while
-other tenants proceed concurrently; blocking pipeline steps run in a worker
-thread pool with per-request timeouts.
+instances.  One tenant's requests serialize behind a bounded per-tenant
+work queue (over-full tenants answer 429 ``TenantBusy``) while other
+tenants proceed concurrently; blocking pipeline steps run in a worker
+thread pool with per-request timeouts, and a step that outlives its
+timeout keeps the tenant busy (409) until it settles.  With
+``ServiceState(data_dir=...)`` the registry is durable: per-tenant
+artifact caches plus an append-only journal
+(:class:`~repro.service.journal.TenantJournal`) let a restarted process
+recover every tenant and session with zero client re-upload.
 
 Entry points:
 
@@ -20,6 +26,7 @@ Entry points:
 from repro.service.app import ServiceApp
 from repro.service.client import ServiceClient
 from repro.service.errors import ApiError, status_for_exception
+from repro.service.journal import TenantJournal
 from repro.service.server import ServiceServer, serve
 from repro.service.state import ServiceState, Tenant
 
@@ -30,6 +37,7 @@ __all__ = [
     "ServiceServer",
     "ServiceState",
     "Tenant",
+    "TenantJournal",
     "serve",
     "status_for_exception",
 ]

@@ -8,6 +8,7 @@ restart, and an SSE-style stream of the session's stage/progress events.
 URL space (all bodies JSON)::
 
     GET    /health
+    GET    /stats
     GET    /tenants                          POST   /tenants
     DELETE /tenants/{t}
     GET    /tenants/{t}/sources              POST   /tenants/{t}/sources
@@ -30,9 +31,10 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro import __version__
 from repro.core.session import DONE, SESSION_STEPS
-from repro.engine.io.csv_source import relation_from_csv_text, relation_to_csv_text
+from repro.engine.io.csv_source import relation_to_csv_text
 from repro.engine.relation import Relation
 from repro.service.errors import ApiError, error_payload, status_for_exception
+from repro.service.journal import relation_from_upload
 from repro.service.http import (
     Request,
     read_request,
@@ -101,6 +103,8 @@ class ServiceApp:
             return await write_response(
                 writer, 200, {"status": "ok", "version": __version__}
             )
+        if parts == ("stats",) and method == "GET":
+            return await write_response(writer, 200, self.state.stats())
         if parts == ("tenants",):
             if method == "GET":
                 return await write_response(
@@ -121,7 +125,9 @@ class ServiceApp:
                     raise ApiError(405, "events is a GET stream")
                 handle = tenant.get_session(tail[1])
                 return await self._stream_events(writer, handle)
-            async with tenant.lock:
+            # Reads serialize behind the tenant lock but are never bounced
+            # for queue depth; mutations are subject to the bounded queue.
+            async with tenant.admit(bounded=method not in ("GET", "HEAD")):
                 status, payload = await self._tenant_route(
                     method, tail, request, tenant
                 )
@@ -146,6 +152,7 @@ class ServiceApp:
                     "tenant": tenant.id,
                     "sources": tenant.hummer.sources(),
                     "sessions": sorted(tenant.sessions),
+                    "admission": tenant.admission_status(),
                 }
         if tail == ("sources",):
             if method == "GET":
@@ -154,6 +161,7 @@ class ServiceApp:
                 return await self._register_source(request, tenant)
         if len(tail) == 2 and tail[0] == "sources" and method == "DELETE":
             tenant.hummer.unregister(tail[1])
+            tenant.record_unregister(tail[1])
             return 200, {"alias": tail[1], "deleted": True}
         if tail == ("prepare",) and method == "POST":
             return await self._prepare(request, tenant)
@@ -170,17 +178,20 @@ class ServiceApp:
                 return await self._create_session(request, tenant)
         if len(tail) >= 2 and tail[0] == "sessions":
             handle = tenant.get_session(tail[1])
-            action = tail[2] if len(tail) == 3 else None
-            if action is None and method == "GET":
-                return 200, handle.status()
-            if action == "advance" and method == "POST":
-                return await self._advance(request, tenant, handle)
-            if action == "decisions" and method == "POST":
-                return await self._decisions(request, tenant, handle)
-            if action == "snapshot" and method == "GET":
-                return 200, {"snapshot": handle.session.to_dict()}
-            if action == "result" and method == "GET":
-                return self._result(request, handle)
+            if len(tail) == 2:
+                if method == "GET":
+                    return 200, handle.status()
+            elif len(tail) == 3:
+                action = tail[2]
+                if action == "advance" and method == "POST":
+                    return await self._advance(request, tenant, handle)
+                if action == "decisions" and method == "POST":
+                    return await self._decisions(request, tenant, handle)
+                if action == "snapshot" and method == "GET":
+                    return 200, {"snapshot": handle.session.to_dict()}
+                if action == "result" and method == "GET":
+                    return self._result(request, handle)
+            # 4+ segments (or an unknown method/action) fall through to 404
         raise ApiError(
             404, f"no route for {method} /tenants/{tenant.id}/{'/'.join(tail)}",
             "UnknownRoute",
@@ -193,24 +204,7 @@ class ServiceApp:
     ) -> Tuple[int, Any]:
         body = request.json()
         alias = _require(body, "alias")
-        data = _require(body, "data")
-        fmt = body.get("format", "json")
-        if fmt == "csv":
-            if not isinstance(data, str):
-                raise ApiError(400, "csv uploads send the file text in 'data'")
-            relation = relation_from_csv_text(
-                data,
-                name=alias,
-                delimiter=body.get("delimiter", ","),
-                has_header=bool(body.get("has_header", True)),
-                column_names=body.get("column_names"),
-            )
-        elif fmt == "json":
-            if not isinstance(data, list):
-                raise ApiError(400, "json uploads send a list of row objects in 'data'")
-            relation = Relation.from_dicts(data, name=alias)
-        else:
-            raise ApiError(400, f"unknown source format {fmt!r} (csv or json)")
+        relation = relation_from_upload(body)
         await self.state.run_blocking(
             tenant,
             lambda: tenant.hummer.register(
@@ -221,6 +215,7 @@ class ServiceApp:
                 prepare=body.get("prepare"),
             ),
         )
+        tenant.record_source(body)
         return 201, {
             "alias": alias,
             "rows": len(relation),
@@ -232,6 +227,7 @@ class ServiceApp:
         mode = body.get("mode")
         if mode is not None:
             tenant.hummer.enable_prepare(mode)
+            tenant.record_prepare_mode(mode)
         report = await self.state.run_blocking(
             tenant, lambda: tenant.hummer.prepare(body.get("aliases"))
         )
@@ -255,6 +251,7 @@ class ServiceApp:
                 tenant, lambda: tenant.hummer.restore_session(snapshot)
             )
             handle = tenant.add_session(session)
+            tenant.record_session(handle)
             return 201, handle.status()
         aliases = _require(body, "aliases")
         session = tenant.hummer.session(
@@ -263,6 +260,7 @@ class ServiceApp:
             metadata=body.get("metadata"),
         )
         handle = tenant.add_session(session)
+        tenant.record_session(handle)
         return 201, handle.status()
 
     async def _advance(
@@ -303,11 +301,31 @@ class ServiceApp:
                 "SessionNotAtStep",
             )
         classified = session.detection.classified
-        for item in decisions:
+        # Validate the whole batch before mutating anything: a malformed
+        # item mid-list must not leave earlier items already confirmed.
+        parsed = []
+        for position, item in enumerate(decisions):
+            if not isinstance(item, (list, tuple)) or len(item) != 3:
+                raise ApiError(
+                    400,
+                    f"decision #{position} must be a [left, right, accept] "
+                    "triple",
+                    "InvalidDecisions",
+                )
             left, right, accept = item
-            classified.confirm((int(left), int(right)), bool(accept))
+            try:
+                parsed.append(((int(left), int(right)), bool(accept)))
+            except (TypeError, ValueError):
+                raise ApiError(
+                    400,
+                    f"decision #{position} has non-integer row ids: {item!r}",
+                    "InvalidDecisions",
+                ) from None
+        for pair, accept in parsed:
+            classified.confirm(pair, accept)
         if body.get("apply", True):
             await self.state.run_blocking(tenant, session.apply_duplicate_decisions)
+        tenant.record_session(handle)
         return 200, {
             "decisions": len(classified.decisions),
             "clusters": session.detection.cluster_count,
@@ -336,21 +354,33 @@ class ServiceApp:
         self, writer: asyncio.StreamWriter, handle: SessionHandle
     ) -> None:
         """Replay buffered events, then follow live ones until the session
-        completes.  The stream is EOF-delimited (Connection: close)."""
+        completes or its handle is closed (tenant deleted).  The stream is
+        EOF-delimited (Connection: close)."""
         await start_stream(writer)
         cursor = 0
         while True:
             while cursor < len(handle.events):
                 await write_stream_event(writer, handle.events[cursor])
                 cursor += 1
-            if handle.session.is_done:
+            if handle.session.is_done or handle.closed_reason is not None:
                 break
             handle.changed.clear()
-            # Re-check before sleeping: an event appended between the drain
-            # loop and clear() would otherwise be missed until the next one.
-            if cursor < len(handle.events) or handle.session.is_done:
+            # Re-check before sleeping: an event appended (or the handle
+            # closed) between the drain loop and clear() would otherwise be
+            # missed until the next wake-up.
+            if (
+                cursor < len(handle.events)
+                or handle.session.is_done
+                or handle.closed_reason is not None
+            ):
                 continue
             await handle.changed.wait()
         await write_stream_event(
-            writer, {"event": "end", "session": handle.id, "is_done": True}
+            writer,
+            {
+                "event": "end",
+                "session": handle.id,
+                "is_done": handle.session.is_done,
+                "reason": handle.closed_reason or "completed",
+            },
         )

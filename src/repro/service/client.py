@@ -79,6 +79,14 @@ class ServiceClient:
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/health")
 
+    def stats(self) -> Dict[str, Any]:
+        """Service-wide stats: per-tenant queue depth, recovery report."""
+        return self._request("GET", "/stats")
+
+    def tenant_status(self, tenant: Optional[str] = None) -> Dict[str, Any]:
+        """One tenant's sources, sessions, and admission (queue) status."""
+        return self._request("GET", self._tenant_path(tenant=tenant))
+
     def create_tenant(self, tenant: Optional[str] = None) -> str:
         body = {"tenant": tenant} if tenant else {}
         created = self._request("POST", "/tenants", body)["tenant"]

@@ -33,6 +33,7 @@ REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     504: "Gateway Timeout",
 }

@@ -1,0 +1,122 @@
+"""Per-tenant durability journal: append-only JSONL under ``--data-dir``.
+
+Each tenant of a durable :class:`~repro.service.state.ServiceState` owns one
+journal file::
+
+    {data_dir}/tenants/{tenant-dirname}/journal.jsonl
+    {data_dir}/tenants/{tenant-dirname}/artifacts/        (ArtifactStore)
+
+The journal records everything needed to rebuild the tenant in a fresh
+process without the client re-uploading anything — in arrival order:
+
+* ``{"record": "tenant", "tenant": id, "config": {...}|null}`` — first line;
+* ``{"record": "source", "body": {...}}`` — a successful source upload
+  (the full request body, so replay goes through the same construction);
+* ``{"record": "unregister", "alias": a}`` — a source removal;
+* ``{"record": "prepare_mode", "mode": m}`` — preparation switched on;
+* ``{"record": "session", "session": id, "snapshot": {...}}`` — a
+  :meth:`FusionSession.to_dict` snapshot, appended at session creation and
+  after every completed step / decision batch.  The *latest* snapshot per
+  session id wins on recovery.
+
+Appends are best-effort (an unwritable directory never fails the request,
+mirroring :class:`~repro.prepare.store.ArtifactStore`), and reads tolerate a
+truncated final line — the shape a kill mid-append leaves behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Mapping
+
+from repro.engine.relation import Relation
+from repro.engine.io.csv_source import relation_from_csv_text
+from repro.service.errors import ApiError
+
+__all__ = ["TenantJournal", "relation_from_upload", "tenant_dirname"]
+
+
+def tenant_dirname(tenant_id: str) -> str:
+    """Filesystem-safe directory name for a tenant id.
+
+    Readable prefix plus an id digest, so sanitised ids cannot collide
+    (same scheme as the artifact store's alias prefixes).
+    """
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", tenant_id)[:40]
+    digest = hashlib.sha256(tenant_id.encode("utf-8")).hexdigest()[:8]
+    return f"{safe}-{digest}"
+
+
+def relation_from_upload(body: Mapping[str, Any]) -> Relation:
+    """Build the relation described by a source-upload request body.
+
+    Shared by the upload handler and journal replay so a recovered source
+    is constructed by exactly the code path that registered it.
+    """
+    alias = body.get("alias")
+    if alias is None:
+        raise ApiError(400, "missing required field 'alias'", "MissingField")
+    data = body.get("data")
+    if data is None:
+        raise ApiError(400, "missing required field 'data'", "MissingField")
+    fmt = body.get("format", "json")
+    if fmt == "csv":
+        if not isinstance(data, str):
+            raise ApiError(400, "csv uploads send the file text in 'data'")
+        return relation_from_csv_text(
+            data,
+            name=alias,
+            delimiter=body.get("delimiter", ","),
+            has_header=bool(body.get("has_header", True)),
+            column_names=body.get("column_names"),
+        )
+    if fmt == "json":
+        if not isinstance(data, list):
+            raise ApiError(400, "json uploads send a list of row objects in 'data'")
+        return Relation.from_dicts(data, name=alias)
+    raise ApiError(400, f"unknown source format {fmt!r} (csv or json)")
+
+
+class TenantJournal:
+    """Append-only JSONL journal for one tenant."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record; best-effort (an unwritable path is ignored)."""
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+                handle.flush()
+        except (OSError, TypeError, ValueError):
+            # durability is an add-on: a full disk or unserialisable payload
+            # must never fail the request that produced the record
+            pass
+
+    def read(self) -> List[Dict[str, Any]]:
+        """All decodable records, in order.
+
+        A truncated or garbled line (the tail a kill mid-append leaves)
+        is skipped rather than failing the whole recovery.
+        """
+        records: List[Dict[str, Any]] = []
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return records
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records

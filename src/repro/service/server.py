@@ -37,9 +37,20 @@ async def serve(
             the CLI prints it (flushed) so wrappers can parse the port.
     """
     app = ServiceApp(state)
+    # Recover journaled tenants before accepting traffic — requests must
+    # never observe a half-rebuilt registry.
+    recovery = app.state.recover()
     server = await asyncio.start_server(app.handle_connection, host, port)
     bound_port = server.sockets[0].getsockname()[1]
+    # The "listening" line stays first — wrappers parse it for the port.
     announce(f"listening on http://{host}:{bound_port}")
+    if recovery["tenants"]:
+        announce(
+            f"recovered {recovery['tenants']} tenant(s), "
+            f"{recovery['sessions']} session(s) from the data dir"
+        )
+    for error in recovery["errors"]:
+        announce(f"recovery warning: {error}")
     try:
         async with server:
             await server.serve_forever()
@@ -92,6 +103,7 @@ class ServiceServer:
         asyncio.set_event_loop(loop)
 
         async def bootstrap():
+            self.app.state.recover()
             server = await asyncio.start_server(
                 self.app.handle_connection, self.host, self.port
             )

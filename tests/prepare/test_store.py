@@ -119,6 +119,77 @@ class TestPersistence:
         store.invalidate("src")
         assert not list(tmp_path.glob("*.pkl"))
 
+    def test_truncated_pickle_is_a_miss_and_gets_overwritten(self, tmp_path):
+        # the shape a kill mid-write leaves behind: a prefix of valid pickle
+        relation = relation_of([{"a": 1}])
+        first = ArtifactStore(str(tmp_path))
+        first.get_or_build("src", "k", (), relation, lambda: {"payload": list(range(64))})
+        (victim,) = tmp_path.glob("*.pkl")
+        victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 2])
+
+        second = ArtifactStore(str(tmp_path))
+        rebuilt = second.get_or_build("src", "k", (), relation, lambda: "rebuilt")
+        assert rebuilt == "rebuilt"
+        assert second.counters.total_rebuilt == 1
+        # the rebuild overwrote the truncated file with a loadable one
+        third = ArtifactStore(str(tmp_path))
+        assert (
+            third.get_or_build("src", "k", (), relation, lambda: "never") == "rebuilt"
+        )
+
+    def test_invalidate_alias_unlinks_only_that_aliases_files(self, tmp_path):
+        relation = relation_of([{"a": 1}])
+        store = ArtifactStore(str(tmp_path))
+        store.get_or_build("users", "k", (), relation, lambda: "u1")
+        store.get_or_build("users", "other_kind", ("p",), relation, lambda: "u2")
+        store.get_or_build("orders", "k", (), relation, lambda: "o1")
+        assert len(list(tmp_path.glob("*.pkl"))) == 3
+
+        store.invalidate("users")
+        # in-memory: the alias is gone, the other survives
+        assert store.peek("users", "k", ()) is None
+        assert store.peek("orders", "k", ()) == "o1"
+        # on disk: only the alias's prefixed files were unlinked
+        remaining = [path.name for path in tmp_path.glob("*.pkl")]
+        assert len(remaining) == 1
+        assert remaining[0].startswith("orders")
+
+    def test_unwritable_artifact_dir_never_fails_a_query(self, tmp_path):
+        import os
+
+        import pytest
+
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permission bits")
+        blocked = tmp_path / "blocked"
+        blocked.mkdir()
+        blocked.chmod(0o500)  # no write permission
+        try:
+            relation = relation_of([{"a": 1}])
+            store = ArtifactStore(str(blocked))
+            # the write is best-effort: the build result is still served
+            assert store.get_or_build("src", "k", (), relation, lambda: "x") == "x"
+            assert store.peek("src", "k", ()) == "x"
+            assert not list(blocked.glob("*.pkl"))
+        finally:
+            blocked.chmod(0o700)
+
+    def test_unwritable_artifact_dir_is_ignored_via_monkeypatched_dump(
+        self, tmp_path, monkeypatch
+    ):
+        # root-safe variant: force the dump itself to fail like a full disk
+        import pickle
+
+        relation = relation_of([{"a": 1}])
+        store = ArtifactStore(str(tmp_path))
+
+        def exploding_dump(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(pickle, "dump", exploding_dump)
+        assert store.get_or_build("src", "k", (), relation, lambda: "x") == "x"
+        assert store.peek("src", "k", ()) == "x"
+
 
 class TestContentDigest:
     def test_digest_is_stable_for_equal_content(self):

@@ -1,0 +1,150 @@
+"""Regression tests for the four service-layer bugs fixed in ISSUE 8.
+
+Each test fails against the pre-fix service:
+
+1. ``GET /tenants/{t}/sessions/{s}/foo/bar`` returned 200 session status
+   (extra path segments collapsed to "no action") instead of 404.
+2. After a step timeout (504) the worker thread kept mutating the session
+   while the tenant lock was already released — the next request could
+   interleave with the still-running step.
+3. ``POST .../decisions`` applied items one by one; a malformed item
+   mid-list left earlier items confirmed and mapped to a 500.
+4. ``DELETE /tenants/{t}`` left open ``/events`` streams waiting forever
+   on sessions that could no longer advance.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import ServiceClient
+from repro.service.client import ServiceError
+
+from tests.service.conftest import upload_golden
+from tests.service.test_service import settle_tenant
+
+
+class TestSessionPathRouting:
+    def test_extra_path_segments_are_404(self, server, client, golden_csv):
+        aliases = upload_golden(client, golden_csv)
+        session = client.create_session(aliases)["session"]
+        # sanity: the plain status route still works
+        assert client.session_status(session)["session"] == session
+        with pytest.raises(ServiceError) as caught:
+            client._request(
+                "GET", client._tenant_path(f"/sessions/{session}/foo/bar")
+            )
+        assert caught.value.status == 404
+        assert caught.value.error_type == "UnknownRoute"
+
+    def test_unknown_action_is_404(self, server, client, golden_csv):
+        aliases = upload_golden(client, golden_csv)
+        session = client.create_session(aliases)["session"]
+        with pytest.raises(ServiceError) as caught:
+            client._request(
+                "GET", client._tenant_path(f"/sessions/{session}/bogus")
+            )
+        assert caught.value.status == 404
+
+
+class TestOrphanedSteps:
+    def test_timed_out_step_keeps_tenant_busy_until_settled(
+        self, server, client, golden_csv
+    ):
+        aliases = upload_golden(client, golden_csv)
+        session = client.create_session(aliases)["session"]
+
+        tenant = server.state.tenants[client.tenant]
+        live = tenant.sessions[session].session
+        original = live._runners["choose_sources"]
+
+        def slow_step():
+            time.sleep(0.5)
+            return original()
+
+        live._runners["choose_sources"] = slow_step
+        old_timeout = server.state.step_timeout
+        server.state.step_timeout = 0.05
+        try:
+            with pytest.raises(ServiceError) as timed_out:
+                client.advance(session)
+            assert timed_out.value.status == 504
+
+            # the step is still running on a worker thread: the tenant
+            # must refuse mutating requests instead of interleaving
+            with pytest.raises(ServiceError) as busy:
+                client.advance(session)
+            assert busy.value.status == 409
+            assert busy.value.error_type == "TenantBusy"
+            assert client.tenant_status()["admission"]["orphaned"]
+        finally:
+            server.state.step_timeout = old_timeout
+            live._runners["choose_sources"] = original
+
+        settle_tenant(client)
+        # the orphaned step completed exactly once in the background;
+        # the tenant accepts work again and the session is consistent
+        status = client.session_status(session)
+        assert status["completed_steps"] == ["choose_sources"]
+        client.advance(session)
+        assert client.session_status(session)["completed_steps"] == [
+            "choose_sources", "prepare",
+        ]
+
+
+class TestAtomicDecisions:
+    def drive_to_detection(self, client, golden_csv):
+        aliases = upload_golden(client, golden_csv)
+        session = client.create_session(aliases)["session"]
+        client.advance(session, to="duplicate_detection")
+        return session
+
+    def test_malformed_item_rejects_whole_batch(self, server, client, golden_csv):
+        session = self.drive_to_detection(client, golden_csv)
+        with pytest.raises(ServiceError) as caught:
+            client.apply_decisions(
+                session, [[0, 1, True], ["not", "a", "pair?", "no"]], apply=False
+            )
+        assert caught.value.status == 400
+        assert caught.value.error_type == "InvalidDecisions"
+        # atomicity: the well-formed first item must NOT have been applied
+        live = server.state.tenants[client.tenant].sessions[session].session
+        assert live.detection.classified.decisions == {}
+
+    def test_non_integer_ids_reject_whole_batch(self, server, client, golden_csv):
+        session = self.drive_to_detection(client, golden_csv)
+        with pytest.raises(ServiceError) as caught:
+            client.apply_decisions(
+                session, [[2, 3, True], ["x", "y", True]], apply=False
+            )
+        assert caught.value.status == 400
+        assert caught.value.error_type == "InvalidDecisions"
+        live = server.state.tenants[client.tenant].sessions[session].session
+        assert live.detection.classified.decisions == {}
+
+
+class TestTenantDeleteEndsStreams:
+    def test_open_event_stream_terminates_on_tenant_delete(
+        self, server, golden_csv
+    ):
+        client = ServiceClient(server.base_url)
+        client.create_tenant()
+        aliases = upload_golden(client, golden_csv)
+        session = client.create_session(aliases)["session"]
+
+        events = []
+        streamer = threading.Thread(
+            target=lambda: events.extend(client.stream_events(session)),
+            daemon=True,
+        )
+        streamer.start()
+        time.sleep(0.2)  # let the stream attach and drain the empty buffer
+        client.delete_tenant()
+        streamer.join(timeout=10)
+
+        assert not streamer.is_alive(), "stream never terminated after delete"
+        assert events, "stream ended without an end event"
+        assert events[-1]["event"] == "end"
+        assert events[-1]["reason"] == "tenant_deleted"
+        assert events[-1]["is_done"] is False

@@ -4,12 +4,23 @@ Each test drives the real server over a real socket through
 :class:`ServiceClient`; nothing is mocked.
 """
 
+import time
+
 import pytest
 
 from repro.service import ServiceClient
 from repro.service.client import ServiceError
 
 from tests.service.conftest import upload_golden
+
+
+def settle_tenant(client, timeout=30.0):
+    """Wait until the tenant's orphaned (timed-out) step has settled."""
+    deadline = time.monotonic() + timeout
+    while client.tenant_status()["admission"]["orphaned"]:
+        if time.monotonic() > deadline:
+            raise AssertionError("orphaned step never settled")
+        time.sleep(0.05)
 
 
 class TestLifecycle:
@@ -227,4 +238,7 @@ class TestTimeouts:
             finally:
                 server.state.step_timeout = old_timeout
         finally:
+            # the timed-out step keeps running in the background and the
+            # tenant answers 409 until it settles — wait before cleanup
+            settle_tenant(client)
             client.delete_tenant()
