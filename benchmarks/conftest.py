@@ -50,6 +50,20 @@ def pytest_addoption(parser):
         "(overrides the built-in sizes for CI smoke runs)",
     )
     group.addoption(
+        "--e4-columnar-entities",
+        action="store",
+        default=None,
+        help="comma-separated entity counts for the E4 columnar-scoring "
+        "series (overrides the built-in 1k/5k/10k sizes for CI smoke runs)",
+    )
+    group.addoption(
+        "--e4-columnar-json",
+        action="store",
+        default=None,
+        help="write the E4 per-pair vs batched columnar scoring timings to "
+        "this JSON file (uploaded as a CI artifact)",
+    )
+    group.addoption(
         "--e4-match-entities",
         action="store",
         default=None,

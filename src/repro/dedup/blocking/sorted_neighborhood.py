@@ -23,7 +23,6 @@ from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.dedup.blocking.base import BlockingStrategy, normalise_value
 from repro.engine.relation import Relation
-from repro.engine.types import is_null
 
 __all__ = ["SortedNeighborhoodBlocking"]
 
@@ -95,12 +94,14 @@ class SortedNeighborhoodBlocking(BlockingStrategy):
         key-less tuples only proposes junk pairs.  A null-keyed tuple is
         recovered by the passes over its non-null attributes.
         """
-        rows = relation.rows
+        # Columnar pass: one zero-copy column fetch plus its cached null mask
+        # instead of materialising every row tuple to read a single cell.
+        column = relation.column_at(position)
+        mask = relation.store.null_mask(position)
         tokenised: List[Optional[List[str]]] = []
         frequencies: Counter = Counter()
-        for values in rows:
-            value = values[position]
-            if is_null(value):
+        for value, null in zip(column, mask):
+            if null:
                 tokenised.append(None)
                 continue
             tokens = normalise_value(value).split()

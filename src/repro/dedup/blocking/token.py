@@ -18,7 +18,6 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.dedup.blocking.base import BlockingStrategy
 from repro.engine.relation import Relation
-from repro.engine.types import is_null
 from repro.similarity.tokenize import qgrams, tokenize
 
 __all__ = ["TokenBlocking"]
@@ -101,16 +100,38 @@ class TokenBlocking(BlockingStrategy):
     def build_index(
         self, relation: Relation, attributes: Sequence[str]
     ) -> Dict[str, List[int]]:
-        """Token → sorted tuple indices, before frequency capping."""
+        """Token → sorted tuple indices, before frequency capping.
+
+        Columnar build: the blocking attributes are fetched once as zero-copy
+        column lists (with their cached null masks) — no row tuple or
+        :class:`Row` view is materialised per tuple.  Iteration stays
+        rows-outer so token postings (and therefore candidate emission order)
+        are identical to the row-at-a-time build, and tokenisation is
+        memoised per distinct cell value: repeated values — the norm in
+        real columns — tokenise once per relation instead of once per row.
+        """
         index: Dict[str, List[int]] = {}
         positions = self.key_values(relation, attributes)
-        for row_index, values in enumerate(relation.rows):
+        columns = [relation.column_at(position) for _, position in positions]
+        masks = [relation.null_mask(attribute) for attribute, _ in positions]
+        token_cache: Dict = {}
+        for row_index in range(len(relation)):
             row_tokens: Set[str] = set()
-            for _, position in positions:
-                value = values[position]
-                if is_null(value):
+            for column, mask in zip(columns, masks):
+                if mask[row_index]:
                     continue
-                row_tokens.update(self.tokens(value))
+                value = column[row_index]
+                try:
+                    # Type-aware key: True == 1 but str(True) != str(1), so
+                    # cross-type equal cells must not share a cache entry.
+                    key = (value.__class__, value)
+                    cached = token_cache.get(key)
+                    if cached is None:
+                        cached = self.tokens(value)
+                        token_cache[key] = cached
+                except TypeError:  # unhashable cell value
+                    cached = self.tokens(value)
+                row_tokens.update(cached)
             for token in row_tokens:
                 index.setdefault(token, []).append(row_index)
         return index

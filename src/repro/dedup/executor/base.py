@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.dedup.pairs import CandidatePairGenerator, PairScore
@@ -45,26 +45,68 @@ __all__ = ["ScoringBatch", "BatchScores", "ScoringExecutor", "score_batch", "sco
 class ScoringBatch:
     """Everything a worker needs to filter and score candidate pairs.
 
-    The snapshot is built once per ``score_pairs`` call and shipped to every
-    worker through the process-pool initializer, so it is pickled once per
-    worker rather than once per batch.  ``measure`` must be fitted; its
-    transient trigram cache is dropped during pickling
-    (:meth:`DuplicateSimilarityMeasure.__getstate__`) and rebuilt lazily in
-    the worker.
+    The snapshot is **columnar**: it ships only the measure's selected
+    columns (zero-copy value lists off the relation's
+    :class:`~repro.engine.columnar.ColumnStore`) plus their cached null
+    masks, not the full row tuples — the worker pickle shrinks to exactly
+    the cells scoring reads.  It is built once per ``score_pairs`` call and
+    shipped to every worker through the process-pool initializer, so it is
+    pickled once per worker rather than once per batch.  ``measure`` must be
+    fitted; its transient trigram cache is dropped during pickling
+    (:meth:`DuplicateSimilarityMeasure.__getstate__`).
 
     Attributes:
         measure: the fitted similarity measure (picklable snapshot).
-        rows: raw row tuples of the relation being deduplicated.
+        columns: selected attribute → full values list, in row-index order.
+        null_masks: selected attribute → cached null mask (1 = null).
         filter_threshold: upper-bound filter threshold.
         use_filter: whether the upper-bound filter is applied at all.
         keep_evidence: retain per-attribute evidence on every scored pair.
     """
 
     measure: "object"
-    rows: List[Sequence]
+    columns: Dict[str, List]
+    null_masks: Dict[str, bytes]
     filter_threshold: float
     use_filter: bool
     keep_evidence: bool
+    #: Lazily built per-process :class:`ColumnarPairScorer`; its memo tables
+    #: (trigram sets, cell-pair similarities, soft-IDF weights) persist
+    #: across the chunks a worker scores.  Never pickled.
+    _scorer: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_generator(
+        cls, generator: "CandidatePairGenerator", relation: "Relation"
+    ) -> "ScoringBatch":
+        """Snapshot *generator*'s scoring configuration over *relation*."""
+        measure = generator.measure
+        attributes = measure.fitted_attributes
+        return cls(
+            measure=measure,
+            columns={attribute: relation.column(attribute) for attribute in attributes},
+            null_masks={
+                attribute: relation.null_mask(attribute) for attribute in attributes
+            },
+            filter_threshold=generator.filter.threshold,
+            use_filter=generator.filter.enabled,
+            keep_evidence=generator.keep_evidence,
+        )
+
+    def scorer(self):
+        """The batch scorer, built on first use and cached per process."""
+        if self._scorer is None:
+            self._scorer = self.measure.columnar_scorer(self.columns, self.null_masks)
+        return self._scorer
+
+    def __getstate__(self) -> dict:
+        # The scorer holds per-process memo tables; workers rebuild it
+        # lazily for exactly the rows they touch.
+        state = self.__dict__.copy()
+        state["_scorer"] = None
+        return state
 
 
 @dataclass
@@ -80,56 +122,58 @@ def score_batch(batch: ScoringBatch, pairs: Iterable[Tuple[int, int]]) -> BatchS
     """Filter and score one slice of candidate pairs against a snapshot.
 
     Pure function of its arguments — safe to run in any process.  This is
-    the single scoring loop: the serial path, the multiprocess fallback and
-    the pool workers all call it, which is what makes executor parity
-    structural rather than a matter of keeping copies in sync.  Mirrors
-    :meth:`UpperBoundFilter.passes` exactly (considered counts every pair,
-    pruned counts filter rejections) so partial counters merge into the
-    generator's :class:`FilterStatistics` without drift.
+    the single scoring path: the serial executor, the multiprocess fallback
+    and the pool workers all call it, which is what makes executor parity
+    structural rather than a matter of keeping copies in sync.
+
+    The chunk is scored through the measure's columnar batch kernels: the
+    upper-bound filter runs over per-row cached trigram sets, and the
+    surviving pairs are scored attribute-major in one
+    :meth:`ColumnarPairScorer.similarities` / :meth:`~ColumnarPairScorer.explain`
+    call.  Counters mirror :meth:`UpperBoundFilter.passes` exactly
+    (considered counts every pair, pruned counts filter rejections) so
+    partial counters merge into the generator's :class:`FilterStatistics`
+    without drift, and scores come back in candidate order — both
+    bit-identical to the per-pair reference loop.
     """
     from repro.dedup.pairs import PairScore
 
-    measure = batch.measure
-    rows = batch.rows
+    scorer = batch.scorer()
     result = BatchScores()
-    for i, j in pairs:
-        left, right = rows[i], rows[j]
-        result.considered += 1
-        if batch.use_filter and measure.upper_bound(left, right) < batch.filter_threshold:
-            result.pruned += 1
-            continue
-        if batch.keep_evidence:
-            evidence = measure.explain_rows(left, right)
+    pairs = list(pairs)
+    result.considered = len(pairs)
+    if batch.use_filter:
+        threshold = batch.filter_threshold
+        survivors = [
+            pair for pair in pairs if scorer.upper_bound(pair[0], pair[1]) >= threshold
+        ]
+        result.pruned = result.considered - len(survivors)
+    else:
+        survivors = pairs
+    if batch.keep_evidence:
+        for (i, j), evidence in zip(survivors, scorer.explain(survivors)):
             result.scores.append(PairScore(i, j, evidence.similarity, evidence))
-        else:
-            result.scores.append(PairScore(i, j, measure.compare_rows(left, right)))
+    else:
+        for (i, j), similarity in zip(survivors, scorer.similarities(survivors)):
+            result.scores.append(PairScore(i, j, similarity))
     return result
 
 
 def score_with_filter(
     generator: "CandidatePairGenerator",
-    rows: List[Sequence],
+    relation: "Relation",
     pairs: Iterable[Tuple[int, int]],
 ) -> List["PairScore"]:
     """Score *pairs* in-process and merge the counters into the generator.
 
     The serial executor and the multiprocess executor's small-input fallback
-    run the same :func:`score_batch` loop the pool workers do — against the
+    run the same :func:`score_batch` path the pool workers do — against the
     generator's live measure, with the filter counters folded into the shared
     :class:`FilterStatistics` afterwards.  The generator's optional
     ``progress_callback`` fires once for the whole (single-batch) run:
     ``("pairs_scored", considered, considered)``.
     """
-    result = score_batch(
-        ScoringBatch(
-            measure=generator.measure,
-            rows=rows,
-            filter_threshold=generator.filter.threshold,
-            use_filter=generator.filter.enabled,
-            keep_evidence=generator.keep_evidence,
-        ),
-        pairs,
-    )
+    result = score_batch(ScoringBatch.from_generator(generator, relation), pairs)
     statistics = generator.statistics
     statistics.considered += result.considered
     statistics.pruned += result.pruned

@@ -1,12 +1,13 @@
 """Multiprocess scoring — fan candidate batches out over a process pool.
 
 Scoring a candidate pair touches nothing but the fitted measure and the two
-row tuples, so the work partitions perfectly: the parent enumerates
-candidates (blocking + cross-source rule, cheap and sequential), slices them
-into contiguous batches, and ships each batch to a ``ProcessPoolExecutor``
-worker.  Workers receive the :class:`~repro.dedup.executor.base.ScoringBatch`
-snapshot once, through the pool initializer, so the measure and the rows are
-pickled per *worker*, not per batch.
+tuples' selected cells, so the work partitions perfectly: the parent
+enumerates candidates (blocking + cross-source rule, cheap and sequential),
+slices them into contiguous batches, and ships each batch to a
+``ProcessPoolExecutor`` worker.  Workers receive the columnar
+:class:`~repro.dedup.executor.base.ScoringBatch` snapshot once, through the
+pool initializer, so the measure and the selected columns are pickled per
+*worker*, not per batch — and nothing but the selected columns ships at all.
 
 Determinism: batches are contiguous slices of the candidate stream and
 results are merged in batch order (``Executor.map`` preserves it), so the
@@ -100,29 +101,26 @@ class MultiprocessExecutor(ScoringExecutor):
         return max(1, math.ceil(pair_count / (self.workers * 4)))
 
     def snapshot(
-        self, generator: "CandidatePairGenerator", rows: List[Sequence]
+        self, generator: "CandidatePairGenerator", relation: "Relation"
     ) -> ScoringBatch:
-        """The picklable worker payload for one scoring run."""
-        return ScoringBatch(
-            measure=generator.measure,
-            rows=rows,
-            filter_threshold=generator.filter.threshold,
-            use_filter=generator.filter.enabled,
-            keep_evidence=generator.keep_evidence,
-        )
+        """The picklable worker payload for one scoring run.
+
+        Columnar: only the measure's selected columns (plus cached null
+        masks) ship to the workers, not the full row tuples.
+        """
+        return ScoringBatch.from_generator(generator, relation)
 
     def score_pairs(
         self, generator: "CandidatePairGenerator", relation: "Relation"
     ) -> List["PairScore"]:
-        rows = relation.rows
         pairs = list(generator.candidate_indices(relation))
         if self.workers == 1 or len(pairs) < max(self.min_parallel_pairs, 2):
-            return score_with_filter(generator, rows, pairs)
+            return score_with_filter(generator, relation, pairs)
 
         chunk = self.effective_chunk_size(len(pairs))
         chunks = [pairs[start : start + chunk] for start in range(0, len(pairs), chunk)]
         pool_size = min(self.workers, len(chunks))
-        batch = self.snapshot(generator, rows)
+        batch = self.snapshot(generator, relation)
         statistics = generator.statistics
         callback = getattr(generator, "progress_callback", None)
         scored: List["PairScore"] = []

@@ -27,5 +27,5 @@ class SerialExecutor(ScoringExecutor):
         self, generator: "CandidatePairGenerator", relation: "Relation"
     ) -> List["PairScore"]:
         return score_with_filter(
-            generator, relation.rows, generator.candidate_indices(relation)
+            generator, relation, generator.candidate_indices(relation)
         )

@@ -120,15 +120,16 @@ class CandidatePairGenerator:
         plan = self.blocking.plan_report(relation, attributes)
         if plan is not None:
             statistics.blocking_plan = plan
-        source_position: Optional[int] = None
+        source_values: Optional[List] = None
         if self.cross_source_only and relation.schema.has_column(self.source_column):
-            source_position = relation.schema.position(self.source_column)
-        rows = relation.rows
+            # Zero-copy column fetch — the cross-source rule reads one
+            # attribute, not whole row tuples.
+            source_values = relation.column(self.source_column)
         for i, j in self.blocking.pairs(relation, attributes):
             statistics.blocking_candidates += 1
-            if source_position is not None:
-                left_source = rows[i][source_position]
-                right_source = rows[j][source_position]
+            if source_values is not None:
+                left_source = source_values[i]
+                right_source = source_values[j]
                 if (
                     not is_null(left_source)
                     and not is_null(right_source)

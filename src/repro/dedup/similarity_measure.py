@@ -31,14 +31,14 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.dedup.descriptions import AttributeSelection
 from repro.engine.relation import Relation
 from repro.engine.types import is_null
 from repro.similarity.numeric import value_similarity
 
-__all__ = ["PairEvidence", "DuplicateSimilarityMeasure"]
+__all__ = ["PairEvidence", "DuplicateSimilarityMeasure", "ColumnarPairScorer"]
 
 
 @dataclass
@@ -121,9 +121,12 @@ class DuplicateSimilarityMeasure:
             self._positions[attribute] = position
             counter: Counter = Counter()
             numeric_values: List[float] = []
-            for values in relation.rows:
-                value = values[position]
-                if is_null(value):
+            # Columnar fit: one zero-copy column fetch plus its cached null
+            # mask, instead of materialising every row tuple per attribute.
+            column = relation.column_at(position)
+            mask = relation.null_mask(attribute)
+            for value, null in zip(column, mask):
+                if null:
                     continue
                 counter[self._normalise(value)] += 1
                 if isinstance(value, (int, float)) and not isinstance(value, bool):
@@ -134,6 +137,11 @@ class DuplicateSimilarityMeasure:
                 if value_range > 0:
                     self._numeric_scales[attribute] = value_range * self.numeric_range_fraction
         return self
+
+    @property
+    def fitted_attributes(self) -> Tuple[str, ...]:
+        """Selected attributes present in the fitted relation, in scoring order."""
+        return tuple(self._positions)
 
     @staticmethod
     def _normalise(value) -> str:
@@ -228,6 +236,24 @@ class DuplicateSimilarityMeasure:
         # constant slack allows for similar-but-not-identical characters
         return min(1.0, overlap / smaller + 0.3)
 
+    # -- batched columnar scoring ----------------------------------------------------
+
+    def columnar_scorer(
+        self,
+        columns: Mapping[str, List],
+        null_masks: Optional[Mapping[str, bytes]] = None,
+    ) -> "ColumnarPairScorer":
+        """A batch pair scorer over the fitted attributes' *columns*.
+
+        *columns* maps each :attr:`fitted_attributes` name to its full values
+        list (row-index order of the relation being deduplicated);
+        *null_masks* optionally supplies the matching cached null masks.  The
+        scorer's results are bit-identical to the per-pair reference APIs
+        (:meth:`compare_rows` / :meth:`explain_rows` / :meth:`upper_bound`) —
+        see :class:`ColumnarPairScorer`.
+        """
+        return ColumnarPairScorer(self, columns, null_masks)
+
     def _row_trigrams(self, values: Sequence) -> frozenset:
         key = None
         try:
@@ -248,3 +274,176 @@ class DuplicateSimilarityMeasure:
         if key is not None:
             self._trigram_cache[key] = result
         return result
+
+
+class ColumnarPairScorer:
+    """Batch pair scorer over the selected columns of one relation.
+
+    The per-pair reference path (:meth:`DuplicateSimilarityMeasure.explain_rows`)
+    re-derives everything from raw row tuples on every call: null checks, value
+    normalisation, soft-IDF lookups, per-attribute similarities.  Candidate
+    batches repeat all of it massively — blocking groups similar tuples, so the
+    same cells and the same (value, value) pairs recur across pairs.  This
+    scorer works **attribute-major** over zero-copy column lists and memoises
+    every pure leaf across the whole batch:
+
+    * per-row trigram sets (the upper-bound filter), keyed by row index —
+      no tuple hashing;
+    * per-attribute cell-pair similarities, keyed by the cell values (with
+      their types, mirroring the cross-type care of ``content_key``);
+    * per-attribute soft-IDF weights, keyed by the cell value.
+
+    **Bit-identity**: memoisation only short-circuits pure functions of the
+    measure's fitted state, and the per-pair weighted accumulation runs in the
+    same attribute order as ``explain_rows``, so every returned float is
+    byte-identical to the per-pair loop.  Parity is asserted by the executor
+    test suite and bench E4's columnar series.
+    """
+
+    def __init__(
+        self,
+        measure: DuplicateSimilarityMeasure,
+        columns: Mapping[str, List],
+        null_masks: Optional[Mapping[str, bytes]] = None,
+    ):
+        self.measure = measure
+        #: per attribute: (name, values, null mask, selection weight)
+        self._attributes: List[Tuple[str, List, bytes, float]] = []
+        for attribute in measure._positions:
+            column = columns[attribute]
+            mask = null_masks.get(attribute) if null_masks else None
+            if mask is None:
+                mask = bytes(1 if is_null(value) else 0 for value in column)
+            weight = measure.selection.weights.get(attribute, 1.0)
+            self._attributes.append((attribute, column, mask, weight))
+        self._similarity_caches: List[Dict] = [{} for _ in self._attributes]
+        self._idf_caches: List[Dict] = [{} for _ in self._attributes]
+        self._trigram_sets: Dict[int, frozenset] = {}
+
+    # -- upper bound ---------------------------------------------------------------
+
+    def upper_bound(self, left_index: int, right_index: int) -> float:
+        """Bit-identical to :meth:`DuplicateSimilarityMeasure.upper_bound`,
+        with trigram sets cached per row index (no tuple hashing)."""
+        left_grams = self._trigrams(left_index)
+        right_grams = self._trigrams(right_index)
+        if not left_grams or not right_grams:
+            return 1.0
+        overlap = len(left_grams & right_grams)
+        smaller = min(len(left_grams), len(right_grams))
+        return min(1.0, overlap / smaller + 0.3)
+
+    def _trigrams(self, index: int) -> frozenset:
+        cached = self._trigram_sets.get(index)
+        if cached is not None:
+            return cached
+        normalise = self.measure._normalise
+        grams = set()
+        for _, column, mask, _ in self._attributes:
+            if mask[index]:
+                continue
+            text = normalise(column[index])
+            padded = f"  {text} "
+            grams.update(padded[i : i + 3] for i in range(len(padded) - 2))
+        result = frozenset(grams)
+        self._trigram_sets[index] = result
+        return result
+
+    # -- batched scoring ------------------------------------------------------------
+
+    def similarities(self, pairs: Sequence[Tuple[int, int]]) -> List[float]:
+        """Similarity per pair, computed attribute-major over the batch."""
+        per_attribute = [
+            self._attribute_batch(slot, pairs) for slot in range(len(self._attributes))
+        ]
+        scores: List[float] = []
+        for k in range(len(pairs)):
+            weighted_sum = 0.0
+            weight_total = 0.0
+            for cells in per_attribute:
+                cell = cells[k]
+                if cell is None:
+                    continue
+                similarity, weight = cell
+                weighted_sum += weight * similarity
+                weight_total += weight
+            scores.append(weighted_sum / weight_total if weight_total > 0 else 0.0)
+        return scores
+
+    def explain(self, pairs: Sequence[Tuple[int, int]]) -> List[PairEvidence]:
+        """Per-pair :class:`PairEvidence`, attribute-major over the batch."""
+        per_attribute = [
+            self._attribute_batch(slot, pairs) for slot in range(len(self._attributes))
+        ]
+        threshold = self.measure.contradiction_threshold
+        explained: List[PairEvidence] = []
+        for k in range(len(pairs)):
+            evidence = PairEvidence(similarity=0.0)
+            weighted_sum = 0.0
+            weight_total = 0.0
+            for slot, cells in enumerate(per_attribute):
+                attribute = self._attributes[slot][0]
+                cell = cells[k]
+                if cell is None:
+                    evidence.missing_attributes.append(attribute)
+                    continue
+                similarity, weight = cell
+                weighted_sum += weight * similarity
+                weight_total += weight
+                evidence.per_attribute[attribute] = similarity
+                if similarity < threshold:
+                    evidence.contradicting_attributes.append(attribute)
+                else:
+                    evidence.matched_attributes.append(attribute)
+            evidence.similarity = weighted_sum / weight_total if weight_total > 0 else 0.0
+            explained.append(evidence)
+        return explained
+
+    def _attribute_batch(
+        self, slot: int, pairs: Sequence[Tuple[int, int]]
+    ) -> List[Optional[Tuple[float, float]]]:
+        """One attribute's ``(similarity, weight)`` per pair (``None`` = missing).
+
+        The similarity is memoised per distinct (left value, right value)
+        cell pair and the soft-IDF per distinct cell value, both keyed with
+        the values' types so Python's cross-type equality (``True == 1``)
+        cannot conflate cells that normalise differently.  Unhashable cells
+        fall back to direct computation.
+        """
+        measure = self.measure
+        attribute, column, mask, base_weight = self._attributes[slot]
+        similarity_cache = self._similarity_caches[slot]
+        idf_cache = self._idf_caches[slot]
+        results: List[Optional[Tuple[float, float]]] = []
+        for i, j in pairs:
+            if mask[i] or mask[j]:
+                results.append(None)
+                continue
+            left = column[i]
+            right = column[j]
+            try:
+                pair_key = (left.__class__, left, right.__class__, right)
+                similarity = similarity_cache.get(pair_key)
+                if similarity is None:
+                    similarity = measure._attribute_similarity(attribute, left, right)
+                    similarity_cache[pair_key] = similarity
+            except TypeError:  # unhashable cell value
+                similarity = measure._attribute_similarity(attribute, left, right)
+            idf = max(
+                self._soft_idf(idf_cache, attribute, left),
+                self._soft_idf(idf_cache, attribute, right),
+            )
+            weight = base_weight * (0.25 + 0.75 * idf)
+            results.append((similarity, weight))
+        return results
+
+    def _soft_idf(self, cache: Dict, attribute: str, value) -> float:
+        try:
+            key = (value.__class__, value)
+            cached = cache.get(key)
+            if cached is None:
+                cached = self.measure.soft_idf(attribute, value)
+                cache[key] = cached
+            return cached
+        except TypeError:  # unhashable cell value
+            return self.measure.soft_idf(attribute, value)

@@ -1,0 +1,273 @@
+"""Column-major storage backing :class:`~repro.engine.relation.Relation`.
+
+The engine's hot paths — blocking-key extraction, TF-IDF fits, candidate
+pair scoring, fusion grouping — are all *set-oriented*: they touch every
+value of a few attributes, not every attribute of a few tuples.  Storing a
+relation as a list of row tuples forces per-row Python dispatch onto each of
+them.  :class:`ColumnStore` flips the layout: one values list per attribute
+plus a (lazily built, cached) null mask, so set-oriented code fetches a whole
+column once and loops over a flat list.
+
+Design points:
+
+* **Zero-copy sharing.**  Columns are held as :class:`ColumnData` objects
+  (values list + cached null mask).  Relations are logically immutable, so
+  derived relations (projections, renames, re-typings) share the same
+  ``ColumnData`` instances — a projection allocates nothing per cell, and a
+  null mask computed through one view is visible through every other.
+* **Row views at the edge only.**  Nothing in this module materialises row
+  tuples unless asked; :meth:`ColumnStore.row` and
+  :meth:`ColumnStore.row_tuples` exist for the API edge (query operators,
+  IO, service payloads) where callers genuinely need tuples.
+* **Nulls.**  ``None`` and ``NaN`` are the engine nulls
+  (:func:`repro.engine.types.is_null`); a column's mask is a ``bytes`` string
+  (1 = null) built on first use and cached on the column, so scoring kernels
+  test ``mask[i]`` instead of calling ``is_null`` per cell per pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SchemaError
+
+__all__ = ["ColumnData", "ColumnStore"]
+
+
+def _is_null(value: Any) -> bool:
+    # Local inline of repro.engine.types.is_null (import cycle: types has no
+    # dependency on this module, but keeping the check local makes the mask
+    # build a tight loop over two cheap tests).
+    return value is None or (isinstance(value, float) and value != value)
+
+
+class ColumnData:
+    """One attribute's values plus its cached null mask.
+
+    The values list is the canonical storage — cells are held exactly as
+    constructed (no boxing, no sentinel encoding), so reads through a column
+    are bit-identical to reads through a row tuple.  The null mask is a
+    ``bytes`` string built on first access and cached; relations that share a
+    ``ColumnData`` (projections, renames) share the cached mask too.
+    """
+
+    __slots__ = ("values", "_mask")
+
+    def __init__(self, values: List[Any], mask: Optional[bytes] = None):
+        self.values = values
+        self._mask = mask
+
+    @property
+    def null_mask(self) -> bytes:
+        """``bytes`` of 0/1 flags, 1 where the cell is null (built once).
+
+        The length guard rebuilds a cached mask whose column has been grown
+        or shrunk in place (against the immutability convention, but
+        tolerated the same way :meth:`Relation.content_key` tolerates
+        content mutation).  Flipping an existing cell between null and
+        non-null in place is outside that tolerance — the cached mask keeps
+        the construction-time flags.
+        """
+        if self._mask is None or len(self._mask) != len(self.values):
+            self._mask = bytes(1 if _is_null(value) else 0 for value in self.values)
+        return self._mask
+
+    @property
+    def null_count(self) -> int:
+        """Number of null cells."""
+        return sum(self.null_mask)
+
+    def take(self, indices: Sequence[int]) -> "ColumnData":
+        """A new column holding ``values[i]`` for each index, in order."""
+        values = self.values
+        if self._mask is None:
+            return ColumnData([values[i] for i in indices])
+        mask = self._mask
+        return ColumnData(
+            [values[i] for i in indices], bytes(mask[i] for i in indices)
+        )
+
+    def slice(self, selector: slice) -> "ColumnData":
+        """A new column over a slice of this one (mask sliced alongside)."""
+        mask = self._mask[selector] if self._mask is not None else None
+        return ColumnData(self.values[selector], mask)
+
+    def copied(self) -> "ColumnData":
+        """An independent copy (values list duplicated, mask shared)."""
+        return ColumnData(list(self.values), self._mask)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColumnData({len(self.values)} values)"
+
+    # -- pickling (``__slots__`` classes need explicit state) -----------------
+
+    def __getstate__(self):
+        return (self.values, self._mask)
+
+    def __setstate__(self, state):
+        self.values, self._mask = state
+
+
+class ColumnStore:
+    """Column-major tuple storage: one :class:`ColumnData` per attribute.
+
+    The store knows nothing about schemas or column names — positions are the
+    only addressing scheme, exactly like the row tuples it replaces.  All
+    derived-store constructors (:meth:`take`, :meth:`select`, …) share
+    ``ColumnData`` objects wherever the derivation allows it.
+    """
+
+    __slots__ = ("_columns", "_row_count")
+
+    def __init__(self, columns: Sequence[ColumnData], row_count: Optional[int] = None):
+        self._columns: Tuple[ColumnData, ...] = tuple(columns)
+        if row_count is None:
+            row_count = len(self._columns[0].values) if self._columns else 0
+        for column in self._columns:
+            if len(column.values) != row_count:
+                raise SchemaError(
+                    f"column has {len(column.values)} values, expected {row_count}"
+                )
+        self._row_count = row_count
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, width: int, rows: Iterable[Sequence[Any]]) -> "ColumnStore":
+        """Transpose an iterable of row sequences into a store.
+
+        Every row must have exactly *width* values.
+        """
+        stored: List[Tuple[Any, ...]] = []
+        for row in rows:
+            values = tuple(row)
+            if len(values) != width:
+                raise SchemaError(
+                    f"row {values!r} has {len(values)} values, expected {width}"
+                )
+            stored.append(values)
+        if not stored:
+            return cls([ColumnData([]) for _ in range(width)], 0)
+        # zip(*rows) transposes at C speed — much faster than per-cell appends
+        return cls([ColumnData(list(column)) for column in zip(*stored)], len(stored))
+
+    @classmethod
+    def from_lists(cls, columns: Sequence[List[Any]]) -> "ColumnStore":
+        """Wrap plain value lists (adopted, not copied) as a store."""
+        return cls([ColumnData(column) for column in columns])
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        """Number of tuples.
+
+        Read from the first column's live length (when there is one) so that
+        callers who mutate column storage in place — against the immutability
+        convention, but tolerated by :meth:`Relation.content_key` — observe
+        the true row count rather than a stale construction-time snapshot.
+        """
+        if self._columns:
+            return len(self._columns[0].values)
+        return self._row_count
+
+    @property
+    def width(self) -> int:
+        """Number of attributes."""
+        return len(self._columns)
+
+    @property
+    def columns(self) -> Tuple[ColumnData, ...]:
+        """The column objects, in schema order."""
+        return self._columns
+
+    def column(self, position: int) -> List[Any]:
+        """The values list of one column — the internal list, zero-copy.
+
+        Callers must treat the result as read-only; relations are logically
+        immutable and derived relations share column storage.
+        """
+        return self._columns[position].values
+
+    def column_data(self, position: int) -> ColumnData:
+        """The :class:`ColumnData` (values + mask cache) of one column."""
+        return self._columns[position]
+
+    def null_mask(self, position: int) -> bytes:
+        """The null mask of one column (1 = null), built once and cached."""
+        return self._columns[position].null_mask
+
+    def cell(self, row_index: int, position: int) -> Any:
+        """One cell value."""
+        return self._columns[position].values[row_index]
+
+    def row(self, index: int) -> Tuple[Any, ...]:
+        """One row, materialised as a tuple (supports negative indices)."""
+        count = self.row_count
+        if index < 0:
+            index += count
+        if not 0 <= index < count:
+            raise IndexError(f"row index {index} out of range")
+        return tuple(column.values[index] for column in self._columns)
+
+    def iter_rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate rows as tuples (transposed at C speed)."""
+        if not self._columns:
+            return iter(() for _ in range(self._row_count))
+        return zip(*(column.values for column in self._columns))
+
+    def row_tuples(self) -> List[Tuple[Any, ...]]:
+        """All rows as a list of tuples — the API-edge materialisation."""
+        return list(self.iter_rows())
+
+    # -- derivations (all sharing ColumnData where possible) -------------------
+
+    def select(self, positions: Sequence[int]) -> "ColumnStore":
+        """A store over the given columns, in order — zero-copy."""
+        return ColumnStore(
+            [self._columns[position] for position in positions], self._row_count
+        )
+
+    def take(self, indices: Sequence[int]) -> "ColumnStore":
+        """A store holding the given rows, in order."""
+        return ColumnStore(
+            [column.take(indices) for column in self._columns], len(indices)
+        )
+
+    def slice(self, selector: slice) -> "ColumnStore":
+        """A store over a row slice."""
+        columns = [column.slice(selector) for column in self._columns]
+        count = len(columns[0].values) if columns else len(range(*selector.indices(self._row_count)))
+        return ColumnStore(columns, count)
+
+    def replace_column(self, position: int, column: ColumnData) -> "ColumnStore":
+        """A store with one column replaced (others shared)."""
+        columns = list(self._columns)
+        columns[position] = column
+        return ColumnStore(columns, self._row_count)
+
+    def insert_column(self, position: int, column: ColumnData) -> "ColumnStore":
+        """A store with one column inserted (others shared)."""
+        columns = list(self._columns)
+        columns.insert(position, column)
+        return ColumnStore(columns, self._row_count)
+
+    def extended(self, rows: Iterable[Sequence[Any]]) -> "ColumnStore":
+        """A store with extra rows appended (column lists copied, then extended)."""
+        appended = ColumnStore.from_rows(len(self._columns), rows)
+        columns = []
+        for existing, extra in zip(self._columns, appended._columns):
+            merged = list(existing.values)
+            merged.extend(extra.values)
+            columns.append(ColumnData(merged))
+        return ColumnStore(columns, self.row_count + appended.row_count)
+
+    def copied(self) -> "ColumnStore":
+        """A store with independent column lists (deep enough for immutability)."""
+        return ColumnStore([column.copied() for column in self._columns], self._row_count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ColumnStore {len(self._columns)} columns x {self._row_count} rows>"

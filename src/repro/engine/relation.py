@@ -6,11 +6,16 @@ schema-matching step renames their columns and outer-unions them, duplicate
 detection appends an ``objectID`` column and conflict resolution collapses
 each object cluster to one row.
 
-The design follows the paper's XXL substrate: a relation is a schema plus an
-iterable of rows.  Rows are stored as tuples aligned with the schema; cell
-access by column name goes through the schema's position index.  Relations
-are *logically* immutable — all mutating helpers return new relations — which
-makes the pipeline steps and the query operators freely composable.
+The design follows the paper's XXL substrate: a relation is a schema plus a
+set of tuples.  Storage is **column-major** (:mod:`repro.engine.columnar`):
+one values list per attribute with a cached null mask, so the set-oriented
+hot paths — blocking-key extraction, TF-IDF fits, batched pair scoring —
+fetch whole columns zero-copy instead of paying per-row Python dispatch.
+:class:`Row` is a lazy *view* over that storage, materialised only at the
+API edge (query operators, CSV/JSON IO, service payloads).  Relations are
+*logically* immutable — all mutating helpers return new relations, sharing
+column storage wherever the derivation allows — which makes the pipeline
+steps and the query operators freely composable.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from typing import (
     Union,
 )
 
+from repro.engine.columnar import ColumnData, ColumnStore
 from repro.engine.schema import Column, Schema
 from repro.engine.types import DataType, coerce, infer_column_type, is_null
 from repro.exceptions import SchemaError
@@ -37,9 +43,17 @@ __all__ = ["Row", "Relation"]
 
 
 class Row(Mapping[str, Any]):
-    """A single tuple of a relation, addressable by position or column name."""
+    """A single tuple of a relation, addressable by position or column name.
 
-    __slots__ = ("_schema", "_values")
+    A row is either *materialised* (constructed from a values sequence) or a
+    *lazy view* over a relation's column store, created by iteration and
+    indexing on :class:`Relation`.  A view reads cells straight out of the
+    columns and only builds its values tuple when something asks for it
+    (:attr:`values`, hashing, ``replace``), which keeps row objects free on
+    the paths that touch one or two cells.
+    """
+
+    __slots__ = ("_schema", "_values", "_store", "_index")
 
     def __init__(self, schema: Schema, values: Sequence[Any]):
         if len(values) != len(schema):
@@ -48,27 +62,46 @@ class Row(Mapping[str, Any]):
             )
         self._schema = schema
         self._values = tuple(values)
+        self._store = None
+        self._index = -1
+
+    @classmethod
+    def view(cls, schema: Schema, store: ColumnStore, index: int) -> "Row":
+        """A lazy row view over *store* — no cell is read until accessed."""
+        row = object.__new__(cls)
+        row._schema = schema
+        row._values = None
+        row._store = store
+        row._index = index
+        return row
 
     # Mapping protocol -------------------------------------------------------
 
     def __getitem__(self, key: Union[str, int]) -> Any:
-        if isinstance(key, int):
-            return self._values[key]
-        return self._values[self._schema.position(key)]
+        position = key if isinstance(key, int) else self._schema.position(key)
+        if self._values is not None:
+            return self._values[position]
+        return self._store.columns[position].values[self._index]
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._schema.names)
 
     def __len__(self) -> int:
-        return len(self._values)
+        return len(self._schema)
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Row):
-            return self._values == other._values and self._schema == other._schema
+            return self.values == other.values and self._schema == other._schema
+        if isinstance(other, Mapping):
+            # A row *is* a name→value mapping; compare as one so plain dicts
+            # (and other Mapping implementations) with the same pairs are
+            # equal from both sides — dict.__eq__ returns NotImplemented for
+            # Row operands, so Python falls back to this reflected call.
+            return dict(self) == dict(other)
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._values)
+        return hash(self.values)
 
     def __repr__(self) -> str:
         cells = ", ".join(f"{name}={value!r}" for name, value in self.items())
@@ -83,7 +116,9 @@ class Row(Mapping[str, Any]):
 
     @property
     def values(self) -> Tuple[Any, ...]:
-        """Cell values in schema order."""
+        """Cell values in schema order (materialised on first access)."""
+        if self._values is None:
+            self._values = self._store.row(self._index)
         return self._values
 
     def get(self, key: str, default: Any = None) -> Any:
@@ -93,21 +128,21 @@ class Row(Mapping[str, Any]):
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain ``dict`` of column name → value."""
-        return dict(zip(self._schema.names, self._values))
+        return dict(zip(self._schema.names, self.values))
 
     def replace(self, **updates: Any) -> "Row":
         """Return a copy of the row with some cells replaced (by column name)."""
-        values = list(self._values)
+        values = list(self.values)
         for name, value in updates.items():
             values[self._schema.position(name)] = value
         return Row(self._schema, values)
 
 
 class Relation:
-    """An in-memory table: a :class:`Schema` plus a list of rows.
+    """An in-memory table: a :class:`Schema` plus column-major tuple storage.
 
     Relations are logically immutable; helpers such as :meth:`rename` or
-    :meth:`with_column` return new relations sharing row storage where
+    :meth:`with_column` return new relations sharing column storage where
     possible.
     """
 
@@ -120,23 +155,32 @@ class Relation:
     ):
         self._schema = schema if isinstance(schema, Schema) else Schema(schema)
         self._name = name
-        width = len(self._schema)
-        stored: List[Tuple[Any, ...]] = []
-        for row in rows:
-            values = tuple(row.values) if isinstance(row, Row) else tuple(row)
-            if len(values) != width:
-                raise SchemaError(
-                    f"row {values!r} has {len(values)} values, expected {width}"
-                )
-            if coerce_types:
-                values = tuple(
-                    coerce(value, column.dtype)
-                    for value, column in zip(values, self._schema.columns)
-                )
-            stored.append(values)
-        self._rows = stored
+        store = ColumnStore.from_rows(
+            len(self._schema),
+            (row.values if isinstance(row, Row) else row for row in rows),
+        )
+        if coerce_types:
+            store = ColumnStore(
+                [
+                    ColumnData([coerce(value, column.dtype) for value in data.values])
+                    for data, column in zip(store.columns, self._schema.columns)
+                ],
+                store.row_count,
+            )
+        self._store = store
+        self._digest: Optional[str] = None
 
     # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def _from_store(cls, schema: Schema, store: ColumnStore, name: str) -> "Relation":
+        """Internal: wrap an existing store (shared, not copied)."""
+        relation = cls.__new__(cls)
+        relation._schema = schema
+        relation._name = name
+        relation._store = store
+        relation._digest = None
+        return relation
 
     @classmethod
     def from_dicts(
@@ -172,11 +216,15 @@ class Relation:
                 )
             else:
                 schema = Schema(names)
-        rows = []
+            store = ColumnStore.from_lists([columns_by_name[name_] for name_ in names])
+            return cls._from_store(schema, store, name)
+        columns: List[List[Any]] = [[] for _ in schema]
+        lowered_names = [column.name.lower() for column in schema]
         for record in materialized:
             lowered = {key.lower(): value for key, value in record.items()}
-            rows.append(tuple(lowered.get(column.name.lower()) for column in schema))
-        return cls(schema, rows, name=name)
+            for position, key in enumerate(lowered_names):
+                columns[position].append(lowered.get(key))
+        return cls._from_store(schema, ColumnStore.from_lists(columns), name)
 
     @classmethod
     def from_columns(
@@ -187,13 +235,12 @@ class Relation:
         lengths = {len(values) for values in columns.values()}
         if len(lengths) > 1:
             raise SchemaError(f"columns have differing lengths: {sorted(lengths)}")
-        count = lengths.pop() if lengths else 0
         if infer_types:
             schema = Schema([Column(n, infer_column_type(columns[n])) for n in names])
         else:
             schema = Schema(names)
-        rows = [tuple(columns[n][i] for n in names) for i in range(count)]
-        return cls(schema, rows, name=name)
+        store = ColumnStore.from_lists([list(columns[n]) for n in names])
+        return cls._from_store(schema, store, name)
 
     @classmethod
     def empty(cls, schema: Schema, name: str = "") -> "Relation":
@@ -203,25 +250,37 @@ class Relation:
     # -- basic protocol ---------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._store.row_count
 
     def __iter__(self) -> Iterator[Row]:
-        for values in self._rows:
-            yield Row(self._schema, values)
+        schema, store = self._schema, self._store
+        for index in range(store.row_count):
+            yield Row.view(schema, store, index)
 
     def __getitem__(self, index: Union[int, slice]) -> Union[Row, "Relation"]:
         if isinstance(index, slice):
-            return Relation(self._schema, self._rows[index], name=self._name)
-        return Row(self._schema, self._rows[index])
+            return Relation._from_store(self._schema, self._store.slice(index), self._name)
+        if index < 0:
+            index += self._store.row_count
+        if not 0 <= index < self._store.row_count:
+            raise IndexError(f"row index {index} out of range")
+        return Row.view(self._schema, self._store, index)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
-        return self._schema == other._schema and self._rows == other._rows
+        return (
+            self._schema == other._schema
+            and self._store.row_count == other._store.row_count
+            and all(
+                left.values == right.values
+                for left, right in zip(self._store.columns, other._store.columns)
+            )
+        )
 
     def __repr__(self) -> str:
         label = self._name or "relation"
-        return f"<Relation {label}: {len(self._schema)} columns x {len(self._rows)} rows>"
+        return f"<Relation {label}: {len(self._schema)} columns x {len(self)} rows>"
 
     # -- accessors --------------------------------------------------------------
 
@@ -241,44 +300,70 @@ class Relation:
         return self._schema.names
 
     @property
+    def store(self) -> ColumnStore:
+        """The backing :class:`ColumnStore` (read-only by convention)."""
+        return self._store
+
+    @property
     def rows(self) -> List[Tuple[Any, ...]]:
-        """Raw row tuples (a copy, so callers cannot mutate internal state)."""
-        return list(self._rows)
+        """All rows as tuples — a fresh list, transposed from the columns.
+
+        This is the API-edge materialisation (O(cells) per call); columnar
+        consumers should prefer :meth:`column` / :meth:`columns` /
+        :meth:`row_values`, which don't transpose the whole relation.
+        """
+        return self._store.row_tuples()
 
     def row(self, index: int) -> Row:
-        """The *index*-th row."""
-        return Row(self._schema, self._rows[index])
+        """The *index*-th row (a lazy view)."""
+        return Row.view(self._schema, self._store, index)
+
+    def row_values(self, index: int) -> Tuple[Any, ...]:
+        """The *index*-th row as a plain tuple (no :class:`Row` allocation)."""
+        return self._store.row(index)
 
     def column(self, name: str) -> List[Any]:
-        """All values of column *name*, in row order."""
-        position = self._schema.position(name)
-        return [values[position] for values in self._rows]
+        """All values of column *name*, in row order — zero-copy.
+
+        The returned list is the relation's internal column storage (shared
+        with derived relations); treat it as read-only.
+        """
+        return self._store.column(self._schema.position(name))
+
+    def columns(self, names: Sequence[str]) -> List[List[Any]]:
+        """The value lists of several columns, in the given order — zero-copy."""
+        return [self._store.column(self._schema.position(name)) for name in names]
+
+    def column_at(self, position: int) -> List[Any]:
+        """The values of the column at *position* — zero-copy."""
+        return self._store.column(position)
+
+    def null_mask(self, name: str) -> bytes:
+        """Null flags (1 = null) for column *name*, built once and cached."""
+        return self._store.null_mask(self._schema.position(name))
 
     def cell(self, row_index: int, column: str) -> Any:
         """Single cell value."""
-        return self._rows[row_index][self._schema.position(column)]
+        return self._store.cell(row_index, self._schema.position(column))
 
     def is_empty(self) -> bool:
         """Whether the relation has no rows."""
-        return not self._rows
+        return self._store.row_count == 0
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         """All rows as plain dictionaries."""
-        return [dict(zip(self._schema.names, values)) for values in self._rows]
+        names = self._schema.names
+        return [dict(zip(names, values)) for values in self._store.iter_rows()]
 
     # -- transformation helpers --------------------------------------------------
 
     def renamed(self, name: str) -> "Relation":
         """Same data under a different relation name."""
-        result = Relation(self._schema, [], name=name)
-        result._rows = self._rows
-        return result
+        return Relation._from_store(self._schema, self._store, name)
 
     def rename_columns(self, mapping: Dict[str, str]) -> "Relation":
         """Rename columns (old → new); data is shared, not copied."""
-        result = Relation(self._schema.rename(mapping), [], name=self._name)
-        result._rows = self._rows
-        return result
+        return Relation._from_store(self._schema.rename(mapping), self._store, self._name)
 
     def with_column(
         self,
@@ -289,27 +374,25 @@ class Relation:
         """Return a relation with one extra column.
 
         *values* may be a sequence (one value per row), a callable applied to
-        each :class:`Row`, or a single constant.
+        each :class:`Row`, or a single constant.  Existing columns are shared
+        with this relation, not copied.
         """
         new_column = column if isinstance(column, Column) else Column(column)
+        count = self._store.row_count
         if callable(values):
-            computed = [values(Row(self._schema, row)) for row in self._rows]
+            computed = [values(row) for row in self]
         elif isinstance(values, (list, tuple)):
-            if len(values) != len(self._rows):
+            if len(values) != count:
                 raise SchemaError(
-                    f"expected {len(self._rows)} values for new column, got {len(values)}"
+                    f"expected {count} values for new column, got {len(values)}"
                 )
             computed = list(values)
         else:
-            computed = [values] * len(self._rows)
+            computed = [values] * count
         schema = self._schema.add(new_column, position)
         insert_at = len(self._schema) if position is None else position
-        rows = []
-        for row_values, new_value in zip(self._rows, computed):
-            row_list = list(row_values)
-            row_list.insert(insert_at, new_value)
-            rows.append(tuple(row_list))
-        return Relation(schema, rows, name=self._name)
+        store = self._store.insert_column(insert_at, ColumnData(computed))
+        return Relation._from_store(schema, store, self._name)
 
     def without_columns(self, names: Sequence[str]) -> "Relation":
         """Return a relation with the given columns removed."""
@@ -317,30 +400,33 @@ class Relation:
         return self.project(keep)
 
     def project(self, names: Sequence[str]) -> "Relation":
-        """Return a relation restricted to the given columns, in order."""
+        """Return a relation restricted to the given columns, in order.
+
+        Zero-copy: the projected relation shares the selected columns'
+        storage with this one.
+        """
         positions = self._schema.positions(names)
         schema = self._schema.project(names)
-        rows = [tuple(values[p] for p in positions) for values in self._rows]
-        return Relation(schema, rows, name=self._name)
+        return Relation._from_store(schema, self._store.select(positions), self._name)
 
     def filter(self, predicate: Callable[[Row], bool]) -> "Relation":
         """Return a relation keeping only rows where *predicate* is true."""
-        rows = [values for values in self._rows if predicate(Row(self._schema, values))]
-        return Relation(self._schema, rows, name=self._name)
+        indices = [index for index, row in enumerate(self) if predicate(row)]
+        return Relation._from_store(self._schema, self._store.take(indices), self._name)
 
     def map_column(self, name: str, transform: Callable[[Any], Any]) -> "Relation":
         """Return a relation with *transform* applied to every cell of a column."""
         position = self._schema.position(name)
-        rows = []
-        for values in self._rows:
-            row_list = list(values)
-            row_list[position] = transform(row_list[position])
-            rows.append(tuple(row_list))
-        return Relation(self._schema, rows, name=self._name)
+        mapped = ColumnData([transform(value) for value in self._store.column(position)])
+        return Relation._from_store(
+            self._schema, self._store.replace_column(position, mapped), self._name
+        )
 
     def append_rows(self, rows: Iterable[Sequence[Any]]) -> "Relation":
         """Return a relation with extra rows appended."""
-        return Relation(self._schema, self._rows + [tuple(r) for r in rows], name=self._name)
+        return Relation._from_store(
+            self._schema, self._store.extended(rows), self._name
+        )
 
     def sorted_by(self, names: Sequence[str], descending: bool = False) -> "Relation":
         """Rows sorted by the given columns (nulls first)."""
@@ -348,38 +434,43 @@ class Relation:
         import functools
 
         positions = self._schema.positions(names)
+        columns = [self._store.column(p) for p in positions]
 
-        def compare(left: Tuple[Any, ...], right: Tuple[Any, ...]) -> int:
-            for p in positions:
-                outcome = compare_values(left[p], right[p])
+        def compare(left: int, right: int) -> int:
+            for column in columns:
+                outcome = compare_values(column[left], column[right])
                 if outcome:
                     return outcome
             return 0
 
-        ordered = sorted(self._rows, key=functools.cmp_to_key(compare), reverse=descending)
-        return Relation(self._schema, ordered, name=self._name)
+        order = sorted(
+            range(self._store.row_count),
+            key=functools.cmp_to_key(compare),
+            reverse=descending,
+        )
+        return Relation._from_store(self._schema, self._store.take(order), self._name)
 
     def head(self, count: int) -> "Relation":
         """First *count* rows."""
-        return Relation(self._schema, self._rows[:count], name=self._name)
+        return Relation._from_store(
+            self._schema, self._store.slice(slice(None, count)), self._name
+        )
 
     def copy(self) -> "Relation":
-        """Deep copy (rows are tuples, so a shallow row-list copy suffices)."""
-        return Relation(self._schema, list(self._rows), name=self._name)
+        """Independent copy (column lists duplicated; cells are shared refs)."""
+        return Relation._from_store(self._schema, self._store.copied(), self._name)
 
     def coerced(self) -> "Relation":
         """Return a relation with every cell coerced to its declared column type."""
-        return Relation(self._schema, self._rows, name=self._name, coerce_types=True)
+        return Relation(self._schema, self._store.iter_rows(), name=self._name, coerce_types=True)
 
     def retyped(self) -> "Relation":
         """Return a relation whose column types are re-inferred from the data."""
         columns = []
         for index, column in enumerate(self._schema.columns):
-            values = (row[index] for row in self._rows)
+            values = self._store.column(index)
             columns.append(column.with_type(infer_column_type(values)))
-        result = Relation(Schema(columns), [], name=self._name)
-        result._rows = self._rows
-        return result
+        return Relation._from_store(Schema(columns), self._store, self._name)
 
     def content_key(self) -> Tuple[Any, ...]:
         """Hashable, equality-comparable key over column names and row values.
@@ -391,24 +482,25 @@ class Relation:
         captures what the relation *contains* instead — and because it is the
         content itself (not just a hash of it), dict lookups verify equality,
         so a hash collision can never serve another relation's cache entry.
-        It is rebuilt on every call (O(rows)) precisely so callers that mutate
-        row storage in place — against the immutability convention — still
-        get fresh cache entries rather than stale ones.  Cells are keyed as
-        ``(type, value)`` because Python's cross-type equality (``True == 1
+        It is rebuilt on every call (O(cells)) precisely so callers that
+        mutate column storage in place — against the immutability convention —
+        still get fresh cache entries rather than stale ones.  Cells are keyed
+        as ``(type, value)`` because Python's cross-type equality (``True == 1
         == 1.0``) would otherwise conflate relations whose *textual* cell
         forms — what tokenisation and the similarity measures see — differ.
-        Unhashable cell values fall back to the rows' ``repr``.
+        Unhashable cell values fall back to the columns' ``repr``.
         """
         key = (
             self._schema.names,
             tuple(
-                tuple((type(value), value) for value in row) for row in self._rows
+                tuple((type(value), value) for value in row)
+                for row in self._store.iter_rows()
             ),
         )
         try:
             hash(key)
         except TypeError:
-            return (self._schema.names, repr(self._rows))
+            return (self._schema.names, repr([c.values for c in self._store.columns]))
         return key
 
     def content_hash(self) -> int:
@@ -416,39 +508,53 @@ class Relation:
         return hash(self.content_key())
 
     def content_digest(self) -> str:
-        """Stable hex digest of the relation's content.
+        """Stable hex digest of the relation's content (computed once, cached).
 
         Unlike :meth:`content_hash` (Python's salted ``hash``, which differs
         between processes), this digest is reproducible across runs, so it can
         key *persisted* derived structures — the prepared-source artifacts a
         catalog stores on disk and validates against the current data on every
-        query.  Cells are folded as ``(type name, repr)``, matching the
+        query.  The digest is folded **column-wise** over the columnar storage
+        (one hash update per column rather than per row) and cached on the
+        instance: relations are logically immutable, and every
+        ``ArtifactStore`` lookup used to re-hash the full content from
+        scratch.  Cells are folded as ``(type name, repr)``, matching the
         cross-type separation of :meth:`content_key`.
         """
-        import hashlib
+        if self._digest is None:
+            import hashlib
 
-        hasher = hashlib.sha256()
-        hasher.update(repr(self._schema.names).encode("utf-8"))
-        for row in self._rows:
+            hasher = hashlib.sha256()
+            hasher.update(repr(self._schema.names).encode("utf-8"))
             hasher.update(
-                repr(tuple((type(value).__name__, repr(value)) for value in row)).encode(
-                    "utf-8"
-                )
+                f"columnar:{self._store.row_count}x{self._store.width}".encode("utf-8")
             )
-        return hasher.hexdigest()
+            for column in self._store.columns:
+                hasher.update(
+                    repr(
+                        tuple(
+                            (type(value).__name__, repr(value))
+                            for value in column.values
+                        )
+                    ).encode("utf-8")
+                )
+            self._digest = hasher.hexdigest()
+        return self._digest
 
     # -- statistics ---------------------------------------------------------------
 
     def null_count(self, name: str) -> int:
-        """Number of null cells in a column."""
-        return sum(1 for value in self.column(name) if is_null(value))
+        """Number of null cells in a column (from the cached null mask)."""
+        return self._store.column_data(self._schema.position(name)).null_count
 
     def distinct_values(self, name: str) -> List[Any]:
         """Distinct non-null values of a column (insertion order)."""
         seen = []
         seen_set = set()
-        for value in self.column(name):
-            if is_null(value):
+        position = self._schema.position(name)
+        mask = self._store.null_mask(position)
+        for value, null in zip(self._store.column(position), mask):
+            if null:
                 continue
             marker = (type(value).__name__, str(value))
             if marker not in seen_set:
@@ -461,7 +567,7 @@ class Relation:
     def to_text(self, limit: int = 20) -> str:
         """ASCII rendering for examples and the CLI."""
         names = list(self._schema.names)
-        shown = self._rows[:limit]
+        shown = self._store.row_tuples()[:limit]
         widths = [len(n) for n in names]
         rendered = []
         for values in shown:
@@ -474,6 +580,6 @@ class Relation:
         lines.append("-+-".join("-" * w for w in widths))
         for cells in rendered:
             lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
-        if len(self._rows) > limit:
-            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        if len(self) > limit:
+            lines.append(f"... ({len(self) - limit} more rows)")
         return "\n".join(lines)

@@ -148,9 +148,9 @@ class DumasMatcher:
                 document_frequency, document_count = merged
                 return SoftTfIdfSimilarity().fit_counts(
                     document_frequency, document_count
-                ).compare
+                )
         corpus: List[str] = []
         for relation in (left, right):
             for values in relation.rows:
                 corpus.extend(str(value) for value in values if not is_null(value))
-        return SoftTfIdfSimilarity(corpus=corpus).compare
+        return SoftTfIdfSimilarity(corpus=corpus)

@@ -15,6 +15,7 @@ import numpy as np
 from repro.engine.relation import Relation
 from repro.engine.types import is_null
 from repro.matching.duplicate_seed import SeedPair
+from repro.similarity.base import SimilarityMeasure
 from repro.similarity.soft_tfidf import SoftTfIdfSimilarity
 
 __all__ = ["FieldSimilarityMatrix", "build_field_matrix", "average_matrices"]
@@ -73,24 +74,40 @@ def build_field_matrix(
 
     Cells where either value is null get score 0 — a missing value carries no
     evidence for or against a correspondence.
+
+    When *measure* is a :class:`SimilarityMeasure` (or omitted — the default
+    SoftTFIDF is one), the whole non-null field cross product is scored as
+    one :meth:`~SimilarityMeasure.compare_batch` call, so the measure's batch
+    kernel can vectorise over the repeated field values.  Plain callables are
+    applied per cell pair as before; both paths produce bit-identical cells.
     """
+    left_values = left.row_values(seed.left_index)
+    right_values = right.row_values(seed.right_index)
     if measure is None:
         corpus = [
             "" if is_null(value) else str(value)
-            for values in (left.rows[seed.left_index], right.rows[seed.right_index])
+            for values in (left_values, right_values)
             for value in values
         ]
-        measure = SoftTfIdfSimilarity(corpus=corpus).compare
-    left_values = left.rows[seed.left_index]
-    right_values = right.rows[seed.right_index]
+        measure = SoftTfIdfSimilarity(corpus=corpus)
     matrix = FieldSimilarityMatrix(left.schema.names, right.schema.names)
-    for i, left_value in enumerate(left_values):
-        if is_null(left_value):
-            continue
-        for j, right_value in enumerate(right_values):
-            if is_null(right_value):
-                continue
-            matrix.scores[i, j] = measure(str(left_value), str(right_value))
+    cells = [
+        (i, j)
+        for i, left_value in enumerate(left_values)
+        if not is_null(left_value)
+        for j, right_value in enumerate(right_values)
+        if not is_null(right_value)
+    ]
+    if isinstance(measure, SimilarityMeasure):
+        scores = measure.compare_batch(
+            [str(left_values[i]) for i, _ in cells],
+            [str(right_values[j]) for _, j in cells],
+        )
+        for (i, j), score in zip(cells, scores):
+            matrix.scores[i, j] = score
+    else:
+        for i, j in cells:
+            matrix.scores[i, j] = measure(str(left_values[i]), str(right_values[j]))
     return matrix
 
 

@@ -21,7 +21,7 @@ two tokens, so caching can change runtimes but never scores.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.similarity.base import SimilarityMeasure
 from repro.similarity.jaro import jaro_winkler_similarity
@@ -101,6 +101,58 @@ class SoftTfIdfSimilarity(SimilarityMeasure):
         # SoftTFIDF is asymmetric in CLOSE(); use the max of both directions so
         # compare(a, b) == compare(b, a), which the matching matrix relies on.
         return min(1.0, max(score, self._directed(right_vector, left_vector)))
+
+    def compare_batch(
+        self, left_values: Sequence[str], right_values: Sequence[str]
+    ) -> List[float]:
+        """Batch kernel: vectorise each distinct value and score each distinct pair once.
+
+        The ``_directed`` pass makes O(|S|·|T|) secondary-measure calls per
+        pair, and candidate batches repeat both values and whole pairs, so
+        the kernel (a) transforms each distinct value once under the fitted
+        model and (b) runs the directed passes once per distinct (left,
+        right) pair.  Both are transparent — the score is a pure function of
+        the two vectors — so results are bit-identical to the per-pair loop.
+        Unfitted instances dedupe distinct pairs only (the throwaway fit is
+        itself pair-local).
+        """
+        if len(left_values) != len(right_values):
+            raise ValueError(
+                f"batch sides differ in length: {len(left_values)} vs {len(right_values)}"
+            )
+        if not self._fitted:
+            return self._compare_batch_deduped(left_values, right_values)
+        transform = self.vectorizer.transform
+        vectors: Dict[str, Dict[str, float]] = {}
+
+        def vector(value: str) -> Dict[str, float]:
+            cached = vectors.get(value)
+            if cached is None:
+                cached = transform(value)
+                vectors[value] = cached
+            return cached
+
+        pair_scores: Dict[Tuple[str, str], float] = {}
+        scores: List[float] = []
+        for left, right in zip(left_values, right_values):
+            key = (left, right)
+            score = pair_scores.get(key)
+            if score is None:
+                left_vector = vector(left)
+                right_vector = vector(right)
+                if not left_vector or not right_vector:
+                    score = 1.0 if not left_vector and not right_vector else 0.0
+                else:
+                    score = min(
+                        1.0,
+                        max(
+                            self._directed(left_vector, right_vector),
+                            self._directed(right_vector, left_vector),
+                        ),
+                    )
+                pair_scores[key] = score
+            scores.append(score)
+        return scores
 
     def _secondary_similarity(self, left_token: str, right_token: str) -> float:
         """The secondary measure, memoised under the bounded FIFO cache."""

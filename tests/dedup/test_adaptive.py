@@ -289,7 +289,8 @@ class TestPlanner:
     def test_plan_recomputed_after_content_mutation(self, people):
         strategy = AdaptiveBlocking()
         first = strategy.plan(people, ["name", "city"])
-        people._rows.append(("New Person", "Nowhere"))
+        people.store.column(0).append("New Person")
+        people.store.column(1).append("Nowhere")
         second = strategy.plan(people, ["name", "city"])
         assert second is not first
         assert second.profile.tuple_count == 6

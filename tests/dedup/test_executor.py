@@ -112,9 +112,13 @@ class TestMeasurePickling:
         measure = DuplicateSimilarityMeasure(selection).fit(relation)
         generator = CandidatePairGenerator(measure, filter_threshold=0.6)
         pairs = list(generator.candidate_indices(relation))
+        attributes = measure.fitted_attributes
         batch = ScoringBatch(
             measure=pickle.loads(pickle.dumps(measure)),
-            rows=relation.rows,
+            columns={attribute: relation.column(attribute) for attribute in attributes},
+            null_masks={
+                attribute: relation.null_mask(attribute) for attribute in attributes
+            },
             filter_threshold=0.6,
             use_filter=True,
             keep_evidence=False,
@@ -124,6 +128,85 @@ class TestMeasurePickling:
         assert score_key(result.scores) == score_key(expected)
         assert result.considered == len(pairs)
         assert result.pruned == generator.statistics.pruned
+
+
+class TestColumnarBatchParity:
+    """The batched columnar scorer is bit-identical to the per-pair reference
+    (ISSUE 9): same floats, same pruning decisions, same evidence — for every
+    combination of filter and evidence settings."""
+
+    def setup_scoring(self, dataset):
+        relation = combined_relation(dataset)
+        selection = select_interesting_attributes(relation)
+        measure = DuplicateSimilarityMeasure(selection).fit(relation)
+        generator = CandidatePairGenerator(measure, filter_threshold=0.6)
+        pairs = list(generator.candidate_indices(relation))
+        return relation, measure, pairs
+
+    def reference_scores(
+        self, measure, relation, pairs, threshold, use_filter, keep_evidence
+    ):
+        """The seed per-pair loop: row tuples, one measure call per pair."""
+        rows = relation.rows
+        scores, pruned = [], 0
+        for i, j in pairs:
+            if use_filter and measure.upper_bound(rows[i], rows[j]) < threshold:
+                pruned += 1
+                continue
+            if keep_evidence:
+                evidence = measure.explain_rows(rows[i], rows[j])
+                scores.append((i, j, evidence.similarity, evidence))
+            else:
+                scores.append((i, j, measure.compare_rows(rows[i], rows[j]), None))
+        return scores, pruned
+
+    @pytest.mark.parametrize("use_filter", [True, False])
+    @pytest.mark.parametrize("keep_evidence", [True, False])
+    def test_score_batch_bit_identical(
+        self, small_students_dataset, use_filter, keep_evidence
+    ):
+        relation, measure, pairs = self.setup_scoring(small_students_dataset)
+        batch = ScoringBatch(
+            measure=measure,
+            columns={
+                attribute: relation.column(attribute)
+                for attribute in measure.fitted_attributes
+            },
+            null_masks={
+                attribute: relation.null_mask(attribute)
+                for attribute in measure.fitted_attributes
+            },
+            filter_threshold=0.6,
+            use_filter=use_filter,
+            keep_evidence=keep_evidence,
+        )
+        result = score_batch(batch, pairs)
+        expected, pruned = self.reference_scores(
+            measure, relation, pairs, 0.6, use_filter, keep_evidence
+        )
+        assert result.considered == len(pairs)
+        assert result.pruned == pruned
+        assert len(result.scores) == len(expected)
+        for score, (i, j, similarity, evidence) in zip(result.scores, expected):
+            assert (score.left_index, score.right_index) == (i, j)
+            assert score.similarity == similarity  # bit-identical float
+            if keep_evidence:
+                assert score.evidence is not None
+                assert score.evidence == evidence
+            else:
+                assert score.evidence is None
+
+    def test_columnar_scorer_upper_bound_parity(self, small_students_dataset):
+        relation, measure, pairs = self.setup_scoring(small_students_dataset)
+        scorer = measure.columnar_scorer(
+            {
+                attribute: relation.column(attribute)
+                for attribute in measure.fitted_attributes
+            }
+        )
+        rows = relation.rows
+        for i, j in pairs:
+            assert scorer.upper_bound(i, j) == measure.upper_bound(rows[i], rows[j])
 
 
 class TestSerialParity:

@@ -1,0 +1,329 @@
+"""Tests for the column-major storage engine (ISSUE 9).
+
+Covers :mod:`repro.engine.columnar` directly (ColumnData / ColumnStore),
+the columnar accessors and lazy Row views on :class:`Relation`, the
+null-mask semantics (including round-trips through the CSV / JSON / XML
+sources), mixed-type coercion parity, the cached content digest (hashed
+once per relation, even across repeated ``ArtifactStore`` lookups) and the
+``Row`` ↔ plain-``Mapping`` equality fix.
+"""
+
+import pickle
+from collections import OrderedDict
+
+import pytest
+
+from repro.engine.columnar import ColumnData, ColumnStore
+from repro.engine.io import CsvSource, JsonSource, XmlSource, write_csv, write_json
+from repro.engine.relation import Relation, Row
+from repro.engine.schema import Column, Schema
+from repro.engine.types import DataType, is_null
+from repro.exceptions import SchemaError
+from repro.prepare.store import ArtifactStore
+
+
+class TestColumnData:
+    def test_null_mask_flags_none_and_nan(self):
+        column = ColumnData(["a", None, float("nan"), "b", 0, ""])
+        assert column.null_mask == bytes([0, 1, 1, 0, 0, 0])
+        assert column.null_count == 2
+
+    def test_null_mask_is_cached(self):
+        column = ColumnData([None, "x"])
+        assert column.null_mask is column.null_mask
+
+    def test_null_mask_rebuilt_after_inplace_growth(self):
+        # In-place mutation is against the immutability convention but
+        # tolerated (content_key documents this); a grown column must not
+        # serve a stale shorter mask.
+        column = ColumnData(["a", None])
+        assert column.null_mask == bytes([0, 1])
+        column.values.append(None)
+        assert column.null_mask == bytes([0, 1, 1])
+
+    def test_take_preserves_values_and_mask(self):
+        column = ColumnData(["a", None, "c"])
+        _ = column.null_mask  # force the cache so take() slices it
+        taken = column.take([2, 1])
+        assert taken.values == ["c", None]
+        assert taken.null_mask == bytes([0, 1])
+
+    def test_take_without_cached_mask(self):
+        column = ColumnData(["a", None, "c"])
+        taken = column.take([1, 0])
+        assert taken.null_mask == bytes([1, 0])
+
+    def test_slice_shares_nothing(self):
+        column = ColumnData([1, 2, 3, 4])
+        sliced = column.slice(slice(1, 3))
+        assert sliced.values == [2, 3]
+        sliced.values[0] = 99
+        assert column.values[1] == 2
+
+    def test_pickle_round_trip(self):
+        column = ColumnData(["a", None])
+        _ = column.null_mask
+        clone = pickle.loads(pickle.dumps(column))
+        assert clone.values == ["a", None]
+        assert clone.null_mask == bytes([0, 1])
+
+
+class TestColumnStore:
+    def test_from_rows_transposes(self):
+        store = ColumnStore.from_rows(2, [("a", 1), ("b", 2), ("c", 3)])
+        assert store.row_count == 3
+        assert store.width == 2
+        assert store.column(0) == ["a", "b", "c"]
+        assert store.column(1) == [1, 2, 3]
+
+    def test_from_rows_rejects_ragged_rows(self):
+        with pytest.raises(SchemaError):
+            ColumnStore.from_rows(2, [("a", 1), ("b",)])
+
+    def test_from_rows_empty(self):
+        store = ColumnStore.from_rows(3, [])
+        assert store.row_count == 0
+        assert store.width == 3
+
+    def test_constructor_rejects_mismatched_column_lengths(self):
+        with pytest.raises(SchemaError):
+            ColumnStore([ColumnData([1, 2]), ColumnData([1])])
+
+    def test_from_lists_adopts_lists(self):
+        left = ["a", "b"]
+        store = ColumnStore.from_lists([left, [1, 2]])
+        assert store.column(0) is left
+
+    def test_row_supports_negative_indices(self):
+        store = ColumnStore.from_rows(2, [("a", 1), ("b", 2)])
+        assert store.row(-1) == ("b", 2)
+        with pytest.raises(IndexError):
+            store.row(2)
+
+    def test_iter_rows_matches_row_tuples(self):
+        store = ColumnStore.from_rows(2, [("a", 1), ("b", 2)])
+        assert list(store.iter_rows()) == store.row_tuples() == [("a", 1), ("b", 2)]
+
+    def test_select_shares_column_objects(self):
+        store = ColumnStore.from_rows(3, [("a", 1, True)])
+        selected = store.select([2, 0])
+        assert selected.column_data(0) is store.column_data(2)
+        assert selected.column_data(1) is store.column_data(0)
+
+    def test_take_reorders_rows(self):
+        store = ColumnStore.from_rows(2, [("a", 1), ("b", 2), ("c", 3)])
+        taken = store.take([2, 0])
+        assert taken.row_tuples() == [("c", 3), ("a", 1)]
+
+    def test_slice_rows(self):
+        store = ColumnStore.from_rows(1, [("a",), ("b",), ("c",)])
+        assert store.slice(slice(1, None)).row_tuples() == [("b",), ("c",)]
+
+    def test_extended_appends_without_touching_original(self):
+        store = ColumnStore.from_rows(2, [("a", 1)])
+        extended = store.extended([("b", 2)])
+        assert extended.row_tuples() == [("a", 1), ("b", 2)]
+        assert store.row_count == 1
+
+    def test_row_count_tracks_inplace_growth(self):
+        store = ColumnStore.from_rows(1, [("a",)])
+        store.column(0).append("b")
+        assert store.row_count == 2
+        assert store.row(1) == ("b",)
+
+
+class TestRelationColumnarAccessors:
+    def test_column_is_zero_copy(self, people_relation):
+        assert people_relation.column("name") is people_relation.store.column(0)
+
+    def test_columns_fetches_in_given_order(self, people_relation):
+        city, name = people_relation.columns(["city", "name"])
+        assert name[0] == "Alice"
+        assert city[0] == "Berlin"
+
+    def test_projection_shares_column_storage(self, people_relation):
+        projected = people_relation.project(["city", "name"])
+        assert projected.column("city") is people_relation.column("city")
+
+    def test_rename_shares_column_storage(self, people_relation):
+        renamed = people_relation.rename_columns({"name": "full_name"})
+        assert renamed.column("full_name") is people_relation.column("name")
+
+    def test_null_mask_shared_across_views(self, people_relation):
+        projected = people_relation.project(["city"])
+        assert projected.null_mask("city") is people_relation.null_mask("city")
+
+    def test_iteration_yields_lazy_views(self, people_relation):
+        row = next(iter(people_relation))
+        assert isinstance(row, Row)
+        assert row._values is None  # nothing materialised yet
+        assert row["name"] == "Alice"
+        assert row._values is None  # single-cell access stays lazy
+        assert row.values == ("Alice", 34, "Berlin", 52000.0)
+
+    def test_is_null_parity_column_vs_row(self, people_relation):
+        # The mask must agree cell-for-cell with is_null() over Row access.
+        for name in people_relation.column_names:
+            mask = people_relation.null_mask(name)
+            for index, row in enumerate(people_relation):
+                assert bool(mask[index]) == is_null(row[name])
+
+    def test_nan_is_null_through_both_paths(self):
+        relation = Relation(Schema(["x"]), [(float("nan"),), (1.0,)])
+        assert relation.null_mask("x") == bytes([1, 0])
+        assert relation.null_count("x") == 1
+        assert is_null(relation.row(0)["x"])
+
+
+class TestMixedTypeCoercion:
+    """Column-wise coercion must behave exactly like the old row-wise pass."""
+
+    def test_coerced_types_and_nulls(self):
+        schema = Schema(
+            [Column("n", DataType.INTEGER), Column("f", DataType.FLOAT)]
+        )
+        relation = Relation(
+            schema,
+            [("1", "2.5"), (None, ""), ("3", "4")],
+            coerce_types=True,
+        )
+        assert relation.column("n") == [1, None, 3]
+        assert relation.column("f") == [2.5, None, 4.0]
+        # empty cells become nulls, visible through the mask
+        assert relation.null_mask("f") == bytes([0, 1, 0])
+        assert relation.null_mask("n") == bytes([0, 1, 0])
+
+    def test_mixed_column_coerces_identically_via_rows_and_columns(self):
+        schema = Schema([Column("v", DataType.STRING)])
+        relation = Relation(schema, [(1,), ("x",), (2.5,), (None,)], coerce_types=True)
+        assert relation.column("v") == [row["v"] for row in relation]
+        assert relation.column("v") == ["1", "x", "2.5", None]
+
+
+class TestNullMaskIoRoundTrips:
+    """Nulls survive writing to and reloading from every source format."""
+
+    def test_csv_round_trip(self, tmp_path, people_relation):
+        path = tmp_path / "people.csv"
+        write_csv(people_relation, path)
+        loaded = CsvSource(path).load()
+        assert loaded.null_mask("city") == people_relation.null_mask("city")
+        assert loaded.null_mask("age") == people_relation.null_mask("age")
+        assert loaded.null_count("city") == 1
+
+    def test_json_round_trip(self, tmp_path, people_relation):
+        path = tmp_path / "people.json"
+        write_json(people_relation, path)
+        loaded = JsonSource(path).load()
+        assert loaded.null_mask("city") == people_relation.null_mask("city")
+        assert loaded.null_mask("age") == people_relation.null_mask("age")
+
+    def test_xml_missing_elements_are_null(self, tmp_path):
+        path = tmp_path / "people.xml"
+        path.write_text(
+            """<people>
+                 <person><name>Alice</name><city>Berlin</city></person>
+                 <person><name>Bob</name></person>
+                 <person><name>Carol</name><city></city></person>
+               </people>"""
+        )
+        loaded = XmlSource(path).load()
+        assert loaded.null_mask("city") == bytes([0, 1, 1])
+        assert loaded.null_mask("name") == bytes([0, 0, 0])
+
+    def test_nan_written_as_null_to_csv(self, tmp_path):
+        relation = Relation(Schema(["x", "y"]), [(float("nan"), 1.0), (2.0, 3.0)])
+        path = tmp_path / "nan.csv"
+        write_csv(relation, path)
+        loaded = CsvSource(path).load()
+        # The reloaded cell is null again (whether parsed back as NaN or
+        # dropped to None) and the mask flags it — round-trip null parity.
+        assert is_null(loaded.cell(0, "x"))
+        assert loaded.null_mask("x") == bytes([1, 0])
+        assert loaded.null_mask("y") == bytes([0, 0])
+
+
+class TestContentDigestCaching:
+    def test_digest_computed_once(self, people_relation, monkeypatch):
+        first = people_relation.content_digest()
+        # any further fold over the column storage would blow up here
+        monkeypatch.setattr(
+            ColumnStore,
+            "columns",
+            property(lambda self: pytest.fail("row content re-hashed")),
+        )
+        assert people_relation.content_digest() == first
+
+    def test_two_store_lookups_hash_rows_only_once(self, people_relation, monkeypatch):
+        store = ArtifactStore()
+        built = store.get_or_build(
+            "people", "index", (), people_relation, lambda: "artifact"
+        )
+        assert built == "artifact"
+        # The digest is now cached on the relation; a second lookup must
+        # validate against the cache without re-reading the column storage.
+        monkeypatch.setattr(
+            ColumnStore,
+            "columns",
+            property(lambda self: pytest.fail("second lookup re-hashed the rows")),
+        )
+        again = store.get_or_build(
+            "people", "index", (), people_relation, lambda: "rebuilt"
+        )
+        assert again == "artifact"
+        assert store.counters.reused["index"] == 1
+
+    def test_digest_differs_for_different_content(self):
+        left = Relation(Schema(["a"]), [(1,)])
+        right = Relation(Schema(["a"]), [(2,)])
+        assert left.content_digest() != right.content_digest()
+
+    def test_digest_separates_cross_type_equal_cells(self):
+        # True == 1 == 1.0 in Python; the digest must not conflate them.
+        digests = {
+            Relation(Schema(["a"]), [(value,)]).content_digest()
+            for value in (True, 1, 1.0)
+        }
+        assert len(digests) == 3
+
+
+class TestRowMappingEquality:
+    """Satellite: Row == any Mapping with the same name→value pairs."""
+
+    @pytest.fixture
+    def row(self):
+        return Row(Schema(["name", "age"]), ("Alice", 34))
+
+    def test_row_equals_dict_both_directions(self, row):
+        as_dict = {"name": "Alice", "age": 34}
+        assert row == as_dict
+        assert as_dict == row  # dict.__eq__ → NotImplemented → reflected call
+        assert not row != as_dict
+
+    def test_row_equals_other_mapping_types(self, row):
+        assert row == OrderedDict([("age", 34), ("name", "Alice")])
+
+    def test_row_not_equal_to_different_mapping(self, row):
+        assert row != {"name": "Alice", "age": 35}
+        assert row != {"name": "Alice"}
+        assert {"name": "Alice", "age": 35} != row
+
+    def test_row_not_equal_to_non_mapping(self, row):
+        assert row != ("Alice", 34)
+        assert row.__eq__(("Alice", 34)) is NotImplemented
+
+    def test_lazy_view_equals_dict(self, people_relation):
+        view = people_relation.row(1)
+        assert view == {
+            "name": "Bob",
+            "age": 28,
+            "city": "Hamburg",
+            "salary": 48000.0,
+        }
+
+    def test_rows_with_same_values_but_different_schema_differ(self):
+        left = Row(Schema(["a", "b"]), (1, 2))
+        right = Row(Schema(["x", "y"]), (1, 2))
+        assert left != right
+        # ... but as mappings they are not equal either (different names)
+        assert dict(left) != dict(right)

@@ -198,7 +198,7 @@ class TestContentKey:
 
     def test_key_reflects_in_place_mutation(self, people_relation):
         before = people_relation.content_key()
-        people_relation._rows[0] = ("Changed", 1, "Nowhere", 0.0)
+        people_relation.store.column(0)[0] = "Changed"
         assert people_relation.content_key() != before
 
     def test_cross_type_equal_cells_get_distinct_keys(self):

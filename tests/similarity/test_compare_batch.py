@@ -1,0 +1,113 @@
+"""Parity tests for the batched similarity kernels (ISSUE 9).
+
+``SimilarityMeasure.compare_batch`` may reorder *work* — dedupe repeated
+pairs, pre-tokenise or pre-vectorise each distinct value once — but never
+the per-pair arithmetic: every kernel must return **bit-identical** floats
+to the per-pair ``compare`` loop, in input order.
+"""
+
+import pytest
+
+from repro.similarity import (
+    JaccardSimilarity,
+    JaroWinklerSimilarity,
+    LevenshteinSimilarity,
+    SoftTfIdfSimilarity,
+    TfIdfSimilarity,
+)
+
+CORPUS = [
+    "freie universitaet berlin",
+    "humboldt universitaet zu berlin",
+    "technische universitaet berlin",
+    "universitaet potsdam",
+    "",
+]
+
+# Heavy on repeats and empties — exactly what the dedupe / memoisation
+# fast paths reorder internally.
+LEFT = [
+    "freie universitaet berlin",
+    "freie universitaet berlin",
+    "",
+    "humboldt universitaet",
+    "freie universitaet berlin",
+    "potsdam",
+    "",
+]
+RIGHT = [
+    "freie universitat berlin",
+    "freie universitat berlin",
+    "",
+    "humboldt universitaet",
+    "tu berlin",
+    "potsdam",
+    "berlin",
+]
+
+
+def fitted_measures():
+    return [
+        LevenshteinSimilarity(),
+        LevenshteinSimilarity(normalize=False),
+        JaroWinklerSimilarity(),
+        JaccardSimilarity(),
+        TfIdfSimilarity(corpus=CORPUS),
+        SoftTfIdfSimilarity(corpus=CORPUS),
+    ]
+
+
+def unfitted_measures():
+    return [TfIdfSimilarity(), SoftTfIdfSimilarity()]
+
+
+@pytest.mark.parametrize(
+    "measure", fitted_measures(), ids=lambda measure: type(measure).__name__
+)
+class TestBatchParity:
+    def test_bit_identical_to_per_pair_loop(self, measure):
+        batched = measure.compare_batch(LEFT, RIGHT)
+        looped = [measure.compare(left, right) for left, right in zip(LEFT, RIGHT)]
+        assert batched == looped  # exact equality, not approx
+
+    def test_empty_batch(self, measure):
+        assert measure.compare_batch([], []) == []
+
+    def test_length_mismatch_rejected(self, measure):
+        with pytest.raises(ValueError):
+            measure.compare_batch(["a"], ["b", "c"])
+
+    def test_identical_pair_scores_once_but_everywhere(self, measure):
+        # the same pair repeated must come back repeated, not collapsed
+        scores = measure.compare_batch(["x", "x", "x"], ["y", "y", "y"])
+        assert len(scores) == 3
+        assert scores[0] == scores[1] == scores[2] == measure.compare("x", "y")
+
+
+@pytest.mark.parametrize(
+    "measure", unfitted_measures(), ids=lambda measure: type(measure).__name__
+)
+class TestUnfittedBatchParity:
+    """Unfitted TF-IDF measures fall back to pairwise statistics — the batch
+    path must match that fallback exactly too."""
+
+    def test_bit_identical_to_per_pair_loop(self, measure):
+        batched = measure.compare_batch(LEFT, RIGHT)
+        looped = [measure.compare(left, right) for left, right in zip(LEFT, RIGHT)]
+        assert batched == looped
+
+
+class TestDefaultImplementation:
+    def test_base_class_default_loops_compare(self):
+        from repro.similarity.base import SimilarityMeasure
+
+        calls = []
+
+        class Recording(SimilarityMeasure):
+            def compare(self, left, right):
+                calls.append((left, right))
+                return 0.5
+
+        scores = Recording().compare_batch(["a", "b"], ["c", "d"])
+        assert scores == [0.5, 0.5]
+        assert calls == [("a", "c"), ("b", "d")]
