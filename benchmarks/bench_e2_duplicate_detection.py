@@ -11,7 +11,14 @@ data with known ground truth:
 Expected shape: recall falls and precision rises with the threshold with a
 best-F1 plateau in the middle; the harder the corruption, the lower the
 plateau; the filter prunes a large share of comparisons "for free".
+
+The clustering-quality series (E2c) plants chain bridges in the generated
+data and compares the pluggable clustering strategies: graph and biclique
+clustering must beat plain transitive closure on pairwise precision when
+chains are present, without losing recall on clean data.
 """
+
+import json
 
 from benchmarks.conftest import print_table
 from repro.datagen.corruptor import CorruptionConfig
@@ -20,6 +27,7 @@ from repro.dedup.classification import classify_pairs
 from repro.dedup.clustering import transitive_closure_clusters
 from repro.dedup.descriptions import select_interesting_attributes
 from repro.dedup.detector import DuplicateDetector
+from repro.dedup.graphcluster import resolve_clustering
 from repro.dedup.pairs import CandidatePairGenerator
 from repro.dedup.similarity_measure import DuplicateSimilarityMeasure
 from repro.evaluation import evaluate_clusters
@@ -33,24 +41,31 @@ CORRUPTION_LEVELS = {
     "medium": CorruptionConfig.medium(),
     "high": CorruptionConfig.high(),
 }
+CLUSTERING_STRATEGIES = ("transitive", "graph", "biclique")
+CHAIN_FRACTION = 0.6
+CLUSTERING_THRESHOLD = 0.55
 
 
-def prepare(level_name):
+def prepare(level_name, chain_fraction=0.0):
     dataset = students_scenario(
-        entity_count=60, overlap=0.4, corruption=CORRUPTION_LEVELS[level_name], seed=29
+        entity_count=60,
+        overlap=0.4,
+        corruption=CORRUPTION_LEVELS[level_name],
+        seed=29,
+        chain_fraction=chain_fraction,
     )
     sources = dataset.source_list
     matching = MultiMatcher(DumasMatcher()).match(sources)
     combined = transform_sources(sources, matching.correspondences)
     truth_pairs = dataset.truth.duplicate_pairs_within(dataset.combined_row_origin())
-    return combined, truth_pairs
+    return combined, truth_pairs, len(dataset.truth.chain_bridges)
 
 
 def test_e2_quality_vs_threshold(benchmark):
     rows = []
     prepared = {}
     for level in CORRUPTION_LEVELS:
-        combined, truth_pairs = prepare(level)
+        combined, truth_pairs, _ = prepare(level)
         prepared[level] = (combined, truth_pairs)
         # score all pairs once, then sweep the threshold over the same scores
         selection = select_interesting_attributes(combined)
@@ -84,7 +99,7 @@ def test_e2_filter_effectiveness(benchmark):
     rows = []
     filtered_input = None
     for level in CORRUPTION_LEVELS:
-        combined, truth_pairs = prepare(level)
+        combined, truth_pairs, _ = prepare(level)
         if filtered_input is None:
             filtered_input = combined
         with_filter = DuplicateDetector(use_filter=True).detect(combined)
@@ -122,6 +137,107 @@ def test_e2_filter_effectiveness(benchmark):
 
     benchmark.pedantic(
         lambda: DuplicateDetector(use_filter=True).detect(filtered_input),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e2_clustering_quality(benchmark, request):
+    """E2c — clustering strategies vs the transitive-chaining pathology.
+
+    Scores the low-corruption students data once (clean, and with planted
+    chain bridges), accepts pairs at a fixed threshold and hands the same
+    scored edge set to each clustering strategy.  Graph and biclique
+    clustering must strictly beat transitive closure on pairwise precision
+    on the chained data while conceding nothing (precision or recall) on
+    the clean data.
+    """
+    json_path = request.config.getoption("--e2-cluster-json")
+    rows = []
+    records = []
+    metrics_by = {}
+    chained_inputs = None
+    for scenario, chain_fraction in (("clean", 0.0), ("chained", CHAIN_FRACTION)):
+        combined, truth_pairs, bridges = prepare("low", chain_fraction=chain_fraction)
+        selection = select_interesting_attributes(combined)
+        measure = DuplicateSimilarityMeasure(selection).fit(combined)
+        generator = CandidatePairGenerator(measure, filter_threshold=0.0, use_filter=False)
+        scores = generator.score_pairs(combined)
+        classified = classify_pairs(scores, CLUSTERING_THRESHOLD, uncertainty_band=0.0)
+        edges = [
+            (pair.left_index, pair.right_index, pair.similarity)
+            for pair in classified.accepted_scored_pairs()
+        ]
+        source_labels = combined.column("sourceID")
+        if scenario == "chained":
+            chained_inputs = (len(combined), edges, source_labels)
+        for name in CLUSTERING_STRATEGIES:
+            result = resolve_clustering(name).cluster(
+                len(combined), edges, sources=source_labels
+            )
+            metrics = evaluate_clusters(result.assignment, truth_pairs)
+            metrics_by[(scenario, name)] = metrics
+            rows.append(
+                (
+                    scenario,
+                    bridges,
+                    name,
+                    metrics.precision,
+                    metrics.recall,
+                    metrics.f1,
+                    result.report.chains_split,
+                    result.report.edges_cut,
+                )
+            )
+            records.append(
+                {
+                    "scenario": scenario,
+                    "chain_bridges": bridges,
+                    "strategy": name,
+                    "threshold": CLUSTERING_THRESHOLD,
+                    "precision": metrics.precision,
+                    "recall": metrics.recall,
+                    "f1": metrics.f1,
+                    "clusters": result.report.clusters,
+                    "largest_cluster": result.report.largest_cluster,
+                    "chains_split": result.report.chains_split,
+                    "edges_cut": result.report.edges_cut,
+                }
+            )
+    print_table(
+        "E2c: clustering strategy quality on clean vs chained data",
+        [
+            "scenario", "bridges", "strategy", "precision", "recall", "F1",
+            "chains split", "edges cut",
+        ],
+        rows,
+    )
+
+    # Chained data: both graph-aware strategies must strictly improve
+    # pairwise precision over transitive closure without losing recall.
+    baseline = metrics_by[("chained", "transitive")]
+    for name in ("graph", "biclique"):
+        challenger = metrics_by[("chained", name)]
+        assert challenger.precision > baseline.precision, name
+        assert challenger.recall >= baseline.recall, name
+    # Clean data: no regression on either axis.
+    baseline = metrics_by[("clean", "transitive")]
+    for name in ("graph", "biclique"):
+        challenger = metrics_by[("clean", name)]
+        assert challenger.precision >= baseline.precision, name
+        assert challenger.recall >= baseline.recall, name
+
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {"benchmark": "e2_clustering_quality", "rows": records},
+                handle,
+                indent=2,
+            )
+
+    size, edges, source_labels = chained_inputs
+    benchmark.pedantic(
+        lambda: resolve_clustering("biclique").cluster(size, edges, sources=source_labels),
         rounds=1,
         iterations=1,
     )

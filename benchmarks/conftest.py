@@ -29,6 +29,14 @@ def pytest_addoption(parser):
         "series (overrides the built-in sizes, e.g. 40,80 for a CI smoke run)",
     )
     group.addoption(
+        "--e2-cluster-json",
+        action="store",
+        default=None,
+        help="write the E2 clustering-strategy quality series (precision / "
+        "recall per strategy on clean vs chained data) to this JSON file "
+        "(uploaded as a CI artifact)",
+    )
+    group.addoption(
         "--e4-json",
         action="store",
         default=None,

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.dedup.clustering import transitive_closure_clusters
-from repro.dedup.detector import OBJECT_ID_COLUMN
+from repro.dedup.detector import OBJECT_ID_COLUMN, SOURCE_COLUMN
+from repro.dedup.graphcluster import ClusteringSpec, resolve_clustering
 from repro.engine.relation import Relation
 from repro.engine.schema import Column
 from repro.engine.types import DataType, is_null
@@ -21,13 +21,28 @@ __all__ = ["ExactDuplicateDetector"]
 
 
 class ExactDuplicateDetector:
-    """Groups tuples by exact (normalised) equality of the key columns."""
+    """Groups tuples by exact (normalised) equality of the key columns.
 
-    def __init__(self, key_columns: Sequence[str], normalize: bool = True):
+    Args:
+        key_columns: the natural-key columns compared for exact equality.
+        normalize: apply whitespace/case/accent normalisation first.
+        clustering: how matching pairs become groups — any
+            :data:`~repro.dedup.graphcluster.ClusteringSpec`; the default
+            ``None`` keeps the transitive-closure baseline.  Exact matches
+            carry no similarity gradient, so every edge has weight 1.0.
+    """
+
+    def __init__(
+        self,
+        key_columns: Sequence[str],
+        normalize: bool = True,
+        clustering: ClusteringSpec = None,
+    ):
         if not key_columns:
             raise ValueError("exact duplicate detection needs at least one key column")
         self.key_columns = list(key_columns)
         self.normalize = normalize
+        self.clustering = resolve_clustering(clustering)
 
     def assign_clusters(self, relation: Relation) -> List[int]:
         """Cluster id per row (rows with a null key are singletons)."""
@@ -50,7 +65,13 @@ class ExactDuplicateDetector:
                 pairs.append((index_by_key[key], row_index))
             else:
                 index_by_key[key] = row_index
-        return transitive_closure_clusters(len(relation), pairs)
+        edges = [(left, right, 1.0) for left, right in pairs]
+        sources = (
+            relation.column(SOURCE_COLUMN)
+            if relation.schema.has_column(SOURCE_COLUMN)
+            else None
+        )
+        return self.clustering.cluster(len(relation), edges, sources).assignment
 
     def detect(self, relation: Relation) -> Relation:
         """Return *relation* with the baseline's objectID column appended."""

@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 from repro.config import FusionConfig, load_config_data
 from repro.datagen.scenarios import cd_stores_scenario, crisis_scenario, students_scenario
 from repro.dedup.blocking import BLOCKING_STRATEGIES, format_plan_report
+from repro.dedup.graphcluster import CLUSTERING_STRATEGIES
 from repro.engine.io.csv_source import CsvSource, write_csv
 from repro.engine.io.json_source import JsonSource
 from repro.hummer import HumMer
@@ -82,6 +83,21 @@ def _add_blocking_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="largest token block kept as candidates (only with --blocking token)",
+    )
+
+
+def _add_clustering_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--clustering",
+        default=None,
+        metavar="STRATEGY",
+        help="duplicate-grouping strategy: one of "
+        f"{', '.join(sorted(CLUSTERING_STRATEGIES))}.  transitive (the "
+        "default) closes accepted pairs into connected components as in the "
+        "paper; graph audits sparse components and splits them at weak "
+        "min-cut seams; biclique covers the cross-source pair graph with "
+        "maximal bicliques — both kill chains of unrelated entities merged "
+        "through one borderline pair",
     )
 
 
@@ -195,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuse.add_argument("--limit", type=int, default=25, help="rows to print")
     _add_config_argument(fuse)
     _add_blocking_arguments(fuse)
+    _add_clustering_arguments(fuse)
     _add_executor_arguments(fuse)
     _add_prepare_arguments(fuse)
 
@@ -208,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--limit", type=int, default=15, help="rows to print")
     _add_config_argument(demo)
     _add_blocking_arguments(demo)
+    _add_clustering_arguments(demo)
     _add_executor_arguments(demo)
     _add_prepare_arguments(demo)
 
@@ -275,6 +293,25 @@ def _print_blocking_plan(statistics) -> None:
         print(line)
 
 
+def _print_clustering_report(detection) -> None:
+    """Print what the clustering strategy did to the accepted pair graph."""
+    report = detection.clustering_report
+    if report is None:
+        return
+    line = (
+        f"clustering ({report.strategy}): {report.clusters} clusters, "
+        f"largest {report.largest_cluster}"
+    )
+    if report.strategy != "transitive":
+        line += (
+            f", {report.chains_split} chains split "
+            f"({report.edges_cut} of {report.edges} accepted edges cut)"
+        )
+    print(line)
+    for key, value in sorted(report.diagnostics.items()):
+        print(f"  {key}: {value}")
+
+
 def _command_fuse(args) -> int:
     config = _build_config(args, default_threshold=FUSE_DEFAULT_THRESHOLD)
     hummer = HumMer(config=config)
@@ -288,6 +325,7 @@ def _command_fuse(args) -> int:
         print(f"  {key}: {rendered}")
     _print_prepare_report(result)
     _print_blocking_plan(result.detection.filter_statistics)
+    _print_clustering_report(result.detection)
     print()
     print(result.relation.to_text(limit=args.limit))
     if args.output:
@@ -324,6 +362,7 @@ def _command_demo(args) -> int:
     )
     _print_prepare_report(result)
     _print_blocking_plan(statistics)
+    _print_clustering_report(result.detection)
     print(
         f"duplicates: {counts['sure_duplicates']} sure, {counts['unsure']} unsure, "
         f"{counts['sure_non_duplicates']} non-duplicates; "

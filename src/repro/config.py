@@ -10,7 +10,7 @@ single typed tree:
 * :class:`MatchingConfig` — DUMAS seeding / correspondence knobs and the
   name-based fallback;
 * :class:`DedupConfig` — threshold, uncertainty band, blocking spec,
-  executor spec, workers / chunking;
+  clustering spec, executor spec, workers / chunking;
 * :class:`PrepareConfig` — per-source artifact mode and persistence
   directory;
 * :class:`ResolutionConfig` — default per-column resolution functions and
@@ -39,6 +39,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.dedup.blocking import resolve_blocking
 from repro.dedup.detector import DuplicateDetector
+from repro.dedup.graphcluster import resolve_clustering
 from repro.dedup.executor import (
     executor_for_workers,
     resolve_executor,
@@ -188,6 +189,12 @@ class DedupConfig(_Section):
             ``None`` for the exact all-pairs baseline.
         blocking_options: constructor options for the named strategy
             (``window=`` for snm, ``max_block_size=`` for token, …).
+        clustering: clustering strategy *name* (``"transitive"``,
+            ``"graph"``, ``"biclique"``) or ``None`` for the paper's
+            transitive-closure baseline.
+        clustering_options: constructor options for the named clustering
+            strategy (``min_cohesion=`` / ``weak_cut_ratio=`` for graph,
+            ``weak_edge_ratio=`` / ``max_component_size=`` for biclique).
         executor: scoring-executor *name* (``"serial"``, ``"multiprocess"``)
             or ``None`` to derive it from *workers*.
         workers: worker processes for pair scoring (``None``/1 = serial,
@@ -203,12 +210,17 @@ class DedupConfig(_Section):
     keep_evidence: bool = False
     blocking: Optional[str] = None
     blocking_options: Mapping[str, Any] = field(default_factory=dict)
+    clustering: Optional[str] = None
+    clustering_options: Mapping[str, Any] = field(default_factory=dict)
     executor: Optional[str] = None
     workers: Optional[int] = None
     chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "blocking_options", _freeze(self.blocking_options))
+        object.__setattr__(
+            self, "clustering_options", _freeze(self.clustering_options)
+        )
         _require(0.0 <= self.threshold <= 1.0, "threshold must lie in [0, 1]")
         _require(self.uncertainty_band >= 0.0, "uncertainty_band must not be negative")
         _require(
@@ -224,6 +236,15 @@ class DedupConfig(_Section):
         _require(
             not (self.blocking_options and self.blocking is None),
             "blocking_options need a named blocking strategy",
+        )
+        _require(
+            self.clustering is None or isinstance(self.clustering, str),
+            "clustering must be a strategy name (pass instances via "
+            "DuplicateDetector(clustering=...) object injection instead)",
+        )
+        _require(
+            not (self.clustering_options and self.clustering is None),
+            "clustering_options need a named clustering strategy",
         )
         _require(
             self.workers is None or self.workers >= 1,
@@ -247,6 +268,7 @@ class DedupConfig(_Section):
         # option mistake surfaces here, at construction, not mid-pipeline.
         try:
             self.build_blocking()
+            self.build_clustering()
             self.build_executor()
         except (ValueError, TypeError) as error:
             raise ConfigError(str(error)) from None
@@ -255,6 +277,10 @@ class DedupConfig(_Section):
         """The configured :class:`~repro.dedup.blocking.BlockingStrategy`."""
         return resolve_blocking(self.blocking, **dict(self.blocking_options))
 
+    def build_clustering(self):
+        """The configured :class:`~repro.dedup.graphcluster.ClusteringStrategy`."""
+        return resolve_clustering(self.clustering, **dict(self.clustering_options))
+
     def build_executor(self):
         """The configured :class:`~repro.dedup.executor.ScoringExecutor`."""
         if self.executor is not None:
@@ -262,13 +288,13 @@ class DedupConfig(_Section):
         return executor_for_workers(self.workers, chunk_size=self.chunk_size)
 
     def build_detector(
-        self, selection=None, blocking=None, executor=None
+        self, selection=None, blocking=None, clustering=None, executor=None
     ) -> DuplicateDetector:
         """The configured :class:`DuplicateDetector`.
 
-        *blocking* / *executor* accept already-constructed instances (object
-        injection for callers that build their own strategies); they win
-        over the config names.
+        *blocking* / *clustering* / *executor* accept already-constructed
+        instances (object injection for callers that build their own
+        strategies); they win over the config names.
         """
         return DuplicateDetector(
             threshold=self.threshold,
@@ -279,6 +305,9 @@ class DedupConfig(_Section):
             accept_unsure=self.accept_unsure,
             keep_evidence=self.keep_evidence,
             blocking=blocking if blocking is not None else self.build_blocking(),
+            clustering=(
+                clustering if clustering is not None else self.build_clustering()
+            ),
             executor=executor if executor is not None else self.build_executor(),
         )
 
@@ -538,6 +567,13 @@ class FusionConfig:
                 options["max_block_size"] = token_max_block
             dedup["blocking"] = effective_blocking
             dedup["blocking_options"] = options
+
+        clustering = getattr(args, "clustering", None)
+        if clustering is not None:
+            dedup["clustering"] = clustering
+            if clustering != config.dedup.clustering:
+                # a strategy change invalidates the base's options wholesale
+                dedup["clustering_options"] = {}
 
         workers = getattr(args, "workers", None)
         chunk_size = getattr(args, "chunk_size", None)

@@ -144,6 +144,11 @@ class PipelineResult:
             plan = self.detection.filter_statistics.blocking_plan
             if plan is not None:
                 summary["blocking_plan"] = plan.get("strategy")
+            report = self.detection.clustering_report
+            if report is not None:
+                summary["clustering"] = report.strategy
+                summary["largest_cluster"] = report.largest_cluster
+                summary["chains_split"] = report.chains_split
         if self.conflicts is not None:
             summary["contradictions"] = self.conflicts.contradiction_count
             summary["uncertainties"] = self.conflicts.uncertainty_count

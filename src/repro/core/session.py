@@ -664,6 +664,11 @@ class FusionSession:
         }
         if statistics.blocking_plan is not None:
             payload["blocking_plan"] = statistics.blocking_plan
+        report = self.detection.clustering_report
+        if report is not None:
+            payload["clustering"] = report.strategy
+            payload["largest_cluster"] = report.largest_cluster
+            payload["chains_split"] = report.chains_split
         return self.detection, payload
 
     def _run_conflict_resolution(self):

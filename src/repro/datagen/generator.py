@@ -52,6 +52,10 @@ class GroundTruth:
     attribute_map: Dict[str, Dict[str, str]] = field(default_factory=dict)
     #: entity id → canonical clean record.
     clean_records: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: chain-corruption bridges as (foreign entity, bridged entity, source
+    #: alias, row index): the bridged entity's record at (source, row) had
+    #: its chain fields overwritten with the foreign entity's clean values.
+    chain_bridges: List[Tuple[str, str, str, int]] = field(default_factory=list)
 
     def duplicate_pairs_within(self, relation_rows: Sequence[Tuple[str, int]]) -> Set[Tuple[int, int]]:
         """True duplicate index pairs among *relation_rows* (ordered (source, row) keys).
@@ -121,6 +125,17 @@ class DirtySourceGenerator:
             copies (beyond formatting noise), producing data conflicts.
         default_corruption: corruption level for sources without their own.
         seed: master random seed (all randomness is derived from it).
+        chain_fraction: fraction of the multi-record entities drawn into
+            chain corruption: for each chained pair of distinct entities
+            (A, B), one of B's records gets its *chain_fields* overwritten
+            with A's clean values.  The record still identifies as B (name
+            and the remaining fields are untouched), but now shares
+            near-duplicate secondary values with A — the borderline bridge
+            that makes transitive closure merge A and B into one cluster.
+        chain_fields: the canonical attributes a bridge record copies from
+            the foreign entity.  Required when *chain_fraction* is positive;
+            must not include every identifying field, or the bridge record
+            stops belonging to its own entity.
     """
 
     def __init__(
@@ -130,16 +145,24 @@ class DirtySourceGenerator:
         conflict_fields: Sequence[str] = (),
         default_corruption: Optional[CorruptionConfig] = None,
         seed: int = 0,
+        chain_fraction: float = 0.0,
+        chain_fields: Sequence[str] = (),
     ):
         if not source_specs:
             raise ValueError("need at least one source spec")
         if not 0.0 <= overlap <= 1.0:
             raise ValueError("overlap must lie in [0, 1]")
+        if not 0.0 <= chain_fraction <= 1.0:
+            raise ValueError("chain_fraction must lie in [0, 1]")
+        if chain_fraction > 0.0 and not chain_fields:
+            raise ValueError("chain corruption needs chain_fields to overwrite")
         self.source_specs = list(source_specs)
         self.overlap = overlap
         self.conflict_fields = list(conflict_fields)
         self.default_corruption = default_corruption or CorruptionConfig.medium()
         self.seed = seed
+        self.chain_fraction = chain_fraction
+        self.chain_fields = list(chain_fields)
         self.random = random.Random(seed)
 
     def generate(self, entities: Sequence[Mapping[str, Any]]) -> GeneratedDataset:
@@ -156,8 +179,7 @@ class DirtySourceGenerator:
             }
 
         canonical_attributes = self._canonical_attributes(entities)
-        sources: Dict[str, Relation] = {}
-        row_origin: List[Tuple[str, int]] = []
+        records_by_source: Dict[str, List[Dict[str, Any]]] = {}
         for spec_index, spec in enumerate(self.source_specs):
             corruptor = Corruptor(
                 spec.corruption or self.default_corruption,
@@ -171,15 +193,58 @@ class DirtySourceGenerator:
                 )
                 truth.entity_of[(spec.name, len(records))] = entity[ENTITY_KEY]
                 records.append(record)
-            relation = Relation.from_dicts(records, name=spec.name)
-            sources[spec.name] = relation
-            row_origin.extend((spec.name, index) for index in range(len(relation)))
+            records_by_source[spec.name] = records
             for canonical in canonical_attributes:
                 if canonical in spec.drop:
                     continue
                 label = spec.rename.get(canonical, canonical)
                 truth.attribute_map.setdefault(canonical, {})[spec.name] = label
+        if self.chain_fraction > 0.0:
+            self._apply_chain_corruption(records_by_source, truth)
+        sources: Dict[str, Relation] = {}
+        row_origin: List[Tuple[str, int]] = []
+        for spec in self.source_specs:
+            relation = Relation.from_dicts(records_by_source[spec.name], name=spec.name)
+            sources[spec.name] = relation
+            row_origin.extend((spec.name, index) for index in range(len(relation)))
         return GeneratedDataset(sources=sources, truth=truth, row_origin=row_origin)
+
+    def _apply_chain_corruption(
+        self,
+        records_by_source: Dict[str, List[Dict[str, Any]]],
+        truth: GroundTruth,
+    ) -> None:
+        """Turn some records into bridges between two distinct entities.
+
+        Pairs up multi-record entities (A, B) and overwrites the chain
+        fields of one of B's records with A's clean values.  The bridge
+        record keeps B's remaining (identifying) fields, so a pairwise
+        matcher scores it high against B's other records and borderline
+        against A's — exactly the topology where transitive closure chains
+        A and B into one bogus cluster.
+        """
+        rows_of: Dict[str, List[Tuple[str, int]]] = {}
+        for (source, row), entity in truth.entity_of.items():
+            rows_of.setdefault(entity, []).append((source, row))
+        eligible = sorted(entity for entity, rows in rows_of.items() if len(rows) >= 2)
+        pair_count = int(len(eligible) * self.chain_fraction) // 2
+        if pair_count == 0:
+            return
+        chain_random = random.Random(self.seed * 6151 + 29)
+        chain_random.shuffle(eligible)
+        specs_by_name = {spec.name: spec for spec in self.source_specs}
+        for index in range(pair_count):
+            foreign, bridged = eligible[2 * index], eligible[2 * index + 1]
+            source, row = chain_random.choice(sorted(rows_of[bridged]))
+            spec = specs_by_name[source]
+            record = records_by_source[source][row]
+            clean = truth.clean_records[foreign]
+            for canonical in self.chain_fields:
+                if canonical in spec.drop or canonical not in clean:
+                    continue
+                label = spec.rename.get(canonical, canonical)
+                record[label] = clean[canonical]
+            truth.chain_bridges.append((foreign, bridged, source, row))
 
     # -- helpers -----------------------------------------------------------------------
 

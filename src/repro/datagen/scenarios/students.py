@@ -13,7 +13,7 @@ older").
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.datagen import pools
 from repro.datagen.corruptor import CorruptionConfig
@@ -47,11 +47,16 @@ def students_scenario(
     overlap: float = 0.35,
     corruption: Optional[CorruptionConfig] = None,
     seed: int = 11,
+    chain_fraction: float = 0.0,
+    chain_fields: Sequence[str] = ("email", "university", "city", "semester"),
 ) -> GeneratedDataset:
     """Generate the ``EE_Students`` / ``CS_Students`` pair with overlapping students.
 
     Age and semester are conflict fields (outdated records), matching the
-    paper's ``RESOLVE(Age, max)`` example.
+    paper's ``RESOLVE(Age, max)`` example.  A positive *chain_fraction*
+    plants bridge records that copy another student's *chain_fields*
+    (name stays the student's own), the pathology that makes transitive
+    closure chain two distinct students into one cluster.
     """
     rng = random.Random(seed)
     students = _make_students(entity_count, rng)
@@ -75,5 +80,7 @@ def students_scenario(
         conflict_fields=["age", "semester"],
         default_corruption=corruption or CorruptionConfig.low(),
         seed=seed,
+        chain_fraction=chain_fraction,
+        chain_fields=chain_fields,
     )
     return generator.generate(students)

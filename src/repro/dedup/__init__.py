@@ -19,9 +19,11 @@ by schema matching:
    matched vs. unmatched attributes, data similarity (edit / numeric
    distance), the identifying power of a value (soft IDF) and treats
    contradictions as negative evidence while missing data is neutral.
-4. :mod:`repro.dedup.clustering` — pairs above the threshold are closed
-   transitively (union-find) into object clusters; every tuple receives an
-   ``objectID``.
+4. :mod:`repro.dedup.clustering` and :mod:`repro.dedup.graphcluster` — a
+   pluggable clustering strategy groups the accepted pairs into object
+   clusters: transitive closure (union-find, the paper's §2.3 baseline),
+   a min-cut audited component clustering, or a maximal-biclique cover of
+   the cross-source pair graph; every tuple receives an ``objectID``.
 5. :mod:`repro.dedup.classification` — pairs are segmented into sure
    duplicates, unsure cases and sure non-duplicates for the demo's
    confirmation step.
@@ -51,6 +53,15 @@ from repro.dedup.similarity_measure import DuplicateSimilarityMeasure, PairEvide
 from repro.dedup.filters import UpperBoundFilter, FilterStatistics
 from repro.dedup.pairs import CandidatePairGenerator, PairScore
 from repro.dedup.clustering import UnionFind, transitive_closure_clusters
+from repro.dedup.graphcluster import (
+    BicliqueClustering,
+    ClusteringReport,
+    ClusteringResult,
+    ClusteringStrategy,
+    GraphClustering,
+    TransitiveClustering,
+    resolve_clustering,
+)
 from repro.dedup.classification import PairClass, classify_pairs, ClassifiedPairs
 from repro.dedup.detector import DuplicateDetector, DuplicateDetectionResult, OBJECT_ID_COLUMN
 
@@ -81,6 +92,13 @@ __all__ = [
     "PairScore",
     "UnionFind",
     "transitive_closure_clusters",
+    "ClusteringStrategy",
+    "ClusteringReport",
+    "ClusteringResult",
+    "TransitiveClustering",
+    "GraphClustering",
+    "BicliqueClustering",
+    "resolve_clustering",
     "PairClass",
     "classify_pairs",
     "ClassifiedPairs",

@@ -62,6 +62,21 @@ class ClassifiedPairs:
                 accepted.append(pair.as_tuple())
         return accepted
 
+    def accepted_scored_pairs(
+        self, accept_unsure_by_default: bool = False
+    ) -> List[PairScore]:
+        """Like :meth:`accepted_pairs`, but keeping the full scored pairs.
+
+        Clustering strategies consume these: the similarities become the
+        edge weights of the accepted pair graph.
+        """
+        accepted = list(self.sure_duplicates)
+        for pair in self.unsure:
+            decision = self.decisions.get(pair.as_tuple(), accept_unsure_by_default)
+            if decision:
+                accepted.append(pair)
+        return accepted
+
     @property
     def counts(self) -> Dict[str, int]:
         """Segment sizes, keyed by segment name."""

@@ -36,7 +36,18 @@ class UnionFind:
         return root
 
     def union(self, left: int, right: int) -> bool:
-        """Merge the sets of *left* and *right*; returns whether a merge happened."""
+        """Merge the sets of *left* and *right*; returns whether a merge happened.
+
+        Raises ``ValueError`` naming the offending pair when either index is
+        out of range, instead of a bare ``IndexError`` from deep inside the
+        forest.
+        """
+        size = len(self._parent)
+        if not (0 <= left < size and 0 <= right < size):
+            raise ValueError(
+                f"duplicate pair ({left}, {right}) is out of range for a "
+                f"relation of {size} tuples"
+            )
         left_root, right_root = self.find(left), self.find(right)
         if left_root == right_root:
             return False
@@ -67,6 +78,9 @@ def transitive_closure_clusters(
     Returns a list ``cluster_of[i]`` with dense ids ``0, 1, 2, ...`` in order
     of the first tuple of each cluster — this is exactly the ``objectID``
     column duplicate detection appends.
+
+    Raises ``ValueError`` naming the offending pair when an index is out of
+    range for *size* tuples.
     """
     union_find = UnionFind(size)
     for left, right in duplicate_pairs:

@@ -13,7 +13,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.dedup.blocking import BlockingSpec, resolve_blocking
 from repro.dedup.classification import ClassifiedPairs, classify_pairs
 from repro.dedup.executor import ExecutorSpec, resolve_executor
-from repro.dedup.clustering import transitive_closure_clusters
+from repro.dedup.graphcluster import (
+    ClusteringReport,
+    ClusteringSpec,
+    resolve_clustering,
+)
 from repro.dedup.descriptions import AttributeSelection, select_interesting_attributes
 from repro.dedup.filters import FilterStatistics
 from repro.dedup.pairs import CandidatePairGenerator, PairScore
@@ -26,6 +30,11 @@ __all__ = ["OBJECT_ID_COLUMN", "DuplicateDetectionResult", "DuplicateDetector"]
 
 #: Name of the cluster-id column appended by duplicate detection.
 OBJECT_ID_COLUMN = "objectID"
+
+#: Source-label column of the transformed union (same default as the
+#: candidate generator's ``source_column``); bipartite-aware clustering
+#: strategies read it when present.
+SOURCE_COLUMN = "sourceID"
 
 
 @dataclass
@@ -40,6 +49,8 @@ class DuplicateDetectionResult:
         selection: the attribute selection that was used.
         filter_statistics: how many pairs each stage (blocking, cross-source
             rule, upper-bound filter) pruned.
+        clustering_report: what the clustering strategy did to the accepted
+            pair graph (``None`` only for results built by legacy callers).
     """
 
     relation: Relation
@@ -48,6 +59,7 @@ class DuplicateDetectionResult:
     scores: List[PairScore]
     selection: AttributeSelection
     filter_statistics: FilterStatistics
+    clustering_report: Optional[ClusteringReport] = None
 
     @property
     def cluster_count(self) -> int:
@@ -72,7 +84,7 @@ class DuplicateDetectionResult:
 
 
 class DuplicateDetector:
-    """Similarity-threshold duplicate detector with transitive-closure clustering.
+    """Similarity-threshold duplicate detector with pluggable pair clustering.
 
     Args:
         threshold: pairs at or above this similarity are duplicates.
@@ -88,6 +100,10 @@ class DuplicateDetector:
             :class:`~repro.dedup.blocking.BlockingStrategy` instance, a name
             (``"allpairs"``, ``"snm"``, ``"token"``, ``"union:snm+token"``,
             ``"adaptive"``) or ``None`` for the exact all-pairs baseline.
+        clustering: duplicate-grouping strategy — a
+            :class:`~repro.dedup.graphcluster.ClusteringStrategy` instance, a
+            name (``"transitive"``, ``"graph"``, ``"biclique"``) or ``None``
+            for the paper's transitive-closure baseline.
         executor: pair-scoring executor — a
             :class:`~repro.dedup.executor.ScoringExecutor` instance, a name
             (``"serial"``, ``"multiprocess"``) or ``None`` for the in-process
@@ -112,6 +128,7 @@ class DuplicateDetector:
         accept_unsure: bool = True,
         keep_evidence: bool = False,
         blocking: BlockingSpec = None,
+        clustering: ClusteringSpec = None,
         executor: ExecutorSpec = None,
     ):
         if not 0.0 <= threshold <= 1.0:
@@ -124,6 +141,7 @@ class DuplicateDetector:
         self.accept_unsure = accept_unsure
         self.keep_evidence = keep_evidence
         self.blocking = resolve_blocking(blocking)
+        self.clustering = resolve_clustering(clustering)
         self.executor = resolve_executor(executor)
 
     def with_overrides(self, **overrides) -> "DuplicateDetector":
@@ -172,8 +190,7 @@ class DuplicateDetector:
         )
         scores = generator.score_pairs(relation)
         classified = classify_pairs(scores, self.threshold, self.uncertainty_band)
-        accepted = classified.accepted_pairs(accept_unsure_by_default=self.accept_unsure)
-        assignment = transitive_closure_clusters(len(relation), accepted)
+        assignment, report = self._cluster_accepted(relation, classified)
         enriched = relation.with_column(
             Column(OBJECT_ID_COLUMN, DataType.INTEGER), assignment
         )
@@ -184,6 +201,7 @@ class DuplicateDetector:
             scores=scores,
             selection=selection,
             filter_statistics=generator.filter.statistics,
+            clustering_report=report,
         )
 
     def redetect_with_decisions(
@@ -191,13 +209,10 @@ class DuplicateDetector:
     ) -> DuplicateDetectionResult:
         """Re-cluster after the user decided some unsure pairs (demo step 4).
 
-        Comparison scores are reused; only the transitive closure and the
-        objectID column are recomputed.
+        Comparison scores are reused; only the clustering and the objectID
+        column are recomputed.
         """
-        accepted = result.classified.accepted_pairs(
-            accept_unsure_by_default=self.accept_unsure
-        )
-        assignment = transitive_closure_clusters(len(relation), accepted)
+        assignment, report = self._cluster_accepted(relation, result.classified)
         enriched = relation.with_column(
             Column(OBJECT_ID_COLUMN, DataType.INTEGER), assignment
         )
@@ -208,4 +223,23 @@ class DuplicateDetector:
             scores=result.scores,
             selection=result.selection,
             filter_statistics=result.filter_statistics,
+            clustering_report=report,
         )
+
+    def _cluster_accepted(
+        self, relation: Relation, classified: ClassifiedPairs
+    ) -> Tuple[List[int], ClusteringReport]:
+        """Group the accepted pairs with the configured clustering strategy."""
+        scored = classified.accepted_scored_pairs(
+            accept_unsure_by_default=self.accept_unsure
+        )
+        edges = [
+            (pair.left_index, pair.right_index, pair.similarity) for pair in scored
+        ]
+        sources = (
+            relation.column(SOURCE_COLUMN)
+            if relation.schema.has_column(SOURCE_COLUMN)
+            else None
+        )
+        result = self.clustering.cluster(len(relation), edges, sources)
+        return result.assignment, result.report

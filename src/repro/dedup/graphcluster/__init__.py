@@ -1,0 +1,85 @@
+"""Pluggable graph clustering for duplicate grouping.
+
+The seed pipeline groups accepted duplicate pairs by transitive closure
+(paper §2.3), which chains unrelated entities through single borderline
+edges on dirty data.  This package turns grouping into a strategy:
+
+* :class:`TransitiveClustering` — the exact union-find baseline (default);
+* :class:`GraphClustering` — connected components plus a min-cut audit that
+  splits sparse "barbell" components at relatively weak seams while keeping
+  dense near-biclique components whole;
+* :class:`BicliqueClustering` — BBK-style maximal-biclique enumeration over
+  the cross-source bipartite pair graph, greedy cover by balanced
+  high-similarity bicliques, leftovers attached along their best edge.
+
+Strategies only *regroup* the accepted pairs; blocking, filtering, scoring
+and classification are unchanged, and no strategy ever merges rows that
+transitive closure would keep apart.  See ``docs/clustering.md`` for
+selection guidance and the chaining pathology worked example.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.dedup.graphcluster.base import (
+    ClusteringReport,
+    ClusteringResult,
+    ClusteringStrategy,
+    ScoredEdge,
+)
+from repro.dedup.graphcluster.biclique import BicliqueClustering
+from repro.dedup.graphcluster.graph import GraphClustering
+from repro.dedup.graphcluster.transitive import TransitiveClustering
+
+__all__ = [
+    "ClusteringStrategy",
+    "ClusteringSpec",
+    "ClusteringReport",
+    "ClusteringResult",
+    "ScoredEdge",
+    "TransitiveClustering",
+    "GraphClustering",
+    "BicliqueClustering",
+    "CLUSTERING_STRATEGIES",
+    "resolve_clustering",
+]
+
+#: CLI / config name → strategy class.
+CLUSTERING_STRATEGIES = {
+    TransitiveClustering.name: TransitiveClustering,
+    GraphClustering.name: GraphClustering,
+    BicliqueClustering.name: BicliqueClustering,
+}
+
+#: What every ``clustering=`` parameter accepts: a strategy name, an
+#: instance or ``None`` (→ the transitive-closure baseline).
+ClusteringSpec = Union[str, ClusteringStrategy, None]
+
+
+def resolve_clustering(spec: ClusteringSpec, **options) -> ClusteringStrategy:
+    """Turn a strategy name, instance or ``None`` into a :class:`ClusteringStrategy`.
+
+    Args:
+        spec: ``None`` (→ the transitive baseline), a name from
+            :data:`CLUSTERING_STRATEGIES` (``"transitive"``, ``"graph"``,
+            ``"biclique"``), or an already-constructed strategy.
+        options: keyword arguments for the strategy constructor when *spec*
+            is a name (e.g. ``min_cohesion=`` / ``weak_cut_ratio=`` for the
+            graph audit, ``weak_edge_ratio=`` / ``max_component_size=`` for
+            biclique cover).  Rejected when *spec* is an instance.
+    """
+    if spec is None:
+        spec = TransitiveClustering.name
+    if isinstance(spec, ClusteringStrategy):
+        if options:
+            raise ValueError(
+                "clustering options cannot be combined with an already-constructed strategy"
+            )
+        return spec
+    try:
+        strategy_class = CLUSTERING_STRATEGIES[spec]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(CLUSTERING_STRATEGIES))
+        raise ValueError(f"unknown clustering strategy {spec!r} (known: {known})") from None
+    return strategy_class(**options)

@@ -1,0 +1,129 @@
+"""The clustering-strategy contract.
+
+Clustering decides *how* the accepted duplicate pairs become object groups.
+The paper (§2.3) closes the pairs transitively — one union-find pass — which
+is exact on clean data but famously fragile on dirty data: a single
+borderline edge between two otherwise-unrelated groups chains them into one
+giant cluster (the "transitive-closure chaining" pathology).
+
+A strategy is a pure function over the pair graph: it receives the relation
+size and the accepted pairs *with their similarities* (edge weights), plus
+the per-row source labels when the caller knows them, and returns a dense
+cluster assignment together with a :class:`ClusteringReport` describing what
+it merged, what it split and why.  Everything upstream (blocking, filtering,
+scoring, classification) and downstream (fusion, lineage) is unchanged, so
+swapping strategies can only regroup the *same* accepted evidence — never
+invent or drop a comparison.
+
+The assignment contract matches :func:`repro.dedup.clustering.\
+transitive_closure_clusters` exactly: cluster ids are dense ``0, 1, 2, …``
+in order of each cluster's first row, which is the ``objectID`` column
+duplicate detection appends.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ScoredEdge", "ClusteringReport", "ClusteringResult", "ClusteringStrategy"]
+
+#: One accepted duplicate pair with its similarity: ``(left, right, weight)``
+#: with ``left < right`` and ``weight`` in ``[0, 1]``.
+ScoredEdge = Tuple[int, int, float]
+
+
+@dataclass
+class ClusteringReport:
+    """What a clustering strategy did to the accepted pair graph.
+
+    Attributes:
+        strategy: the strategy name (``"transitive"``, ``"graph"``,
+            ``"biclique"``).
+        clusters: number of distinct clusters in the assignment (singletons
+            included).
+        largest_cluster: row count of the biggest cluster — the number
+            operators watch for over-merging.
+        components: connected components of the accepted pair graph with
+            more than one row (what transitive closure would output as
+            multi-tuple clusters).
+        chains_split: extra groups produced by splitting components — the
+            sum of ``(clusters in component - 1)`` over all components.
+            Zero for the transitive baseline by construction.
+        edges: accepted pairs handed to the strategy.
+        edges_cut: accepted pairs whose two rows ended up in different
+            clusters (each one is a borderline edge the strategy rejected).
+        diagnostics: strategy-specific extras (audited component count,
+            biclique cover statistics, fallback notes, …).
+    """
+
+    strategy: str
+    clusters: int = 0
+    largest_cluster: int = 0
+    components: int = 0
+    chains_split: int = 0
+    edges: int = 0
+    edges_cut: int = 0
+    diagnostics: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able form for StageEvent payloads, summaries and the CLI."""
+        report = {
+            "strategy": self.strategy,
+            "clusters": self.clusters,
+            "largest_cluster": self.largest_cluster,
+            "components": self.components,
+            "chains_split": self.chains_split,
+            "edges": self.edges,
+            "edges_cut": self.edges_cut,
+        }
+        if self.diagnostics:
+            report["diagnostics"] = dict(self.diagnostics)
+        return report
+
+
+@dataclass
+class ClusteringResult:
+    """A dense cluster assignment plus the report describing it."""
+
+    assignment: List[int]
+    report: ClusteringReport
+
+
+class ClusteringStrategy(ABC):
+    """Groups the accepted duplicate pairs into object clusters.
+
+    Subclasses implement :meth:`cluster`.  The contract:
+
+    * the assignment has exactly ``size`` entries with dense ids
+      ``0 .. k-1`` in order of each cluster's first row;
+    * two rows share a cluster only if they are connected in the accepted
+      pair graph — a strategy may *split* transitive components, never
+      merge across them;
+    * given the same edges the result is deterministic.
+    """
+
+    #: Short machine name, used by the CLI and ``resolve_clustering``.
+    name: str = "base"
+
+    @abstractmethod
+    def cluster(
+        self,
+        size: int,
+        edges: Sequence[ScoredEdge],
+        sources: Optional[Sequence[Any]] = None,
+    ) -> ClusteringResult:
+        """Cluster ``size`` rows given the accepted, similarity-weighted pairs.
+
+        Args:
+            size: number of rows in the relation being deduplicated.
+            edges: accepted duplicate pairs as ``(left, right, similarity)``
+                triples with ``left < right``.
+            sources: optional per-row source label (the ``sourceID``
+                column); bipartite-aware strategies use it to tell
+                cross-source edges from within-source ones.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,314 @@
+"""BBK-style biclique cover of the cross-source duplicate pair graph.
+
+Cross-source accepted pairs form a sparse bipartite graph per source pair;
+a real-world entity shows up as a (near-)biclique in it — every record of
+the entity in source A matches every record in source B.  Chain artifacts
+do not: the bridge edge is *relatively* weak, because the bridging record
+matches its own entity strongly and the foreign one only at the border of
+acceptance.
+
+The strategy therefore works in three moves per connected component:
+
+1. **Prune relatively weak cross edges.**  An edge ``(u, v, w)`` is dropped
+   when ``w < weak_edge_ratio * min(best(u), best(v))`` where ``best(x)`` is
+   the strongest accepted edge at ``x``.  Using the *minimum* of the two
+   endpoints' bests protects genuinely low-quality records (their own best
+   is low, so their edges survive) while cutting bridges (both endpoints
+   have strong in-entity edges, so the border-line bridge is weak for both).
+2. **Enumerate maximal bicliques** of each source-pair bipartite subgraph
+   via Galois closures (the BBK seeding: close the neighbourhood of every
+   vertex and of every pairwise neighbourhood intersection), then **greedily
+   cover** the component — balanced bicliques first (largest minimum side),
+   then highest mean similarity, then total size, with a deterministic
+   member tiebreak.  Each picked biclique claims its still-unassigned
+   members as one cluster.
+3. **Attach leftovers by best edge** (all accepted edges, including
+   within-source and pruned ones), so a record whose biclique lost the
+   greedy race still joins its strongest neighbour's cluster — pruning only
+   stops weak edges from *forming* groups, never from following them.
+
+Components with no cross-source evidence, components larger than
+``max_component_size`` and runs without source labels fall back to the
+transitive grouping (kept whole), recorded in the report diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .base import ClusteringReport, ClusteringResult, ClusteringStrategy, ScoredEdge
+from .components import (
+    assignment_from_groups,
+    build_adjacency,
+    connected_components,
+    induced_components,
+)
+
+__all__ = ["BicliqueClustering"]
+
+#: A candidate biclique ready for the greedy cover, pre-sorted by quality:
+#: (min side, mean similarity, member count, members) — see _sort_key.
+_Candidate = Tuple[Tuple[int, ...], int, float]
+
+
+class BicliqueClustering(ClusteringStrategy):
+    """Greedy maximal-biclique cover of the cross-source pair graph.
+
+    Args:
+        weak_edge_ratio: cross edges below this fraction of the weaker
+            endpoint's best edge are excluded from biclique formation
+            (they remain usable for leftover attachment).
+        max_component_size: components with more members than this are kept
+            whole (transitive behaviour) and counted in the diagnostics —
+            biclique enumeration is exponential in the worst case.
+        max_bicliques: enumeration budget per component; once reached, the
+            bicliques found so far are used and the truncation is recorded.
+    """
+
+    name = "biclique"
+
+    def __init__(
+        self,
+        weak_edge_ratio: float = 0.9,
+        max_component_size: int = 64,
+        max_bicliques: int = 256,
+    ):
+        if not 0.0 < weak_edge_ratio <= 1.0:
+            raise ValueError("weak_edge_ratio must be in (0, 1]")
+        if max_component_size < 2:
+            raise ValueError("max_component_size must be at least 2")
+        if max_bicliques < 1:
+            raise ValueError("max_bicliques must be at least 1")
+        self.weak_edge_ratio = weak_edge_ratio
+        self.max_component_size = max_component_size
+        self.max_bicliques = max_bicliques
+
+    def __repr__(self) -> str:
+        return (
+            f"BicliqueClustering(weak_edge_ratio={self.weak_edge_ratio}, "
+            f"max_component_size={self.max_component_size}, "
+            f"max_bicliques={self.max_bicliques})"
+        )
+
+    def cluster(
+        self,
+        size: int,
+        edges: Sequence[ScoredEdge],
+        sources: Optional[Sequence[Any]] = None,
+    ) -> ClusteringResult:
+        adjacency = build_adjacency(size, edges)
+        components = connected_components(adjacency)
+        diagnostics: Dict[str, Any] = {}
+
+        groups: List[List[int]] = []
+        multi_components = 0
+        chains_split = 0
+        if sources is None:
+            # Without source labels there is no bipartite structure to
+            # exploit — behave exactly like the transitive baseline.
+            diagnostics["fallback"] = "no source labels"
+            for component in components:
+                if len(component) > 1:
+                    multi_components += 1
+                groups.append(component)
+        else:
+            if len(sources) != size:
+                raise ValueError(
+                    f"sources has {len(sources)} entries for a relation of "
+                    f"{size} tuples"
+                )
+            oversize = 0
+            covered = 0
+            attached = 0
+            truncated = 0
+            for component in components:
+                if len(component) == 1:
+                    groups.append(component)
+                    continue
+                multi_components += 1
+                if len(component) > self.max_component_size:
+                    oversize += 1
+                    groups.append(component)
+                    continue
+                sub_groups, stats = self._cover_component(
+                    component, adjacency, sources
+                )
+                covered += stats["bicliques_used"]
+                attached += stats["leftovers_attached"]
+                truncated += stats["truncated"]
+                chains_split += len(sub_groups) - 1
+                groups.extend(sub_groups)
+            diagnostics["bicliques_used"] = covered
+            diagnostics["leftovers_attached"] = attached
+            if oversize:
+                diagnostics["oversize_components"] = oversize
+            if truncated:
+                diagnostics["enumeration_truncated"] = truncated
+
+        assignment = assignment_from_groups(size, groups)
+        edges_cut = sum(
+            1
+            for left, right, _ in edges
+            if left != right and assignment[left] != assignment[right]
+        )
+        counts: Dict[int, int] = {}
+        for cluster_id in assignment:
+            counts[cluster_id] = counts.get(cluster_id, 0) + 1
+        report = ClusteringReport(
+            strategy=self.name,
+            clusters=len(counts),
+            largest_cluster=max(counts.values(), default=0),
+            components=multi_components,
+            chains_split=chains_split,
+            edges=len(edges),
+            edges_cut=edges_cut,
+            diagnostics=diagnostics,
+        )
+        return ClusteringResult(assignment=assignment, report=report)
+
+    # -- component cover ---------------------------------------------------
+
+    def _cover_component(
+        self,
+        component: Sequence[int],
+        adjacency: Sequence[Dict[int, float]],
+        sources: Sequence[Any],
+    ) -> Tuple[List[List[int]], Dict[str, int]]:
+        stats = {"bicliques_used": 0, "leftovers_attached": 0, "truncated": 0}
+        member_set = set(component)
+        best_at = {
+            node: max(adjacency[node].values()) for node in component if adjacency[node]
+        }
+
+        # Strong cross-source edges, grouped into one bipartite subgraph per
+        # unordered source pair.
+        bipartite: Dict[Tuple[str, str], Dict[int, Set[int]]] = {}
+        cross_edges = 0
+        for node in component:
+            for neighbour, weight in adjacency[node].items():
+                if neighbour <= node or neighbour not in member_set:
+                    continue
+                if sources[node] == sources[neighbour]:
+                    continue
+                cross_edges += 1
+                if weight < self.weak_edge_ratio * min(
+                    best_at[node], best_at[neighbour]
+                ):
+                    continue
+                key = tuple(sorted((str(sources[node]), str(sources[neighbour]))))
+                graph = bipartite.setdefault(key, {})
+                graph.setdefault(node, set()).add(neighbour)
+                graph.setdefault(neighbour, set()).add(node)
+        if not bipartite or not cross_edges:
+            # No cross-source evidence (or all of it pruned as weak):
+            # nothing bipartite to reason about, keep the component whole.
+            return [sorted(component)], stats
+
+        candidates = self._enumerate_bicliques(bipartite, adjacency, sources, stats)
+
+        # Greedy cover: each biclique claims its still-unassigned members.
+        cluster_of: Dict[int, int] = {}
+        clusters: List[List[int]] = []
+        for members, _, _ in sorted(candidates, key=self._sort_key):
+            free = [m for m in members if m not in cluster_of]
+            if len(free) < 2:
+                continue
+            for m in free:
+                cluster_of[m] = len(clusters)
+            clusters.append(sorted(free))
+            stats["bicliques_used"] += 1
+
+        if not clusters:
+            return [sorted(component)], stats
+
+        # Leftovers join the cluster of their strongest neighbour; multiple
+        # passes let attachment propagate through chains of leftovers.
+        leftovers = sorted(m for m in component if m not in cluster_of)
+        progressed = True
+        while leftovers and progressed:
+            progressed = False
+            remaining: List[int] = []
+            for node in leftovers:
+                best_cluster = None
+                best_weight = -1.0
+                for neighbour, weight in adjacency[node].items():
+                    target = cluster_of.get(neighbour)
+                    if target is None:
+                        continue
+                    if weight > best_weight or (
+                        weight == best_weight
+                        and (best_cluster is None or target < best_cluster)
+                    ):
+                        best_weight = weight
+                        best_cluster = target
+                if best_cluster is None:
+                    remaining.append(node)
+                else:
+                    cluster_of[node] = best_cluster
+                    clusters[best_cluster].append(node)
+                    stats["leftovers_attached"] += 1
+                    progressed = True
+            leftovers = remaining
+        # Anything still stranded (connected only to other strandees —
+        # cannot happen in a connected component, but stay defensive) forms
+        # its own connectivity groups.
+        for stranded in induced_components(leftovers, adjacency) if leftovers else []:
+            clusters.append(stranded)
+
+        return [sorted(cluster) for cluster in clusters], stats
+
+    @staticmethod
+    def _sort_key(candidate: _Candidate):
+        members, min_side, mean_similarity = candidate
+        return (-min_side, -mean_similarity, -len(members), members)
+
+    def _enumerate_bicliques(
+        self,
+        bipartite: Dict[Tuple[str, str], Dict[int, Set[int]]],
+        adjacency: Sequence[Dict[int, float]],
+        sources: Sequence[Any],
+        stats: Dict[str, int],
+    ) -> List[_Candidate]:
+        candidates: Dict[FrozenSet[int], _Candidate] = {}
+        for key in sorted(bipartite):
+            graph = bipartite[key]
+            left_source = key[0]
+            left_side = sorted(
+                node for node in graph if str(sources[node]) == left_source
+            )
+            seeds: List[Set[int]] = [set(graph[node]) for node in left_side]
+            for i, first in enumerate(left_side):
+                for second in left_side[i + 1 :]:
+                    shared = graph[first] & graph[second]
+                    if shared:
+                        seeds.append(shared)
+            for seed in seeds:
+                if len(candidates) >= self.max_bicliques:
+                    stats["truncated"] = 1
+                    break
+                # Galois closure: widen the left side to every vertex that
+                # covers the seed, then shrink the right side to the common
+                # neighbourhood — the result is a maximal biclique.
+                left = [node for node in left_side if seed <= graph[node]]
+                if not left:
+                    continue
+                right: Set[int] = set(graph[left[0]])
+                for node in left[1:]:
+                    right &= graph[node]
+                if not right:
+                    continue
+                members = frozenset(left) | right
+                if members in candidates:
+                    continue
+                weights = [
+                    # Complete by construction: every left-right pair is an edge.
+                    adjacency[node][neighbour]
+                    for node in left
+                    for neighbour in right
+                ]
+                candidates[members] = (
+                    tuple(sorted(members)),
+                    min(len(left), len(right)),
+                    sum(weights) / len(weights),
+                )
+        return list(candidates.values())

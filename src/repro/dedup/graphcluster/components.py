@@ -1,0 +1,191 @@
+"""Shared graph utilities for the clustering strategies.
+
+Everything here is deterministic and pure-python: weighted adjacency over
+the accepted pair graph, connected components, the dense-assignment
+encoding shared with ``transitive_closure_clusters``, and a small
+Stoer–Wagner global min-cut used to find the weakest seam of a sparse
+component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .base import ScoredEdge
+
+__all__ = [
+    "build_adjacency",
+    "connected_components",
+    "induced_components",
+    "assignment_from_groups",
+    "component_cohesion",
+    "minimum_cut",
+]
+
+
+def build_adjacency(size: int, edges: Sequence[ScoredEdge]) -> List[Dict[int, float]]:
+    """Weighted adjacency lists; duplicate edges keep the highest similarity.
+
+    Raises ``ValueError`` naming the offending pair when an endpoint is out
+    of range — the same contract as ``transitive_closure_clusters``.
+    """
+    adjacency: List[Dict[int, float]] = [dict() for _ in range(size)]
+    for left, right, weight in edges:
+        if not (0 <= left < size and 0 <= right < size):
+            raise ValueError(
+                f"duplicate pair ({left}, {right}) is out of range for a "
+                f"relation of {size} tuples"
+            )
+        if left == right:
+            continue
+        previous = adjacency[left].get(right)
+        if previous is None or weight > previous:
+            adjacency[left][right] = weight
+            adjacency[right][left] = weight
+    return adjacency
+
+
+def connected_components(adjacency: Sequence[Dict[int, float]]) -> List[List[int]]:
+    """Connected components as sorted member lists, ordered by first member."""
+    size = len(adjacency)
+    seen = [False] * size
+    components: List[List[int]] = []
+    for start in range(size):
+        if seen[start]:
+            continue
+        seen[start] = True
+        stack = [start]
+        members = [start]
+        while stack:
+            node = stack.pop()
+            for neighbour in adjacency[node]:
+                if not seen[neighbour]:
+                    seen[neighbour] = True
+                    stack.append(neighbour)
+                    members.append(neighbour)
+        members.sort()
+        components.append(members)
+    return components
+
+
+def induced_components(
+    members: Sequence[int], adjacency: Sequence[Dict[int, float]]
+) -> List[List[int]]:
+    """Connected components of the sub-graph induced on ``members``."""
+    member_set = set(members)
+    seen: Set[int] = set()
+    components: List[List[int]] = []
+    for start in sorted(member_set):
+        if start in seen:
+            continue
+        seen.add(start)
+        stack = [start]
+        group = [start]
+        while stack:
+            node = stack.pop()
+            for neighbour in adjacency[node]:
+                if neighbour in member_set and neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+                    group.append(neighbour)
+        group.sort()
+        components.append(group)
+    return components
+
+
+def assignment_from_groups(size: int, groups: Sequence[Sequence[int]]) -> List[int]:
+    """Dense cluster ids ``0 .. k-1`` in order of each group's first row.
+
+    This is the exact encoding ``transitive_closure_clusters`` produces, so
+    any strategy built on it stays drop-in compatible with the fusion
+    stages downstream.
+    """
+    first_row = {min(group): tuple(group) for group in groups}
+    assignment = [-1] * size
+    next_id = 0
+    for row in range(size):
+        if row in first_row:
+            for member in first_row[row]:
+                assignment[member] = next_id
+            next_id += 1
+    return assignment
+
+
+def component_cohesion(members: Sequence[int], adjacency: Sequence[Dict[int, float]]) -> float:
+    """Edge density ``2E / (n·(n-1))`` of the sub-graph on ``members``."""
+    n = len(members)
+    if n < 2:
+        return 1.0
+    member_set = set(members)
+    edge_count = 0
+    for node in members:
+        for neighbour in adjacency[node]:
+            if neighbour in member_set and neighbour > node:
+                edge_count += 1
+    return (2.0 * edge_count) / (n * (n - 1))
+
+
+def minimum_cut(
+    members: Sequence[int], adjacency: Sequence[Dict[int, float]]
+) -> Tuple[float, List[int], List[int]]:
+    """Deterministic Stoer–Wagner global min-cut of the sub-graph on ``members``.
+
+    Returns ``(cut_weight, side_a, side_b)`` with both sides sorted and
+    ``side_a`` holding the smaller first member.  Components handed here are
+    connected and small (they are audit candidates, not the whole relation),
+    so the O(n³) classic algorithm is plenty.
+    """
+    nodes = sorted(members)
+    if len(nodes) < 2:
+        return 0.0, list(nodes), []
+    index_of = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    weights = [[0.0] * n for _ in range(n)]
+    for node in nodes:
+        i = index_of[node]
+        for neighbour, weight in adjacency[node].items():
+            j = index_of.get(neighbour)
+            if j is not None:
+                weights[i][j] = weight
+
+    # merged[i] tracks which original vertices vertex i now represents.
+    merged: List[Set[int]] = [{i} for i in range(n)]
+    active = list(range(n))
+    best_weight = float("inf")
+    best_side: Set[int] = set()
+
+    while len(active) > 1:
+        # One "minimum cut phase": maximum-adjacency ordering from active[0].
+        in_a = {active[0]}
+        order = [active[0]]
+        candidate_weight = {
+            v: weights[active[0]][v] for v in active if v != active[0]
+        }
+        while len(order) < len(active):
+            # Deterministic tie-break: highest weight, then lowest index.
+            next_vertex = min(
+                candidate_weight, key=lambda v: (-candidate_weight[v], v)
+            )
+            order.append(next_vertex)
+            in_a.add(next_vertex)
+            del candidate_weight[next_vertex]
+            for v in candidate_weight:
+                candidate_weight[v] += weights[next_vertex][v]
+        last, before_last = order[-1], order[-2]
+        cut_of_phase = sum(weights[last][v] for v in active if v != last)
+        if cut_of_phase < best_weight:
+            best_weight = cut_of_phase
+            best_side = set(merged[last])
+        # Merge `last` into `before_last`.
+        merged[before_last] |= merged[last]
+        for v in active:
+            if v not in (last, before_last):
+                weights[before_last][v] += weights[last][v]
+                weights[v][before_last] = weights[before_last][v]
+        active.remove(last)
+
+    side_a = sorted(nodes[i] for i in best_side)
+    side_b = sorted(node for node in nodes if node not in set(side_a))
+    if not side_b or (side_a and side_b and side_b[0] < side_a[0]):
+        side_a, side_b = side_b, side_a
+    return best_weight, side_a, side_b

@@ -1,0 +1,160 @@
+"""Connected components with a min-cut audit of sparse "barbell" components.
+
+Transitive closure treats every connected component as one entity.  This
+strategy keeps that view for *dense* components — a group of records that
+nearly all match each other really is one entity — but audits sparse ones,
+which is where chaining lives: two near-cliques joined by one borderline
+edge form a low-cohesion "barbell" whose minimum cut is exactly that bridge.
+
+The audit is weight-aware on purpose.  A path of four records can be either
+a genuine entity (uniform similarities, one comparison simply missing) or a
+chain artifact (a weak bridge between two strong pairs) — the topology is
+identical, only the similarities differ.  So a component is split only when
+its minimum cut crosses edges that are *weak relative to the component's
+typical edge*: mean cut-edge weight below ``weak_cut_ratio`` of the mean
+induced edge weight.  Uniform components survive the audit untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .base import ClusteringReport, ClusteringResult, ClusteringStrategy, ScoredEdge
+from .components import (
+    assignment_from_groups,
+    build_adjacency,
+    component_cohesion,
+    connected_components,
+    induced_components,
+    minimum_cut,
+)
+
+__all__ = ["GraphClustering"]
+
+
+class GraphClustering(ClusteringStrategy):
+    """Split sparse components at weak minimum cuts; keep dense ones whole.
+
+    Args:
+        min_cohesion: components with edge density at or above this stay
+            merged without an audit (near-bicliques are real entities).
+        min_side: smallest cluster a split may produce; splits that would
+            strand fewer records than this are rejected, so a weakly
+            attached single record is never silently dropped to a singleton
+            with the default of 2.
+        weak_cut_ratio: a cut is "weak" when its mean crossing-edge weight
+            is below this fraction of the component's mean edge weight.
+    """
+
+    name = "graph"
+
+    def __init__(
+        self,
+        min_cohesion: float = 0.6,
+        min_side: int = 2,
+        weak_cut_ratio: float = 0.9,
+    ):
+        if not 0.0 < min_cohesion <= 1.0:
+            raise ValueError("min_cohesion must be in (0, 1]")
+        if min_side < 1:
+            raise ValueError("min_side must be at least 1")
+        if not 0.0 < weak_cut_ratio <= 1.0:
+            raise ValueError("weak_cut_ratio must be in (0, 1]")
+        self.min_cohesion = min_cohesion
+        self.min_side = min_side
+        self.weak_cut_ratio = weak_cut_ratio
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphClustering(min_cohesion={self.min_cohesion}, "
+            f"min_side={self.min_side}, weak_cut_ratio={self.weak_cut_ratio})"
+        )
+
+    def cluster(
+        self,
+        size: int,
+        edges: Sequence[ScoredEdge],
+        sources: Optional[Sequence[Any]] = None,
+    ) -> ClusteringResult:
+        adjacency = build_adjacency(size, edges)
+        components = connected_components(adjacency)
+        groups: List[List[int]] = []
+        audited = 0
+        chains_split = 0
+        multi_components = 0
+        for component in components:
+            if len(component) == 1:
+                groups.append(component)
+                continue
+            multi_components += 1
+            sub_groups, component_audits = self._refine(component, adjacency)
+            audited += component_audits
+            chains_split += len(sub_groups) - 1
+            groups.extend(sub_groups)
+
+        assignment = assignment_from_groups(size, groups)
+        edges_cut = sum(
+            1
+            for left, right, _ in edges
+            if left != right and assignment[left] != assignment[right]
+        )
+        counts: Dict[int, int] = {}
+        for cluster_id in assignment:
+            counts[cluster_id] = counts.get(cluster_id, 0) + 1
+        report = ClusteringReport(
+            strategy=self.name,
+            clusters=len(counts),
+            largest_cluster=max(counts.values(), default=0),
+            components=multi_components,
+            chains_split=chains_split,
+            edges=len(edges),
+            edges_cut=edges_cut,
+            diagnostics={"components_audited": audited},
+        )
+        return ClusteringResult(assignment=assignment, report=report)
+
+    def _refine(
+        self, members: Sequence[int], adjacency: Sequence[Dict[int, float]]
+    ) -> Tuple[List[List[int]], int]:
+        """Recursively split one connected component; returns (groups, audits)."""
+        members = sorted(members)
+        if len(members) < 2 * self.min_side:
+            return [members], 0
+        if component_cohesion(members, adjacency) >= self.min_cohesion:
+            return [members], 0
+
+        cut_weight, side_a, side_b = minimum_cut(members, adjacency)
+        if min(len(side_a), len(side_b)) < self.min_side:
+            return [members], 1
+
+        member_set = set(members)
+        side_b_set = set(side_b)
+        induced_weights = [
+            weight
+            for node in members
+            for neighbour, weight in adjacency[node].items()
+            if neighbour in member_set and neighbour > node
+        ]
+        crossing = sum(
+            1
+            for node in side_a
+            for neighbour in adjacency[node]
+            if neighbour in side_b_set
+        )
+        if not induced_weights or crossing == 0:
+            return [members], 1
+        mean_edge = sum(induced_weights) / len(induced_weights)
+        mean_cut_edge = cut_weight / crossing
+        if mean_cut_edge >= self.weak_cut_ratio * mean_edge:
+            return [members], 1
+
+        groups: List[List[int]] = []
+        audits = 1
+        for side in (side_a, side_b):
+            # A min-cut side of a connected graph is itself connected, but
+            # re-split defensively in case of exact-tie degeneracies.
+            for piece in induced_components(side, adjacency):
+                sub_groups, sub_audits = self._refine(piece, adjacency)
+                groups.extend(sub_groups)
+                audits += sub_audits
+        return groups, audits

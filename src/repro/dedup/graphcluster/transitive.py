@@ -1,0 +1,45 @@
+"""The paper's transitive-closure clustering as a pluggable strategy.
+
+This is the exact baseline: it delegates to the same
+``transitive_closure_clusters`` union-find the pipeline has always used,
+so ``clustering="transitive"`` (the default) is bit-identical to the
+pre-subsystem behaviour — asserted against the golden fixtures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..clustering import transitive_closure_clusters
+from .base import ClusteringReport, ClusteringResult, ClusteringStrategy, ScoredEdge
+
+__all__ = ["TransitiveClustering"]
+
+
+class TransitiveClustering(ClusteringStrategy):
+    """Merge every connected component of the accepted pair graph (§2.3)."""
+
+    name = "transitive"
+
+    def cluster(
+        self,
+        size: int,
+        edges: Sequence[ScoredEdge],
+        sources: Optional[Sequence[Any]] = None,
+    ) -> ClusteringResult:
+        pairs = [(left, right) for left, right, _ in edges]
+        assignment = transitive_closure_clusters(size, pairs)
+        counts: dict = {}
+        for cluster_id in assignment:
+            counts[cluster_id] = counts.get(cluster_id, 0) + 1
+        multi = sum(1 for count in counts.values() if count > 1)
+        report = ClusteringReport(
+            strategy=self.name,
+            clusters=len(counts),
+            largest_cluster=max(counts.values(), default=0),
+            components=multi,
+            chains_split=0,
+            edges=len(edges),
+            edges_cut=0,
+        )
+        return ClusteringResult(assignment=assignment, report=report)

@@ -153,6 +153,7 @@ class ServiceApp:
                     "sources": tenant.hummer.sources(),
                     "sessions": sorted(tenant.sessions),
                     "admission": tenant.admission_status(),
+                    "clusters": tenant.cluster_diagnostics(),
                 }
         if tail == ("sources",):
             if method == "GET":

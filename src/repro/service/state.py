@@ -155,6 +155,33 @@ class Tenant:
             "orphaned": self.orphaned,
         }
 
+    def cluster_diagnostics(self) -> Optional[Dict[str, Any]]:
+        """Cluster shape of the newest completed dedup step, or ``None``.
+
+        Surfaces over-merging live: operators watch ``largest_cluster``
+        balloon (transitive chaining) or ``chains_split`` climb (a graph
+        strategy actively cutting weak bridges).  Sessions are scanned in
+        creation order, so the most recent dedup report wins.
+        """
+        newest: Optional[Dict[str, Any]] = None
+        for session_id, handle in self.sessions.items():
+            report = handle.session.step_reports.get(
+                FusionSession.DUPLICATE_DETECTION
+            )
+            if not report:
+                continue
+            payload = report.get("payload", {})
+            if "clusters" not in payload:
+                continue
+            newest = {
+                "session": session_id,
+                "clusters": payload.get("clusters"),
+                "largest_cluster": payload.get("largest_cluster"),
+                "chains_split": payload.get("chains_split"),
+                "clustering": payload.get("clustering"),
+            }
+        return newest
+
     @contextlib.asynccontextmanager
     async def admit(self, bounded: bool = True):
         """Serialize a request behind the tenant lock, with admission control.
@@ -456,6 +483,7 @@ class ServiceState:
                     "sources": len(tenant.hummer.sources()),
                     "sessions": len(tenant.sessions),
                     "admission": tenant.admission_status(),
+                    "clusters": tenant.cluster_diagnostics(),
                 }
                 for tenant_id, tenant in sorted(self.tenants.items())
             },

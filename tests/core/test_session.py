@@ -129,6 +129,9 @@ class TestEvents:
         detection = by_step["duplicate_detection"].payload
         assert detection["clusters"] == 5
         assert detection["compared_pairs"] <= detection["candidate_pairs"]
+        assert detection["clustering"] == "transitive"
+        assert detection["largest_cluster"] == 2
+        assert detection["chains_split"] == 0
         assert by_step["conflict_resolution"].payload["contradictions"] >= 1
         assert by_step["fusion"].payload["output_tuples"] == 5
 

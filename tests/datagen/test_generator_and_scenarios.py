@@ -101,6 +101,63 @@ class TestDirtySourceGenerator:
         with pytest.raises(ValueError):
             DirtySourceGenerator([SourceSpec(name="a")], overlap=1.5)
 
+    def test_chain_validation(self):
+        with pytest.raises(ValueError, match="chain_fraction"):
+            self.make(chain_fraction=1.5, chain_fields=["city"])
+        with pytest.raises(ValueError, match="chain_fields"):
+            self.make(chain_fraction=0.5)
+
+    def test_chain_corruption_plants_bridges(self):
+        generator = self.make(chain_fraction=1.0, chain_fields=["age", "city"])
+        dataset = generator.generate(ENTITIES)
+        bridges = dataset.truth.chain_bridges
+        assert bridges
+        for foreign, bridged, source, row in bridges:
+            assert foreign != bridged
+            # ground truth still books the bridge row under its own entity
+            assert dataset.truth.entity_of[(source, row)] == bridged
+            clean = dataset.truth.clean_records[foreign]
+            relation = dataset.sources[source]
+            if "age" in relation.schema:
+                assert relation.column("age")[row] == clean["age"]
+
+    def test_chain_corruption_only_touches_bridge_rows(self):
+        plain = self.make().generate(ENTITIES)
+        chained = self.make(chain_fraction=0.8, chain_fields=["age", "city"]).generate(
+            ENTITIES
+        )
+        bridge_rows = {(s, r) for _, _, s, r in chained.truth.chain_bridges}
+        assert bridge_rows
+        for name in plain.sources:
+            before, after = plain.sources[name], chained.sources[name]
+            assert len(before) == len(after)
+            for row in range(len(before)):
+                same = all(
+                    before.column(column.name)[row] == after.column(column.name)[row]
+                    for column in before.schema.columns
+                )
+                if (name, row) not in bridge_rows:
+                    assert same, (name, row)
+
+    def test_chain_corruption_respects_rename_and_drop(self):
+        generator = self.make(chain_fraction=1.0, chain_fields=["name", "city"])
+        dataset = generator.generate(ENTITIES)
+        source_b = dataset.sources["b"]
+        assert "city" not in source_b.schema  # drop honoured, no new column
+        for foreign, _, source, row in dataset.truth.chain_bridges:
+            if source != "b":
+                continue
+            # "name" is renamed to "full_name" in source b
+            assert source_b.column("full_name")[row] == (
+                dataset.truth.clean_records[foreign]["name"]
+            )
+
+    def test_chain_corruption_is_deterministic(self):
+        first = self.make(chain_fraction=0.6, chain_fields=["city"]).generate(ENTITIES)
+        second = self.make(chain_fraction=0.6, chain_fields=["city"]).generate(ENTITIES)
+        assert first.truth.chain_bridges == second.truth.chain_bridges
+        assert first.sources["a"].rows == second.sources["a"].rows
+
 
 class TestScenarios:
     def test_students_scenario_shape(self):
@@ -128,6 +185,12 @@ class TestScenarios:
         hospital = dataset.sources["field_hospital"]
         assert "patient" in hospital.schema
         assert "damage" not in hospital.schema
+
+    def test_students_scenario_chain_mode(self):
+        dataset = students_scenario(entity_count=40, overlap=0.5, seed=5, chain_fraction=0.6)
+        assert dataset.truth.chain_bridges
+        clean = students_scenario(entity_count=40, overlap=0.5, seed=5)
+        assert not clean.truth.chain_bridges
 
     def test_scenarios_are_deterministic(self):
         first = students_scenario(entity_count=15, seed=8)

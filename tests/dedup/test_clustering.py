@@ -42,6 +42,15 @@ class TestUnionFind:
     def test_len(self):
         assert len(UnionFind(7)) == 7
 
+    def test_out_of_range_union_names_the_pair(self):
+        uf = UnionFind(3)
+        with pytest.raises(ValueError, match=r"\(0, 3\) is out of range"):
+            uf.union(0, 3)
+        with pytest.raises(ValueError, match=r"\(-1, 2\) is out of range"):
+            uf.union(-1, 2)
+        # the failed unions must not have corrupted the structure
+        assert not uf.connected(0, 2)
+
 
 class TestTransitiveClosure:
     def test_no_pairs_gives_singletons(self):
@@ -54,6 +63,12 @@ class TestTransitiveClosure:
     def test_cluster_ids_are_dense_and_ordered(self):
         assignment = transitive_closure_clusters(5, [(3, 4)])
         assert assignment == [0, 1, 2, 3, 3]
+
+    def test_out_of_range_pair_is_a_clear_error(self):
+        with pytest.raises(
+            ValueError, match=r"duplicate pair \(1, 5\) is out of range for a relation of 3 tuples"
+        ):
+            transitive_closure_clusters(3, [(0, 1), (1, 5)])
 
     def test_two_separate_clusters(self):
         assignment = transitive_closure_clusters(6, [(0, 5), (1, 2)])

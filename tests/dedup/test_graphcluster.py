@@ -1,0 +1,345 @@
+"""Tests for the pluggable graph clustering subsystem (ISSUE 10).
+
+Covers the strategy contract (dense assignment ids, split-only refinement),
+the chaining pathology on canonical weighted graphs, the resolver, the
+report payloads, and the detector integration.
+"""
+
+import pytest
+
+from repro.dedup.clustering import transitive_closure_clusters
+from repro.dedup.detector import OBJECT_ID_COLUMN, DuplicateDetector
+from repro.dedup.graphcluster import (
+    CLUSTERING_STRATEGIES,
+    BicliqueClustering,
+    ClusteringReport,
+    GraphClustering,
+    TransitiveClustering,
+    resolve_clustering,
+)
+from repro.dedup.graphcluster.components import (
+    build_adjacency,
+    component_cohesion,
+    connected_components,
+    minimum_cut,
+)
+from repro.engine.relation import Relation
+
+# Canonical four-row setup: rows 0/2 from source s1, rows 1/3 from s2;
+# entity a = rows {0, 1}, entity b = rows {2, 3}.
+SOURCES = ["s1", "s2", "s1", "s2"]
+#: Chain artifact: two strong pairs joined by one borderline bridge (1-2).
+CHAIN_EDGES = [(0, 1, 0.9), (2, 3, 0.9), (1, 2, 0.72)]
+#: Genuine sparse entity: a path with uniform strong similarities.
+GENUINE_EDGES = [(0, 1, 0.9), (0, 3, 0.85), (2, 3, 0.9)]
+#: Full 2x2 biclique: one entity with two records per source.
+FULL_EDGES = [(0, 1, 0.9), (0, 3, 0.85), (1, 2, 0.8), (2, 3, 0.9)]
+
+
+@pytest.fixture(params=["transitive", "graph", "biclique"])
+def strategy(request):
+    return resolve_clustering(request.param)
+
+
+class TestResolver:
+    def test_none_resolves_to_transitive_baseline(self):
+        assert isinstance(resolve_clustering(None), TransitiveClustering)
+
+    @pytest.mark.parametrize("name", sorted(CLUSTERING_STRATEGIES))
+    def test_names_resolve(self, name):
+        strategy = resolve_clustering(name)
+        assert strategy.name == name
+
+    def test_instance_passes_through(self):
+        instance = GraphClustering(min_cohesion=0.5)
+        assert resolve_clustering(instance) is instance
+
+    def test_instance_with_options_rejected(self):
+        with pytest.raises(ValueError, match="already-constructed"):
+            resolve_clustering(GraphClustering(), min_cohesion=0.5)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="biclique, graph, transitive"):
+            resolve_clustering("louvain")
+
+    def test_options_reach_the_constructor(self):
+        strategy = resolve_clustering("biclique", max_component_size=10)
+        assert strategy.max_component_size == 10
+
+    def test_bad_option_values_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_clustering("graph", min_cohesion=0.0)
+        with pytest.raises(ValueError):
+            resolve_clustering("graph", min_side=0)
+        with pytest.raises(ValueError):
+            resolve_clustering("biclique", weak_edge_ratio=1.5)
+        with pytest.raises(ValueError):
+            resolve_clustering("biclique", max_component_size=1)
+        with pytest.raises(ValueError):
+            resolve_clustering("biclique", max_bicliques=0)
+
+
+class TestContract:
+    """Every strategy honours the assignment contract."""
+
+    def test_empty_graph_gives_singletons(self, strategy):
+        result = strategy.cluster(4, [], sources=SOURCES)
+        assert result.assignment == [0, 1, 2, 3]
+        assert result.report.clusters == 4
+        assert result.report.largest_cluster == 1
+        assert result.report.edges == 0
+
+    def test_zero_rows(self, strategy):
+        result = strategy.cluster(0, [], sources=[])
+        assert result.assignment == []
+        assert result.report.clusters == 0
+        assert result.report.largest_cluster == 0
+
+    def test_assignment_ids_are_dense_and_first_row_ordered(self, strategy):
+        result = strategy.cluster(6, [(3, 4, 0.9)], sources=["a", "b"] * 3)
+        assert result.assignment == [0, 1, 2, 3, 3, 4]
+
+    def test_out_of_range_edge_is_a_clear_error(self, strategy):
+        with pytest.raises(ValueError, match=r"\(0, 9\) is out of range"):
+            strategy.cluster(4, [(0, 9, 0.8)], sources=SOURCES)
+
+    def test_never_merges_across_components(self, strategy):
+        edges = [(0, 1, 0.9), (2, 3, 0.8), (4, 5, 0.7), (3, 4, 0.6)]
+        sources = ["a", "b", "a", "b", "a", "b"]
+        result = strategy.cluster(6, edges, sources=sources)
+        baseline = transitive_closure_clusters(6, [(a, b) for a, b, _ in edges])
+        for i in range(6):
+            for j in range(6):
+                if baseline[i] != baseline[j]:
+                    assert result.assignment[i] != result.assignment[j]
+
+    def test_deterministic(self, strategy):
+        first = strategy.cluster(4, CHAIN_EDGES, sources=SOURCES)
+        second = strategy.cluster(4, list(CHAIN_EDGES), sources=list(SOURCES))
+        assert first.assignment == second.assignment
+        assert first.report.as_dict() == second.report.as_dict()
+
+
+class TestTransitiveStrategy:
+    def test_matches_union_find_baseline(self):
+        edges = [(0, 1, 0.9), (1, 2, 0.5), (4, 5, 0.99)]
+        result = TransitiveClustering().cluster(7, edges)
+        assert result.assignment == transitive_closure_clusters(
+            7, [(a, b) for a, b, _ in edges]
+        )
+        assert result.report.chains_split == 0
+        assert result.report.edges_cut == 0
+
+    def test_merges_the_chain(self):
+        result = TransitiveClustering().cluster(4, CHAIN_EDGES, sources=SOURCES)
+        assert result.assignment == [0, 0, 0, 0]
+        assert result.report.largest_cluster == 4
+
+
+@pytest.mark.parametrize("strategy_name", ["graph", "biclique"])
+class TestChainingPathology:
+    """The canonical cases that motivated the subsystem."""
+
+    def test_weak_bridge_is_split(self, strategy_name):
+        result = resolve_clustering(strategy_name).cluster(
+            4, CHAIN_EDGES, sources=SOURCES
+        )
+        assert result.assignment == [0, 0, 1, 1]
+        assert result.report.chains_split == 1
+        assert result.report.edges_cut == 1
+
+    def test_uniform_path_stays_merged(self, strategy_name):
+        # Same topology as the chain, but uniform weights: a genuine sparse
+        # entity must not be split (weights, not topology, decide).
+        result = resolve_clustering(strategy_name).cluster(
+            4, GENUINE_EDGES, sources=SOURCES
+        )
+        assert result.assignment == [0, 0, 0, 0]
+        assert result.report.chains_split == 0
+
+    def test_full_biclique_stays_merged(self, strategy_name):
+        result = resolve_clustering(strategy_name).cluster(
+            4, FULL_EDGES, sources=SOURCES
+        )
+        assert result.assignment == [0, 0, 0, 0]
+        assert result.report.edges_cut == 0
+
+    def test_barbell_of_triangles_is_split(self, strategy_name):
+        # Two strong triangles joined by one weak bridge (2-3).
+        edges = [
+            (0, 1, 0.9), (0, 2, 0.88), (1, 2, 0.92),
+            (3, 4, 0.9), (3, 5, 0.91), (4, 5, 0.89),
+            (2, 3, 0.6),
+        ]
+        sources = ["a", "b", "a", "b", "a", "b"]
+        result = resolve_clustering(strategy_name).cluster(6, edges, sources=sources)
+        assert result.assignment == [0, 0, 0, 1, 1, 1]
+        assert result.report.chains_split == 1
+
+
+class TestGraphStrategy:
+    def test_dense_component_skips_the_audit(self):
+        result = GraphClustering().cluster(4, FULL_EDGES, sources=SOURCES)
+        assert result.report.diagnostics == {"components_audited": 0}
+
+    def test_sparse_component_is_audited(self):
+        result = GraphClustering().cluster(4, CHAIN_EDGES, sources=SOURCES)
+        assert result.report.diagnostics["components_audited"] >= 1
+
+    def test_min_side_protects_single_records(self):
+        # The global minimum cut strands the pendant record 4; rather than
+        # cut a singleton loose, the audit keeps the component whole.
+        edges = [(0, 1, 0.9), (0, 2, 0.9), (1, 2, 0.9), (2, 3, 0.5), (3, 4, 0.45)]
+        result = GraphClustering().cluster(5, edges)
+        assert result.assignment == [0, 0, 0, 0, 0]
+        assert result.report.chains_split == 0
+
+    def test_works_without_source_labels(self):
+        result = GraphClustering().cluster(4, CHAIN_EDGES)
+        assert result.assignment == [0, 0, 1, 1]
+
+
+class TestBicliqueStrategy:
+    def test_no_sources_falls_back_to_transitive(self):
+        result = BicliqueClustering().cluster(4, CHAIN_EDGES)
+        assert result.assignment == [0, 0, 0, 0]
+        assert result.report.diagnostics["fallback"] == "no source labels"
+
+    def test_source_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="3 entries for a relation of 4"):
+            BicliqueClustering().cluster(4, CHAIN_EDGES, sources=["a", "b", "a"])
+
+    def test_within_source_only_component_kept_whole(self):
+        edges = [(0, 1, 0.9), (1, 2, 0.6)]
+        result = BicliqueClustering().cluster(3, edges, sources=["a", "a", "a"])
+        assert result.assignment == [0, 0, 0]
+
+    def test_oversize_component_kept_whole_and_reported(self):
+        edges = [(i, i + 1, 0.9) for i in range(5)]
+        sources = ["a", "b"] * 3
+        result = BicliqueClustering(max_component_size=4).cluster(
+            6, edges, sources=sources
+        )
+        assert result.assignment == [0] * 6
+        assert result.report.diagnostics["oversize_components"] == 1
+
+    def test_leftover_attaches_to_strongest_neighbour(self):
+        # Rows 0-3 form the 2x2 biclique; row 4 hangs off row 3 by a strong
+        # within-source edge and must join the biclique's cluster.
+        edges = [(0, 1, 0.9), (0, 3, 0.85), (1, 2, 0.85), (2, 3, 0.9), (3, 4, 0.88)]
+        sources = SOURCES + ["s2"]
+        result = BicliqueClustering().cluster(5, edges, sources=sources)
+        assert result.assignment == [0, 0, 0, 0, 0]
+        assert result.report.diagnostics["leftovers_attached"] == 1
+
+    def test_report_counts_bicliques(self):
+        result = BicliqueClustering().cluster(4, FULL_EDGES, sources=SOURCES)
+        assert result.report.diagnostics["bicliques_used"] == 1
+
+
+class TestComponents:
+    def test_build_adjacency_keeps_max_weight_on_duplicates(self):
+        adjacency = build_adjacency(2, [(0, 1, 0.5), (0, 1, 0.8), (0, 1, 0.6)])
+        assert adjacency[0] == {1: 0.8}
+
+    def test_build_adjacency_skips_self_loops(self):
+        adjacency = build_adjacency(2, [(1, 1, 0.9)])
+        assert adjacency[1] == {}
+
+    def test_connected_components_ordered_by_first_member(self):
+        adjacency = build_adjacency(5, [(3, 4, 0.9), (0, 2, 0.9)])
+        assert connected_components(adjacency) == [[0, 2], [1], [3, 4]]
+
+    def test_cohesion(self):
+        full = build_adjacency(3, [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)])
+        path = build_adjacency(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert component_cohesion([0, 1, 2], full) == 1.0
+        assert component_cohesion([0, 1, 2], path) == pytest.approx(2 / 3)
+        assert component_cohesion([0], full) == 1.0
+
+    def test_minimum_cut_finds_the_bridge(self):
+        adjacency = build_adjacency(4, CHAIN_EDGES)
+        cut_weight, side_a, side_b = minimum_cut([0, 1, 2, 3], adjacency)
+        assert cut_weight == pytest.approx(0.72)
+        assert side_a == [0, 1]
+        assert side_b == [2, 3]
+
+
+class TestReport:
+    def test_as_dict_omits_empty_diagnostics(self):
+        report = ClusteringReport(strategy="transitive", clusters=2)
+        assert "diagnostics" not in report.as_dict()
+
+    def test_as_dict_includes_diagnostics(self):
+        report = ClusteringReport(strategy="graph", diagnostics={"components_audited": 3})
+        assert report.as_dict()["diagnostics"] == {"components_audited": 3}
+
+
+@pytest.fixture
+def chained_relation():
+    """Five records: entities anna (0, 1) and ben (2, 3) plus a loner.
+
+    Record 2 is a bridge: ben's name but anna's email/city, so pairwise
+    scoring links it strongly to 3 and borderline to 0/1.
+    """
+    return Relation.from_dicts(
+        [
+            {"name": "Anna Schmidt", "city": "Berlin", "email": "anna@mail.de", "sourceID": "a"},
+            {"name": "Anna Schmitd", "city": "Berlin", "email": "anna@mail.de", "sourceID": "b"},
+            {"name": "Ben Mueller", "city": "Berlin", "email": "anna@mail.de", "sourceID": "a"},
+            {"name": "Benjamin Mueller", "city": "Hamburg", "email": "ben@mail.de", "sourceID": "b"},
+            {"name": "Carla Weber", "city": "Munich", "email": "carla@web.de", "sourceID": "a"},
+        ],
+        name="people",
+    )
+
+
+class TestDetectorIntegration:
+    def test_default_detector_reports_transitive(self, chained_relation):
+        result = DuplicateDetector(threshold=0.55).detect(chained_relation)
+        assert result.clustering_report is not None
+        assert result.clustering_report.strategy == "transitive"
+        assert result.clustering_report.clusters == result.cluster_count
+
+    def test_clustering_name_is_resolved(self, chained_relation):
+        result = DuplicateDetector(threshold=0.55, clustering="graph").detect(
+            chained_relation
+        )
+        assert result.clustering_report.strategy == "graph"
+
+    def test_object_ids_follow_the_strategy_assignment(self, chained_relation):
+        result = DuplicateDetector(threshold=0.55, clustering="biclique").detect(
+            chained_relation
+        )
+        object_ids = result.relation.column(OBJECT_ID_COLUMN)
+        assert list(object_ids) == result.cluster_assignment
+
+    def test_transitive_name_is_bit_identical_to_default(self, chained_relation):
+        default = DuplicateDetector(threshold=0.55).detect(chained_relation)
+        named = DuplicateDetector(threshold=0.55, clustering="transitive").detect(
+            chained_relation
+        )
+        assert named.cluster_assignment == default.cluster_assignment
+        assert named.duplicate_pairs == default.duplicate_pairs
+
+    def test_strategies_only_refine_the_transitive_result(self, chained_relation):
+        baseline = DuplicateDetector(threshold=0.55).detect(chained_relation)
+        for name in ("graph", "biclique"):
+            refined = DuplicateDetector(threshold=0.55, clustering=name).detect(
+                chained_relation
+            )
+            size = len(baseline.cluster_assignment)
+            for i in range(size):
+                for j in range(size):
+                    if baseline.cluster_assignment[i] != baseline.cluster_assignment[j]:
+                        assert (
+                            refined.cluster_assignment[i]
+                            != refined.cluster_assignment[j]
+                        ), name
+
+    def test_instance_injection(self, chained_relation):
+        strategy = GraphClustering(min_cohesion=0.9)
+        result = DuplicateDetector(threshold=0.55, clustering=strategy).detect(
+            chained_relation
+        )
+        assert result.clustering_report.strategy == "graph"

@@ -80,6 +80,33 @@ class TestDedupMetrics:
         metrics = evaluate_clusters([0, 0, 1], truth)
         assert metrics.recall == pytest.approx(1 / 3)
 
+    def test_empty_assignment(self):
+        assert pairs_from_clusters([]) == set()
+        metrics = evaluate_clusters([], set())
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+
+    def test_all_singletons_predicts_no_pairs(self):
+        assignment = list(range(6))
+        assert pairs_from_clusters(assignment) == set()
+        metrics = evaluate_clusters(assignment, {(0, 1)})
+        assert metrics.precision == 1.0  # nothing predicted, nothing wrong
+        assert metrics.recall == 0.0
+
+    def test_one_giant_cluster_implies_all_pairs(self):
+        assignment = [0] * 5
+        assert len(pairs_from_clusters(assignment)) == 10  # C(5, 2)
+        metrics = evaluate_clusters(assignment, {(0, 1), (2, 3)})
+        assert metrics.recall == 1.0
+        assert metrics.precision == pytest.approx(2 / 10)
+
+    def test_non_dense_cluster_ids_are_accepted(self):
+        # ids need not be 0..k-1 — only equality of labels matters
+        sparse = pairs_from_clusters([17, 42, 17, 99])
+        assert sparse == {(0, 2)}
+        dense = evaluate_clusters([0, 1, 0, 2], {(0, 2)})
+        assert evaluate_clusters([17, 42, 17, 99], {(0, 2)}).f1 == dense.f1 == 1.0
+
 
 class TestFusionQuality:
     def make_result(self):

@@ -184,6 +184,34 @@ class TestSessions:
         assert rows[0][age_at] == 35  # max of 34 (crm) and 35 (shop)
 
 
+class TestClusterDiagnostics:
+    def test_tenant_status_has_no_diagnostics_before_dedup(self, client):
+        assert client.tenant_status()["clusters"] is None
+
+    def test_tenant_status_and_stats_surface_cluster_shape(self, client, golden_csv):
+        aliases = upload_golden(client, golden_csv)
+        session = client.create_session(aliases)["session"]
+        client.run_to_completion(session)
+
+        diagnostics = client.tenant_status()["clusters"]
+        assert diagnostics["session"] == session
+        assert diagnostics["clusters"] >= 1
+        assert diagnostics["largest_cluster"] >= 2  # golden data has duplicates
+        assert diagnostics["chains_split"] == 0  # transitive baseline never splits
+        assert diagnostics["clustering"] == "transitive"
+
+        per_tenant = client.stats()["tenants"][client.tenant]
+        assert per_tenant["clusters"] == diagnostics
+
+    def test_newest_session_wins(self, client, golden_csv):
+        aliases = upload_golden(client, golden_csv)
+        first = client.create_session(aliases)["session"]
+        client.run_to_completion(first)
+        second = client.create_session(aliases)["session"]
+        client.run_to_completion(second)
+        assert client.tenant_status()["clusters"]["session"] == second
+
+
 class TestQuery:
     def test_fuse_by_query(self, client):
         client.upload_rows("a", [{"Name": "Anna", "Age": 22}])

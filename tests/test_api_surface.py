@@ -19,6 +19,7 @@ import pytest
 import repro
 import repro.config
 import repro.core.session
+import repro.dedup.graphcluster
 from repro.config import DedupConfig, FusionConfig, PrepareConfig
 from repro.core.pipeline import FusionPipeline
 from repro.core.session import FusionSession
@@ -79,6 +80,21 @@ SESSION_EXPORTS = sorted(
     ["SESSION_STEPS", "SNAPSHOT_VERSION", "StageEvent", "ProgressEvent", "FusionSession"]
 )
 
+GRAPHCLUSTER_EXPORTS = sorted(
+    [
+        "ClusteringStrategy",
+        "ClusteringSpec",
+        "ClusteringReport",
+        "ClusteringResult",
+        "ScoredEdge",
+        "TransitiveClustering",
+        "GraphClustering",
+        "BicliqueClustering",
+        "CLUSTERING_STRATEGIES",
+        "resolve_clustering",
+    ]
+)
+
 
 def parameters(callable_object):
     """Ordered parameter names of *callable_object* (self included)."""
@@ -126,7 +142,7 @@ SIGNATURES = {
     "DuplicateDetector.__init__": [
         "self", "threshold", "uncertainty_band", "use_filter",
         "cross_source_only", "selection", "accept_unsure", "keep_evidence",
-        "blocking", "executor",
+        "blocking", "clustering", "executor",
     ],
     "DuplicateDetector.with_overrides": ["self", "overrides"],
 }
@@ -153,6 +169,13 @@ class TestExportedNames:
 
     def test_session_all(self):
         assert sorted(repro.core.session.__all__) == SESSION_EXPORTS
+
+    def test_graphcluster_all(self):
+        assert sorted(repro.dedup.graphcluster.__all__) == GRAPHCLUSTER_EXPORTS
+
+    def test_graphcluster_exports_resolve(self):
+        for name in repro.dedup.graphcluster.__all__:
+            assert hasattr(repro.dedup.graphcluster, name), name
 
     def test_session_steps_are_stable(self):
         assert repro.core.session.SESSION_STEPS == (

@@ -134,6 +134,45 @@ class TestFuseCommand:
         assert exit_code == 1
         assert "unknown blocking strategy" in captured.err
 
+    def test_fuse_prints_transitive_clustering_report_by_default(
+        self, csv_sources, capsys
+    ):
+        ee_path, cs_path = csv_sources
+        exit_code = main(
+            ["fuse", "--source", f"ee={ee_path}", "--source", f"cs={cs_path}"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "clustering (transitive):" in output
+        assert "chains split" not in output  # baseline never splits
+
+    def test_fuse_with_clustering_strategy_prints_split_counters(
+        self, csv_sources, capsys
+    ):
+        ee_path, cs_path = csv_sources
+        exit_code = main(
+            [
+                "fuse",
+                "--source", f"ee={ee_path}",
+                "--source", f"cs={cs_path}",
+                "--clustering", "biclique",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "clustering (biclique):" in output
+        assert "chains split" in output
+
+    def test_unknown_clustering_is_reported_not_raised(self, csv_sources, capsys):
+        ee_path, cs_path = csv_sources
+        exit_code = main(
+            ["fuse", "--source", f"ee={ee_path}", "--source", f"cs={cs_path}",
+             "--clustering", "louvain"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "unknown clustering strategy" in captured.err
+
 
 class TestConfigFile:
     """CLI-flag ↔ config-file parity (ISSUE 5 satellite)."""

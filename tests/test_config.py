@@ -19,6 +19,7 @@ from repro.config import (
 )
 from repro.dedup.blocking import SortedNeighborhoodBlocking, UnionBlocking
 from repro.dedup.executor import MultiprocessExecutor, SerialExecutor
+from repro.dedup.graphcluster import BicliqueClustering, GraphClustering
 from repro.exceptions import ConfigError, HummerError
 
 
@@ -38,6 +39,8 @@ def full_config() -> FusionConfig:
             keep_evidence=True,
             blocking="snm",
             blocking_options={"window": 6},
+            clustering="graph",
+            clustering_options={"min_cohesion": 0.5},
             workers=2,
             chunk_size=64,
         ),
@@ -115,6 +118,22 @@ class TestValidation:
         with pytest.raises(ConfigError, match="blocking_options"):
             DedupConfig(blocking_options={"window": 4})
 
+    def test_bad_clustering_name(self):
+        with pytest.raises(ConfigError, match="unknown clustering strategy"):
+            DedupConfig(clustering="louvain")
+
+    def test_bad_clustering_option(self):
+        with pytest.raises(ConfigError):
+            DedupConfig(clustering="graph", clustering_options={"cohesion": 0.5})
+
+    def test_clustering_options_need_a_strategy(self):
+        with pytest.raises(ConfigError, match="clustering_options"):
+            DedupConfig(clustering_options={"min_cohesion": 0.5})
+
+    def test_clustering_instance_rejected_in_the_tree(self):
+        with pytest.raises(ConfigError, match="strategy name"):
+            DedupConfig(clustering=GraphClustering())
+
     def test_bad_executor_name(self):
         with pytest.raises(ConfigError, match="unknown scoring executor"):
             DedupConfig(executor="threads")
@@ -174,6 +193,13 @@ class TestBuilders:
         strategy = DedupConfig(blocking="union:snm+token").build_blocking()
         assert isinstance(strategy, UnionBlocking)
 
+    def test_build_clustering(self):
+        strategy = DedupConfig(
+            clustering="biclique", clustering_options={"max_component_size": 32}
+        ).build_clustering()
+        assert isinstance(strategy, BicliqueClustering)
+        assert strategy.max_component_size == 32
+
     def test_build_executor_from_workers(self):
         assert isinstance(DedupConfig().build_executor(), SerialExecutor)
         executor = DedupConfig(workers=3, chunk_size=16).build_executor()
@@ -195,6 +221,8 @@ class TestBuilders:
         assert detector.cross_source_only is True
         assert detector.keep_evidence is True
         assert isinstance(detector.blocking, SortedNeighborhoodBlocking)
+        assert isinstance(detector.clustering, GraphClustering)
+        assert detector.clustering.min_cohesion == 0.5
         assert isinstance(detector.executor, MultiprocessExecutor)
 
     def test_build_matcher(self):
@@ -241,6 +269,19 @@ class TestFromCliArgs:
         assert config.dedup.blocking == "token"
         assert config.dedup.blocking_options == {"max_block_size": 20}
         assert config.prepare == base.prepare
+
+    def test_clustering_flag_overrides_the_base(self):
+        base = full_config()
+        config = FusionConfig.from_cli_args(self._args(clustering="biclique"), base=base)
+        assert config.dedup.clustering == "biclique"
+        # a strategy change invalidates the base's options wholesale
+        assert config.dedup.clustering_options == {}
+
+    def test_clustering_flag_same_strategy_keeps_options(self):
+        base = full_config()
+        config = FusionConfig.from_cli_args(self._args(clustering="graph"), base=base)
+        assert config.dedup.clustering == "graph"
+        assert config.dedup.clustering_options == {"min_cohesion": 0.5}
 
     def test_workers_flag_replaces_config_file_executor(self):
         base = FusionConfig(dedup=DedupConfig(executor="multiprocess"))
